@@ -1,0 +1,199 @@
+package aquila
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+var osWriteFile = os.WriteFile
+
+const demoProgram = `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> src_ip; bit<32> dst_ip; }
+ethernet_t eth;
+ipv4_t ipv4;
+
+parser P {
+	state start {
+		extract(eth);
+		transition select(eth.etherType) {
+			0x0800: parse_ipv4;
+			default: accept;
+		}
+	}
+	state parse_ipv4 { extract(ipv4); transition accept; }
+}
+control Ing {
+	action send(bit<9> port) { std_meta.egress_spec = port; }
+	action a_drop() { drop(); }
+	table fwd {
+		key = { ipv4.dst_ip : exact; }
+		actions = { send; a_drop; }
+		default_action = a_drop;
+	}
+	apply { if (ipv4.isValid()) { fwd.apply(); } }
+}
+deparser D { emit(eth); emit(ipv4); }
+pipeline pl { parser = P; control = Ing; deparser = D; }
+`
+
+const demoSpec = `
+assumption { init {
+	pkt.$order == <eth ipv4>;
+	pkt.eth.etherType == 0x0800;
+	pkt.ipv4.dst_ip == 10.0.0.1;
+} }
+assertion { out = { std_meta.egress_spec == 3; } }
+program {
+	assume(init);
+	call(pl);
+	assert(out);
+}
+`
+
+const demoEntries = `
+table Ing.fwd {
+  10.0.0.1 -> send(3)
+}
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog, err := ParseProgram("demo", demoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(demoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseSnapshot(demoEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(prog, snap, spec, Options{FindAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("spec must hold:\n%s", rep.String())
+	}
+
+	// Break the entry; verification fails and localization blames it.
+	badSnap := NewSnapshot()
+	bad, err := ParseSnapshot("table Ing.fwd {\n 10.0.0.9 -> send(3)\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = badSnap
+	rep2, err := Verify(prog, bad, spec, Options{FindAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Holds {
+		t.Fatal("wrong entry must violate the spec")
+	}
+	loc, err := Localize(prog, bad, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kind != BugTableEntry {
+		t.Fatalf("localization kind = %v, want table entry:\n%s", loc.Kind, loc)
+	}
+
+	// Self-validation of the encoder on this program.
+	val, err := SelfValidate(prog, snap, []string{"pl"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !val.Equivalent {
+		t.Fatalf("self-validation must pass:\n%s", val)
+	}
+}
+
+func TestFacadeFileLoading(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	p := write("prog.p4", demoProgram)
+	s := write("spec.lpi", demoSpec)
+	e := write("entries.txt", demoEntries)
+	if _, err := LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProgram(dir + "/missing.p4"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := LoadSpec(dir + "/missing.lpi"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := LoadSnapshot(dir + "/missing.txt"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestSpecLoCMetric(t *testing.T) {
+	if n := SpecLoC(demoSpec); n < 10 || n > 20 {
+		t.Fatalf("SpecLoC = %d", n)
+	}
+	if !strings.Contains(demoSpec, "pkt.$order") {
+		t.Fatal("sanity")
+	}
+}
+
+func writeFile(path, content string) error {
+	return osWriteFile(path, []byte(content), 0o644)
+}
+
+func TestInferUndefinedBehaviorSpec(t *testing.T) {
+	prog, err := ParseProgram("demo", demoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, spec, err := InferUndefinedBehaviorSpec(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "applied(Ing.fwd)") {
+		t.Fatalf("inferred spec missing table property:\n%s", src)
+	}
+	// The demo program guards fwd with isValid, so the inferred spec holds.
+	rep, err := Verify(prog, nil, spec, Options{FindAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("guarded demo program must satisfy the inferred spec:\n%s", rep.String())
+	}
+	// Remove the guard: the inferred spec must catch the bug.
+	broken := strings.Replace(demoProgram, "if (ipv4.isValid()) { fwd.apply(); }", "fwd.apply();", 1)
+	prog2, err := ParseProgram("demo2", broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, spec2, err := InferUndefinedBehaviorSpec(prog2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Verify(prog2, nil, spec2, Options{FindAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Holds {
+		t.Fatal("unguarded apply must violate the inferred spec")
+	}
+	if len(rep2.Blocklist()) == 0 {
+		t.Fatal("the violation should produce blocklist entries (§2)")
+	}
+}

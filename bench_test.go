@@ -1,0 +1,278 @@
+package aquila
+
+// bench_test.go hosts one testing.B benchmark per table and figure of the
+// paper's evaluation (run them with `go test -bench=. -benchmem`), plus
+// ablation benches for the design choices DESIGN.md calls out. The full
+// parameter sweeps live in cmd/aquila-bench; these benches use scaled-down
+// workloads so a complete -bench=. run stays in CI territory, while
+// preserving every comparison's shape.
+
+import (
+	"fmt"
+	"testing"
+
+	"aquila/internal/bench"
+	"aquila/internal/encode"
+	"aquila/internal/genprog"
+	"aquila/internal/lpi"
+	"aquila/internal/progs"
+	"aquila/internal/smt"
+	"aquila/internal/verify"
+)
+
+// BenchmarkTable1_PropertyMatrix runs the full Table 1 property-coverage
+// scenario suite.
+func BenchmarkTable1_PropertyMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		for _, r := range rows {
+			if !r.Supported {
+				b.Fatalf("%s/%s unsupported: %v", r.Part, r.Property, r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2_SpecSize measures the specification-size comparison.
+func BenchmarkTable2_SpecSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("want 3 scenarios")
+		}
+	}
+}
+
+// BenchmarkTable3 verifies the hand-written suite with each tool — the
+// per-tool inner benches expose the time asymmetry Table 3 reports.
+func BenchmarkTable3(b *testing.B) {
+	suite := progs.HandWrittenSuite()
+	for _, tool := range []bench.Tool{bench.ToolAquila, bench.ToolP4V, bench.ToolVera} {
+		b.Run(string(tool), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, bm := range suite {
+					out, err := bench.RunTool(bm, tool, bench.QuickLimits)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.Fail == "" && out.Bugs == 0 {
+						b.Fatalf("%s/%s found no seeded bug", bm.Name, tool)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3_ProductionScale runs one production-shaped program per
+// tool, showing the completes-vs-explodes split of Table 3's lower half.
+func BenchmarkTable3_ProductionScale(b *testing.B) {
+	cfg := genprog.Config{Name: "big", Pipes: 2, ParserStates: 40, Tables: 60, ActionsPerTable: 3, SeedBug: true}
+	bm := genprog.Assemble(cfg)
+	lim := bench.Limits{TreeCap: 100_000, MaxPaths: 20_000, Budget: 20_000_000}
+	for _, tool := range []bench.Tool{bench.ToolAquila, bench.ToolP4V, bench.ToolVera} {
+		b.Run(string(tool), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := bench.RunTool(bm, tool, lim)
+				if err != nil {
+					b.Fatal(err)
+				}
+				switch tool {
+				case bench.ToolAquila:
+					if out.Fail != "" {
+						b.Fatalf("Aquila must complete, got %s", out.Fail)
+					}
+				default:
+					if out.Fail == "" {
+						b.Fatalf("%s should exceed its budget at this scale", tool)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4_Localization runs the three bug kinds on the small
+// switch-T.
+func BenchmarkTable4_Localization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4([]string{"small"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Found {
+				b.Fatalf("%s/%s: culprit not found", r.Scale, r.Bug)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11a_ProgramScaling sweeps chained switch-T copies.
+func BenchmarkFig11a_ProgramScaling(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := genprog.SwitchT("small")
+			cfg.TTLChain = false
+			bm := genprog.AssembleChain(cfg, k)
+			prog, err := bm.Parse()
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := verify.Run(prog, nil, spec, verify.Options{FindAll: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Holds {
+					b.Fatal("clean chain must verify")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11b_TableEntryScaling sweeps entry counts per table mode.
+func BenchmarkFig11b_TableEntryScaling(b *testing.B) {
+	cfg := genprog.SwitchT("small")
+	cfg.TTLChain = false
+	bm := genprog.Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{128, 512, 1024} {
+		snap := genprog.BigTableSnapshot(cfg, n)
+		spec, err := lpi.Parse(genprog.BigTableSpec(cfg, bm.Calls, uint64(0x0A000000+n/2), 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []struct {
+			name string
+			mode encode.TableMode
+		}{{"Naive", encode.TableNaive}, {"ABV", encode.TableABVLinear}, {"ABVOpt", encode.TableABVTree}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, m.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := verify.Run(prog, snap, spec, verify.Options{
+						FindAll: true, Encode: encode.Options{Table: m.mode}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Holds {
+						b.Fatal("lookup property must hold")
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- ablation benches (DESIGN.md "key internal design choices") ----
+
+// BenchmarkAblation_SequentialVsTree compares the §4.1 sequential parser
+// encoding with the naive tree expansion on a branching-heavy parser.
+func BenchmarkAblation_SequentialVsTree(b *testing.B) {
+	cfg := genprog.Config{Name: "abl", Pipes: 1, ParserStates: 15, Tables: 8}
+	bm := genprog.Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		mode encode.ParserMode
+	}{{"Sequential", encode.ParserSequential}, {"Tree", encode.ParserTree}} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := verify.Run(prog, nil, spec, verify.Options{
+					FindAll: true, Encode: encode.Options{Parser: m.mode, TreeCap: 8 << 20}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PacketKVvsBitvector compares the §4.2 key-value packet
+// model against the monolithic bit-vector baseline.
+func BenchmarkAblation_PacketKVvsBitvector(b *testing.B) {
+	prog, err := ParseProgram("pkt", demoProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A packet-model-neutral property: parsed field equals its own value.
+	spec, err := ParseSpec(`
+assertion { a = { if (valid(ipv4)) ipv4.ttl == ipv4.ttl; } }
+program { call(pl); assert(a); }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		mode encode.PacketMode
+	}{{"KV", encode.PacketKV}, {"Bitvector", encode.PacketBitvector}} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := verify.Run(prog, nil, spec, verify.Options{
+					FindAll: true, Encode: encode.Options{Packet: m.mode}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_FindFirstVsFindAll measures the §5.1 assertion
+// labelling trade-off the paper reports ("higher memory when finding the
+// first bug, longer time finding all").
+func BenchmarkAblation_FindFirstVsFindAll(b *testing.B) {
+	bm := progs.HandWrittenSuite()[0] // Simple Router
+	prog, err := bm.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name    string
+		findAll bool
+	}{{"First", false}, {"All", true}} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := verify.Run(prog, nil, spec, verify.Options{FindAll: m.findAll}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolver_BitBlast exercises the SMT substrate directly: a
+// register-chained arithmetic equation per iteration.
+func BenchmarkSolver_BitBlast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := smt.NewCtx()
+		s := smt.NewSolver(ctx)
+		x := ctx.Var("x", 32)
+		y := ctx.Var("y", 32)
+		s.Assert(ctx.Eq(ctx.BVAdd(ctx.BVMul(x, ctx.BV(3, 32)), y), ctx.BV(99, 32)))
+		s.Assert(ctx.Ult(y, ctx.BV(3, 32)))
+		if s.Check() != smt.Sat {
+			b.Fatal("expected sat")
+		}
+	}
+}

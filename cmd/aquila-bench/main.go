@@ -1,0 +1,140 @@
+// Command aquila-bench regenerates the tables and figures of the paper's
+// evaluation (§8). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	aquila-bench -exp table1
+//	aquila-bench -exp table2
+//	aquila-bench -exp table3 [-quick] [-suite hand|full]
+//	aquila-bench -exp table4 [-scales small,medium,large]
+//	aquila-bench -exp fig11a [-k 5] [-scale medium]
+//	aquila-bench -exp fig11b [-entries 1000,2000,3000,4000,5000]
+//	aquila-bench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aquila/internal/bench"
+	"aquila/internal/genprog"
+	"aquila/internal/progs"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|all")
+		quick   = flag.Bool("quick", false, "smaller budgets and workloads")
+		suite   = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
+		scales  = flag.String("scales", "small,medium,large", "table4 switch-T scales")
+		k       = flag.Int("k", 5, "fig11a maximum chain length")
+		scale   = flag.String("scale", "medium", "fig11a/fig11b switch-T scale")
+		entries = flag.String("entries", "1000,2000,3000,4000,5000", "fig11b entry counts")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "aquila-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		rows := bench.Table1()
+		fmt.Print(bench.FormatTable1(rows))
+		return nil
+	})
+
+	run("table2", func() error {
+		rows, err := bench.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(rows))
+		return nil
+	})
+
+	run("table3", func() error {
+		var programs []*progs.Benchmark
+		if *suite == "hand" {
+			programs = progs.HandWrittenSuite()
+		} else {
+			programs = genprog.Table3Suite()
+		}
+		lim := bench.DefaultLimits
+		if *quick {
+			lim = bench.QuickLimits
+		}
+		tools := []bench.Tool{bench.ToolAquila, bench.ToolP4V, bench.ToolVera}
+		rows, err := bench.Table3(programs, lim, tools)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable3(rows, tools))
+		return nil
+	})
+
+	run("table4", func() error {
+		var list []string
+		for _, s := range strings.Split(*scales, ",") {
+			list = append(list, strings.TrimSpace(s))
+		}
+		if *quick {
+			list = []string{"small"}
+		}
+		rows, err := bench.Table4(list)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable4(rows))
+		return nil
+	})
+
+	run("fig11a", func() error {
+		maxK := *k
+		sc := *scale
+		if *quick {
+			maxK, sc = 3, "small"
+		}
+		rows, err := bench.Fig11a(maxK, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig11a(rows))
+		return nil
+	})
+
+	run("fig11b", func() error {
+		var counts []int
+		for _, s := range strings.Split(*entries, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			counts = append(counts, n)
+		}
+		if *quick {
+			counts = []int{200, 500, 1000}
+		}
+		// The paper's 2-hour timeout scales down to 2 minutes here (the
+		// naive mode is expected to trip it at >= 4k entries).
+		rows, err := bench.Fig11b(counts, *scale, bench.DefaultLimits.Budget, 2*time.Minute)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig11b(rows))
+		return nil
+	})
+}

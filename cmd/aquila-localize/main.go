@@ -1,0 +1,70 @@
+// Command aquila-localize runs Aquila's automatic bug localization (§5 of
+// the paper) on a program whose specification is violated: it reports
+// either the minimal set of tables whose entries can fix the violation or
+// the candidate program locations (action + variable) whose change can.
+//
+// Usage:
+//
+//	aquila-localize -spec spec.lpi [-p4 prog.p4] [-entries snap.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aquila"
+)
+
+func main() {
+	var (
+		p4Path   = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
+		specPath = flag.String("spec", "", "LPI specification file (required)")
+		entries  = flag.String("entries", "", "table-entry snapshot file")
+		budget   = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := aquila.LoadSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	progPath := *p4Path
+	if progPath == "" {
+		progPath = spec.Config["path"]
+		if progPath != "" && !filepath.IsAbs(progPath) {
+			progPath = filepath.Join(filepath.Dir(*specPath), progPath)
+		}
+	}
+	if progPath == "" {
+		fatal(fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec"))
+	}
+	prog, err := aquila.LoadProgram(progPath)
+	if err != nil {
+		fatal(err)
+	}
+	var snap *aquila.Snapshot
+	if *entries != "" {
+		snap, err = aquila.LoadSnapshot(*entries)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	result, err := aquila.Localize(prog, snap, spec, aquila.Options{Budget: *budget})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(result.String())
+	if result.Kind != aquila.BugNone {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aquila-localize:", err)
+	os.Exit(2)
+}

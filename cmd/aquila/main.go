@@ -1,0 +1,132 @@
+// Command aquila verifies a P4lite program against an LPI specification —
+// the paper's Figure 1 workflow: specification in, "no violation" or a
+// debugging report out.
+//
+// Usage:
+//
+//	aquila -spec spec.lpi [-p4 prog.p4] [-entries snap.txt] [-all]
+//	       [-parser sequential|tree] [-table abvtree|abvlinear|naive]
+//	       [-packet kv|bitvector] [-budget N]
+//
+// The P4 program may also be named by the spec's config section
+// (`config { path = prog.p4; }`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aquila"
+	"aquila/internal/encode"
+)
+
+func main() {
+	var (
+		p4Path    = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
+		specPath  = flag.String("spec", "", "LPI specification file (required)")
+		entries   = flag.String("entries", "", "table-entry snapshot file (omit: verify under any entries)")
+		findAll   = flag.Bool("all", false, "find all violated assertions (default: first only)")
+		parserStr = flag.String("parser", "sequential", "parser encoding: sequential|tree")
+		tableStr  = flag.String("table", "abvtree", "table encoding: abvtree|abvlinear|naive")
+		packetStr = flag.String("packet", "kv", "packet encoding: kv|bitvector")
+		budget    = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
+		blocklist = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := aquila.LoadSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	progPath := *p4Path
+	if progPath == "" {
+		progPath = spec.Config["path"]
+		if progPath != "" && !filepath.IsAbs(progPath) {
+			progPath = filepath.Join(filepath.Dir(*specPath), progPath)
+		}
+	}
+	if progPath == "" {
+		fatal(fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec"))
+	}
+	prog, err := aquila.LoadProgram(progPath)
+	if err != nil {
+		fatal(err)
+	}
+	var snap *aquila.Snapshot
+	if *entries != "" {
+		snap, err = aquila.LoadSnapshot(*entries)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	opts := aquila.Options{
+		FindAll: *findAll,
+		Budget:  *budget,
+		Encode:  encodeOptions(*parserStr, *tableStr, *packetStr),
+	}
+	report, err := aquila.Verify(prog, snap, spec, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		data, err := report.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		if !report.Holds {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(report.String())
+	if *blocklist && snap == nil && !report.Holds {
+		fmt.Println("blocklist (entry behaviours to prevent at runtime):")
+		for _, b := range report.Blocklist() {
+			mode := "miss"
+			if b.Hit {
+				mode = fmt.Sprintf("hit with action id %d", b.ActionLAID)
+			}
+			fmt.Printf("  %s: %s (violates %s)\n", b.Table, mode, b.Assertion)
+		}
+	}
+	if !report.Holds {
+		os.Exit(1)
+	}
+}
+
+func encodeOptions(parserStr, tableStr, packetStr string) encode.Options {
+	var o encode.Options
+	switch parserStr {
+	case "tree":
+		o.Parser = encode.ParserTree
+	default:
+		o.Parser = encode.ParserSequential
+	}
+	switch tableStr {
+	case "naive":
+		o.Table = encode.TableNaive
+	case "abvlinear":
+		o.Table = encode.TableABVLinear
+	default:
+		o.Table = encode.TableABVTree
+	}
+	switch packetStr {
+	case "bitvector":
+		o.Packet = encode.PacketBitvector
+	default:
+		o.Packet = encode.PacketKV
+	}
+	return o
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aquila:", err)
+	os.Exit(2)
+}

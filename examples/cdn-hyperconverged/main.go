@@ -1,0 +1,216 @@
+// Hyper-converged P4 CDN — the paper's §7.1 Scenario 2.
+//
+// A CDN PoP's middle-boxes (scheduler, load balancer, firewall) and L3
+// switch share one programmable switch across multiple pipelines
+// (Figure 2). The example reproduces the two §7.1 bugs:
+//
+//  1. the undefined-behaviour bug: `egress_ipv4` is applied for packets
+//     with neither an ipv4 nor an ipv6 header (e.g. ARP) whenever
+//     mac_config_on is false, and
+//  2. the deparser bug: the engineer reassembles the packet via a struct
+//     whose header order does not match the wire order.
+//
+// Run with: go run ./examples/cdn-hyperconverged
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"aquila"
+)
+
+const cdnP4 = `
+// cdn.p4 — switch + load balancer + scheduler in one device (Figure 2).
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> src_ip; bit<32> dst_ip; }
+header ipv6_t { bit<8> nextHdr; bit<64> dst_hi; }
+header tcp_t { bit<16> src_port; bit<16> dst_port; }
+struct eg_state_t { bit<1> mac_config_on; bit<8> scratch; }
+
+ethernet_t eth;
+ipv4_t ipv4;
+ipv6_t ipv6;
+tcp_t tcp;
+eg_state_t eg_state;
+
+parser SwitchParser {
+	state start {
+		extract(eth);
+		transition select(eth.etherType) {
+			0x0800: parse_ipv4;
+			0x86dd: parse_ipv6;
+			default: accept;
+		}
+	}
+	state parse_ipv4 {
+		extract(ipv4);
+		transition select(ipv4.protocol) {
+			6: parse_tcp;
+			default: accept;
+		}
+	}
+	state parse_ipv6 { extract(ipv6); transition accept; }
+	state parse_tcp { extract(tcp); transition accept; }
+}
+
+control SwitchIngress {
+	action route(bit<9> port) { std_meta.egress_spec = port; }
+	action to_lb() { std_meta.egress_spec = 64; }
+	action a_drop() { drop(); }
+	table l3 {
+		key = { ipv4.dst_ip : lpm; }
+		actions = { route; to_lb; a_drop; }
+		default_action = a_drop;
+	}
+	apply { if (ipv4.isValid()) { l3.apply(); } }
+}
+
+control LBEgress {
+	action vip_nat(bit<32> dip) { ipv4.dst_ip = dip; }
+	action egress_v6(bit<9> port) { std_meta.egress_spec = port; }
+	action egress_v4(bit<9> port) { std_meta.egress_spec = port; }
+	table egress_ipv6 {
+		key = { ipv6.dst_hi : exact; }
+		actions = { egress_v6; }
+	}
+	table egress_ipv4 {
+		key = { ipv4.dst_ip : exact; }
+		actions = { egress_v4; vip_nat; }
+	}
+	apply {
+		if (ipv6.isValid()) {
+			egress_ipv6.apply();
+		} else if (eg_state.mac_config_on == 0 || ipv4.isValid()) {
+			// BUG 1 (§7.1): an ARP packet (neither ipv4 nor ipv6) still
+			// applies egress_ipv4 when mac_config_on == 0.
+			egress_ipv4.apply();
+		}
+	}
+}
+
+deparser SwitchDeparser {
+	emit(eth);
+	emit(ipv4);
+	emit(ipv6);
+	emit(tcp);
+}
+
+deparser LBDeparser {
+	// BUG 2 (§7.1): the reassembly struct was written for another use and
+	// emits tcp before ipv4 — the returned packet's header order is wrong.
+	emit(eth);
+	emit(tcp);
+	emit(ipv4);
+	emit(ipv6);
+}
+
+pipeline switch_pipe { parser = SwitchParser; control = SwitchIngress; deparser = SwitchDeparser; }
+pipeline lb_pipe { parser = SwitchParser; control = LBEgress; deparser = LBDeparser; }
+`
+
+// The §7.1 scenario-2 specification: per-function correctness, undefined
+// behaviour checking, and deparser order correctness.
+const cdnSpec = `
+assumption {
+	arp_pkt {
+		pkt.$order == <eth>;              // e.g. an ARP packet
+		pkt.eth.etherType == 0x0806;
+	}
+	tcp_pkt {
+		pkt.$order == <eth ipv4 tcp>;
+		pkt.eth.etherType == 0x0800;
+		pkt.ipv4.protocol == 6;
+	}
+}
+assertion {
+	no_undefined = {
+		if (applied(egress_ipv4)) valid(ipv4);   // undefined-behaviour check
+	}
+	deparse_ok = {
+		pkt.$out_order == <eth ipv4 tcp>;        // wire order preserved
+	}
+}
+program {
+	assume(arp_pkt);
+	call(switch_pipe);
+	call(lb_pipe);
+	assert(no_undefined);
+}
+`
+
+const cdnDeparseSpec = `
+assumption {
+	tcp_pkt {
+		pkt.$order == <eth ipv4 tcp>;
+		pkt.eth.etherType == 0x0800;
+		pkt.ipv4.protocol == 6;
+	}
+}
+assertion {
+	deparse_ok = { pkt.$out_order == <eth ipv4 tcp>; }
+}
+program {
+	assume(tcp_pkt);
+	call(lb_pipe);
+	assert(deparse_ok);
+}
+`
+
+func main() {
+	prog, err := aquila.ParseProgram("cdn.p4", cdnP4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== bug 1: undefined header access on ARP packets ==")
+	spec1, err := aquila.ParseSpec(cdnSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := aquila.Verify(prog, nil, spec1, aquila.Options{FindAll: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.String())
+	if report.Holds {
+		log.Fatal("the undefined-behaviour bug should be detected")
+	}
+
+	fmt.Println("\n== bug 2: deparser header order ==")
+	spec2, err := aquila.ParseSpec(cdnDeparseSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report2, err := aquila.Verify(prog, nil, spec2, aquila.Options{FindAll: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report2.String())
+	if report2.Holds {
+		log.Fatal("the deparser-order bug should be detected")
+	}
+
+	// Fix both bugs and re-verify.
+	fixed := strings.Replace(cdnP4,
+		"} else if (eg_state.mac_config_on == 0 || ipv4.isValid()) {",
+		"} else if (ipv4.isValid()) {", 1)
+	fixed = strings.Replace(fixed, "emit(eth);\n\temit(tcp);\n\temit(ipv4);\n\temit(ipv6);",
+		"emit(eth);\n\temit(ipv4);\n\temit(ipv6);\n\temit(tcp);", 1)
+	prog2, err := aquila.ParseProgram("cdn_fixed.p4", fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== after the fixes ==")
+	for name, spec := range map[string]*aquila.Spec{"undefined-behaviour": spec1, "deparser-order": spec2} {
+		rep, err := aquila.Verify(prog2, nil, spec, aquila.Options{FindAll: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: holds=%v\n", name, rep.Holds)
+		if !rep.Holds {
+			log.Fatalf("fixed program should verify %s:\n%s", name, rep.String())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aquila/internal/encode"
+	"aquila/internal/genprog"
+	"aquila/internal/lpi"
+	"aquila/internal/progs"
+	"aquila/internal/verify"
+)
+
+// Fig11aRow measures verification of k chained switch-T copies
+// (Figure 11a: program-complexity scaling).
+type Fig11aRow struct {
+	K        int
+	WithBugs bool
+	Time     time.Duration
+	Mem      int
+	Bugs     int
+}
+
+// Fig11a sweeps k = 1..maxK, with and without the seeded bugs.
+func Fig11a(maxK int, scale string) ([]Fig11aRow, error) {
+	var rows []Fig11aRow
+	for _, withBugs := range []bool{false, true} {
+		for k := 1; k <= maxK; k++ {
+			cfg := genprog.SwitchT(scale)
+			cfg.TTLChain = false
+			cfg.SeedBug = withBugs
+			bm := genprog.AssembleChain(cfg, k)
+			prog, err := bm.Parse()
+			if err != nil {
+				return nil, err
+			}
+			spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			rep, err := verify.Run(prog, nil, spec, verify.Options{FindAll: true})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig11aRow{
+				K:        k,
+				WithBugs: withBugs,
+				Time:     time.Since(t0),
+				Mem:      rep.Stats.TermNodes + rep.Stats.CNFClauses,
+				Bugs:     len(rep.Violations),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig11bRow measures one (entries, table-mode) point of the Figure 11b
+// sweep.
+type Fig11bRow struct {
+	Entries int
+	Mode    string
+	Time    time.Duration
+	Mem     int
+	Fail    string
+}
+
+// Fig11b sweeps table entry counts across the three table encodings: the
+// naive per-entry expansion, linear ABV chaining, and the balanced ABV
+// lookup tree of §4.2.
+func Fig11b(entryCounts []int, scale string, budget int64, deadline time.Duration) ([]Fig11bRow, error) {
+	cfg := genprog.SwitchT(scale)
+	cfg.TTLChain = false
+	bm := genprog.Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		return nil, err
+	}
+	modes := []struct {
+		name string
+		mode encode.TableMode
+	}{
+		{"Naive", encode.TableNaive},
+		{"ABV", encode.TableABVLinear},
+		{"ABV+Opt", encode.TableABVTree},
+	}
+	var rows []Fig11bRow
+	for _, n := range entryCounts {
+		snap := genprog.BigTableSnapshot(cfg, n)
+		// Look up an entry near the middle of the table.
+		dst := uint64(0x0A000000 + n/2)
+		spec, err := lpi.Parse(genprog.BigTableSpec(cfg, bm.Calls, dst, uint64((n/2)%500)))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range modes {
+			t0 := time.Now()
+			rep, err := verify.Run(prog, snap, spec, verify.Options{
+				FindAll: true,
+				Budget:  budget,
+				Encode:  encode.Options{Table: m.mode},
+			})
+			elapsed := time.Since(t0)
+			row := Fig11bRow{Entries: n, Mode: m.name, Time: elapsed}
+			if err != nil {
+				out, ferr := failOutcome(err)
+				if ferr != nil {
+					return nil, ferr
+				}
+				row.Fail = out.Fail
+			} else {
+				row.Mem = rep.Stats.TermNodes + rep.Stats.CNFClauses
+				if !rep.Holds {
+					row.Fail = "WRONG"
+				}
+			}
+			if deadline > 0 && elapsed > deadline {
+				row.Fail = "OOT"
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig11a renders the scaling rows.
+func FormatFig11a(rows []Fig11aRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%3s %9s %12s %10s %6s\n", "k", "bugs?", "time", "mem", "found")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%3d %9v %12s %10d %6d\n", r.K, r.WithBugs, r.Time.Round(time.Millisecond), r.Mem, r.Bugs)
+	}
+	return b.String()
+}
+
+// FormatFig11b renders the entry-scaling rows.
+func FormatFig11b(rows []Fig11bRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %-8s %12s %12s %6s\n", "entries", "mode", "time", "mem", "fail")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %-8s %12s %12d %6s\n", r.Entries, r.Mode, r.Time.Round(time.Millisecond), r.Mem, r.Fail)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aquila/internal/genprog"
+	"aquila/internal/localize"
+	"aquila/internal/progs"
+	"aquila/internal/verify"
+)
+
+// Table4Row is one (scale, bug-kind) localization measurement.
+type Table4Row struct {
+	Scale string
+	Bug   genprog.BugKind
+	Time  time.Duration
+	// Precision is the fraction of non-culprit candidate locations the
+	// localizer filtered out (the Table 4 metric: 100% means no false
+	// positives).
+	Precision float64
+	// Reported / Pool sizes behind the precision number.
+	Reported int
+	Pool     int
+	Found    bool // the seeded culprit is among the reported locations
+}
+
+// Table4 runs the §8.3 localization benchmark: three switch-T scales ×
+// three seeded bug kinds.
+func Table4(scales []string) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, scale := range scales {
+		cfg := genprog.SwitchT(scale)
+		bm := genprog.Assemble(cfg)
+		spec := mustSpec(genprog.TTLSpec(bm.Calls))
+		for _, bug := range []genprog.BugKind{genprog.BugWrongEntry, genprog.BugCodeMissing, genprog.BugCodeError} {
+			src := genprog.InjectBug(bm.Source, bug)
+			snap := genprog.TTLSnapshot(cfg, bug == genprog.BugWrongEntry)
+			buggy := &progs.Benchmark{Name: string(bug), Source: src, Calls: bm.Calls}
+			prog, err := buggy.Parse()
+			if err != nil {
+				return nil, err
+			}
+			res, err := localize.Localize(prog, snap, spec, localize.Options{Verify: verify.Options{}})
+			if err != nil {
+				return nil, err
+			}
+			row := Table4Row{Scale: scale, Bug: bug, Time: res.Time}
+			switch bug {
+			case genprog.BugWrongEntry:
+				// Ground truth: exactly ttl_tbl. Pool: tables with entries.
+				row.Pool = len(snap.Tables())
+				row.Reported = len(res.Tables)
+				for _, t := range res.Tables {
+					if strings.HasSuffix(t, "ttl_tbl") {
+						row.Found = true
+					}
+				}
+				row.Precision = precision(row.Pool, row.Reported, row.Found)
+			default:
+				// Ground truth: the TTL chain actions. Any reported
+				// location inside the chain is a valid fix site (the paper
+				// counts multiple fixes for one bug as correct).
+				row.Pool = res.Pool
+				row.Reported = len(res.Candidates)
+				truePositives := 0
+				for _, cand := range res.Candidates {
+					if strings.HasPrefix(cand.Action, "ttl_") {
+						truePositives++
+						row.Found = true
+					}
+				}
+				falsePositives := row.Reported - truePositives
+				if row.Pool > 0 {
+					row.Precision = 1 - float64(falsePositives)/float64(row.Pool)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func precision(pool, reported int, found bool) float64 {
+	if pool == 0 {
+		return 0
+	}
+	falsePositives := reported
+	if found {
+		falsePositives--
+	}
+	return 1 - float64(falsePositives)/float64(pool)
+}
+
+// FormatTable4 renders the rows.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-14s %10s %10s %10s %6s\n", "Scale", "Bug", "Time", "Precision", "Reported", "Found")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-14s %10s %9.1f%% %6d/%-4d %6v\n",
+			r.Scale, r.Bug, r.Time.Round(time.Millisecond), r.Precision*100, r.Reported, r.Pool, r.Found)
+	}
+	return b.String()
+}

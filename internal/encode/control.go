@@ -1,0 +1,300 @@
+package encode
+
+import (
+	"fmt"
+
+	"aquila/internal/gcl"
+	"aquila/internal/p4"
+	"aquila/internal/smt"
+)
+
+// EncodeControl compiles a control block (ingress/egress program) to GCL.
+func (e *Env) EncodeControl(name string) (gcl.Stmt, error) {
+	ctl, ok := e.Prog.Controls[name]
+	if !ok {
+		return nil, fmt.Errorf("encode: unknown control %q", name)
+	}
+	var out []gcl.Stmt
+	for _, s := range ctl.Apply {
+		g, err := e.encodeApplyStmt(ctl, s, &exprScope{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return gcl.NewSeq(out...), nil
+}
+
+func (e *Env) encodeApplyStmt(ctl *p4.Control, s p4.Stmt, sc *exprScope) (gcl.Stmt, error) {
+	c := e.Ctx
+	switch st := s.(type) {
+	case *p4.ApplyStmt:
+		return e.encodeTableApply(ctl, ctl.Tables[st.Table])
+	case *p4.IfApplyStmt:
+		apply, err := e.encodeTableApply(ctl, ctl.Tables[st.Table])
+		if err != nil {
+			return nil, err
+		}
+		onHit, err := e.encodeApplyList(ctl, st.OnHit, sc)
+		if err != nil {
+			return nil, err
+		}
+		onMis, err := e.encodeApplyList(ctl, st.OnMis, sc)
+		if err != nil {
+			return nil, err
+		}
+		return gcl.NewSeq(apply, &gcl.If{
+			Cond: e.HitVar(ctl.Name, st.Table),
+			Then: onHit,
+			Else: onMis,
+		}), nil
+	case *p4.SwitchApplyStmt:
+		apply, err := e.encodeTableApply(ctl, ctl.Tables[st.Table])
+		if err != nil {
+			return nil, err
+		}
+		var chain gcl.Stmt
+		chain, err = e.encodeApplyList(ctl, st.Default, sc)
+		if err != nil {
+			return nil, err
+		}
+		actionVar := e.ActionVar(ctl.Name, st.Table)
+		for i := len(st.Cases) - 1; i >= 0; i-- {
+			cs := st.Cases[i]
+			laid, ok := e.LAID(ctl.Name, st.Table, cs.Action)
+			if !ok {
+				return nil, fmt.Errorf("encode: switch case %q not in table %s", cs.Action, st.Table)
+			}
+			body, err := e.encodeApplyList(ctl, cs.Body, sc)
+			if err != nil {
+				return nil, err
+			}
+			cond := c.Eq(actionVar, c.BV(laid, 16))
+			// The default action can also be one of the named actions; the
+			// paper's LAID scheme distinguishes by id, which we mirror.
+			tbl := ctl.Tables[st.Table]
+			if tbl.DefaultAction == cs.Action {
+				cond = c.Or(cond, c.Eq(actionVar, c.BV(0, 16)))
+			}
+			chain = &gcl.If{Cond: cond, Then: body, Else: chain}
+		}
+		return gcl.NewSeq(apply, chain), nil
+	case *p4.CallActionStmt:
+		act := ctl.Actions[st.Action]
+		args := make([]*smt.Term, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = e.Expr(a, sc, act.Params[i].Width)
+		}
+		return e.inlineAction(ctl, act, args)
+	case *p4.IfStmt:
+		thenS, err := e.encodeApplyList(ctl, st.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		elseS, err := e.encodeApplyList(ctl, st.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &gcl.If{Cond: e.boolExpr(st.Cond, sc), Then: thenS, Else: elseS}, nil
+	default:
+		return e.encodeControlStmt(ctl, s, sc)
+	}
+}
+
+func (e *Env) encodeApplyList(ctl *p4.Control, list []p4.Stmt, sc *exprScope) (gcl.Stmt, error) {
+	var out []gcl.Stmt
+	for _, s := range list {
+		g, err := e.encodeApplyStmt(ctl, s, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return gcl.NewSeq(out...), nil
+}
+
+// encodeControlStmt handles statements valid inside actions and apply
+// blocks (no table operations).
+func (e *Env) encodeControlStmt(ctl *p4.Control, s p4.Stmt, sc *exprScope) (gcl.Stmt, error) {
+	c := e.Ctx
+	switch st := s.(type) {
+	case *p4.AssignStmt:
+		return e.encodeAssign(st, sc)
+	case *p4.SetValidStmt:
+		return &gcl.Assign{Var: e.ValidVar(st.Header), Rhs: c.Bool(st.Valid)}, nil
+	case *p4.IfStmt:
+		thenS, err := e.encodeStmtListCtl(ctl, st.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		elseS, err := e.encodeStmtListCtl(ctl, st.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &gcl.If{Cond: e.boolExpr(st.Cond, sc), Then: thenS, Else: elseS}, nil
+	case *p4.RegReadStmt:
+		// Registers are scalarized (§4.3): the index is ignored.
+		return e.assignTo(st.Dst, e.RegVar(st.Reg), sc)
+	case *p4.RegWriteStmt:
+		reg := e.RegVar(st.Reg)
+		return &gcl.Assign{Var: reg, Rhs: e.Expr(st.Val, sc, reg.Width)}, nil
+	case *p4.CountStmt:
+		// Counters are scalarized like registers: count(idx) increments
+		// the single cell (App. B.4).
+		reg := e.RegVar(st.Counter)
+		return &gcl.Assign{Var: reg, Rhs: e.Ctx.BVAdd(reg, e.Ctx.BV(1, reg.Width))}, nil
+	case *p4.ExecuteMeterStmt:
+		// The meter colour depends on traffic history outside the model:
+		// havoc the destination, bounded by its width (like hash, §4.3).
+		w := e.lvalueWidth(st.Dst, sc)
+		h := e.HashVar(w)
+		return mustStmt(e.assignTo(st.Dst, h, sc)), nil
+	case *p4.HashStmt:
+		// Hash outputs are havoced, bounded only by their width (§4.3).
+		// The free variable is named by a program-order sequence number so
+		// the self-validator's alternative representation can align with
+		// it (§6: the refinement relation must match free choices).
+		dstW := e.lvalueWidth(st.Dst, sc)
+		h := e.HashVar(dstW)
+		return mustStmt(e.assignTo(st.Dst, h, sc)), nil
+	case *p4.PrimitiveStmt:
+		field := map[string]string{
+			"drop": "drop", "to_cpu": "to_cpu", "recirculate": "recirc",
+			"resubmit": "resubmit", "mirror": "mirror",
+		}[st.Name]
+		return &gcl.Assign{Var: e.StdMetaVar(field), Rhs: c.BV(1, 1)}, nil
+	case *p4.CallActionStmt:
+		act, ok := ctl.Actions[st.Action]
+		if !ok {
+			return nil, fmt.Errorf("encode: unknown action %q", st.Action)
+		}
+		args := make([]*smt.Term, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = e.Expr(a, sc, act.Params[i].Width)
+		}
+		return e.inlineAction(ctl, act, args)
+	default:
+		return nil, fmt.Errorf("encode: unsupported control statement %T", s)
+	}
+}
+
+func mustStmt(s gcl.Stmt, err error) gcl.Stmt {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (e *Env) encodeStmtListCtl(ctl *p4.Control, list []p4.Stmt, sc *exprScope) (gcl.Stmt, error) {
+	var out []gcl.Stmt
+	for _, s := range list {
+		g, err := e.encodeControlStmt(ctl, s, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return gcl.NewSeq(out...), nil
+}
+
+// inlineAction expands an action body with parameters bound to args. When
+// configured it also records the $fired ghost and injects the fix-
+// simulation havocs of §5.2.
+func (e *Env) inlineAction(ctl *p4.Control, act *p4.Action, args []*smt.Term) (gcl.Stmt, error) {
+	sc := &exprScope{params: map[string]*smt.Term{}}
+	for i, pm := range act.Params {
+		sc.params[pm.Name] = args[i]
+	}
+	var out []gcl.Stmt
+	if e.Opts.TrackFired {
+		out = append(out, &gcl.Assign{Var: e.FiredVar(ctl.Name, act.Name), Rhs: e.Ctx.True()})
+	}
+	for _, s := range act.Body {
+		g, err := e.encodeControlStmt(ctl, s, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	for _, name := range e.Opts.InjectHavoc[ctl.Name+"."+act.Name] {
+		i := lastDot(name)
+		if i < 0 {
+			return nil, fmt.Errorf("encode: InjectHavoc target %q is not a field path", name)
+		}
+		out = append(out, &gcl.Havoc{Var: e.FieldVar(name[:i], name[i+1:])})
+	}
+	return gcl.NewSeq(out...), nil
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodeAssign compiles an assignment, maintaining $mod ghosts for fields
+// the spec tracks with modified().
+func (e *Env) encodeAssign(st *p4.AssignStmt, sc *exprScope) (gcl.Stmt, error) {
+	w := e.lvalueWidth(st.LHS, sc)
+	rhs := e.Expr(st.RHS, sc, w)
+	return e.assignTo(st.LHS, rhs, sc)
+}
+
+func (e *Env) lvalueWidth(lhs p4.Expr, sc *exprScope) int {
+	switch x := lhs.(type) {
+	case *p4.FieldRef:
+		return e.FieldVar(x.Instance, x.Field).Width
+	case *p4.SliceExpr:
+		return x.Hi - x.Lo + 1
+	case *p4.VarRef:
+		if t, ok := sc.params[x.Name]; ok {
+			return t.Width
+		}
+	}
+	panic(fmt.Sprintf("encode: not an lvalue: %v", lhs))
+}
+
+// assignTo writes rhs into an lvalue, handling slice read-modify-write.
+func (e *Env) assignTo(lhs p4.Expr, rhs *smt.Term, sc *exprScope) (gcl.Stmt, error) {
+	c := e.Ctx
+	switch x := lhs.(type) {
+	case *p4.FieldRef:
+		v := e.FieldVar(x.Instance, x.Field)
+		stmts := []gcl.Stmt{&gcl.Assign{Var: v, Rhs: c.Resize(rhs, v.Width)}}
+		if e.Opts.TrackModified[x.Instance+"."+x.Field] {
+			stmts = append(stmts, &gcl.Assign{Var: e.ModVar(x.Instance, x.Field), Rhs: c.True()})
+		}
+		return gcl.NewSeq(stmts...), nil
+	case *p4.SliceExpr:
+		fr, ok := x.X.(*p4.FieldRef)
+		if !ok {
+			return nil, fmt.Errorf("encode: slice assignment requires a field base")
+		}
+		v := e.FieldVar(fr.Instance, fr.Field)
+		// Read-modify-write: keep bits outside [Hi:Lo].
+		newVal := c.Resize(rhs, x.Hi-x.Lo+1)
+		var parts *smt.Term
+		if x.Hi < v.Width-1 {
+			parts = c.Extract(v, v.Width-1, x.Hi+1)
+		}
+		if parts == nil {
+			parts = newVal
+		} else {
+			parts = c.Concat(parts, newVal)
+		}
+		if x.Lo > 0 {
+			parts = c.Concat(parts, c.Extract(v, x.Lo-1, 0))
+		}
+		stmts := []gcl.Stmt{&gcl.Assign{Var: v, Rhs: parts}}
+		if e.Opts.TrackModified[fr.Instance+"."+fr.Field] {
+			stmts = append(stmts, &gcl.Assign{Var: e.ModVar(fr.Instance, fr.Field), Rhs: c.True()})
+		}
+		return gcl.NewSeq(stmts...), nil
+	case *p4.VarRef:
+		return nil, fmt.Errorf("encode: assignment to action parameter %q unsupported", x.Name)
+	}
+	return nil, fmt.Errorf("encode: not an lvalue: %v", lhs)
+}

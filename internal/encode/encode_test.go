@@ -1,0 +1,885 @@
+package encode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"aquila/internal/gcl"
+	"aquila/internal/p4"
+	"aquila/internal/smt"
+	"aquila/internal/tables"
+)
+
+const fwdProgram = `
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> src_ip; bit<32> dst_ip; }
+ethernet_t eth;
+ipv4_t ipv4;
+
+parser P {
+	state start {
+		extract(eth);
+		transition select(eth.etherType) {
+			0x0800: parse_ipv4;
+			default: accept;
+		}
+	}
+	state parse_ipv4 { extract(ipv4); transition accept; }
+}
+
+control Ing {
+	action send(bit<9> port) { std_meta.egress_spec = port; }
+	action a_drop() { drop(); }
+	table fwd {
+		key = { ipv4.dst_ip : exact; }
+		actions = { send; a_drop; }
+		default_action = a_drop;
+	}
+	apply {
+		if (ipv4.isValid()) { fwd.apply(); }
+	}
+}
+
+deparser D { emit(eth); emit(ipv4); }
+pipeline ingress { parser = P; control = Ing; deparser = D; }
+`
+
+// harness builds an env, encodes components, and checks an assertion.
+type harness struct {
+	t    *testing.T
+	ctx  *smt.Ctx
+	env  *Env
+	prog *p4.Program
+}
+
+func newHarness(t *testing.T, src string, snap *tables.Snapshot, opts Options) *harness {
+	t.Helper()
+	prog, err := p4.ParseAndCheck("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := smt.NewCtx()
+	return &harness{t: t, ctx: ctx, env: NewEnv(ctx, prog, snap, opts), prog: prog}
+}
+
+// orderAssume constrains pkt.$order to exactly the given header sequence.
+func (h *harness) orderAssume(headers ...string) *smt.Term {
+	c := h.ctx
+	cond := c.True()
+	for i := 0; i < h.env.MaxHeaders(); i++ {
+		var id uint64
+		if i < len(headers) {
+			id = h.env.HeaderID(headers[i])
+		}
+		cond = c.And(cond, c.Eq(h.env.OrderVar(i), c.BV(id, OrderWidth)))
+	}
+	return cond
+}
+
+// run encodes init + assumes + components and returns whether the
+// assertion can be violated, plus a counterexample model.
+func (h *harness) run(assumes []*smt.Term, components []string, assertion *smt.Term) (bool, *smt.Model) {
+	h.t.Helper()
+	var stmts []gcl.Stmt
+	stmts = append(stmts, h.env.InitStmts())
+	for _, a := range assumes {
+		stmts = append(stmts, &gcl.Assume{Cond: a})
+	}
+	for _, comp := range components {
+		s, err := h.env.EncodeComponent(comp)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		stmts = append(stmts, s)
+	}
+	stmts = append(stmts, &gcl.Assert{Cond: assertion, Label: "prop"})
+	enc := gcl.NewEncoder(h.ctx)
+	res := enc.Encode(gcl.NewSeq(stmts...), nil)
+	solver := smt.NewSolver(h.ctx)
+	for _, v := range res.Violations {
+		if solver.Check(v.Cond) == smt.Sat {
+			m := solver.Model()
+			solver.ModelCollect(m, v.Cond)
+			return true, m
+		}
+	}
+	return false, nil
+}
+
+func TestForwardingWithEntries(t *testing.T) {
+	snap := tables.NewSnapshot()
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.Exact(0x0A000001)}, Action: "send", Args: []uint64{3}, Priority: -1})
+	h := newHarness(t, fwdProgram, snap, Options{})
+	c := h.ctx
+
+	assumes := []*smt.Term{
+		h.orderAssume("eth", "ipv4"),
+		c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+		c.Eq(h.env.PktFieldVar("ipv4", "dst_ip"), c.BV(0x0A000001, 32)),
+	}
+	// Property: the packet to 10.0.0.1 leaves on port 3.
+	prop := c.Eq(h.env.StdMetaVar("egress_spec"), c.BV(3, 9))
+	if violated, _ := h.run(assumes, []string{"ingress"}, prop); violated {
+		t.Fatal("packet to 10.0.0.1 must get egress_spec 3")
+	}
+	// A packet to an uninstalled IP must be dropped (default action).
+	assumes2 := []*smt.Term{
+		h.orderAssume("eth", "ipv4"),
+		c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+		c.Eq(h.env.PktFieldVar("ipv4", "dst_ip"), c.BV(0x0A000002, 32)),
+	}
+	prop2 := c.Eq(h.env.StdMetaVar("drop"), c.BV(1, 1))
+	if violated, _ := h.run(assumes2, []string{"ingress"}, prop2); violated {
+		t.Fatal("unknown destination must be dropped")
+	}
+}
+
+func TestForwardingViolation(t *testing.T) {
+	snap := tables.NewSnapshot()
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.Exact(0x0A000001)}, Action: "send", Args: []uint64{3}, Priority: -1})
+	h := newHarness(t, fwdProgram, snap, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("eth", "ipv4"),
+		c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+	}
+	// Claiming every IPv4 packet goes to port 3 must be violated (e.g. by
+	// a packet to a different destination).
+	prop := c.Eq(h.env.StdMetaVar("egress_spec"), c.BV(3, 9))
+	violated, m := h.run(assumes, []string{"ingress"}, prop)
+	if !violated {
+		t.Fatal("property should be violated for non-matching destinations")
+	}
+	if m.Uint64(h.env.PktFieldVar("ipv4", "dst_ip")) == 0x0A000001 {
+		t.Fatal("counterexample must use a different destination IP")
+	}
+}
+
+func TestTableModesAgree(t *testing.T) {
+	snap := tables.NewSnapshot()
+	for i := 0; i < 17; i++ {
+		snap.Add("Ing.fwd", &tables.Entry{
+			Keys:     []tables.KeyMatch{tables.Exact(uint64(0x0A000000 + i))},
+			Action:   "send",
+			Args:     []uint64{uint64(i % 8)},
+			Priority: -1,
+		})
+	}
+	for _, mode := range []TableMode{TableABVTree, TableABVLinear, TableNaive} {
+		h := newHarness(t, fwdProgram, snap, Options{Table: mode})
+		c := h.ctx
+		assumes := []*smt.Term{
+			h.orderAssume("eth", "ipv4"),
+			c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+			c.Eq(h.env.PktFieldVar("ipv4", "dst_ip"), c.BV(0x0A000005, 32)),
+		}
+		prop := c.Eq(h.env.StdMetaVar("egress_spec"), c.BV(5, 9))
+		if violated, _ := h.run(assumes, []string{"ingress"}, prop); violated {
+			t.Fatalf("mode %v: entry 5 must map to port 5", mode)
+		}
+		prop2 := c.Eq(h.env.StdMetaVar("egress_spec"), c.BV(6, 9))
+		if violated, _ := h.run(assumes, []string{"ingress"}, prop2); !violated {
+			t.Fatalf("mode %v: port 6 claim must be violated", mode)
+		}
+	}
+}
+
+func TestFirstMatchPriority(t *testing.T) {
+	// Two overlapping ternary entries: the first must win.
+	snap := tables.NewSnapshot()
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.Ternary(0x0A000000, 0xFF000000)}, Action: "send", Args: []uint64{1}, Priority: -1})
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.Ternary(0x0A000000, 0xFFFF0000)}, Action: "send", Args: []uint64{2}, Priority: -1})
+	for _, mode := range []TableMode{TableABVTree, TableABVLinear, TableNaive} {
+		h := newHarness(t, fwdProgram, snap, Options{Table: mode})
+		c := h.ctx
+		assumes := []*smt.Term{
+			h.orderAssume("eth", "ipv4"),
+			c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+			c.Eq(h.env.PktFieldVar("ipv4", "dst_ip"), c.BV(0x0A000099, 32)),
+		}
+		prop := c.Eq(h.env.StdMetaVar("egress_spec"), c.BV(1, 9))
+		if violated, _ := h.run(assumes, []string{"ingress"}, prop); violated {
+			t.Fatalf("mode %v: first matching entry must win", mode)
+		}
+	}
+}
+
+func TestLPMPriority(t *testing.T) {
+	// Longest prefix must win regardless of insertion order.
+	snap := tables.NewSnapshot()
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.LPM(0x0A000000, 8, 32)}, Action: "send", Args: []uint64{1}, Priority: -1})
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.LPM(0x0A010000, 16, 32)}, Action: "send", Args: []uint64{2}, Priority: -1})
+	h := newHarness(t, fwdProgram, snap, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("eth", "ipv4"),
+		c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+		c.Eq(h.env.PktFieldVar("ipv4", "dst_ip"), c.BV(0x0A010203, 32)),
+	}
+	prop := c.Eq(h.env.StdMetaVar("egress_spec"), c.BV(2, 9))
+	if violated, _ := h.run(assumes, []string{"ingress"}, prop); violated {
+		t.Fatal("longest prefix (/16) must win")
+	}
+}
+
+func TestWildcardTableMode(t *testing.T) {
+	// No entries: the table may do anything installable, so a concrete
+	// egress claim must be violable, but @defaultonly actions can only run
+	// as the default.
+	h := newHarness(t, fwdProgram, nil, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("eth", "ipv4"),
+		c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+	}
+	prop := c.Eq(h.env.StdMetaVar("egress_spec"), c.BV(3, 9))
+	if violated, _ := h.run(assumes, []string{"ingress"}, prop); !violated {
+		t.Fatal("under unknown entries the property must be violable")
+	}
+	// Universally true property: either dropped or hit the table.
+	prop2 := c.Or(
+		c.Eq(h.env.StdMetaVar("drop"), c.BV(1, 1)),
+		h.env.HitVar("Ing", "fwd"),
+	)
+	if violated, _ := h.run(assumes, []string{"ingress"}, prop2); violated {
+		t.Fatal("miss implies default action drop; property must hold")
+	}
+}
+
+func TestHeaderValidityTracking(t *testing.T) {
+	h := newHarness(t, fwdProgram, nil, Options{})
+	c := h.ctx
+	// A non-IPv4 packet must leave ipv4 invalid.
+	assumes := []*smt.Term{
+		h.orderAssume("eth"),
+		c.Neq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+	}
+	prop := c.Not(h.env.ValidVar("ipv4"))
+	if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+		t.Fatal("ipv4 must be invalid for non-IPv4 ethertype")
+	}
+	// And eth must be valid after parsing.
+	prop2 := h.env.ValidVar("eth")
+	if violated, _ := h.run(assumes, []string{"P"}, prop2); violated {
+		t.Fatal("eth must be valid after start state")
+	}
+}
+
+func TestParserSequentialVsTreeVerdictsAgree(t *testing.T) {
+	for _, mode := range []ParserMode{ParserSequential, ParserTree} {
+		h := newHarness(t, fwdProgram, nil, Options{Parser: mode})
+		c := h.ctx
+		assumes := []*smt.Term{
+			h.orderAssume("eth", "ipv4"),
+			c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+			c.Eq(h.env.PktFieldVar("ipv4", "ttl"), c.BV(7, 8)),
+		}
+		prop := c.Eq(h.env.FieldVar("ipv4", "ttl"), c.BV(7, 8))
+		if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+			t.Fatalf("mode %v: parsed ttl must equal wire ttl", mode)
+		}
+	}
+}
+
+// diamondParser builds a parser with n diamond-shaped branchings; the tree
+// expansion doubles per diamond while the sequential encoding stays linear.
+func diamondParser(n int) string {
+	var b strings.Builder
+	b.WriteString("header h_t { bit<8> tag; }\n")
+	for i := 0; i <= n; i++ {
+		fmt.Fprintf(&b, "header m%d_t { bit<8> v; } m%d_t m%d;\n", i, i, i)
+	}
+	b.WriteString("h_t h;\nparser P {\n")
+	fmt.Fprintf(&b, "state start { extract(m0); transition select(m0.v) { 0: a0; default: b0; } }\n")
+	for i := 0; i < n; i++ {
+		// Both arms re-converge on the next diamond's entry.
+		next := fmt.Sprintf("d%d", i+1)
+		fmt.Fprintf(&b, "state a%d { transition %s; }\n", i, next)
+		fmt.Fprintf(&b, "state b%d { transition %s; }\n", i, next)
+		if i+1 < n {
+			fmt.Fprintf(&b, "state d%d { extract(m%d); transition select(m%d.v) { 0: a%d; default: b%d; } }\n",
+				i+1, i+1, i+1, i+1, i+1)
+		} else {
+			fmt.Fprintf(&b, "state d%d { transition accept; }\n", i+1)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func TestSequentialBeatsTreeExponentially(t *testing.T) {
+	src := diamondParser(12)
+	h := newHarness(t, src, nil, Options{})
+	seq, err := h.env.SequentialSize("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := h.env.TreeSize("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree < 20*seq {
+		t.Fatalf("expected exponential tree blowup: seq=%d tree=%d", seq, tree)
+	}
+	// And the explosion guard must fire for deep DAGs with a low cap.
+	h2 := newHarness(t, diamondParser(30), nil, Options{TreeCap: 10000})
+	_, err = h2.env.TreeSize("P")
+	var ex *ErrExplosion
+	if !errors.As(err, &ex) {
+		t.Fatalf("want ErrExplosion, got %v", err)
+	}
+}
+
+const loopParser = `
+header tcp_t { bit<16> len; }
+header opt_t { bit<8> kind; bit<8> val; }
+tcp_t tcp;
+opt_t opt;
+parser P {
+	state start { extract(tcp); transition next_option; }
+	state next_option {
+		transition select(lookahead<bit<8>>()) {
+			0: option_end;
+			1: option_nop;
+			default: accept;
+		}
+	}
+	state option_nop { extract(opt); transition next_option; }
+	state option_end { extract(opt); transition accept; }
+}
+`
+
+func TestLoopFolding(t *testing.T) {
+	h := newHarness(t, loopParser, nil, Options{LoopBound: 3})
+	s, err := h.env.EncodeParser("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop must appear as a bounded while in the GCL.
+	if !strings.Contains(gcl.Pretty(s), "while") {
+		t.Fatal("loop not folded into a while")
+	}
+	// And the encoding must be solvable: a packet whose first option byte
+	// is 0 extracts the option header via option_end.
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("tcp", "opt"),
+		c.Eq(h.env.PktFieldVar("opt", "kind"), c.BV(0, 8)),
+	}
+	prop := h.env.ValidVar("opt")
+	if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+		t.Fatal("option header must be extracted when lookahead sees kind 0")
+	}
+}
+
+func TestLookaheadConsistency(t *testing.T) {
+	h := newHarness(t, loopParser, nil, Options{LoopBound: 3})
+	c := h.ctx
+	// The lookahead placeholder is constrained to equal the first byte of
+	// the extracted header: a packet whose option kind is 5 can match
+	// neither case 0 nor case 1, so opt is never extracted.
+	assumes := []*smt.Term{
+		h.orderAssume("tcp", "opt"),
+		c.Eq(h.env.PktFieldVar("opt", "kind"), c.BV(5, 8)),
+	}
+	prop := c.Not(h.env.ValidVar("opt"))
+	if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+		t.Fatal("lookahead must prevent extracting an option with kind 5")
+	}
+}
+
+func TestDeparserOutputOrder(t *testing.T) {
+	snap := tables.NewSnapshot()
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.Exact(1)}, Action: "send", Args: []uint64{1}, Priority: -1})
+	h := newHarness(t, fwdProgram, snap, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("eth", "ipv4"),
+		c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16)),
+	}
+	ethID := c.BV(h.env.HeaderID("eth"), OrderWidth)
+	ipv4ID := c.BV(h.env.HeaderID("ipv4"), OrderWidth)
+	prop := c.And(
+		c.Eq(h.env.OutOrderVar(0), ethID),
+		c.Eq(h.env.OutOrderVar(1), ipv4ID),
+	)
+	if violated, _ := h.run(assumes, []string{"ingress"}, prop); violated {
+		t.Fatal("deparser must emit eth then ipv4")
+	}
+}
+
+func TestDeparserUnparsedTail(t *testing.T) {
+	// Parser for eth only; deparser emits eth; ipv4 was never parsed and
+	// must be appended as the unparsed remainder.
+	src := `
+header ethernet_t { bit<16> etherType; }
+header ipv4_t { bit<8> ttl; }
+ethernet_t eth;
+ipv4_t ipv4;
+parser P { state start { extract(eth); transition accept; } }
+control C { apply { } }
+deparser D { emit(eth); }
+pipeline pl { parser = P; control = C; deparser = D; }
+`
+	h := newHarness(t, src, nil, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{h.orderAssume("eth", "ipv4")}
+	prop := c.And(
+		c.Eq(h.env.OutOrderVar(0), c.BV(h.env.HeaderID("eth"), OrderWidth)),
+		c.Eq(h.env.OutOrderVar(1), c.BV(h.env.HeaderID("ipv4"), OrderWidth)),
+	)
+	if violated, _ := h.run(assumes, []string{"pl"}, prop); violated {
+		t.Fatal("unparsed ipv4 must be appended to the output order")
+	}
+}
+
+func TestRegistersScalarized(t *testing.T) {
+	src := `
+header h_t { bit<32> v; } h_t h;
+register<bit<32>>(128) cnt;
+parser P { state start { extract(h); transition accept; } }
+control C {
+	apply {
+		cnt.write(0, h.v);
+		cnt.read(h.v, 5);
+	}
+}
+pipeline pl { parser = P; control = C; }
+`
+	h := newHarness(t, src, nil, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("h"),
+		c.Eq(h.env.PktFieldVar("h", "v"), c.BV(42, 32)),
+	}
+	// Index is ignored (scalarized): read(5) sees write(0)'s value.
+	prop := c.Eq(h.env.FieldVar("h", "v"), c.BV(42, 32))
+	if violated, _ := h.run(assumes, []string{"pl"}, prop); violated {
+		t.Fatal("register read must observe the scalarized write")
+	}
+}
+
+func TestHashHavoced(t *testing.T) {
+	src := `
+header h_t { bit<16> v; } h_t h;
+parser P { state start { extract(h); transition accept; } }
+control C { apply { hash(h.v, h.v); } }
+pipeline pl { parser = P; control = C; }
+`
+	h := newHarness(t, src, nil, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("h"),
+		c.Eq(h.env.PktFieldVar("h", "v"), c.BV(1, 16)),
+	}
+	// The hash output is unconstrained, so any concrete claim about it is
+	// violable.
+	prop := c.Eq(h.env.FieldVar("h", "v"), c.BV(1, 16))
+	if violated, _ := h.run(assumes, []string{"pl"}, prop); !violated {
+		t.Fatal("hash output must be havoced")
+	}
+}
+
+func TestRecirculationBounded(t *testing.T) {
+	src := `
+header h_t { bit<8> n; } h_t h;
+parser P { state start { extract(h); transition accept; } }
+control C {
+	apply {
+		h.n = h.n + 1;
+		if (h.n < 3) { recirculate(); }
+	}
+}
+deparser D { emit(h); }
+pipeline pl { parser = P; control = C; deparser = D; }
+`
+	h := newHarness(t, src, nil, Options{})
+	c := h.ctx
+	body, err := h.env.EncodePipeline("pl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := h.env.EncodeRecirculating(body, 5)
+	var stmts []gcl.Stmt
+	stmts = append(stmts, h.env.InitStmts(),
+		&gcl.Assume{Cond: h.orderAssume("h")},
+		&gcl.Assume{Cond: c.Eq(h.env.PktFieldVar("h", "n"), c.BV(0, 8))},
+		wrapped,
+		&gcl.Assert{Cond: c.Eq(h.env.FieldVar("h", "n"), c.BV(3, 8)), Label: "n3"},
+	)
+	enc := gcl.NewEncoder(h.ctx)
+	res := enc.Encode(gcl.NewSeq(stmts...), nil)
+	solver := smt.NewSolver(h.ctx)
+	for _, v := range res.Violations {
+		if solver.Check(v.Cond) == smt.Sat {
+			t.Fatal("after bounded recirculation h.n must be 3")
+		}
+	}
+}
+
+func TestModifiedGhost(t *testing.T) {
+	src := `
+header h_t { bit<8> a; bit<8> b; } h_t h;
+parser P { state start { extract(h); transition accept; } }
+control C { apply { h.a = 9; } }
+pipeline pl { parser = P; control = C; }
+`
+	h := newHarness(t, src, nil, Options{TrackModified: map[string]bool{"h.a": true, "h.b": true}})
+	c := h.ctx
+	assumes := []*smt.Term{h.orderAssume("h")}
+	propA := h.env.ModVar("h", "a")
+	if violated, _ := h.run(assumes, []string{"pl"}, propA); violated {
+		t.Fatal("h.a must be marked modified")
+	}
+	propB := c.Not(h.env.ModVar("h", "b"))
+	if violated, _ := h.run(assumes, []string{"pl"}, propB); violated {
+		t.Fatal("h.b must not be marked modified")
+	}
+}
+
+func TestPacketBitvectorMode(t *testing.T) {
+	h := newHarness(t, fwdProgram, nil, Options{Packet: PacketBitvector})
+	c := h.ctx
+	bits := h.env.PktBitsVar()
+	// Wire image: eth(112 bits: dst,src,etherType) | ipv4(80 bits). Force
+	// etherType (bits [80+79 : 80+64] from LSB... compute: total=192;
+	// eth at top: dst 48 | src 48 | etherType 16 | then ipv4).
+	total := bits.Width
+	ethTypeHi := total - 1 - 96
+	ethTypeLo := total - 112
+	assumes := []*smt.Term{
+		c.Eq(c.Extract(bits, ethTypeHi, ethTypeLo), c.BV(0x0800, 16)),
+	}
+	prop := h.env.ValidVar("ipv4")
+	if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+		t.Fatal("bitvector mode: ipv4 must be parsed for etherType 0x0800")
+	}
+	// And field values must be sliced correctly: ttl is the first ipv4
+	// field after eth.
+	ttlHi := total - 1 - 112
+	ttlLo := total - 112 - 8
+	assumes2 := append(assumes, c.Eq(c.Extract(bits, ttlHi, ttlLo), c.BV(7, 8)))
+	prop2 := c.Eq(h.env.FieldVar("ipv4", "ttl"), c.BV(7, 8))
+	if violated, _ := h.run(assumes2, []string{"P"}, prop2); violated {
+		t.Fatal("bitvector mode: ttl must be sliced from the packet image")
+	}
+}
+
+func TestSwitchActionRunEncoding(t *testing.T) {
+	src := `
+header h_t { bit<8> a; } h_t h;
+parser P { state start { extract(h); transition accept; } }
+control C {
+	action x() { h.a = 1; }
+	action y() { h.a = 2; }
+	table t {
+		key = { h.a : exact; }
+		actions = { x; y; }
+		default_action = y;
+	}
+	apply {
+		switch (t.apply().action_run) {
+			x: { h.a = 10; }
+			y: { h.a = 20; }
+		}
+	}
+}
+pipeline pl { parser = P; control = C; }
+`
+	snap := tables.NewSnapshot()
+	snap.Add("C.t", &tables.Entry{Keys: []tables.KeyMatch{tables.Exact(5)}, Action: "x", Priority: -1})
+	h := newHarness(t, src, snap, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("h"),
+		c.Eq(h.env.PktFieldVar("h", "a"), c.BV(5, 8)),
+	}
+	prop := c.Eq(h.env.FieldVar("h", "a"), c.BV(10, 8))
+	if violated, _ := h.run(assumes, []string{"pl"}, prop); violated {
+		t.Fatal("action_run switch must take the x arm on a hit")
+	}
+	// Miss → default y → y arm (LAID 0 maps to the default's arm).
+	assumes2 := []*smt.Term{
+		h.orderAssume("h"),
+		c.Eq(h.env.PktFieldVar("h", "a"), c.BV(6, 8)),
+	}
+	prop2 := c.Eq(h.env.FieldVar("h", "a"), c.BV(20, 8))
+	if violated, _ := h.run(assumes2, []string{"pl"}, prop2); violated {
+		t.Fatal("action_run switch must take the y arm on a miss")
+	}
+}
+
+func TestChecksumRecomputation(t *testing.T) {
+	src := `
+header h_t { bit<8> a; bit<8> b; bit<8> csum; } h_t h;
+parser P { state start { extract(h); transition accept; } }
+control C { apply { h.a = 1; h.b = 2; } }
+deparser D { emit(h); update_checksum(h.csum, h.a, h.b); }
+pipeline pl { parser = P; control = C; deparser = D; }
+`
+	h := newHarness(t, src, nil, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{h.orderAssume("h")}
+	prop := c.Eq(h.env.FieldVar("h", "csum"), c.BV(3, 8))
+	if violated, _ := h.run(assumes, []string{"pl"}, prop); violated {
+		t.Fatal("checksum must equal the recomputed sum")
+	}
+}
+
+func TestSliceAssignment(t *testing.T) {
+	src := `
+header h_t { bit<8> a; } h_t h;
+parser P { state start { extract(h); transition accept; } }
+control C { apply { h.a[7:4] = 0xF; } }
+pipeline pl { parser = P; control = C; }
+`
+	h := newHarness(t, src, nil, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("h"),
+		c.Eq(h.env.PktFieldVar("h", "a"), c.BV(0x03, 8)),
+	}
+	prop := c.Eq(h.env.FieldVar("h", "a"), c.BV(0xF3, 8))
+	if violated, _ := h.run(assumes, []string{"pl"}, prop); violated {
+		t.Fatal("slice assignment must preserve untouched bits")
+	}
+}
+
+func TestABVLayoutPacking(t *testing.T) {
+	prog, err := p4.ParseAndCheck("t", fwdProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := smt.NewCtx()
+	env := NewEnv(ctx, prog, nil, Options{})
+	ctl := prog.Controls["Ing"]
+	tbl := ctl.Tables["fwd"]
+	l := env.layoutFor(ctl, tbl)
+	if l.laidBits < 2 { // 2 actions + default marker need >= 2 bits
+		t.Fatalf("laidBits = %d", l.laidBits)
+	}
+	if l.paramBits != 9 { // send's port
+		t.Fatalf("paramBits = %d", l.paramBits)
+	}
+	abv := env.abvConst(l, false, 1, ctl.Actions["send"], []uint64{3})
+	if !abv.IsConst() {
+		t.Fatal("abv must be constant")
+	}
+	// D bit clear, LAID 1, port 3.
+	v := abv.Val
+	if v.Bit(0) != 0 {
+		t.Fatal("D bit should be 0 for non-default")
+	}
+	laid := env.abvLAID(l, abv)
+	if laid.ConstUint64() != 1 {
+		t.Fatalf("laid = %d", laid.ConstUint64())
+	}
+	params := env.abvParams(l, abv, ctl.Actions["send"])
+	if params[0].ConstUint64() != 3 {
+		t.Fatalf("param = %d", params[0].ConstUint64())
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	h := newHarness(t, fwdProgram, nil, Options{})
+	if _, err := h.env.EncodeComponent("nope"); err == nil {
+		t.Fatal("unknown component must error")
+	}
+	if _, err := h.env.EncodeParser("nope"); err == nil {
+		t.Fatal("unknown parser must error")
+	}
+	if _, err := h.env.EncodeControl("nope"); err == nil {
+		t.Fatal("unknown control must error")
+	}
+	if _, err := h.env.EncodeDeparser("nope"); err == nil {
+		t.Fatal("unknown deparser must error")
+	}
+	snap := tables.NewSnapshot()
+	snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{tables.Exact(1)}, Action: "bogus", Priority: -1})
+	h2 := newHarness(t, fwdProgram, snap, Options{})
+	if _, err := h2.env.EncodeControl("Ing"); err == nil {
+		t.Fatal("entry with unknown action must error")
+	}
+}
+
+// TestFigure8SequentialEncoding reproduces the paper's worked example: the
+// five-state TCP/UDP-over-IPv4/IPv6 parser of Figure 8(a) must encode to a
+// straight-line program of guarded state bodies in topological order with
+// ghost activation assignments — Figure 8(b) — rather than a tree.
+func TestFigure8SequentialEncoding(t *testing.T) {
+	const src = `
+header eth_t { bit<16> etype; }
+header ipv4_t { bit<8> proto; }
+header ipv6_t { bit<8> next; }
+header tcp_t { bit<16> port; }
+header udp_t { bit<16> port; }
+eth_t eth;
+ipv4_t ipv4;
+ipv6_t ipv6;
+tcp_t tcp;
+udp_t udp;
+parser P {
+	state start {
+		extract(eth);
+		transition select(eth.etype) {
+			0x0800: Ipv4;
+			0x86dd: Ipv6;
+			default: accept;
+		}
+	}
+	state Ipv4 {
+		extract(ipv4);
+		transition select(ipv4.proto) { 6: Tcp; 17: Udp; default: accept; }
+	}
+	state Ipv6 {
+		extract(ipv6);
+		transition select(ipv6.next) { 6: Tcp; 17: Udp; default: accept; }
+	}
+	state Tcp { extract(tcp); transition accept; }
+	state Udp { extract(udp); transition accept; }
+}
+`
+	h := newHarness(t, src, nil, Options{})
+	stmt, err := h.env.EncodeParser("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gcl.Pretty(stmt)
+	// Straight-line: exactly one guard per state (5 states), no state
+	// duplicated — the tree expansion would contain Tcp/Udp twice.
+	for _, st := range []string{"start", "Ipv4", "Ipv6", "Tcp", "Udp"} {
+		guard := "if ($st.P." + st + ")"
+		if n := strings.Count(out, guard); n != 1 {
+			t.Fatalf("state %s guarded %d times, want exactly 1 (Figure 8b):\n%s", st, n, out)
+		}
+	}
+	// Ghost activation assignments: the select in Ipv4 must OR-in the Tcp
+	// ghost, the paper's `$Tcp := ipv4.proto == TCP`.
+	if !strings.Contains(out, "$st.P.Tcp :=") || !strings.Contains(out, "$st.P.Udp :=") {
+		t.Fatalf("missing ghost activation assignments:\n%s", out)
+	}
+	// Topological order: Ipv4 and Ipv6 bodies appear before Tcp's.
+	if strings.Index(out, "if ($st.P.Ipv4)") > strings.Index(out, "if ($st.P.Tcp)") ||
+		strings.Index(out, "if ($st.P.Ipv6)") > strings.Index(out, "if ($st.P.Tcp)") {
+		t.Fatalf("states not in topological order:\n%s", out)
+	}
+	// The tree expansion duplicates the shared Tcp/Udp states (7 state
+	// bodies instead of 5) — at this toy scale the sequential prologue
+	// still dominates total statement counts, so the asymptotic claim is
+	// asserted by TestSequentialBeatsTreeExponentially instead; here we
+	// check the duplication directly.
+	saved := h.env.Opts.Parser
+	h.env.Opts.Parser = ParserTree
+	treeStmt, err := h.env.EncodeParser("P")
+	h.env.Opts.Parser = saved
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeOut := gcl.Pretty(treeStmt)
+	if n := strings.Count(treeOut, "tcp.port := pkt.tcp.port"); n != 2 {
+		t.Fatalf("tree expansion should duplicate the Tcp state (got %d copies)", n)
+	}
+	if n := strings.Count(out, "tcp.port := pkt.tcp.port"); n != 1 {
+		t.Fatalf("sequential encoding should visit Tcp once (got %d)", n)
+	}
+}
+
+func TestUnmatchedSelectRejects(t *testing.T) {
+	src := `
+header h_t { bit<8> k; } h_t h;
+parser P {
+	state start {
+		extract(h);
+		transition select(h.k) { 1: accept; 2: accept; }
+	}
+}
+`
+	h := newHarness(t, src, nil, Options{})
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("h"),
+		c.Eq(h.env.PktFieldVar("h", "k"), c.BV(9, 8)),
+	}
+	// P4 semantics: a select with no matching case transitions to reject.
+	prop := h.env.RejectVar("P")
+	if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+		t.Fatal("unmatched select must reject")
+	}
+	prop2 := c.Not(h.env.AcceptVar("P"))
+	if violated, _ := h.run(assumes, []string{"P"}, prop2); violated {
+		t.Fatal("unmatched select must not accept")
+	}
+}
+
+func TestSelfLoopHeaderStack(t *testing.T) {
+	// An MPLS-style state transitioning to itself: a single-state SCC with
+	// a self-loop must be folded into a bounded while.
+	src := `
+header mpls_t { bit<8> label; bit<8> bos; } mpls_t mpls;
+header ip_t { bit<8> x; } ip_t ip;
+parser P {
+	state start { transition parse_mpls; }
+	state parse_mpls {
+		extract(mpls);
+		transition select(mpls.bos) {
+			0: parse_mpls;
+			default: parse_ip;
+		}
+	}
+	state parse_ip { extract(ip); transition accept; }
+}
+`
+	h := newHarness(t, src, nil, Options{LoopBound: 3})
+	s, err := h.env.EncodeParser("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gcl.Pretty(s), "while") {
+		t.Fatal("self-loop not folded into a while")
+	}
+	// Since each extract overwrites the single mpls instance, the model's
+	// bound is one stack entry per wire slot: order <mpls ip>, bos=1 on the
+	// first entry parses straight through.
+	c := h.ctx
+	assumes := []*smt.Term{
+		h.orderAssume("mpls", "ip"),
+		c.Eq(h.env.PktFieldVar("mpls", "bos"), c.BV(1, 8)),
+	}
+	prop := c.And(h.env.ValidVar("ip"), h.env.AcceptVar("P"))
+	if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+		t.Fatal("bottom-of-stack must exit the loop and parse ip")
+	}
+}
+
+func TestManyHeadersOrderSequence(t *testing.T) {
+	// More header instances than a small order sequence: the order width
+	// (8 bits) supports up to 255 headers; exercise 20.
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "header x%d_t { bit<8> v; } x%d_t x%d;\n", i, i, i)
+	}
+	b.WriteString("parser P { state start { extract(x0); transition s1; }\n")
+	for i := 1; i < 20; i++ {
+		nxt := "accept"
+		if i+1 < 20 {
+			nxt = fmt.Sprintf("s%d", i+1)
+		}
+		fmt.Fprintf(&b, "state s%d { extract(x%d); transition %s; }\n", i, i, nxt)
+	}
+	b.WriteString("}\n")
+	h := newHarness(t, b.String(), nil, Options{})
+	if h.env.MaxHeaders() != 20 {
+		t.Fatalf("MaxHeaders = %d", h.env.MaxHeaders())
+	}
+	names := make([]string, 20)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	assumes := []*smt.Term{h.orderAssume(names...)}
+	prop := h.env.ValidVar("x19")
+	if violated, _ := h.run(assumes, []string{"P"}, prop); violated {
+		t.Fatal("all 20 headers must parse")
+	}
+}

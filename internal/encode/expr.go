@@ -1,0 +1,150 @@
+package encode
+
+import (
+	"fmt"
+
+	"aquila/internal/p4"
+	"aquila/internal/smt"
+)
+
+// exprScope provides bindings for non-field identifiers during expression
+// translation: action parameters and the current lookahead placeholder.
+type exprScope struct {
+	params    map[string]*smt.Term
+	lookahead *smt.Term // placeholder for pkt.lookahead in the current state
+}
+
+// Expr translates a P4 expression into an smt.Term over the encoding's
+// state variables. want is the desired bit width for unsized literals
+// (0 = unknown, -1 = boolean context).
+func (e *Env) Expr(x p4.Expr, sc *exprScope, want int) *smt.Term {
+	c := e.Ctx
+	if sc == nil {
+		sc = &exprScope{}
+	}
+	switch v := x.(type) {
+	case *p4.IntLit:
+		w := v.Width
+		if w == 0 {
+			w = want
+		}
+		if w <= 0 {
+			w = 32 // final fallback for genuinely unconstrained literals
+		}
+		return c.BV(v.Val, w)
+	case *p4.FieldRef:
+		return e.FieldVar(v.Instance, v.Field)
+	case *p4.VarRef:
+		if t, ok := sc.params[v.Name]; ok {
+			return t
+		}
+		if cv, ok := e.Prog.Consts[v.Name]; ok {
+			w := v.Width
+			if w == 0 {
+				w = want
+			}
+			if w <= 0 {
+				w = 32
+			}
+			return c.BV(cv, w)
+		}
+		panic(fmt.Sprintf("encode: unbound identifier %q", v.Name))
+	case *p4.IsValidExpr:
+		return e.ValidVar(v.Instance)
+	case *p4.LookaheadExpr:
+		if sc.lookahead == nil {
+			panic("encode: lookahead outside a parser state context")
+		}
+		return c.Resize(sc.lookahead, v.Width)
+	case *p4.CastExpr:
+		inner := e.Expr(v.X, sc, v.Width)
+		return c.Resize(inner, v.Width)
+	case *p4.SliceExpr:
+		inner := e.Expr(v.X, sc, 0)
+		return c.Extract(inner, v.Hi, v.Lo)
+	case *p4.UnaryExpr:
+		switch v.Op {
+		case "!":
+			return c.Not(e.boolExpr(v.X, sc))
+		case "~":
+			return c.BVNot(e.Expr(v.X, sc, want))
+		case "-":
+			return c.BVNeg(e.Expr(v.X, sc, want))
+		}
+	case *p4.BinaryExpr:
+		switch v.Op {
+		case "&&":
+			return c.And(e.boolExpr(v.X, sc), e.boolExpr(v.Y, sc))
+		case "||":
+			return c.Or(e.boolExpr(v.X, sc), e.boolExpr(v.Y, sc))
+		case "==", "!=", "<", ">", "<=", ">=":
+			a, b := e.binOperands(v, sc)
+			switch v.Op {
+			case "==":
+				return c.Eq(a, b)
+			case "!=":
+				return c.Neq(a, b)
+			case "<":
+				return c.Ult(a, b)
+			case ">":
+				return c.Ugt(a, b)
+			case "<=":
+				return c.Ule(a, b)
+			default:
+				return c.Uge(a, b)
+			}
+		case "<<", ">>":
+			a := e.Expr(v.X, sc, want)
+			b := e.Expr(v.Y, sc, a.Width)
+			b = c.Resize(b, a.Width)
+			if v.Op == "<<" {
+				return c.BVShl(a, b)
+			}
+			return c.BVLshr(a, b)
+		default:
+			a, b := e.binOperands(v, sc)
+			switch v.Op {
+			case "+":
+				return c.BVAdd(a, b)
+			case "-":
+				return c.BVSub(a, b)
+			case "&":
+				return c.BVAnd(a, b)
+			case "|":
+				return c.BVOr(a, b)
+			case "^":
+				return c.BVXor(a, b)
+			}
+		}
+	}
+	panic(fmt.Sprintf("encode: unsupported expression %T", x))
+}
+
+// binOperands translates both operands of a binary expression, resolving
+// unsized literals against the other side's width.
+func (e *Env) binOperands(v *p4.BinaryExpr, sc *exprScope) (*smt.Term, *smt.Term) {
+	_, xLit := v.X.(*p4.IntLit)
+	_, yLit := v.Y.(*p4.IntLit)
+	switch {
+	case xLit && !yLit:
+		b := e.Expr(v.Y, sc, 0)
+		return e.Expr(v.X, sc, b.Width), b
+	default:
+		a := e.Expr(v.X, sc, 0)
+		return a, e.Expr(v.Y, sc, a.Width)
+	}
+}
+
+// boolExpr translates an expression expected to be boolean. A bit-vector
+// expression b is interpreted as b != 0, matching P4's bit<1> condition
+// idiom.
+func (e *Env) boolExpr(x p4.Expr, sc *exprScope) *smt.Term {
+	t := e.Expr(x, sc, -1)
+	if t.IsBool() {
+		return t
+	}
+	return e.Ctx.Neq(t, e.Ctx.BV(0, t.Width))
+}
+
+// BoolExpr is the exported helper used by the LPI compiler.
+func (e *Env) BoolExpr(x p4.Expr) *smt.Term { return e.boolExpr(x, nil) }

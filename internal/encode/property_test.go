@@ -1,0 +1,272 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/gcl"
+	"aquila/internal/smt"
+	"aquila/internal/tables"
+)
+
+// randomSnapshot builds a random entry set for Ing.fwd over 32-bit keys.
+func randomSnapshot(rng *rand.Rand) *tables.Snapshot {
+	snap := tables.NewSnapshot()
+	n := 1 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		var km tables.KeyMatch
+		switch rng.Intn(4) {
+		case 0:
+			km = tables.Exact(uint64(rng.Intn(64)))
+		case 1:
+			km = tables.Ternary(uint64(rng.Intn(64)), uint64(rng.Intn(256)))
+		case 2:
+			km = tables.LPM(uint64(rng.Intn(1<<30))<<2, rng.Intn(33), 32)
+		default:
+			km = tables.Range(uint64(rng.Intn(32)), uint64(rng.Intn(64)))
+		}
+		action := "send"
+		args := []uint64{uint64(rng.Intn(500))}
+		if rng.Intn(4) == 0 {
+			action, args = "a_drop", nil
+		}
+		snap.Add("Ing.fwd", &tables.Entry{Keys: []tables.KeyMatch{km}, Action: action, Args: args, Priority: -1})
+	}
+	return snap
+}
+
+// TestQuickTableModesAgree is the central table-encoding correctness
+// property: for random entry sets and a fixed concrete packet, the three
+// encodings (naive if-else, linear ABV, balanced ABV tree) must force the
+// same hit bit, action id and egress port.
+func TestQuickTableModesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		snap := randomSnapshot(rng)
+		dst := uint64(rng.Intn(64))
+
+		type outcome struct {
+			hit    bool
+			action uint64
+			egress uint64
+			drop   uint64
+		}
+		var outs []outcome
+		for _, mode := range []TableMode{TableNaive, TableABVLinear, TableABVTree} {
+			h := newHarness(t, fwdProgram, snap, Options{Table: mode})
+			c := h.ctx
+			var stmts []gcl.Stmt
+			stmts = append(stmts, h.env.InitStmts(),
+				&gcl.Assume{Cond: h.orderAssume("eth", "ipv4")},
+				&gcl.Assume{Cond: c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(0x0800, 16))},
+				&gcl.Assume{Cond: c.Eq(h.env.PktFieldVar("ipv4", "dst_ip"), c.BV(dst, 32))},
+			)
+			body, err := h.env.EncodeComponent("ingress")
+			if err != nil {
+				t.Fatal(err)
+			}
+			stmts = append(stmts, body)
+			enc := gcl.NewEncoder(c)
+			res := enc.Encode(gcl.NewSeq(stmts...), nil)
+
+			solver := smt.NewSolver(c)
+			solver.Assert(res.Path)
+			if solver.Check() != smt.Sat {
+				t.Fatalf("seed %d: deterministic run must be satisfiable", seed)
+			}
+			m := solver.Model()
+			read := func(v *smt.Term) uint64 { return m.Uint64(v) }
+			st := res.Store
+			get := func(v *smt.Term) *smt.Term {
+				if val, ok := st.Lookup(v.Name); ok {
+					return val
+				}
+				return v
+			}
+			o := outcome{
+				hit:    smt.EvalBool(get(h.env.HitVar("Ing", "fwd")), m.Env()),
+				action: smt.EvalBV(get(h.env.ActionVar("Ing", "fwd")), m.Env()).Uint64(),
+				egress: smt.EvalBV(get(h.env.StdMetaVar("egress_spec")), m.Env()).Uint64(),
+				drop:   smt.EvalBV(get(h.env.StdMetaVar("drop")), m.Env()).Uint64(),
+			}
+			_ = read
+			outs = append(outs, o)
+		}
+		return outs[0] == outs[1] && outs[0] == outs[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParserModesAgree checks that sequential and tree parser
+// encodings agree on validity bits for random wire layouts.
+func TestQuickParserModesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		etherType := []uint64{0x0800, 0x1234}[rng.Intn(2)]
+		order := [][]string{{"eth"}, {"eth", "ipv4"}}[rng.Intn(2)]
+
+		var verdicts []bool
+		for _, mode := range []ParserMode{ParserSequential, ParserTree} {
+			h := newHarness(t, fwdProgram, nil, Options{Parser: mode})
+			c := h.ctx
+			var stmts []gcl.Stmt
+			stmts = append(stmts, h.env.InitStmts(),
+				&gcl.Assume{Cond: h.orderAssume(order...)},
+				&gcl.Assume{Cond: c.Eq(h.env.PktFieldVar("eth", "etherType"), c.BV(etherType, 16))},
+			)
+			body, err := h.env.EncodeComponent("P")
+			if err != nil {
+				t.Fatal(err)
+			}
+			stmts = append(stmts, body)
+			enc := gcl.NewEncoder(c)
+			res := enc.Encode(gcl.NewSeq(stmts...), nil)
+			solver := smt.NewSolver(c)
+			solver.Assert(res.Path)
+			feasible := solver.Check() == smt.Sat
+			if !feasible {
+				verdicts = append(verdicts, false)
+				continue
+			}
+			m := solver.Model()
+			val, ok := res.Store.Lookup("ipv4.$valid")
+			if !ok {
+				val = h.env.ValidVar("ipv4")
+			}
+			verdicts = append(verdicts, smt.EvalBool(val, m.Env()))
+		}
+		return verdicts[0] == verdicts[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEncoderVsConcreteSemantics cross-checks the whole encoding
+// against hand-computed semantics: for a concrete packet and a concrete
+// entry set, the model's final TTL must equal what the program clearly
+// computes.
+func TestQuickEncoderVsConcreteSemantics(t *testing.T) {
+	const src = `
+header h_t { bit<8> k; bit<8> v; } h_t h;
+parser P { state start { extract(h); transition accept; } }
+control C {
+	action inc(bit<8> d) { h.v = h.v + d; }
+	action dbl() { h.v = h.v + h.v; }
+	table t {
+		key = { h.k : exact; }
+		actions = { inc; dbl; }
+	}
+	apply { t.apply(); if (h.v > 200) { h.v = 200; } }
+}
+pipeline pl { parser = P; control = C; }
+`
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := uint64(rng.Intn(8))
+		v := uint64(rng.Intn(256))
+		snap := tables.NewSnapshot()
+		type ent struct {
+			key    uint64
+			action string
+			arg    uint64
+		}
+		var ents []ent
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			e := ent{key: uint64(rng.Intn(8)), action: "inc", arg: uint64(rng.Intn(256))}
+			if rng.Intn(2) == 0 {
+				e.action = "dbl"
+			}
+			ents = append(ents, e)
+			snap.Add("C.t", &tables.Entry{
+				Keys: []tables.KeyMatch{tables.Exact(e.key)}, Action: e.action,
+				Args: []uint64{e.arg}, Priority: -1})
+		}
+		// Reference semantics.
+		want := v
+		for _, e := range ents {
+			if e.key == k {
+				if e.action == "inc" {
+					want = (want + e.arg) & 0xFF
+				} else {
+					want = (want + want) & 0xFF
+				}
+				break
+			}
+		}
+		if want > 200 {
+			want = 200
+		}
+
+		h := newHarness(t, src, snap, Options{})
+		c := h.ctx
+		assumes := []*smt.Term{
+			h.orderAssume("h"),
+			c.Eq(h.env.PktFieldVar("h", "k"), c.BV(k, 8)),
+			c.Eq(h.env.PktFieldVar("h", "v"), c.BV(v, 8)),
+		}
+		prop := c.Eq(h.env.FieldVar("h", "v"), c.BV(want, 8))
+		violated, _ := h.run(assumes, []string{"pl"}, prop)
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestABVExpressionSizeGrowth reproduces Appendix B.3's size claim: the
+// naive per-entry if-else encoding grows its formula super-linearly in the
+// entry count (quadratically in tree terms), while the ABV encodings stay
+// near-linear because each action is inlined exactly once.
+func TestABVExpressionSizeGrowth(t *testing.T) {
+	measure := func(mode TableMode, n int) int {
+		snap := tables.NewSnapshot()
+		for i := 0; i < n; i++ {
+			snap.Add("Ing.fwd", &tables.Entry{
+				Keys: []tables.KeyMatch{tables.Exact(uint64(i))}, Action: "send",
+				Args: []uint64{uint64(i % 500)}, Priority: -1})
+		}
+		h := newHarness(t, fwdProgram, snap, Options{Table: mode})
+		body, err := h.env.EncodeComponent("ingress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := gcl.NewEncoder(h.ctx)
+		res := enc.Encode(gcl.NewSeq(h.env.InitStmts(), body), nil)
+		// Count the DAG size of the final egress value: the expression the
+		// deparser would copy around.
+		if v, ok := res.Store.Lookup("std_meta.egress_spec"); ok {
+			return smt.TermSize(v)
+		}
+		t.Fatal("egress_spec not in store")
+		return 0
+	}
+	for _, mode := range []TableMode{TableABVLinear, TableABVTree} {
+		s64, s256 := measure(mode, 64), measure(mode, 256)
+		if s256 > 6*s64 { // ~4x entries -> at most ~linear growth
+			t.Fatalf("mode %v: not linear: 64 entries -> %d, 256 -> %d", mode, s64, s256)
+		}
+	}
+	// GCL statement count: naive inlines per entry, ABV once.
+	gclSize := func(mode TableMode, n int) int {
+		snap := tables.NewSnapshot()
+		for i := 0; i < n; i++ {
+			snap.Add("Ing.fwd", &tables.Entry{
+				Keys: []tables.KeyMatch{tables.Exact(uint64(i))}, Action: "send",
+				Args: []uint64{uint64(i % 500)}, Priority: -1})
+		}
+		h := newHarness(t, fwdProgram, snap, Options{Table: mode})
+		body, err := h.env.EncodeComponent("Ing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gcl.Size(body)
+	}
+	naive, abv := gclSize(TableNaive, 256), gclSize(TableABVTree, 256)
+	if naive < 8*abv {
+		t.Fatalf("naive table GCL (%d) should dwarf ABV (%d) at 256 entries", naive, abv)
+	}
+}

@@ -1,0 +1,194 @@
+// Package gcl implements the Guarded Command Language layer of Aquila's
+// pipeline (§4 of the paper): the GCL AST that component encodings compile
+// into, and verification-condition generation following Dijkstra's
+// predicate-transformer semantics.
+//
+// The VC generator performs forward symbolic encoding with ite-merging at
+// joins over hash-consed terms, which yields DAG-linear formulas — the
+// compact representation the paper's sequential encoding is designed to
+// feed (tree-shaped naive encodings explode before they reach this layer;
+// see internal/encode and internal/symexec for the baselines).
+package gcl
+
+import (
+	"fmt"
+	"strings"
+
+	"aquila/internal/smt"
+)
+
+// Stmt is a GCL statement.
+type Stmt interface {
+	stmtNode()
+	pretty(b *strings.Builder, indent string)
+}
+
+// Assign sets a variable to the value of a term. Var must be a smt
+// variable term (bit-vector or boolean); Rhs must have the same sort.
+type Assign struct {
+	Var *smt.Term
+	Rhs *smt.Term
+}
+
+// Havoc assigns an arbitrary value to a variable.
+type Havoc struct {
+	Var *smt.Term
+}
+
+// Assume constrains execution to states satisfying Cond.
+type Assume struct {
+	Cond *smt.Term
+}
+
+// Assert is a proof obligation. Label identifies it in reports; Meta
+// carries source-level information for bug localization.
+type Assert struct {
+	Cond  *smt.Term
+	Label string
+	Meta  interface{}
+}
+
+// Seq is sequential composition.
+type Seq struct {
+	Stmts []Stmt
+}
+
+// If is a deterministic conditional.
+type If struct {
+	Cond *smt.Term
+	Then Stmt
+	Else Stmt
+}
+
+// Choice is demonic nondeterministic choice between A and B.
+type Choice struct {
+	A, B Stmt
+}
+
+// While is a bounded loop: the VC generator unrolls Body up to Bound times
+// and then assumes the loop condition false (bounded verification, as
+// Aquila does for recirculation and header stacks, §4.3/App. B.1).
+type While struct {
+	Cond  *smt.Term
+	Body  Stmt
+	Bound int
+}
+
+// Skip does nothing.
+type Skip struct{}
+
+func (*Assign) stmtNode() {}
+func (*Havoc) stmtNode()  {}
+func (*Assume) stmtNode() {}
+func (*Assert) stmtNode() {}
+func (*Seq) stmtNode()    {}
+func (*If) stmtNode()     {}
+func (*Choice) stmtNode() {}
+func (*While) stmtNode()  {}
+func (*Skip) stmtNode()   {}
+
+// NewSeq flattens nested sequences and drops skips.
+func NewSeq(stmts ...Stmt) Stmt {
+	var out []Stmt
+	var add func(s Stmt)
+	add = func(s Stmt) {
+		switch x := s.(type) {
+		case nil:
+			return
+		case *Skip:
+			return
+		case *Seq:
+			for _, y := range x.Stmts {
+				add(y)
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	for _, s := range stmts {
+		add(s)
+	}
+	switch len(out) {
+	case 0:
+		return &Skip{}
+	case 1:
+		return out[0]
+	}
+	return &Seq{Stmts: out}
+}
+
+// ---- pretty printing ----
+
+func (s *Assign) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%s%s := %s;\n", in, s.Var.Name, s.Rhs)
+}
+func (s *Havoc) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%shavoc %s;\n", in, s.Var.Name)
+}
+func (s *Assume) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sassume %s;\n", in, s.Cond)
+}
+func (s *Assert) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sassert[%s] %s;\n", in, s.Label, s.Cond)
+}
+func (s *Seq) pretty(b *strings.Builder, in string) {
+	for _, st := range s.Stmts {
+		st.pretty(b, in)
+	}
+}
+func (s *If) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sif (%s) {\n", in, s.Cond)
+	s.Then.pretty(b, in+"  ")
+	if _, isSkip := s.Else.(*Skip); !isSkip && s.Else != nil {
+		fmt.Fprintf(b, "%s} else {\n", in)
+		s.Else.pretty(b, in+"  ")
+	}
+	fmt.Fprintf(b, "%s}\n", in)
+}
+func (s *Choice) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%s{\n", in)
+	s.A.pretty(b, in+"  ")
+	fmt.Fprintf(b, "%s} [] {\n", in)
+	s.B.pretty(b, in+"  ")
+	fmt.Fprintf(b, "%s}\n", in)
+}
+func (s *While) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%swhile (%s) bound %d {\n", in, s.Cond, s.Bound)
+	s.Body.pretty(b, in+"  ")
+	fmt.Fprintf(b, "%s}\n", in)
+}
+func (s *Skip) pretty(b *strings.Builder, in string) {
+	fmt.Fprintf(b, "%sskip;\n", in)
+}
+
+// Pretty renders a statement as GCL source for debugging and tests.
+func Pretty(s Stmt) string {
+	var b strings.Builder
+	s.pretty(&b, "")
+	return b.String()
+}
+
+// Size returns the number of statements (a proxy for encoded-GCL size,
+// which the paper reports as number of encoded states).
+func Size(s Stmt) int {
+	switch x := s.(type) {
+	case *Seq:
+		n := 0
+		for _, st := range x.Stmts {
+			n += Size(st)
+		}
+		return n
+	case *If:
+		return 1 + Size(x.Then) + Size(x.Else)
+	case *Choice:
+		return 1 + Size(x.A) + Size(x.B)
+	case *While:
+		return 1 + Size(x.Body)
+	case *Skip:
+		return 0
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}

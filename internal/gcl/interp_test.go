@@ -1,0 +1,232 @@
+package gcl
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/smt"
+)
+
+// concreteRun interprets a GCL statement directly over concrete values,
+// resolving every Choice and Havoc from the supplied oracles. It returns
+// the final environment, whether execution survived all assumes, and the
+// labels of violated assertions — an independent reference semantics for
+// the symbolic encoder.
+type concreteRun struct {
+	env      *smt.Env
+	choices  []bool
+	havocs   []uint64
+	ci, hi   int
+	violated []string
+	alive    bool
+}
+
+func (r *concreteRun) nextChoice() bool {
+	v := r.choices[r.ci%len(r.choices)]
+	r.ci++
+	return v
+}
+
+func (r *concreteRun) nextHavoc() uint64 {
+	v := r.havocs[r.hi%len(r.havocs)]
+	r.hi++
+	return v
+}
+
+func (r *concreteRun) exec(s Stmt) {
+	if !r.alive {
+		return
+	}
+	switch x := s.(type) {
+	case *Skip, nil:
+	case *Assign:
+		if x.Var.IsBool() {
+			r.env.Bool[x.Var.Name] = smt.EvalBool(x.Rhs, r.env)
+		} else {
+			r.env.BV[x.Var.Name] = smt.EvalBV(x.Rhs, r.env)
+		}
+	case *Havoc:
+		if x.Var.IsBool() {
+			r.env.Bool[x.Var.Name] = r.nextChoice()
+		} else {
+			r.env.BV[x.Var.Name] = new(big.Int).SetUint64(r.nextHavoc())
+		}
+	case *Assume:
+		if !smt.EvalBool(x.Cond, r.env) {
+			r.alive = false
+		}
+	case *Assert:
+		if !smt.EvalBool(x.Cond, r.env) {
+			r.violated = append(r.violated, x.Label)
+		}
+	case *Seq:
+		for _, st := range x.Stmts {
+			r.exec(st)
+		}
+	case *If:
+		if smt.EvalBool(x.Cond, r.env) {
+			r.exec(x.Then)
+		} else if x.Else != nil {
+			r.exec(x.Else)
+		}
+	case *While:
+		for i := 0; i < x.Bound; i++ {
+			if !r.alive || !smt.EvalBool(x.Cond, r.env) {
+				break
+			}
+			r.exec(x.Body)
+		}
+		if r.alive && smt.EvalBool(x.Cond, r.env) {
+			r.alive = false // beyond the bound: pruned, like the encoder
+		}
+	case *Choice:
+		if r.nextChoice() {
+			r.exec(x.A)
+		} else {
+			r.exec(x.B)
+		}
+	}
+}
+
+// randStmt builds a random GCL program over variables x, y (8-bit) and
+// boolean b.
+func randStmt(ctx *smt.Ctx, rng *rand.Rand, depth int) Stmt {
+	x := ctx.Var("x", 8)
+	y := ctx.Var("y", 8)
+	randExpr := func() *smt.Term {
+		switch rng.Intn(5) {
+		case 0:
+			return ctx.BVAdd(x, y)
+		case 1:
+			return ctx.BVSub(y, ctx.BV(uint64(rng.Intn(256)), 8))
+		case 2:
+			return ctx.BVAnd(x, ctx.BV(uint64(rng.Intn(256)), 8))
+		case 3:
+			return ctx.BV(uint64(rng.Intn(256)), 8)
+		default:
+			return ctx.BVXor(x, y)
+		}
+	}
+	randCond := func() *smt.Term {
+		switch rng.Intn(3) {
+		case 0:
+			return ctx.Ult(x, ctx.BV(uint64(rng.Intn(256)), 8))
+		case 1:
+			return ctx.Eq(y, ctx.BV(uint64(rng.Intn(8)), 8))
+		default:
+			return ctx.Ugt(ctx.BVAdd(x, y), ctx.BV(uint64(rng.Intn(256)), 8))
+		}
+	}
+	if depth == 0 {
+		tgt := x
+		if rng.Intn(2) == 0 {
+			tgt = y
+		}
+		return &Assign{Var: tgt, Rhs: randExpr()}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return &If{Cond: randCond(), Then: randStmt(ctx, rng, depth-1), Else: randStmt(ctx, rng, depth-1)}
+	case 1:
+		return NewSeq(randStmt(ctx, rng, depth-1), randStmt(ctx, rng, depth-1))
+	case 2:
+		return &Assume{Cond: randCond()}
+	case 3:
+		return &Assert{Cond: randCond(), Label: "a"}
+	case 4:
+		tgt := x
+		if rng.Intn(2) == 0 {
+			tgt = y
+		}
+		return &Assign{Var: tgt, Rhs: randExpr()}
+	default:
+		return &While{Cond: randCond(), Body: randStmt(ctx, rng, depth-1), Bound: 2}
+	}
+}
+
+// TestQuickEncoderMatchesConcreteInterpreter is the core soundness and
+// completeness property of the VC generator: on a deterministic program
+// (no Choice/Havoc) with concrete inputs, the encoder reports a violation
+// of assertion L exactly when the concrete interpreter does.
+func TestQuickEncoderMatchesConcreteInterpreter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := smt.NewCtx()
+		prog := randStmt(ctx, rng, 4)
+		xv := uint64(rng.Intn(256))
+		yv := uint64(rng.Intn(256))
+
+		// Concrete execution.
+		run := &concreteRun{env: smt.NewEnv(), choices: []bool{true}, havocs: []uint64{0}, alive: true}
+		run.env.BV["x"] = new(big.Int).SetUint64(xv)
+		run.env.BV["y"] = new(big.Int).SetUint64(yv)
+		run.exec(prog)
+
+		// Symbolic encoding with the same inputs pinned.
+		e := NewEncoder(ctx)
+		pinned := NewSeq(
+			&Assume{Cond: ctx.Eq(ctx.Var("x", 8), ctx.BV(xv, 8))},
+			&Assume{Cond: ctx.Eq(ctx.Var("y", 8), ctx.BV(yv, 8))},
+			prog,
+		)
+		res := e.Encode(pinned, nil)
+		solver := smt.NewSolver(ctx)
+		symbolicViolated := false
+		for _, v := range res.Violations {
+			if solver.Check(v.Cond) == smt.Sat {
+				symbolicViolated = true
+				break
+			}
+		}
+		// A violation recorded before a later assume kills the run still
+		// counts: the encoder evaluates each assert at its program point,
+		// and subsequent assumes do not retroactively prune it.
+		concreteViolated := len(run.violated) > 0
+		return symbolicViolated == concreteViolated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFinalStoreMatchesConcrete checks the final variable values: for
+// surviving runs, the encoder's store evaluated under the pinned inputs
+// must equal the interpreter's environment.
+func TestQuickFinalStoreMatchesConcrete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := smt.NewCtx()
+		prog := randStmt(ctx, rng, 4)
+		xv := uint64(rng.Intn(256))
+		yv := uint64(rng.Intn(256))
+
+		run := &concreteRun{env: smt.NewEnv(), choices: []bool{true}, havocs: []uint64{0}, alive: true}
+		run.env.BV["x"] = new(big.Int).SetUint64(xv)
+		run.env.BV["y"] = new(big.Int).SetUint64(yv)
+		run.exec(prog)
+		if !run.alive {
+			return true // infeasible run: nothing to compare
+		}
+
+		e := NewEncoder(ctx)
+		res := e.Encode(prog, nil)
+		pin := smt.NewEnv()
+		pin.BV["x"] = new(big.Int).SetUint64(xv)
+		pin.BV["y"] = new(big.Int).SetUint64(yv)
+		for _, name := range []string{"x", "y"} {
+			val, ok := res.Store.Lookup(name)
+			if !ok {
+				val = ctx.Var(name, 8)
+			}
+			if smt.EvalBV(val, pin).Uint64() != run.env.BV[name].Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,554 @@
+// Package genprog deterministically generates production-scale P4lite
+// programs calibrated to the structural parameters Table 3 reports for the
+// paper's private programs (pipelines, parser states, tables) — the
+// substitution for Alibaba's proprietary sources documented in DESIGN.md.
+// It also generates the vendor "switch-T" replicas used by the §8.2
+// scalability experiments (Figure 11) and the §8.3 localization benchmarks
+// (Table 4).
+package genprog
+
+import (
+	"fmt"
+	"strings"
+
+	"aquila/internal/progs"
+	"aquila/internal/tables"
+)
+
+// Config parameterizes a generated program.
+type Config struct {
+	// Name prefixes all component names (lets chained copies coexist).
+	Name string
+	// Pipes is the number of pipelines.
+	Pipes int
+	// ParserStates approximates the per-program parser state count.
+	ParserStates int
+	// Tables is the total number of tables across all pipelines.
+	Tables int
+	// ActionsPerTable sets the action count per table (default 2).
+	ActionsPerTable int
+	// StmtsPerAction pads action bodies to scale LoC (default 2).
+	StmtsPerAction int
+	// WithINT adds an INT-style header-stack loop to the parser (the
+	// module whose complexity breaks p4v in Table 3).
+	WithINT bool
+	// SeedBug leaves one table per pipeline unguarded — the invalid-
+	// header-access bug the Table 3 benchmark property finds.
+	SeedBug bool
+	// TTLChain includes the Figure 4 TTL-decrement chain in pipeline 0
+	// (used by the Table 4 localization benchmarks).
+	TTLChain bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "sw"
+	}
+	if c.Pipes == 0 {
+		c.Pipes = 1
+	}
+	if c.ParserStates < 4 {
+		c.ParserStates = 4
+	}
+	if c.Tables == 0 {
+		c.Tables = 8
+	}
+	if c.ActionsPerTable == 0 {
+		c.ActionsPerTable = 2
+	}
+	if c.StmtsPerAction == 0 {
+		c.StmtsPerAction = 2
+	}
+	return c
+}
+
+// HeaderBlock declares the shared header and metadata layout used by all
+// generated programs (declared once even for chained copies).
+func HeaderBlock(extraOpts int) string {
+	var b strings.Builder
+	b.WriteString(`// Generated header layout (shared).
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<16> vid; bit<16> etherType; }
+header ipv4_t { bit<8> ihl; bit<8> dscp; bit<16> totalLen; bit<8> ttl; bit<8> protocol; bit<16> csum; bit<32> src_ip; bit<32> dst_ip; }
+header ipv6_t { bit<8> nextHdr; bit<8> hopLimit; bit<64> src_hi; bit<64> src_lo; bit<64> dst_hi; bit<64> dst_lo; }
+header tcp_t { bit<16> src_port; bit<16> dst_port; bit<32> seqNo; bit<8> flags; }
+header udp_t { bit<16> src_port; bit<16> dst_port; bit<16> len; }
+header vxlan_t { bit<24> vni; bit<8> reserved; }
+header int_h_t { bit<8> kind; bit<8> meta; }
+ethernet_t eth;
+vlan_t vlan;
+ipv4_t ipv4;
+ipv6_t ipv6;
+tcp_t tcp;
+udp_t udp;
+vxlan_t vxlan;
+int_h_t int_h;
+`)
+	for i := 0; i < extraOpts; i++ {
+		fmt.Fprintf(&b, "header opt%d_t { bit<8> kind; bit<8> val; } opt%d_t opt%d;\n", i, i, i)
+	}
+	return b.String()
+}
+
+// Generate produces one benchmark program.
+func Generate(cfg Config) *progs.Benchmark {
+	cfg = cfg.withDefaults()
+	extraStates := cfg.ParserStates - 8
+	if extraStates < 0 {
+		extraStates = 0
+	}
+	// Extra states are shared across pipelines' parsers; headers for them
+	// are shared too.
+	var b strings.Builder
+	b.WriteString(HeaderBlock(extraChainHeaders(cfg)))
+	b.WriteString(generateBody(cfg))
+	bm := &progs.Benchmark{Name: cfg.Name, Source: b.String()}
+	for p := 0; p < cfg.Pipes; p++ {
+		bm.Calls = append(bm.Calls, fmt.Sprintf("%s_pipe%d", cfg.Name, p))
+	}
+	return bm
+}
+
+func extraChainHeaders(cfg Config) int {
+	per := cfg.ParserStates - 8
+	if per < 0 {
+		per = 0
+	}
+	return per
+}
+
+// generateBody emits parsers, controls, deparsers and pipelines without
+// the shared header block (used directly by GenerateChain). Parser depth
+// is allocated unevenly: the first pipeline's parser carries the deep
+// option chain (real hyper-converged switches parse the full packet at
+// ingress; later pipelines parse less, App. A), so per-program parser
+// complexity concentrates where it does in production.
+func generateBody(cfg Config) string {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	extra := extraChainHeaders(cfg)
+	perPipe := cfg.Tables / cfg.Pipes
+	if perPipe < 1 {
+		perPipe = 1
+	}
+	for p := 0; p < cfg.Pipes; p++ {
+		pipeExtra := extra
+		if p > 0 {
+			pipeExtra = 0 // later pipelines reuse the shallow base parser
+		}
+		b.WriteString(genParser(cfg, p, pipeExtra))
+		b.WriteString(genControl(cfg, p, perPipe))
+		b.WriteString(genDeparser(cfg, p))
+		fmt.Fprintf(&b, "pipeline %s_pipe%d { parser = %s_P%d; control = %s_C%d; deparser = %s_D%d; }\n",
+			cfg.Name, p, cfg.Name, p, cfg.Name, p, cfg.Name, p)
+	}
+	return b.String()
+}
+
+func genParser(cfg Config, p, extra int) string {
+	var b strings.Builder
+	name := fmt.Sprintf("%s_P%d", cfg.Name, p)
+	fmt.Fprintf(&b, "parser %s {\n", name)
+	b.WriteString(`	state start {
+		extract(eth);
+		transition select(eth.etherType) {
+			0x8100: parse_vlan;
+			0x0800: parse_ipv4;
+			0x86dd: parse_ipv6;
+			default: accept;
+		}
+	}
+	state parse_vlan {
+		extract(vlan);
+		transition select(vlan.etherType) {
+			0x0800: parse_ipv4;
+			0x86dd: parse_ipv6;
+			default: accept;
+		}
+	}
+	state parse_ipv4 {
+		extract(ipv4);
+		transition select(ipv4.protocol) {
+			6: parse_tcp;
+			17: parse_udp;
+			default: accept;
+		}
+	}
+	state parse_ipv6 {
+		extract(ipv6);
+		transition select(ipv6.nextHdr) {
+			6: parse_tcp;
+			17: parse_udp;
+			default: accept;
+		}
+	}
+	state parse_udp {
+		extract(udp);
+		transition select(udp.dst_port) {
+			4789: parse_vxlan;
+			default: accept;
+		}
+	}
+	state parse_vxlan { extract(vxlan); transition chain0; }
+	state parse_tcp {
+		extract(tcp);
+		transition select(tcp.flags) {
+			1: chain0;
+			default: accept;
+		}
+	}
+`)
+	// Option chain to pump the state count: a DAG with branching so the
+	// naive tree expansion explodes.
+	for i := 0; i < extra; i++ {
+		next := fmt.Sprintf("chain%d", i+1)
+		last := i == extra-1
+		if last {
+			if cfg.WithINT {
+				next = "parse_int"
+			} else {
+				next = "accept"
+			}
+		}
+		fmt.Fprintf(&b, `	state chain%d {
+		extract(opt%d);
+		transition select(opt%d.kind) {
+			0: %s;
+			1: %s;
+			default: accept;
+		}
+	}
+`, i, i, i, next, next)
+	}
+	if extra == 0 {
+		if cfg.WithINT {
+			b.WriteString("	state chain0 { transition parse_int; }\n")
+		} else {
+			b.WriteString("	state chain0 { transition accept; }\n")
+		}
+	}
+	if cfg.WithINT {
+		// INT header stack: a parser loop over lookahead (App. B.1 shape).
+		b.WriteString(`	state parse_int {
+		transition select(lookahead<bit<8>>()) {
+			7: parse_int_hdr;
+			default: accept;
+		}
+	}
+	state parse_int_hdr { extract(int_h); transition parse_int; }
+`)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// keyChoices rotates table keys over realistic fields.
+var keyChoices = []struct {
+	expr string
+	kind string
+	hdr  string
+}{
+	{"ipv4.dst_ip", "lpm", "ipv4"},
+	{"ipv4.src_ip", "ternary", "ipv4"},
+	{"eth.dst", "exact", "eth"},
+	{"tcp.dst_port", "exact", "tcp"},
+	{"udp.dst_port", "exact", "udp"},
+	{"ipv6.dst_hi", "exact", "ipv6"},
+	{"vlan.vid", "exact", "vlan"},
+	{"vxlan.vni", "exact", "vxlan"},
+}
+
+func genControl(cfg Config, p, tables int) string {
+	var b strings.Builder
+	name := fmt.Sprintf("%s_C%d", cfg.Name, p)
+	fmt.Fprintf(&b, "control %s {\n", name)
+	if cfg.TTLChain && p == 0 {
+		b.WriteString(`	action ttl_copy() { md0.ttl = ipv4.ttl; }
+	action ttl_dec() { md0.ttl = md0.ttl - 1; }
+	action ttl_write() { ipv4.ttl = md0.ttl; }
+	table ttl_tbl {
+		key = { ipv4.dst_ip : exact; }
+		actions = { ttl_dec; }
+	}
+`)
+	}
+	// Big table for the Figure 11b entry sweep. The action body carries a
+	// realistic rewrite sequence so the naive per-entry encoding pays the
+	// per-entry inlining cost the ABV design avoids (App. B.3).
+	if p == 0 {
+		fmt.Fprintf(&b, `	action big_set(bit<9> port, bit<16> tag) {
+		std_meta.egress_spec = port;
+		md%d.scratch0 = tag;
+		md%d.scratch1 = md%d.scratch1 ^ tag;
+		ipv4.dscp = (bit<8>)tag;
+		md%d.scratch3 = md%d.scratch3 | (bit<16>)port;
+		md%d.scratch2 = md%d.scratch2 + 1;
+	}
+	action big_drop() { drop(); }
+	table big_tbl {
+		key = { ipv4.dst_ip : exact; }
+		actions = { big_set; big_drop; }
+		default_action = big_drop;
+	}
+`, p, p, p, p, p, p, p)
+	}
+	for t := 0; t < tables; t++ {
+		kc := keyChoices[(p+t)%len(keyChoices)]
+		for a := 0; a < cfg.ActionsPerTable; a++ {
+			fmt.Fprintf(&b, "	action act_%d_%d(bit<16> v) {\n", t, a)
+			for s := 0; s < cfg.StmtsPerAction; s++ {
+				switch (t + a + s) % 5 {
+				case 0:
+					fmt.Fprintf(&b, "\t\tmd%d.scratch%d = v + %d;\n", p, s%4, t)
+				case 1:
+					fmt.Fprintf(&b, "\t\tstd_meta.egress_spec = (bit<9>)v;\n")
+				case 2:
+					fmt.Fprintf(&b, "\t\tmd%d.scratch%d = md%d.scratch%d ^ %d;\n", p, s%4, p, (s+1)%4, t+a)
+				case 3:
+					fmt.Fprintf(&b, "\t\tmd%d.scratch%d = v | %d;\n", p, s%4, t*2+1)
+				default:
+					fmt.Fprintf(&b, "\t\tmd%d.scratch%d = md%d.scratch%d + 1;\n", p, s%4, p, s%4)
+				}
+			}
+			b.WriteString("\t}\n")
+		}
+		fmt.Fprintf(&b, "	action drop_%d() { drop(); }\n", t)
+		fmt.Fprintf(&b, "	table t%d {\n\t\tkey = { %s : %s; }\n\t\tactions = { ", t, kc.expr, kc.kind)
+		for a := 0; a < cfg.ActionsPerTable; a++ {
+			fmt.Fprintf(&b, "act_%d_%d; ", t, a)
+		}
+		fmt.Fprintf(&b, "drop_%d; }\n\t\tdefault_action = drop_%d;\n\t}\n", t, t)
+	}
+	// Apply block: guard each table by the validity of the header its key
+	// reads — except the seeded-bug table (the last one) when SeedBug.
+	b.WriteString("	apply {\n")
+	if cfg.TTLChain && p == 0 {
+		b.WriteString(`		if (ipv4.isValid()) {
+			ttl_copy();
+			ttl_tbl.apply();
+			ttl_write();
+		}
+`)
+	}
+	if p == 0 {
+		b.WriteString("\t\tif (ipv4.isValid()) { big_tbl.apply(); }\n")
+	}
+	for t := 0; t < tables; t++ {
+		kc := keyChoices[(p+t)%len(keyChoices)]
+		buggy := cfg.SeedBug && t == tables-1
+		if buggy {
+			fmt.Fprintf(&b, "\t\tt%d.apply(); // BUG(seeded): missing %s.isValid() guard\n", t, kc.hdr)
+		} else {
+			fmt.Fprintf(&b, "\t\tif (%s.isValid()) { t%d.apply(); }\n", kc.hdr, t)
+		}
+	}
+	b.WriteString("	}\n}\n")
+	return b.String()
+}
+
+func genDeparser(cfg Config, p int) string {
+	return fmt.Sprintf(`deparser %s_D%d {
+	emit(eth);
+	emit(vlan);
+	emit(ipv4);
+	emit(ipv6);
+	emit(tcp);
+	emit(udp);
+	update_checksum(ipv4.csum, ipv4.ihl, ipv4.ttl, ipv4.protocol, ipv4.src_ip, ipv4.dst_ip);
+}
+`, cfg.Name, p)
+}
+
+// MetadataBlock declares the per-pipeline scratch metadata (one struct per
+// pipeline index, shared by chained copies).
+func MetadataBlock(pipes int) string {
+	var b strings.Builder
+	for p := 0; p < pipes; p++ {
+		fmt.Fprintf(&b, "struct md%d_t { bit<8> ttl; bit<16> scratch0; bit<16> scratch1; bit<16> scratch2; bit<16> scratch3; } md%d_t md%d;\n", p, p, p)
+	}
+	return b.String()
+}
+
+// Assemble builds the full source for one config.
+func Assemble(cfg Config) *progs.Benchmark {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	b.WriteString(HeaderBlock(extraChainHeaders(cfg)))
+	b.WriteString(MetadataBlock(cfg.Pipes))
+	b.WriteString(generateBody(cfg))
+	bm := &progs.Benchmark{Name: cfg.Name, Source: b.String()}
+	for p := 0; p < cfg.Pipes; p++ {
+		bm.Calls = append(bm.Calls, fmt.Sprintf("%s_pipe%d", cfg.Name, p))
+	}
+	return bm
+}
+
+// AssembleChain concatenates k copies of the config into one program (the
+// Figure 11a workload: k switch-T programs connected in one pipeline).
+func AssembleChain(cfg Config, k int) *progs.Benchmark {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	b.WriteString(HeaderBlock(extraChainHeaders(cfg)))
+	b.WriteString(MetadataBlock(cfg.Pipes))
+	bm := &progs.Benchmark{Name: fmt.Sprintf("%s-x%d", cfg.Name, k)}
+	for i := 0; i < k; i++ {
+		c := cfg
+		c.Name = fmt.Sprintf("%s%d", cfg.Name, i)
+		b.WriteString(generateBody(c))
+		for p := 0; p < cfg.Pipes; p++ {
+			bm.Calls = append(bm.Calls, fmt.Sprintf("%s_pipe%d", c.Name, p))
+		}
+	}
+	bm.Source = b.String()
+	return bm
+}
+
+// BugKind selects a Table 4 bug variant for the TTL chain.
+type BugKind string
+
+// Table 4 bug kinds.
+const (
+	BugNone        BugKind = ""
+	BugWrongEntry  BugKind = "wrong-entry"  // snapshot installs a non-matching key
+	BugCodeMissing BugKind = "code-missing" // the decrement statement is removed
+	BugCodeError   BugKind = "code-error"   // the decrement uses a wrong constant
+)
+
+// InjectBug rewrites a generated source with the requested TTL-chain bug.
+func InjectBug(source string, kind BugKind) string {
+	switch kind {
+	case BugCodeMissing:
+		return strings.Replace(source,
+			"action ttl_dec() { md0.ttl = md0.ttl - 1; }",
+			"action ttl_dec() { md0.ttl = md0.ttl; } // BUG: decrement missing", 1)
+	case BugCodeError:
+		return strings.Replace(source,
+			"action ttl_dec() { md0.ttl = md0.ttl - 1; }",
+			"action ttl_dec() { md0.ttl = md0.ttl - 2; } // BUG: wrong constant", 1)
+	default:
+		return source
+	}
+}
+
+// TTLSnapshot installs the ttl_tbl entry; wrong selects the Table 4
+// wrong-entry bug (a key that never matches the spec's packet).
+func TTLSnapshot(cfg Config, wrong bool) *tables.Snapshot {
+	snap := tables.NewSnapshot()
+	key := uint64(0x0A000001)
+	if wrong {
+		key = 0x0B0B0B0B
+	}
+	snap.Add(cfg.withDefaults().Name+"_C0.ttl_tbl", &tables.Entry{
+		Keys: []tables.KeyMatch{tables.Exact(key)}, Action: "ttl_dec", Priority: -1})
+	return snap
+}
+
+// TTLSpec is the localization spec for the TTL chain of a generated
+// program: the packet to 10.0.0.1 must leave with its TTL decremented.
+func TTLSpec(calls []string) string {
+	var b strings.Builder
+	b.WriteString(`assumption {
+	init {
+		pkt.$order == <eth ipv4 tcp>;
+		pkt.eth.etherType == 0x0800;
+		pkt.ipv4.protocol == 6;
+		pkt.ipv4.dst_ip == 10.0.0.1;
+		pkt.ipv4.ttl > 1;
+	}
+}
+assertion {
+	ttl_dec = { ipv4.ttl == @pkt.ipv4.ttl - 1; }
+}
+program {
+	assume(init);
+`)
+	for _, c := range calls {
+		fmt.Fprintf(&b, "\tcall(%s);\n", c)
+	}
+	b.WriteString("\tassert(ttl_dec);\n}\n")
+	return b.String()
+}
+
+// BigTableSnapshot generates n exact entries for pipe-0's big_tbl — the
+// Figure 11b workload.
+func BigTableSnapshot(cfg Config, n int) *tables.Snapshot {
+	snap := tables.NewSnapshot()
+	tbl := cfg.withDefaults().Name + "_C0.big_tbl"
+	for i := 0; i < n; i++ {
+		snap.Add(tbl, &tables.Entry{
+			Keys:     []tables.KeyMatch{tables.Exact(uint64(0x0A000000 + i))},
+			Action:   "big_set",
+			Args:     []uint64{uint64(i % 500), uint64(i % 65536)},
+			Priority: -1,
+		})
+	}
+	return snap
+}
+
+// BigTableSpec checks one concrete lookup against the big table — the
+// Figure 11b property.
+func BigTableSpec(cfg Config, calls []string, dst uint64, port uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `assumption {
+	init {
+		pkt.$order == <eth ipv4 tcp>;
+		pkt.eth.etherType == 0x0800;
+		pkt.ipv4.protocol == 6;
+		pkt.ipv4.dst_ip == %d;
+	}
+}
+assertion {
+	lookup = { match(%s_C0.big_tbl, big_set); }
+}
+program {
+	assume(init);
+`, dst, cfg.withDefaults().Name)
+	for _, c := range calls {
+		fmt.Fprintf(&b, "\tcall(%s);\n", c)
+	}
+	b.WriteString("\tassert(lookup);\n}\n")
+	_ = port
+	return b.String()
+}
+
+// Table3Suite returns the full 12-program suite of Table 3: the five
+// hand-written replicas plus seven generated programs calibrated to the
+// paper's structural columns.
+func Table3Suite() []*progs.Benchmark {
+	suite := progs.HandWrittenSuite()
+	// ParserStates parameterizes the deep ingress parser (pipe 0); later
+	// pipelines keep the 8-state base parser, so the per-program total is
+	// ParserStates + 8×(Pipes-1), calibrated to Table 3's column.
+	gen := []Config{
+		{Name: "netcache", Pipes: 1, ParserStates: 17, Tables: 96, ActionsPerTable: 2, StmtsPerAction: 2, SeedBug: true},
+		{Name: "switch_noint", Pipes: 1, ParserStates: 59, Tables: 104, ActionsPerTable: 3, StmtsPerAction: 3, SeedBug: true},
+		{Name: "switch_int", Pipes: 1, ParserStates: 64, Tables: 120, ActionsPerTable: 3, StmtsPerAction: 3, WithINT: true, SeedBug: true},
+		{Name: "vendor_switch", Pipes: 2, ParserStates: 24, Tables: 141, ActionsPerTable: 3, StmtsPerAction: 3, SeedBug: true, TTLChain: true},
+		{Name: "prod1", Pipes: 4, ParserStates: 30, Tables: 152, ActionsPerTable: 3, StmtsPerAction: 4, SeedBug: true},
+		{Name: "prod2", Pipes: 4, ParserStates: 34, Tables: 160, ActionsPerTable: 3, StmtsPerAction: 4, SeedBug: true},
+		{Name: "prod3", Pipes: 6, ParserStates: 74, Tables: 126, ActionsPerTable: 3, StmtsPerAction: 3, WithINT: true, SeedBug: true},
+	}
+	names := []string{"NetCache", "Switch BMv2 w/o INT", "Switch BMv2", "Switch from vendor",
+		"Production Program 1", "Production Program 2", "Production Program 3"}
+	for i, cfg := range gen {
+		bm := Assemble(cfg)
+		bm.Name = names[i]
+		suite = append(suite, bm)
+	}
+	return suite
+}
+
+// SwitchT returns the vendor switch-T replica of §8.2/§8.3 at the given
+// scale. Per Table 4: Large is the original; Medium disables the
+// DTEL/sFlow-like half of the tables; Small additionally disables QoS,
+// mirroring, L2 and IPv6 processing.
+func SwitchT(scale string) Config {
+	switch scale {
+	case "small":
+		return Config{Name: "swt", Pipes: 1, ParserStates: 12, Tables: 12, ActionsPerTable: 2, StmtsPerAction: 2, TTLChain: true}
+	case "medium":
+		return Config{Name: "swt", Pipes: 1, ParserStates: 20, Tables: 28, ActionsPerTable: 2, StmtsPerAction: 2, TTLChain: true}
+	default: // large
+		return Config{Name: "swt", Pipes: 2, ParserStates: 30, Tables: 48, ActionsPerTable: 3, StmtsPerAction: 2, TTLChain: true}
+	}
+}

@@ -1,0 +1,236 @@
+package genprog
+
+import (
+	"strings"
+	"testing"
+
+	"aquila/internal/encode"
+	"aquila/internal/localize"
+	"aquila/internal/lpi"
+	"aquila/internal/progs"
+	"aquila/internal/verify"
+)
+
+func TestGeneratedProgramsParse(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		SwitchT("small"),
+		SwitchT("medium"),
+		SwitchT("large"),
+		{Name: "g1", Pipes: 2, ParserStates: 20, Tables: 24, WithINT: true, SeedBug: true, TTLChain: true},
+	} {
+		bm := Assemble(cfg)
+		prog, err := bm.Parse()
+		if err != nil {
+			t.Fatalf("config %+v: %v\nsource:\n%s", cfg, err, firstLines(bm.Source, 40))
+		}
+		if len(prog.Pipelines) != cfg.withDefaults().Pipes {
+			t.Fatalf("pipelines = %d, want %d", len(prog.Pipelines), cfg.withDefaults().Pipes)
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestStructuralCalibration(t *testing.T) {
+	cfg := Config{Name: "cal", Pipes: 2, ParserStates: 30, Tables: 40}
+	bm := Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parser depth concentrates in pipe 0 (the deep ingress parser); later
+	// pipelines keep the 8-state base parser.
+	deep := len(prog.Parsers["cal_P0"].States)
+	if deep < cfg.ParserStates-2 || deep > cfg.ParserStates+4 {
+		t.Fatalf("pipe-0 parser states = %d, want ~%d", deep, cfg.ParserStates)
+	}
+	if shallow := len(prog.Parsers["cal_P1"].States); shallow > 10 {
+		t.Fatalf("pipe-1 parser states = %d, want the shallow base", shallow)
+	}
+	nTables := 0
+	for _, ctl := range prog.Controls {
+		nTables += len(ctl.Tables)
+	}
+	// +2 for the ttl/big support tables.
+	if nTables < cfg.Tables || nTables > cfg.Tables+4 {
+		t.Fatalf("tables = %d, want ~%d", nTables, cfg.Tables)
+	}
+}
+
+func TestSeededBugFoundByVerifier(t *testing.T) {
+	cfg := SwitchT("small")
+	cfg.SeedBug = true
+	bm := Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specSrc := progs.InvalidHeaderAccessSpec(prog, bm.Calls)
+	spec, err := lpi.Parse(specSrc)
+	if err != nil {
+		t.Fatalf("%v\nspec:\n%s", err, specSrc)
+	}
+	rep, err := verify.Run(prog, nil, spec, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatal("seeded invalid-header-access bug must be found")
+	}
+	// Without the seeded bug the property holds.
+	cfg.SeedBug = false
+	bm2 := Assemble(cfg)
+	prog2, err := bm2.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog2, bm2.Calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := verify.Run(prog2, nil, spec2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Holds {
+		t.Fatalf("guarded program must verify:\n%s", rep2.String())
+	}
+}
+
+func TestTTLChainSpecHoldsOnCleanProgram(t *testing.T) {
+	cfg := SwitchT("small")
+	bm := Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := lpi.Parse(TTLSpec(bm.Calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Run(prog, TTLSnapshot(cfg, false), spec, verify.Options{FindAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("clean TTL chain must verify:\n%s", rep.String())
+	}
+}
+
+func TestTable4BugVariants(t *testing.T) {
+	cfg := SwitchT("small")
+	bm := Assemble(cfg)
+	spec, err := lpi.Parse(TTLSpec(bm.Calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("wrong-entry", func(t *testing.T) {
+		prog, err := bm.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := localize.Localize(prog, TTLSnapshot(cfg, true), spec, localize.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != localize.KindTableEntry {
+			t.Fatalf("kind = %v, want table-entry:\n%s", res.Kind, res)
+		}
+		if len(res.Tables) != 1 || !strings.HasSuffix(res.Tables[0], "ttl_tbl") {
+			t.Fatalf("tables = %v", res.Tables)
+		}
+	})
+	for _, kind := range []BugKind{BugCodeMissing, BugCodeError} {
+		t.Run(string(kind), func(t *testing.T) {
+			src := InjectBug(bm.Source, kind)
+			if src == bm.Source {
+				t.Fatal("bug injection did not change the source")
+			}
+			buggy := &progs.Benchmark{Name: "buggy", Source: src, Calls: bm.Calls}
+			prog, err := buggy.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := localize.Localize(prog, TTLSnapshot(cfg, false), spec, localize.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Kind != localize.KindProgram {
+				t.Fatalf("kind = %v, want program:\n%s", res.Kind, res)
+			}
+			found := false
+			for _, c := range res.Candidates {
+				if strings.HasPrefix(c.Action, "ttl_") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("candidates %v should include the ttl chain", res.Candidates)
+			}
+		})
+	}
+}
+
+func TestChainAssembly(t *testing.T) {
+	cfg := SwitchT("small")
+	bm := AssembleChain(cfg, 3)
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pipelines) != 3 {
+		t.Fatalf("pipelines = %d, want 3", len(prog.Pipelines))
+	}
+	if len(bm.Calls) != 3 {
+		t.Fatalf("calls = %v", bm.Calls)
+	}
+}
+
+func TestBigTableSpecVerifies(t *testing.T) {
+	cfg := SwitchT("small")
+	bm := Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := BigTableSnapshot(cfg, 64)
+	spec, err := lpi.Parse(BigTableSpec(cfg, bm.Calls, 0x0A000020, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []encode.TableMode{encode.TableABVTree, encode.TableABVLinear, encode.TableNaive} {
+		rep, err := verify.Run(prog, snap, spec, verify.Options{FindAll: true, Encode: encode.Options{Table: mode}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Holds {
+			t.Fatalf("mode %v: big-table lookup must verify:\n%s", mode, rep.String())
+		}
+	}
+}
+
+func TestTable3SuiteParses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	suite := Table3Suite()
+	if len(suite) != 12 {
+		t.Fatalf("suite size = %d, want 12", len(suite))
+	}
+	for _, bm := range suite {
+		prog, err := bm.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if prog.LoC == 0 {
+			t.Fatalf("%s: zero LoC", bm.Name)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package lpi implements LPI — the "Language for Programmable network
+// Intent" of §3 of the paper: a declarative specification language with
+// assumption blocks (preconditions on the input packet, metadata and
+// switch state), assertion blocks (expected behaviours), and a program
+// block that composes the data-plane components and places assumptions and
+// assertions between them.
+//
+// The grammar follows Figure 5; Figure 6's example is accepted verbatim
+// modulo the P4 program reference in the config section.
+package lpi
+
+import "fmt"
+
+// Spec is a parsed LPI specification.
+type Spec struct {
+	// Config key/values (e.g. path = ./forward.p4).
+	Config map[string]string
+	// Assumptions maps block names to their items.
+	Assumptions map[string][]*Item
+	// Assertions maps block names to their items.
+	Assertions map[string][]*Item
+	// Program is the composition script.
+	Program []ProgStmt
+	// Groups maps field-group names to member paths (App. B.4).
+	Groups map[string][]string
+
+	// ModifiedPaths lists "inst.field" names used with modified(), needed
+	// to configure encode.Options.TrackModified before encoding.
+	ModifiedPaths []string
+}
+
+// Item is one entry of an assumption or assertion block: an optionally
+// guarded condition. In an assumption block it contributes
+// assume(guard => cond); in an assertion block assert(guard => cond).
+type Item struct {
+	Guard Expr // nil when unguarded
+	Cond  Expr
+	Line  int
+}
+
+// ProgStmt is a statement of the program block.
+type ProgStmt interface{ progStmt() }
+
+// AssumeStmt inserts a named assumption block.
+type AssumeStmt struct {
+	Block string
+	Line  int
+}
+
+// AssertStmt checks a named assertion block.
+type AssertStmt struct {
+	Block string
+	Line  int
+}
+
+// CallStmt executes a component (parser, control, deparser or pipeline).
+// Calling a second pipeline implies inter-pipeline packet passing (§4.3).
+type CallStmt struct {
+	Component string
+	Line      int
+}
+
+// RecircStmt executes a component under bounded recirculation (or, with
+// Resubmit set, bounded resubmission: re-entry without deparsing).
+type RecircStmt struct {
+	Component string
+	Bound     int
+	Resubmit  bool
+	Line      int
+}
+
+// GhostAssign defines or updates a ghost variable (#name = expr).
+type GhostAssign struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// IfStmt conditions program statements on a spec expression.
+type IfStmt struct {
+	Cond Expr
+	Then []ProgStmt
+	Else []ProgStmt
+	Line int
+}
+
+func (*AssumeStmt) progStmt()  {}
+func (*AssertStmt) progStmt()  {}
+func (*CallStmt) progStmt()    {}
+func (*RecircStmt) progStmt()  {}
+func (*GhostAssign) progStmt() {}
+func (*IfStmt) progStmt()      {}
+
+// ---- spec expressions ----
+
+// Expr is an LPI expression.
+type Expr interface {
+	specExpr()
+	String() string
+}
+
+// Num is an integer literal.
+type Num struct{ Val uint64 }
+
+// Path references a field, metadata, ghost (#x) or header, optionally with
+// the @ initial-value prefix.
+type Path struct {
+	Raw     string // e.g. "pkt.ipv4.dst_ip", "ig_md.ttl", "#quit"
+	Initial bool   // true for @-prefixed paths
+}
+
+// Un is a unary operator application.
+type Un struct {
+	Op string
+	X  Expr
+}
+
+// Bin is a binary operator application.
+type Bin struct {
+	Op   string
+	X, Y Expr
+}
+
+// OrderCmp is `pkt.$order == <pattern>` or `pkt.$out_order == <pattern>`.
+type OrderCmp struct {
+	Out     bool // compare the deparsed output order
+	Pattern *HdrPattern
+	Neg     bool
+}
+
+// Cast is (bit<W>) X — zero-extend or truncate.
+type Cast struct {
+	Width int
+	X     Expr
+}
+
+// Builtin is one of LPI's property helpers: keep, match, modified, valid,
+// accepted, rejected, applied, forall, exists.
+type Builtin struct {
+	Name string
+	Args []Expr
+}
+
+// StrArg is a bare identifier argument to a builtin (table, action, group
+// or header name).
+type StrArg struct{ Name string }
+
+func (*Num) specExpr()      {}
+func (*Path) specExpr()     {}
+func (*Un) specExpr()       {}
+func (*Bin) specExpr()      {}
+func (*OrderCmp) specExpr() {}
+func (*Cast) specExpr()     {}
+func (*Builtin) specExpr()  {}
+func (*StrArg) specExpr()   {}
+
+func (e *Num) String() string { return fmt.Sprintf("%d", e.Val) }
+func (e *Path) String() string {
+	if e.Initial {
+		return "@" + e.Raw
+	}
+	return e.Raw
+}
+func (e *Un) String() string  { return e.Op + e.X.String() }
+func (e *Bin) String() string { return "(" + e.X.String() + " " + e.Op + " " + e.Y.String() + ")" }
+func (e *OrderCmp) String() string {
+	name := "pkt.$order"
+	if e.Out {
+		name = "pkt.$out_order"
+	}
+	op := "=="
+	if e.Neg {
+		op = "!="
+	}
+	return name + " " + op + " " + e.Pattern.String()
+}
+func (e *Cast) String() string {
+	return fmt.Sprintf("(bit<%d>)%s", e.Width, e.X.String())
+}
+func (e *Builtin) String() string {
+	s := e.Name + "("
+	for i, a := range e.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+func (e *StrArg) String() string { return e.Name }
+
+// ---- header-order patterns ----
+
+// HdrPattern is a header-sequence pattern: `<eth [vlan] (ipv4|ipv6) tcp>`.
+type HdrPattern struct {
+	Elems []PatElem
+}
+
+// PatElem is one element of a pattern.
+type PatElem interface{ patElem() }
+
+// PatLit is a plain header name.
+type PatLit struct{ Name string }
+
+// PatOpt is an optional subsequence `[ ... ]`.
+type PatOpt struct{ Elems []PatElem }
+
+// PatAlt is an alternation `( a | b | ... )` of subsequences.
+type PatAlt struct{ Alts [][]PatElem }
+
+func (*PatLit) patElem() {}
+func (*PatOpt) patElem() {}
+func (*PatAlt) patElem() {}
+
+func (p *HdrPattern) String() string {
+	return "<" + patElemsString(p.Elems) + ">"
+}
+
+func patElemsString(elems []PatElem) string {
+	s := ""
+	for i, e := range elems {
+		if i > 0 {
+			s += " "
+		}
+		switch x := e.(type) {
+		case *PatLit:
+			s += x.Name
+		case *PatOpt:
+			s += "[" + patElemsString(x.Elems) + "]"
+		case *PatAlt:
+			s += "("
+			for j, alt := range x.Alts {
+				if j > 0 {
+					s += "|"
+				}
+				s += patElemsString(alt)
+			}
+			s += ")"
+		}
+	}
+	return s
+}
+
+// Expand enumerates the concrete header sequences the pattern matches.
+func (p *HdrPattern) Expand() [][]string {
+	return expandElems(p.Elems)
+}
+
+func expandElems(elems []PatElem) [][]string {
+	out := [][]string{{}}
+	for _, e := range elems {
+		var choices [][]string
+		switch x := e.(type) {
+		case *PatLit:
+			choices = [][]string{{x.Name}}
+		case *PatOpt:
+			choices = append([][]string{{}}, expandElems(x.Elems)...)
+		case *PatAlt:
+			for _, alt := range x.Alts {
+				choices = append(choices, expandElems(alt)...)
+			}
+		}
+		var next [][]string
+		for _, prefix := range out {
+			for _, ch := range choices {
+				seq := append(append([]string{}, prefix...), ch...)
+				next = append(next, seq)
+			}
+		}
+		out = next
+	}
+	return out
+}

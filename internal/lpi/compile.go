@@ -1,0 +1,832 @@
+package lpi
+
+import (
+	"fmt"
+	"strings"
+
+	"aquila/internal/encode"
+	"aquila/internal/gcl"
+	"aquila/internal/smt"
+)
+
+// AssertionInfo identifies an assertion in verifier reports.
+type AssertionInfo struct {
+	Block string
+	Index int
+	Line  int
+	Text  string
+}
+
+// Label is the assertion's stable identifier.
+func (a *AssertionInfo) Label() string { return fmt.Sprintf("%s#%d", a.Block, a.Index) }
+
+// Compiler lowers a parsed Spec onto an encoding environment, producing
+// the whole-switch GCL the paper's Figure 7 pipeline verifies.
+type Compiler struct {
+	Env  *encode.Env
+	Spec *Spec
+
+	ghosts       map[string]*smt.Term
+	initSnaps    map[string]*smt.Term
+	pipelineRan  bool
+	assertionSeq int
+}
+
+// NewCompiler returns a compiler for spec over env. The env must have been
+// built with encode.Options.TrackModified covering spec.ModifiedPaths
+// (see TrackModified).
+func NewCompiler(spec *Spec, env *encode.Env) *Compiler {
+	return &Compiler{
+		Env:       env,
+		Spec:      spec,
+		ghosts:    map[string]*smt.Term{},
+		initSnaps: map[string]*smt.Term{},
+	}
+}
+
+// TrackModified builds the encode option set for a spec.
+func TrackModified(spec *Spec) map[string]bool {
+	m := map[string]bool{}
+	for _, p := range spec.ModifiedPaths {
+		m[p] = true
+	}
+	return m
+}
+
+// Compile produces the whole-switch GCL: initialization, the program
+// block, and the assumption/assertion insertions it requests.
+func (c *Compiler) Compile() (gcl.Stmt, error) {
+	var out []gcl.Stmt
+	out = append(out, c.Env.InitStmts())
+	snaps, err := c.initialSnapshots()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, snaps...)
+	body, err := c.compileProgStmts(c.Spec.Program)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, body)
+	return gcl.NewSeq(out...), nil
+}
+
+// initialSnapshots emits $init ghosts for the values the spec refers to
+// as they were when the packet entered the switch: @-references to
+// metadata snapshot the metadata variable; @-references to header fields
+// and keep() targets snapshot the packet image (which inter-pipeline
+// packet passing overwrites at every traffic-manager hop, §4.3 — without
+// the snapshot, "@" would drift to the latest hop's value).
+func (c *Compiler) initialSnapshots() ([]gcl.Stmt, error) {
+	paths := map[string]bool{}
+	addHeaderField := func(inst, field string) {
+		paths["pkt."+inst+"."+field] = true
+	}
+	addKeepTarget := func(raw string) {
+		raw = strings.TrimPrefix(raw, "pkt.")
+		if members, ok := c.Spec.Groups[raw]; ok {
+			for _, m := range members {
+				m = strings.TrimPrefix(m, "pkt.")
+				if inst, field, ok := splitPath(m); ok {
+					addHeaderField(inst, field)
+				}
+			}
+			return
+		}
+		if inst := c.Env.Prog.Instance(raw); inst != nil && inst.IsHeader {
+			for _, f := range c.Env.Prog.InstanceType(raw).Fields {
+				addHeaderField(raw, f.Name)
+			}
+			return
+		}
+		if inst, field, ok := splitPath(raw); ok {
+			if pi := c.Env.Prog.Instance(inst); pi != nil && pi.IsHeader {
+				addHeaderField(inst, field)
+			}
+		}
+	}
+	var scanExpr func(e Expr)
+	scanExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *Path:
+			if x.Initial {
+				raw := strings.TrimPrefix(x.Raw, "pkt.")
+				if inst, field, ok := splitPath(raw); ok {
+					if pi := c.Env.Prog.Instance(inst); pi != nil {
+						if pi.IsHeader {
+							addHeaderField(inst, field)
+						} else {
+							paths[raw] = true
+						}
+					}
+				}
+			}
+		case *Un:
+			scanExpr(x.X)
+		case *Bin:
+			scanExpr(x.X)
+			scanExpr(x.Y)
+		case *Cast:
+			scanExpr(x.X)
+		case *Builtin:
+			if x.Name == "keep" && len(x.Args) == 1 {
+				if p, ok := x.Args[0].(*Path); ok {
+					addKeepTarget(p.Raw)
+				}
+			}
+			for _, a := range x.Args {
+				scanExpr(a)
+			}
+		}
+	}
+	for _, items := range c.Spec.Assumptions {
+		for _, it := range items {
+			if it.Guard != nil {
+				scanExpr(it.Guard)
+			}
+			scanExpr(it.Cond)
+		}
+	}
+	for _, items := range c.Spec.Assertions {
+		for _, it := range items {
+			if it.Guard != nil {
+				scanExpr(it.Guard)
+			}
+			scanExpr(it.Cond)
+		}
+	}
+	var out []gcl.Stmt
+	for _, raw := range sortedKeys(paths) {
+		var cur *smt.Term
+		if rest, ok := strings.CutPrefix(raw, "pkt."); ok {
+			inst, field, _ := splitPath(rest)
+			cur = c.Env.PktFieldVar(inst, field)
+		} else {
+			inst, field, _ := splitPath(raw)
+			cur = c.Env.FieldVar(inst, field)
+		}
+		snap := c.Env.Ctx.Var("$init."+raw, cur.Width)
+		c.initSnaps[raw] = snap
+		out = append(out, &gcl.Assign{Var: snap, Rhs: cur})
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func splitPath(raw string) (inst, field string, ok bool) {
+	i := strings.LastIndex(raw, ".")
+	if i < 0 {
+		return raw, "", false
+	}
+	return raw[:i], raw[i+1:], true
+}
+
+func (c *Compiler) compileProgStmts(stmts []ProgStmt) (gcl.Stmt, error) {
+	var out []gcl.Stmt
+	for _, s := range stmts {
+		g, err := c.compileProgStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return gcl.NewSeq(out...), nil
+}
+
+func (c *Compiler) compileProgStmt(s ProgStmt) (gcl.Stmt, error) {
+	switch st := s.(type) {
+	case *AssumeStmt:
+		items, ok := c.Spec.Assumptions[st.Block]
+		if !ok {
+			return nil, fmt.Errorf("lpi: line %d: unknown assumption block %q", st.Line, st.Block)
+		}
+		var out []gcl.Stmt
+		for _, it := range items {
+			cond, err := c.itemCond(it, true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &gcl.Assume{Cond: cond})
+		}
+		return gcl.NewSeq(out...), nil
+	case *AssertStmt:
+		items, ok := c.Spec.Assertions[st.Block]
+		if !ok {
+			return nil, fmt.Errorf("lpi: line %d: unknown assertion block %q", st.Line, st.Block)
+		}
+		var out []gcl.Stmt
+		for i, it := range items {
+			cond, err := c.itemCond(it, false)
+			if err != nil {
+				return nil, err
+			}
+			info := &AssertionInfo{Block: st.Block, Index: i, Line: it.Line, Text: it.Cond.String()}
+			out = append(out, &gcl.Assert{Cond: cond, Label: info.Label(), Meta: info})
+			c.assertionSeq++
+		}
+		return gcl.NewSeq(out...), nil
+	case *CallStmt:
+		return c.compileCall(st.Component, 0, false)
+	case *RecircStmt:
+		return c.compileCall(st.Component, st.Bound, st.Resubmit)
+	case *GhostAssign:
+		rhs, err := c.expr(st.Expr, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := c.ghosts[st.Name]
+		if !ok {
+			if rhs.IsBool() {
+				g = c.Env.Ctx.BoolVar("$ghost." + st.Name)
+			} else {
+				g = c.Env.Ctx.Var("$ghost."+st.Name, rhs.Width)
+			}
+			c.ghosts[st.Name] = g
+		}
+		if g.IsBool() != rhs.IsBool() {
+			return nil, fmt.Errorf("lpi: line %d: ghost %s sort mismatch", st.Line, st.Name)
+		}
+		return &gcl.Assign{Var: g, Rhs: rhs}, nil
+	case *IfStmt:
+		cond, err := c.boolExpr(st.Cond, false)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.compileProgStmts(st.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.compileProgStmts(st.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &gcl.If{Cond: cond, Then: then, Else: els}, nil
+	}
+	return nil, fmt.Errorf("lpi: unknown program statement %T", s)
+}
+
+// compileCall encodes a component call. Calling a pipeline after another
+// pipeline has already run inserts the inter-pipeline packet passing of
+// §4.3 (the traffic manager hop). bound > 0 wraps the component in the
+// bounded recirculation loop.
+func (c *Compiler) compileCall(component string, bound int, resubmit bool) (gcl.Stmt, error) {
+	_, isPipeline := c.Env.Prog.Pipelines[component]
+	var pre gcl.Stmt = &gcl.Skip{}
+	if isPipeline {
+		if c.pipelineRan {
+			pre = c.Env.PassPacket()
+		}
+		c.pipelineRan = true
+	}
+	body, err := c.Env.EncodeComponent(component)
+	if err != nil {
+		return nil, err
+	}
+	if bound > 0 {
+		if resubmit {
+			body = c.Env.EncodeResubmitting(body, bound)
+		} else {
+			body = c.Env.EncodeRecirculating(body, bound)
+		}
+	}
+	return gcl.NewSeq(pre, body), nil
+}
+
+func (c *Compiler) itemCond(it *Item, inAssumption bool) (*smt.Term, error) {
+	cond, err := c.boolExpr(it.Cond, inAssumption)
+	if err != nil {
+		return nil, fmt.Errorf("%w (line %d)", err, it.Line)
+	}
+	if it.Guard == nil {
+		return cond, nil
+	}
+	guard, err := c.boolExpr(it.Guard, inAssumption)
+	if err != nil {
+		return nil, fmt.Errorf("%w (line %d)", err, it.Line)
+	}
+	return c.Env.Ctx.Implies(guard, cond), nil
+}
+
+func (c *Compiler) boolExpr(e Expr, inAssumption bool) (*smt.Term, error) {
+	t, err := c.expr(e, -1, inAssumption)
+	if err != nil {
+		return nil, err
+	}
+	if !t.IsBool() {
+		t = c.Env.Ctx.Neq(t, c.Env.Ctx.BV(0, t.Width))
+	}
+	return t, nil
+}
+
+// expr compiles a spec expression. want is the desired width for literals
+// (0 unknown, -1 boolean context).
+func (c *Compiler) expr(e Expr, want int, inAssumption bool) (*smt.Term, error) {
+	ctx := c.Env.Ctx
+	switch x := e.(type) {
+	case *Num:
+		w := want
+		if w <= 0 {
+			w = 32
+		}
+		return ctx.BV(x.Val, w), nil
+	case *Path:
+		return c.pathTerm(x, inAssumption)
+	case *Un:
+		switch x.Op {
+		case "!":
+			t, err := c.boolExpr(x.X, inAssumption)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.Not(t), nil
+		case "~":
+			t, err := c.expr(x.X, want, inAssumption)
+			if err != nil {
+				return nil, err
+			}
+			return ctx.BVNot(t), nil
+		}
+		return nil, fmt.Errorf("lpi: unknown unary %q", x.Op)
+	case *Bin:
+		return c.binTerm(x, want, inAssumption)
+	case *OrderCmp:
+		t, err := c.orderTerm(x)
+		if err != nil {
+			return nil, err
+		}
+		if x.Neg {
+			t = ctx.Not(t)
+		}
+		return t, nil
+	case *Cast:
+		t, err := c.expr(x.X, 0, inAssumption)
+		if err != nil {
+			return nil, err
+		}
+		if t.IsBool() {
+			return nil, fmt.Errorf("lpi: cannot cast a boolean to bit<%d>", x.Width)
+		}
+		return ctx.Resize(t, x.Width), nil
+	case *Builtin:
+		return c.builtinTerm(x, inAssumption)
+	}
+	return nil, fmt.Errorf("lpi: unsupported expression %T", e)
+}
+
+func (c *Compiler) binTerm(x *Bin, want int, inAssumption bool) (*smt.Term, error) {
+	ctx := c.Env.Ctx
+	switch x.Op {
+	case "&&", "||":
+		a, err := c.boolExpr(x.X, inAssumption)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.boolExpr(x.Y, inAssumption)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "&&" {
+			return ctx.And(a, b), nil
+		}
+		return ctx.Or(a, b), nil
+	}
+	// Resolve literal widths against the other operand.
+	var a, b *smt.Term
+	var err error
+	if _, isNum := x.X.(*Num); isNum {
+		b, err = c.expr(x.Y, 0, inAssumption)
+		if err != nil {
+			return nil, err
+		}
+		a, err = c.expr(x.X, b.Width, inAssumption)
+	} else {
+		a, err = c.expr(x.X, want, inAssumption)
+		if err != nil {
+			return nil, err
+		}
+		aw := 0
+		if !a.IsBool() {
+			aw = a.Width
+		}
+		b, err = c.expr(x.Y, aw, inAssumption)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Boolean equality (e.g. comparing valid() results).
+	if a.IsBool() || b.IsBool() {
+		if !(a.IsBool() && b.IsBool()) {
+			return nil, fmt.Errorf("lpi: sort mismatch in %s", x.String())
+		}
+		switch x.Op {
+		case "==":
+			return ctx.Iff(a, b), nil
+		case "!=":
+			return ctx.Not(ctx.Iff(a, b)), nil
+		}
+		return nil, fmt.Errorf("lpi: operator %q not defined on booleans", x.Op)
+	}
+	if a.Width != b.Width {
+		if a.IsConst() {
+			a = ctx.Resize(a, b.Width)
+		} else if b.IsConst() {
+			b = ctx.Resize(b, a.Width)
+		} else {
+			return nil, fmt.Errorf("lpi: width mismatch in %s (%d vs %d)", x.String(), a.Width, b.Width)
+		}
+	}
+	switch x.Op {
+	case "==":
+		return ctx.Eq(a, b), nil
+	case "!=":
+		return ctx.Neq(a, b), nil
+	case "<":
+		return ctx.Ult(a, b), nil
+	case ">":
+		return ctx.Ugt(a, b), nil
+	case "<=":
+		return ctx.Ule(a, b), nil
+	case ">=":
+		return ctx.Uge(a, b), nil
+	case "&":
+		return ctx.BVAnd(a, b), nil
+	case "|":
+		return ctx.BVOr(a, b), nil
+	case "^":
+		return ctx.BVXor(a, b), nil
+	case "+":
+		return ctx.BVAdd(a, b), nil
+	case "-":
+		return ctx.BVSub(a, b), nil
+	case "<<":
+		return ctx.BVShl(a, b), nil
+	case ">>":
+		return ctx.BVLshr(a, b), nil
+	}
+	return nil, fmt.Errorf("lpi: unknown operator %q", x.Op)
+}
+
+// pathTerm resolves a field path. Resolution rules (§3):
+//   - #name          — ghost variable
+//   - @pkt.h.f, @h.f — input packet image of a header field
+//   - @md.f          — $init snapshot of a metadata field
+//   - pkt.h.f        — input image in assumptions, current value in
+//     assertions (Figure 6 uses both senses)
+//   - h.f / md.f     — current value
+func (c *Compiler) pathTerm(x *Path, inAssumption bool) (*smt.Term, error) {
+	if strings.HasPrefix(x.Raw, "#") {
+		g, ok := c.ghosts[x.Raw]
+		if !ok {
+			return nil, fmt.Errorf("lpi: undefined ghost %q", x.Raw)
+		}
+		return g, nil
+	}
+	raw := x.Raw
+	if reg, ok := strings.CutPrefix(raw, "reg."); ok {
+		if _, exists := c.Env.Prog.Registers[reg]; !exists {
+			return nil, fmt.Errorf("lpi: unknown register %q", reg)
+		}
+		if x.Initial {
+			// Registers are scalarized; their initial value is the
+			// variable's pristine symbolic value, which verify snapshots
+			// cannot distinguish — refer to the register without @ in an
+			// assumption placed before any call instead.
+			return nil, fmt.Errorf("lpi: @reg.%s unsupported; constrain reg.%s in an assumption before the first call", reg, reg)
+		}
+		return c.Env.RegVar(reg), nil
+	}
+	hadPkt := strings.HasPrefix(raw, "pkt.")
+	raw = strings.TrimPrefix(raw, "pkt.")
+	inst, field, ok := splitPath(raw)
+	if !ok {
+		return nil, fmt.Errorf("lpi: %q is not a field path", x.Raw)
+	}
+	pi := c.Env.Prog.Instance(inst)
+	if pi == nil {
+		return nil, fmt.Errorf("lpi: unknown instance %q", inst)
+	}
+	if c.Env.Prog.InstanceType(inst).Field(field) == nil {
+		return nil, fmt.Errorf("lpi: instance %q has no field %q", inst, field)
+	}
+	if x.Initial {
+		key := raw
+		if pi.IsHeader {
+			key = "pkt." + raw
+		}
+		snap, ok := c.initSnaps[key]
+		if !ok {
+			return nil, fmt.Errorf("lpi: internal: missing $init snapshot for %q", raw)
+		}
+		return snap, nil
+	}
+	if hadPkt && pi.IsHeader && inAssumption {
+		return c.Env.PktFieldVar(inst, field), nil
+	}
+	return c.Env.FieldVar(inst, field), nil
+}
+
+func (c *Compiler) orderTerm(x *OrderCmp) (*smt.Term, error) {
+	ctx := c.Env.Ctx
+	seqs := x.Pattern.Expand()
+	var anyOf *smt.Term = ctx.False()
+	for _, seq := range seqs {
+		if len(seq) > c.Env.MaxHeaders() {
+			return nil, fmt.Errorf("lpi: pattern sequence %v longer than the %d declared headers", seq, c.Env.MaxHeaders())
+		}
+		cond := ctx.True()
+		for i := 0; i < c.Env.MaxHeaders(); i++ {
+			var id uint64
+			if i < len(seq) {
+				id = c.Env.HeaderID(seq[i])
+				if id == 0 {
+					return nil, fmt.Errorf("lpi: unknown header %q in pattern", seq[i])
+				}
+			}
+			slot := c.Env.OrderVar(i)
+			if x.Out {
+				slot = c.Env.OutOrderVar(i)
+			}
+			cond = ctx.And(cond, ctx.Eq(slot, ctx.BV(id, encode.OrderWidth)))
+		}
+		anyOf = ctx.Or(anyOf, cond)
+	}
+	return anyOf, nil
+}
+
+func (c *Compiler) builtinTerm(x *Builtin, inAssumption bool) (*smt.Term, error) {
+	ctx := c.Env.Ctx
+	argPath := func(i int) (*Path, bool) {
+		if i >= len(x.Args) {
+			return nil, false
+		}
+		p, ok := x.Args[i].(*Path)
+		return p, ok
+	}
+	switch x.Name {
+	case "valid":
+		p, ok := argPath(0)
+		if !ok || len(x.Args) != 1 {
+			return nil, fmt.Errorf("lpi: valid() takes one header name")
+		}
+		if inst := c.Env.Prog.Instance(p.Raw); inst == nil || !inst.IsHeader {
+			return nil, fmt.Errorf("lpi: valid(%s): not a header instance", p.Raw)
+		}
+		return c.Env.ValidVar(p.Raw), nil
+	case "keep":
+		return c.keepTerm(x)
+	case "modified":
+		return c.modifiedTerm(x)
+	case "match", "applied":
+		p, ok := argPath(0)
+		if !ok {
+			return nil, fmt.Errorf("lpi: %s() needs a table name", x.Name)
+		}
+		ctl, tbl, err := c.resolveTable(p.Raw)
+		if err != nil {
+			return nil, err
+		}
+		if x.Name == "applied" {
+			return c.Env.AppliedVar(ctl, tbl), nil
+		}
+		hit := c.Env.HitVar(ctl, tbl)
+		if len(x.Args) == 1 {
+			return hit, nil
+		}
+		ap, ok := argPath(1)
+		if !ok {
+			return nil, fmt.Errorf("lpi: match() second argument must be an action name")
+		}
+		laid, ok := c.Env.LAID(ctl, tbl, ap.Raw)
+		if !ok {
+			return nil, fmt.Errorf("lpi: table %s.%s has no action %q", ctl, tbl, ap.Raw)
+		}
+		return ctx.And(hit, ctx.Eq(c.Env.ActionVar(ctl, tbl), ctx.BV(laid, 16))), nil
+	case "accepted", "rejected":
+		name := ""
+		if p, ok := argPath(0); ok {
+			name = p.Raw
+		}
+		if name == "" {
+			if len(c.Env.Prog.Parsers) != 1 {
+				return nil, fmt.Errorf("lpi: %s() needs a parser name (program has %d parsers)", x.Name, len(c.Env.Prog.Parsers))
+			}
+			for n := range c.Env.Prog.Parsers {
+				name = n
+			}
+		}
+		if _, ok := c.Env.Prog.Parsers[name]; !ok {
+			return nil, fmt.Errorf("lpi: unknown parser %q", name)
+		}
+		if x.Name == "accepted" {
+			return c.Env.AcceptVar(name), nil
+		}
+		return c.Env.RejectVar(name), nil
+	case "forall", "exists":
+		if len(x.Args) != 2 {
+			return nil, fmt.Errorf("lpi: %s(group, expr) takes two arguments", x.Name)
+		}
+		gp, ok := argPath(0)
+		if !ok {
+			return nil, fmt.Errorf("lpi: %s() first argument must be a group name", x.Name)
+		}
+		members, ok := c.Spec.Groups[gp.Raw]
+		if !ok {
+			return nil, fmt.Errorf("lpi: unknown group %q", gp.Raw)
+		}
+		// Quantifiers over finite field groups are expanded into
+		// propositional logic (App. B.4).
+		acc := ctx.Bool(x.Name == "forall")
+		for _, m := range members {
+			inst, err := c.expr(substPath(x.Args[1], m), -1, inAssumption)
+			if err != nil {
+				return nil, err
+			}
+			if !inst.IsBool() {
+				inst = ctx.Neq(inst, ctx.BV(0, inst.Width))
+			}
+			if x.Name == "forall" {
+				acc = ctx.And(acc, inst)
+			} else {
+				acc = ctx.Or(acc, inst)
+			}
+		}
+		return acc, nil
+	}
+	return nil, fmt.Errorf("lpi: unknown builtin %q", x.Name)
+}
+
+// keepTerm compiles keep(x): the named field/header/group is unchanged
+// relative to the input packet.
+func (c *Compiler) keepTerm(x *Builtin) (*smt.Term, error) {
+	ctx := c.Env.Ctx
+	if len(x.Args) != 1 {
+		return nil, fmt.Errorf("lpi: keep() takes one argument")
+	}
+	p, ok := x.Args[0].(*Path)
+	if !ok {
+		return nil, fmt.Errorf("lpi: keep() argument must be a path, header or group")
+	}
+	raw := strings.TrimPrefix(p.Raw, "pkt.")
+	// Group?
+	if members, ok := c.Spec.Groups[raw]; ok {
+		cond := ctx.True()
+		for _, m := range members {
+			t, err := c.keepField(m)
+			if err != nil {
+				return nil, err
+			}
+			cond = ctx.And(cond, t)
+		}
+		return cond, nil
+	}
+	// Whole header? A header the parser never extracted is forwarded as
+	// opaque payload in the KV model and is trivially kept, so the check
+	// is guarded by validity. Comparison is against the entry-time
+	// snapshot, not the (pipeline-local) packet image.
+	if inst := c.Env.Prog.Instance(raw); inst != nil && inst.IsHeader {
+		cond := ctx.True()
+		for _, f := range c.Env.Prog.InstanceType(raw).Fields {
+			snap, ok := c.initSnaps["pkt."+raw+"."+f.Name]
+			if !ok {
+				return nil, fmt.Errorf("lpi: internal: missing keep snapshot for %s.%s", raw, f.Name)
+			}
+			cond = ctx.And(cond, ctx.Eq(c.Env.FieldVar(raw, f.Name), snap))
+		}
+		return ctx.Implies(c.Env.ValidVar(raw), cond), nil
+	}
+	return c.keepField(raw)
+}
+
+func (c *Compiler) keepField(raw string) (*smt.Term, error) {
+	raw = strings.TrimPrefix(raw, "pkt.")
+	inst, field, ok := splitPath(raw)
+	if !ok {
+		return nil, fmt.Errorf("lpi: keep(%s): not a field", raw)
+	}
+	pi := c.Env.Prog.Instance(inst)
+	if pi == nil || c.Env.Prog.InstanceType(inst).Field(field) == nil {
+		return nil, fmt.Errorf("lpi: keep(%s): unknown field", raw)
+	}
+	if !pi.IsHeader {
+		return nil, fmt.Errorf("lpi: keep(%s): metadata has no packet image; compare with @%s instead", raw, raw)
+	}
+	snap, ok := c.initSnaps["pkt."+raw]
+	if !ok {
+		return nil, fmt.Errorf("lpi: internal: missing keep snapshot for %s", raw)
+	}
+	return c.Env.Ctx.Implies(c.Env.ValidVar(inst),
+		c.Env.Ctx.Eq(c.Env.FieldVar(inst, field), snap)), nil
+}
+
+func (c *Compiler) modifiedTerm(x *Builtin) (*smt.Term, error) {
+	ctx := c.Env.Ctx
+	if len(x.Args) != 1 {
+		return nil, fmt.Errorf("lpi: modified() takes one argument")
+	}
+	p, ok := x.Args[0].(*Path)
+	if !ok {
+		return nil, fmt.Errorf("lpi: modified() argument must be a path or group")
+	}
+	raw := strings.TrimPrefix(p.Raw, "pkt.")
+	if members, ok := c.Spec.Groups[raw]; ok {
+		cond := ctx.False()
+		for _, m := range members {
+			inst, field, ok := splitPath(strings.TrimPrefix(m, "pkt."))
+			if !ok {
+				return nil, fmt.Errorf("lpi: modified group member %q is not a field", m)
+			}
+			cond = ctx.Or(cond, c.Env.ModVar(inst, field))
+		}
+		return cond, nil
+	}
+	inst, field, ok := splitPath(raw)
+	if !ok {
+		return nil, fmt.Errorf("lpi: modified(%s): not a field", raw)
+	}
+	if pi := c.Env.Prog.Instance(inst); pi == nil || c.Env.Prog.InstanceType(inst).Field(field) == nil {
+		return nil, fmt.Errorf("lpi: modified(%s): unknown field", raw)
+	}
+	return c.Env.ModVar(inst, field), nil
+}
+
+// resolveTable resolves a table name to (control, table). Unqualified
+// names must be unique across controls.
+func (c *Compiler) resolveTable(name string) (string, string, error) {
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		ctl, tbl := name[:i], name[i+1:]
+		cc, ok := c.Env.Prog.Controls[ctl]
+		if !ok {
+			return "", "", fmt.Errorf("lpi: unknown control %q", ctl)
+		}
+		if _, ok := cc.Tables[tbl]; !ok {
+			return "", "", fmt.Errorf("lpi: control %q has no table %q", ctl, tbl)
+		}
+		return ctl, tbl, nil
+	}
+	found := ""
+	for ctlName, ctl := range c.Env.Prog.Controls {
+		if _, ok := ctl.Tables[name]; ok {
+			if found != "" {
+				return "", "", fmt.Errorf("lpi: table %q is ambiguous (in %s and %s); qualify it", name, found, ctlName)
+			}
+			found = ctlName
+		}
+	}
+	if found == "" {
+		return "", "", fmt.Errorf("lpi: unknown table %q", name)
+	}
+	return found, name, nil
+}
+
+// substPath substitutes member for the `$f` placeholder in a quantifier
+// body.
+func substPath(e Expr, member string) Expr {
+	switch x := e.(type) {
+	case *Path:
+		if x.Raw == "$f" {
+			return &Path{Raw: member, Initial: x.Initial}
+		}
+		return x
+	case *Un:
+		return &Un{Op: x.Op, X: substPath(x.X, member)}
+	case *Bin:
+		return &Bin{Op: x.Op, X: substPath(x.X, member), Y: substPath(x.Y, member)}
+	case *Builtin:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substPath(a, member)
+		}
+		return &Builtin{Name: x.Name, Args: args}
+	default:
+		return e
+	}
+}
+
+// SpecLoC counts the non-empty, non-comment lines of an LPI source — the
+// metric of Table 2 / Figure 3.
+func SpecLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "//") && !strings.HasPrefix(t, "#") {
+			n++
+		}
+	}
+	return n
+}
+
+// Ghost returns the ghost variable of a compiled spec (tests use this to
+// inspect ghosts).
+func (c *Compiler) Ghost(name string) *smt.Term { return c.ghosts[name] }

@@ -1,0 +1,22 @@
+package lpi
+
+import "testing"
+
+// FuzzParse exercises the LPI parser for crash resistance.
+func FuzzParse(f *testing.F) {
+	f.Add(`assumption { init { pkt.$order == <eth [vlan] (ipv4|ipv6) tcp>; } }
+assertion { a = { keep(tcp); match(t, act); modified(x.y); } }
+program { assume(init); call(p); assert(a); #g = x.y == 1; if (!#g) { recirc(p, 3); } }`)
+	f.Add(`config { path = ./x.p4; }`)
+	f.Add(`group g { a.b; c.d; }`)
+	f.Add(`assertion { a = { forall(g, keep($f)); } } program { assert(a); }`)
+	f.Add(`assertion { a = { (bit<16>)x.y >> 2 == 3; } }`)
+	f.Add(`program { assume(; }`)
+	f.Add(`<<<>>>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err == nil && spec == nil {
+			t.Fatal("nil spec without error")
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package lpi
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPatternExpansion(t *testing.T) {
+	spec, err := Parse(`
+assumption { a { pkt.$order == <eth [vlan] (ipv4|ipv6) tcp>; } }
+program { assume(a); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := spec.Assumptions["a"][0]
+	oc, ok := item.Cond.(*OrderCmp)
+	if !ok {
+		t.Fatalf("cond = %T", item.Cond)
+	}
+	got := oc.Pattern.Expand()
+	want := [][]string{
+		{"eth", "ipv4", "tcp"},
+		{"eth", "ipv6", "tcp"},
+		{"eth", "vlan", "ipv4", "tcp"},
+		{"eth", "vlan", "ipv6", "tcp"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("expansions = %v", got)
+	}
+	found := map[string]bool{}
+	for _, seq := range got {
+		found[join(seq)] = true
+	}
+	for _, seq := range want {
+		if !found[join(seq)] {
+			t.Fatalf("missing expansion %v in %v", seq, got)
+		}
+	}
+}
+
+func join(s []string) string {
+	out := ""
+	for _, x := range s {
+		out += x + "/"
+	}
+	return out
+}
+
+func TestNestedPatterns(t *testing.T) {
+	spec, err := Parse(`
+assumption { a { pkt.$order == <eth [vlan [vlan2]] ipv4>; } }
+program { assume(a); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := spec.Assumptions["a"][0].Cond.(*OrderCmp)
+	got := oc.Pattern.Expand()
+	if len(got) != 3 { // none, vlan, vlan+vlan2
+		t.Fatalf("expansions = %v", got)
+	}
+}
+
+func TestFigure6ParsesVerbatimShape(t *testing.T) {
+	// The Figure 6 example, adjusted only for the header names in scope.
+	src := `
+config {path = ./forward.p4;}
+assumption {
+	init {
+		ig_md.ingress_port & 0x1 == 0;
+		pkt.$order == <ethernet ipv4 (tcp|udp)>;
+		pkt.ipv4.dst_ip == 10.0.0.1;
+	}}
+assertion {
+	pipe_in = {
+		if (@pkt.ipv4.protocol == 6)
+			pkt.ipv4.dst_ip == 10.0.0.2;
+		if (match(fwd,send))
+			modified(pkt.ipv4.dst_ip);
+	}
+	pipe_out = { std_meta.drop == 0; }
+}
+program {
+	assume(init);
+	call(ingress_pipeline);
+	assert(pipe_in);
+	#quit = (ig_md.drop == 0) || (ig_md.to_cpu == 0);
+	if (!#quit) {
+		call(egress_pipeline);
+		assert(pipe_out);
+	}}
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Config["path"] != "./forward.p4" {
+		t.Fatalf("config path = %q", spec.Config["path"])
+	}
+	if len(spec.Assumptions["init"]) != 3 {
+		t.Fatalf("init items = %d", len(spec.Assumptions["init"]))
+	}
+	if len(spec.Assertions["pipe_in"]) != 2 || len(spec.Assertions["pipe_out"]) != 1 {
+		t.Fatalf("assertion blocks: %d / %d", len(spec.Assertions["pipe_in"]), len(spec.Assertions["pipe_out"]))
+	}
+	if len(spec.Program) != 5 {
+		t.Fatalf("program stmts = %d", len(spec.Program))
+	}
+	ifStmt, ok := spec.Program[4].(*IfStmt)
+	if !ok || len(ifStmt.Then) != 2 {
+		t.Fatalf("program tail = %+v", spec.Program[4])
+	}
+	if !reflect.DeepEqual(spec.ModifiedPaths, []string{"ipv4.dst_ip"}) {
+		t.Fatalf("modified paths = %v", spec.ModifiedPaths)
+	}
+}
+
+func TestGuardedBlockWithBraces(t *testing.T) {
+	spec, err := Parse(`
+assertion { a = {
+	if (valid(tcp)) {
+		tcp.src_port == 1;
+		tcp.dst_port == 2;
+	}
+} }
+program { assert(a); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := spec.Assertions["a"]
+	if len(items) != 2 {
+		t.Fatalf("items = %d, want 2 (one per guarded condition)", len(items))
+	}
+	for _, it := range items {
+		if it.Guard == nil {
+			t.Fatal("guard missing")
+		}
+	}
+}
+
+func TestSpecLoCSkipsCommentsAndBlanks(t *testing.T) {
+	src := "// comment\n\nassumption { a { x.y == 1; } }\n# hash comment\nprogram { assume(a); }\n"
+	if n := SpecLoC(src); n != 2 {
+		t.Fatalf("SpecLoC = %d, want 2", n)
+	}
+}
+
+func TestParseErrorsDetail(t *testing.T) {
+	bad := []string{
+		`assumption { b { pkt.$order == <eth (ipv4|>; } }`,
+		`assumption { b { pkt.$order == ; } }`,
+		`program { recirc(x); }`,
+		`program { #g; }`,
+		`assumption { dup { x.y == 1; } dup { x.y == 2; } }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestCastParses(t *testing.T) {
+	spec, err := Parse(`assertion { a = { (bit<16>)x.y == 3; } } program { assert(a); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := spec.Assertions["a"][0].Cond.(*Bin)
+	if _, ok := bin.X.(*Cast); !ok {
+		t.Fatalf("lhs = %T, want Cast", bin.X)
+	}
+}

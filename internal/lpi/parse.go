@@ -1,0 +1,662 @@
+package lpi
+
+import (
+	"fmt"
+	"strings"
+
+	"aquila/internal/p4"
+)
+
+// Parse parses an LPI specification.
+func Parse(src string) (*Spec, error) {
+	raw, err := p4.LexAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("lpi: %w", err)
+	}
+	// Split ">>" so patterns and comparisons can consume single ">".
+	var toks []p4.Token
+	for _, t := range raw {
+		if t.Kind == p4.TokPunct && t.Text == ">>" {
+			toks = append(toks,
+				p4.Token{Kind: p4.TokPunct, Text: ">", Line: t.Line, Col: t.Col},
+				p4.Token{Kind: p4.TokPunct, Text: ">", Line: t.Line, Col: t.Col + 1})
+			continue
+		}
+		toks = append(toks, t)
+	}
+	p := &sparser{toks: toks}
+	spec := &Spec{
+		Config:      map[string]string{},
+		Assumptions: map[string][]*Item{},
+		Assertions:  map[string][]*Item{},
+		Groups:      map[string][]string{},
+	}
+	for !p.at(p4.TokEOF, "") {
+		if err := p.parseSection(spec); err != nil {
+			return nil, err
+		}
+	}
+	collectModified(spec)
+	return spec, nil
+}
+
+func collectModified(spec *Spec) {
+	seen := map[string]bool{}
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *Builtin:
+			if x.Name == "modified" || x.Name == "keep" {
+				for _, a := range x.Args {
+					if pth, ok := a.(*Path); ok {
+						name := strings.TrimPrefix(pth.Raw, "pkt.")
+						if strings.Contains(name, ".") && !seen[name] {
+							seen[name] = true
+							spec.ModifiedPaths = append(spec.ModifiedPaths, name)
+						}
+					}
+				}
+			}
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *Un:
+			walkExpr(x.X)
+		case *Bin:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		}
+	}
+	for _, items := range spec.Assumptions {
+		for _, it := range items {
+			if it.Guard != nil {
+				walkExpr(it.Guard)
+			}
+			walkExpr(it.Cond)
+		}
+	}
+	for _, items := range spec.Assertions {
+		for _, it := range items {
+			if it.Guard != nil {
+				walkExpr(it.Guard)
+			}
+			walkExpr(it.Cond)
+		}
+	}
+	var walkProg func(ps []ProgStmt)
+	walkProg = func(ps []ProgStmt) {
+		for _, s := range ps {
+			switch x := s.(type) {
+			case *GhostAssign:
+				walkExpr(x.Expr)
+			case *IfStmt:
+				walkExpr(x.Cond)
+				walkProg(x.Then)
+				walkProg(x.Else)
+			}
+		}
+	}
+	walkProg(spec.Program)
+}
+
+type sparser struct {
+	toks []p4.Token
+	pos  int
+}
+
+func (p *sparser) cur() p4.Token { return p.toks[p.pos] }
+
+func (p *sparser) at(kind p4.TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *sparser) accept(kind p4.TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sparser) expect(kind p4.TokKind, text string) (p4.Token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, fmt.Errorf("lpi: %d:%d: expected %q, got %q", t.Line, t.Col, want, t.String())
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *sparser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("lpi: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *sparser) parseSection(spec *Spec) error {
+	t := p.cur()
+	if t.Kind != p4.TokIdent {
+		return p.errf("expected section, got %q", t.String())
+	}
+	switch t.Text {
+	case "config":
+		p.pos++
+		if _, err := p.expect(p4.TokPunct, "{"); err != nil {
+			return err
+		}
+		for !p.accept(p4.TokPunct, "}") {
+			key, err := p.expect(p4.TokIdent, "")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(p4.TokPunct, "="); err != nil {
+				return err
+			}
+			var val strings.Builder
+			for !p.at(p4.TokPunct, ";") && !p.at(p4.TokEOF, "") {
+				val.WriteString(p.cur().Text)
+				p.pos++
+			}
+			if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+				return err
+			}
+			spec.Config[key.Text] = val.String()
+		}
+		return nil
+	case "assumption":
+		p.pos++
+		return p.parseBlocks(spec.Assumptions)
+	case "assertion":
+		p.pos++
+		return p.parseBlocks(spec.Assertions)
+	case "group":
+		p.pos++
+		name, err := p.expect(p4.TokIdent, "")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(p4.TokPunct, "{"); err != nil {
+			return err
+		}
+		for !p.accept(p4.TokPunct, "}") {
+			member, err := p.expect(p4.TokIdent, "")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+				return err
+			}
+			spec.Groups[name.Text] = append(spec.Groups[name.Text], member.Text)
+		}
+		return nil
+	case "program":
+		p.pos++
+		if _, err := p.expect(p4.TokPunct, "{"); err != nil {
+			return err
+		}
+		stmts, err := p.parseProgStmts()
+		if err != nil {
+			return err
+		}
+		spec.Program = stmts
+		return nil
+	default:
+		return p.errf("unknown section %q", t.Text)
+	}
+}
+
+// parseBlocks parses `{ name [=] { item* } ... }` — Figure 6 uses both the
+// `init { ... }` and `pipe_in = { ... }` forms.
+func (p *sparser) parseBlocks(dst map[string][]*Item) error {
+	if _, err := p.expect(p4.TokPunct, "{"); err != nil {
+		return err
+	}
+	for !p.accept(p4.TokPunct, "}") {
+		name, err := p.expect(p4.TokIdent, "")
+		if err != nil {
+			return err
+		}
+		p.accept(p4.TokPunct, "=")
+		if _, err := p.expect(p4.TokPunct, "{"); err != nil {
+			return err
+		}
+		var items []*Item
+		for !p.accept(p4.TokPunct, "}") {
+			its, err := p.parseItem()
+			if err != nil {
+				return err
+			}
+			items = append(items, its...)
+		}
+		if _, dup := dst[name.Text]; dup {
+			return p.errf("duplicate block %q", name.Text)
+		}
+		dst[name.Text] = items
+	}
+	return nil
+}
+
+// parseItem parses one block entry; a guarded entry may carry several
+// conditions in braces, each becoming its own Item.
+func (p *sparser) parseItem() ([]*Item, error) {
+	line := p.cur().Line
+	if p.accept(p4.TokIdent, "if") {
+		if _, err := p.expect(p4.TokPunct, "("); err != nil {
+			return nil, err
+		}
+		guard, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		var conds []Expr
+		if p.accept(p4.TokPunct, "{") {
+			for !p.accept(p4.TokPunct, "}") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+					return nil, err
+				}
+				conds = append(conds, e)
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			conds = append(conds, e)
+		}
+		var out []*Item
+		for _, cnd := range conds {
+			out = append(out, &Item{Guard: guard, Cond: cnd, Line: line})
+		}
+		return out, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return []*Item{{Cond: e, Line: line}}, nil
+}
+
+func (p *sparser) parseProgStmts() ([]ProgStmt, error) {
+	var out []ProgStmt
+	for !p.accept(p4.TokPunct, "}") {
+		s, err := p.parseProgStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *sparser) parseProgStmt() (ProgStmt, error) {
+	t := p.cur()
+	line := t.Line
+	if t.Kind != p4.TokIdent {
+		return nil, p.errf("expected program statement, got %q", t.String())
+	}
+	switch {
+	case t.Text == "assume", t.Text == "assert", t.Text == "call":
+		p.pos++
+		if _, err := p.expect(p4.TokPunct, "("); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(p4.TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		switch t.Text {
+		case "assume":
+			return &AssumeStmt{Block: name.Text, Line: line}, nil
+		case "assert":
+			return &AssertStmt{Block: name.Text, Line: line}, nil
+		default:
+			return &CallStmt{Component: name.Text, Line: line}, nil
+		}
+	case t.Text == "recirc", t.Text == "resubmit":
+		p.pos++
+		if _, err := p.expect(p4.TokPunct, "("); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(p4.TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ","); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(p4.TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &RecircStmt{Component: name.Text, Bound: int(n.Val), Resubmit: t.Text == "resubmit", Line: line}, nil
+	case t.Text == "if":
+		p.pos++
+		if _, err := p.expect(p4.TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, "{"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseProgStmts()
+		if err != nil {
+			return nil, err
+		}
+		var els []ProgStmt
+		if p.accept(p4.TokIdent, "else") {
+			if _, err := p.expect(p4.TokPunct, "{"); err != nil {
+				return nil, err
+			}
+			els, err = p.parseProgStmts()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+	case strings.HasPrefix(t.Text, "#"):
+		p.pos++
+		if _, err := p.expect(p4.TokPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &GhostAssign{Name: t.Text, Expr: e, Line: line}, nil
+	}
+	return nil, p.errf("unknown program statement %q", t.Text)
+}
+
+// ---- expressions ----
+
+var lpiBuiltins = map[string]bool{
+	"keep": true, "match": true, "modified": true, "valid": true,
+	"accepted": true, "rejected": true, "applied": true,
+	"forall": true, "exists": true,
+}
+
+var lpiPrec = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<"},
+	{"+", "-"},
+}
+
+func (p *sparser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *sparser) parseBin(level int) (Expr, error) {
+	if level >= len(lpiPrec) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range lpiPrec[level] {
+			if p.at(p4.TokPunct, op) {
+				if op == ">" && p.rightShiftAhead() {
+					continue
+				}
+				matched = op
+				break
+			}
+		}
+		if matched == "" && level == 7 && p.rightShiftAhead() {
+			p.pos += 2
+			rhs, err := p.parseBin(level + 1)
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Bin{Op: ">>", X: lhs, Y: rhs}
+			continue
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		// Order comparisons: path == <pattern>.
+		if (matched == "==" || matched == "!=") && p.orderLHS(lhs) != 0 {
+			save := p.pos
+			p.pos++
+			if p.at(p4.TokPunct, "<") {
+				pat, err := p.parsePattern()
+				if err != nil {
+					return nil, err
+				}
+				return &OrderCmp{Out: p.orderLHS(lhs) == 2, Pattern: pat, Neg: matched == "!="}, nil
+			}
+			p.pos = save
+		}
+		p.pos++
+		rhs, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Bin{Op: matched, X: lhs, Y: rhs}
+	}
+}
+
+// orderLHS returns 1 for pkt.$order, 2 for pkt.$out_order, 0 otherwise.
+func (p *sparser) orderLHS(e Expr) int {
+	pth, ok := e.(*Path)
+	if !ok {
+		return 0
+	}
+	switch pth.Raw {
+	case "pkt.$order":
+		return 1
+	case "pkt.$out_order":
+		return 2
+	}
+	return 0
+}
+
+func (p *sparser) rightShiftAhead() bool {
+	if !p.at(p4.TokPunct, ">") {
+		return false
+	}
+	if p.pos+1 >= len(p.toks) {
+		return false
+	}
+	n := p.toks[p.pos+1]
+	c := p.cur()
+	return n.Kind == p4.TokPunct && n.Text == ">" && n.Line == c.Line && n.Col == c.Col+1
+}
+
+func (p *sparser) parseUnary() (Expr, error) {
+	switch {
+	case p.accept(p4.TokPunct, "!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: "!", X: x}, nil
+	case p.accept(p4.TokPunct, "~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: "~", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *sparser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == p4.TokInt:
+		p.pos++
+		return &Num{Val: t.Val}, nil
+	case t.Kind == p4.TokPunct && t.Text == "(":
+		// Cast `(bit<W>)x` or parenthesized expression.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == p4.TokIdent && p.toks[p.pos+1].Text == "bit" {
+			p.pos += 2
+			if _, err := p.expect(p4.TokPunct, "<"); err != nil {
+				return nil, err
+			}
+			w, err := p.expect(p4.TokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(p4.TokPunct, ">"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Cast{Width: int(w.Val), X: x}, nil
+		}
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == p4.TokIdent:
+		p.pos++
+		name := t.Text
+		initial := false
+		if strings.HasPrefix(name, "@") {
+			initial = true
+			name = name[1:]
+		}
+		// Builtins: keep(...), match(...), X.isValid().
+		if strings.HasSuffix(name, ".isValid") && p.at(p4.TokPunct, "(") {
+			p.pos++
+			if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			inst := strings.TrimSuffix(name, ".isValid")
+			return &Builtin{Name: "valid", Args: []Expr{&Path{Raw: inst}}}, nil
+		}
+		if lpiBuiltins[name] && p.at(p4.TokPunct, "(") {
+			p.pos++
+			var args []Expr
+			for !p.accept(p4.TokPunct, ")") {
+				if len(args) > 0 {
+					if _, err := p.expect(p4.TokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			return &Builtin{Name: name, Args: args}, nil
+		}
+		return &Path{Raw: name, Initial: initial}, nil
+	}
+	return nil, p.errf("expected expression, got %q", t.String())
+}
+
+// parsePattern parses `< elem* >`.
+func (p *sparser) parsePattern() (*HdrPattern, error) {
+	if _, err := p.expect(p4.TokPunct, "<"); err != nil {
+		return nil, err
+	}
+	elems, err := p.parsePatElems(">")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(p4.TokPunct, ">"); err != nil {
+		return nil, err
+	}
+	return &HdrPattern{Elems: elems}, nil
+}
+
+func (p *sparser) parsePatElems(stop string) ([]PatElem, error) {
+	var out []PatElem
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == p4.TokPunct && (t.Text == stop || t.Text == "|" || t.Text == "]" || t.Text == ")"):
+			return out, nil
+		case t.Kind == p4.TokIdent:
+			p.pos++
+			out = append(out, &PatLit{Name: t.Text})
+		case t.Kind == p4.TokPunct && t.Text == "[":
+			p.pos++
+			inner, err := p.parsePatElems("]")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(p4.TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			out = append(out, &PatOpt{Elems: inner})
+		case t.Kind == p4.TokPunct && t.Text == "(":
+			p.pos++
+			var alts [][]PatElem
+			for {
+				alt, err := p.parsePatElems(")")
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, alt)
+				if p.accept(p4.TokPunct, "|") {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(p4.TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			out = append(out, &PatAlt{Alts: alts})
+		default:
+			return nil, p.errf("unexpected token %q in header pattern", t.String())
+		}
+	}
+}

@@ -1,0 +1,470 @@
+package p4
+
+import "fmt"
+
+// Program is a parsed and type-checked P4lite program.
+type Program struct {
+	Name      string
+	Headers   map[string]*HeaderType
+	Structs   map[string]*HeaderType // metadata structs share the shape
+	Instances []*Instance            // declaration order
+	Parsers   map[string]*Parser
+	Controls  map[string]*Control
+	Deparsers map[string]*Deparser
+	Registers map[string]*Register
+	Pipelines map[string]*Pipeline
+	Consts    map[string]uint64
+
+	LoC int // source lines, for benchmark reporting
+}
+
+// Instance is a named header or metadata-struct instance.
+type Instance struct {
+	Name     string
+	TypeName string
+	IsHeader bool // headers have validity bits; structs are always-valid
+}
+
+// HeaderType describes a header or struct layout.
+type HeaderType struct {
+	Name   string
+	Fields []*Field
+}
+
+// Field returns the named field or nil.
+func (h *HeaderType) Field(name string) *Field {
+	for _, f := range h.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Width returns the total bit width of the header.
+func (h *HeaderType) Width() int {
+	w := 0
+	for _, f := range h.Fields {
+		w += f.Width
+	}
+	return w
+}
+
+// Field is a single header/struct field.
+type Field struct {
+	Name  string
+	Width int
+}
+
+// Register is a stateful array (register, counter or meter — App. B.4
+// groups all three). Per §4.3 Aquila scalarizes them.
+type Register struct {
+	Name  string
+	Width int
+	Size  int
+	// Kind is "register", "counter" or "meter".
+	Kind string
+}
+
+// Parser is a parser state machine.
+type Parser struct {
+	Name   string
+	States map[string]*State
+	Start  string // name of the start state
+	Order  []string
+}
+
+// State is one parser state.
+type State struct {
+	Name  string
+	Stmts []Stmt
+	Trans *Transition
+}
+
+// TransKind distinguishes direct and select transitions.
+type TransKind int
+
+// Transition kinds.
+const (
+	TransDirect TransKind = iota
+	TransSelect
+)
+
+// Transition is a parser state transition.
+type Transition struct {
+	Kind   TransKind
+	Target string // direct: target state (or "accept"/"reject")
+	Expr   Expr   // select scrutinee
+	Cases  []*SelectCase
+}
+
+// SelectCase is one arm of a select transition. A default arm has
+// IsDefault set.
+type SelectCase struct {
+	IsDefault bool
+	Val       uint64
+	Mask      uint64 // 0 means exact match
+	HasMask   bool
+	Target    string
+}
+
+// Control is a match-action control block (ingress or egress program).
+type Control struct {
+	Name    string
+	Actions map[string]*Action
+	Tables  map[string]*Table
+	Apply   []Stmt
+	Order   []string // action/table declaration order
+}
+
+// Action is a parameterized action.
+type Action struct {
+	Name   string
+	Params []*Param
+	Body   []Stmt
+	// DefaultOnly mirrors P4's @defaultonly annotation: the action may only
+	// be used as a table default, never in installed entries (§7.2).
+	DefaultOnly bool
+}
+
+// Param is an action parameter.
+type Param struct {
+	Name  string
+	Width int
+}
+
+// MatchKind is a table key match kind.
+type MatchKind int
+
+// Match kinds.
+const (
+	MatchExact MatchKind = iota
+	MatchLPM
+	MatchTernary
+	MatchRange
+)
+
+func (m MatchKind) String() string {
+	switch m {
+	case MatchExact:
+		return "exact"
+	case MatchLPM:
+		return "lpm"
+	case MatchTernary:
+		return "ternary"
+	case MatchRange:
+		return "range"
+	}
+	return "?"
+}
+
+// TableKey is one key component of a table.
+type TableKey struct {
+	Expr Expr
+	Kind MatchKind
+}
+
+// Table is a match-action table.
+type Table struct {
+	Name          string
+	Control       string
+	Keys          []*TableKey
+	Actions       []string
+	DefaultAction string
+	DefaultArgs   []Expr
+	Size          int
+	ConstEntries  []*ConstEntry
+	// DefaultOnly marks actions annotated @defaultonly: they may only run
+	// as the table default, never from installed entries. Ignoring this
+	// annotation was a real Aquila implementation bug (§7.2).
+	DefaultOnly map[string]bool
+}
+
+// ConstEntry is an inline (const) table entry.
+type ConstEntry struct {
+	KeyVals  []uint64
+	KeyMasks []uint64 // per key; for exact keys the mask is all-ones
+	Action   string
+	Args     []uint64
+	Priority int
+}
+
+// Deparser emits headers in order and applies checksum updates.
+type Deparser struct {
+	Name  string
+	Stmts []Stmt // Emit and UpdateChecksum statements
+}
+
+// Pipeline groups the components callable from an LPI program block.
+type Pipeline struct {
+	Name     string
+	Parser   string // optional
+	Control  string // optional
+	Deparser string // optional
+	Recirc   int    // max recirculations allowed (bounded, §4.3)
+}
+
+// ---- Expressions ----
+
+// Expr is a P4lite expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// IntLit is an integer literal; Width 0 means width is inferred.
+type IntLit struct {
+	Val   uint64
+	Width int
+}
+
+// FieldRef references instance.field (header field or metadata field).
+type FieldRef struct {
+	Instance string
+	Field    string
+	Width    int // filled by typecheck
+}
+
+// VarRef references an action parameter or local/ghost variable.
+type VarRef struct {
+	Name  string
+	Width int
+}
+
+// IsValidExpr is hdr.isValid().
+type IsValidExpr struct {
+	Instance string
+}
+
+// UnaryExpr applies !, ~ or - to X.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+}
+
+// CastExpr is (bit<W>) X — zero-extend or truncate.
+type CastExpr struct {
+	Width int
+	X     Expr
+}
+
+// LookaheadExpr is pkt.lookahead<bit<W>>() in a parser state.
+type LookaheadExpr struct {
+	Width int
+}
+
+// SliceExpr is X[hi:lo].
+type SliceExpr struct {
+	X      Expr
+	Hi, Lo int
+}
+
+// ExternExpr carries an externally-computed value through an Expr
+// position; analysis tools (e.g. the self-validator's interpreter) use it
+// to feed already-evaluated terms through assignment helpers.
+type ExternExpr struct {
+	X interface{}
+}
+
+func (*IntLit) exprNode()        {}
+func (*FieldRef) exprNode()      {}
+func (*VarRef) exprNode()        {}
+func (*IsValidExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()     {}
+func (*BinaryExpr) exprNode()    {}
+func (*CastExpr) exprNode()      {}
+func (*LookaheadExpr) exprNode() {}
+func (*SliceExpr) exprNode()     {}
+func (*ExternExpr) exprNode()    {}
+
+func (e *IntLit) String() string   { return fmt.Sprintf("%d", e.Val) }
+func (e *FieldRef) String() string { return e.Instance + "." + e.Field }
+func (e *VarRef) String() string   { return e.Name }
+func (e *IsValidExpr) String() string {
+	return e.Instance + ".isValid()"
+}
+func (e *UnaryExpr) String() string { return e.Op + e.X.String() }
+func (e *BinaryExpr) String() string {
+	return "(" + e.X.String() + " " + e.Op + " " + e.Y.String() + ")"
+}
+func (e *CastExpr) String() string {
+	return fmt.Sprintf("(bit<%d>)%s", e.Width, e.X.String())
+}
+func (e *LookaheadExpr) String() string {
+	return fmt.Sprintf("lookahead<bit<%d>>()", e.Width)
+}
+func (e *SliceExpr) String() string {
+	return fmt.Sprintf("%s[%d:%d]", e.X.String(), e.Hi, e.Lo)
+}
+func (e *ExternExpr) String() string { return "<extern>" }
+
+// ---- Statements ----
+
+// Stmt is a P4lite statement.
+type Stmt interface {
+	stmtNode()
+}
+
+// AssignStmt assigns RHS to LHS (a FieldRef or VarRef).
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	// Line is the source line, used by bug localization reports.
+	Line int
+}
+
+// ExtractStmt extracts a header in a parser state.
+type ExtractStmt struct {
+	Header string
+	Line   int
+}
+
+// SetValidStmt sets or clears a header's validity.
+type SetValidStmt struct {
+	Header string
+	Valid  bool
+	Line   int
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// ApplyStmt applies a table.
+type ApplyStmt struct {
+	Table string
+	Line  int
+}
+
+// IfApplyStmt is `if (t.apply().hit) {...} else {...}`.
+type IfApplyStmt struct {
+	Table string
+	OnHit []Stmt
+	OnMis []Stmt
+	Neg   bool // true for .miss
+	Line  int
+}
+
+// SwitchApplyStmt is `switch (t.apply().action_run) { act: {...} ... }`.
+type SwitchApplyStmt struct {
+	Table   string
+	Cases   []*SwitchCase
+	Default []Stmt
+	Line    int
+}
+
+// SwitchCase is one arm of a SwitchApplyStmt.
+type SwitchCase struct {
+	Action string
+	Body   []Stmt
+}
+
+// CallActionStmt invokes an action directly.
+type CallActionStmt struct {
+	Action string
+	Args   []Expr
+	Line   int
+}
+
+// RegReadStmt is reg.read(dst, idx).
+type RegReadStmt struct {
+	Reg   string
+	Dst   Expr // lvalue
+	Index Expr
+	Line  int
+}
+
+// RegWriteStmt is reg.write(idx, val).
+type RegWriteStmt struct {
+	Reg   string
+	Index Expr
+	Val   Expr
+	Line  int
+}
+
+// CountStmt is counter.count(idx): increment the (scalarized) counter.
+type CountStmt struct {
+	Counter string
+	Index   Expr
+	Line    int
+}
+
+// ExecuteMeterStmt is meter.execute_meter(idx, dst): the meter colour is
+// environment-dependent, so dst is havoced like a hash output (§4.3).
+type ExecuteMeterStmt struct {
+	Meter string
+	Index Expr
+	Dst   Expr
+	Line  int
+}
+
+// HashStmt is hash(dst, inputs...) — output is havoced per §4.3.
+type HashStmt struct {
+	Dst    Expr
+	Inputs []Expr
+	Line   int
+}
+
+// PrimitiveStmt is a builtin: drop(), to_cpu(), recirculate(), resubmit(),
+// mirror().
+type PrimitiveStmt struct {
+	Name string
+	Line int
+}
+
+// EmitStmt appends a header to the output packet in the deparser.
+type EmitStmt struct {
+	Header string
+	Line   int
+}
+
+// UpdateChecksumStmt recomputes Dst from the inputs in the deparser.
+type UpdateChecksumStmt struct {
+	Dst    Expr
+	Inputs []Expr
+	Line   int
+}
+
+func (*AssignStmt) stmtNode()         {}
+func (*ExtractStmt) stmtNode()        {}
+func (*SetValidStmt) stmtNode()       {}
+func (*IfStmt) stmtNode()             {}
+func (*ApplyStmt) stmtNode()          {}
+func (*IfApplyStmt) stmtNode()        {}
+func (*SwitchApplyStmt) stmtNode()    {}
+func (*CallActionStmt) stmtNode()     {}
+func (*RegReadStmt) stmtNode()        {}
+func (*RegWriteStmt) stmtNode()       {}
+func (*CountStmt) stmtNode()          {}
+func (*ExecuteMeterStmt) stmtNode()   {}
+func (*HashStmt) stmtNode()           {}
+func (*PrimitiveStmt) stmtNode()      {}
+func (*EmitStmt) stmtNode()           {}
+func (*UpdateChecksumStmt) stmtNode() {}
+
+// StdMetaFields are the implicitly-declared standard metadata fields
+// (instance name "std_meta").
+var StdMetaFields = []*Field{
+	{Name: "ingress_port", Width: 9},
+	{Name: "egress_spec", Width: 9},
+	{Name: "egress_port", Width: 9},
+	{Name: "drop", Width: 1},
+	{Name: "to_cpu", Width: 1},
+	{Name: "recirc", Width: 1},
+	{Name: "resubmit", Width: 1},
+	{Name: "mirror", Width: 1},
+	{Name: "recirc_count", Width: 8},
+}
+
+// StdMetaInstance is the name of the implicit standard-metadata instance.
+const StdMetaInstance = "std_meta"

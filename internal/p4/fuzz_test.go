@@ -1,0 +1,26 @@
+package p4
+
+import "testing"
+
+// FuzzParse exercises the lexer/parser/type-checker for crash resistance:
+// any input must either parse or return an error — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add(miniProgram)
+	f.Add("header h_t { bit<8> a; } h_t h;")
+	f.Add("parser P { state start { transition accept; } }")
+	f.Add("control C { apply { } }")
+	f.Add("table t { key = { } }")
+	f.Add("pipeline p { parser = P; }")
+	f.Add("register<bit<8>>(4) r;")
+	f.Add("const bit<16> X = 0x0800;")
+	f.Add("header h { bit<1024> giant; }")
+	f.Add("x = 10.0.0.1 &&& 0xff;")
+	f.Add("/* unterminated")
+	f.Add(`"unterminated`)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseAndCheck("fuzz", src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}

@@ -1,0 +1,400 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+)
+
+const miniProgram = `
+// A minimal forwarding program used across the frontend tests.
+header ethernet_t {
+	bit<48> dst;
+	bit<48> src;
+	bit<16> etherType;
+}
+header ipv4_t {
+	bit<8>  ttl;
+	bit<8>  protocol;
+	bit<32> src_ip;
+	bit<32> dst_ip;
+}
+struct meta_t {
+	bit<8> ttl;
+	bit<1> seen;
+}
+
+ethernet_t eth;
+ipv4_t ipv4;
+meta_t ig_md;
+
+register<bit<32>>(1024) counters;
+
+parser MyParser {
+	state start {
+		extract(eth);
+		transition select(eth.etherType) {
+			0x0800: parse_ipv4;
+			default: accept;
+		}
+	}
+	state parse_ipv4 {
+		extract(ipv4);
+		transition accept;
+	}
+}
+
+control MyIngress {
+	action a1() { ig_md.ttl = ipv4.ttl; }
+	action a2(bit<9> port) { std_meta.egress_spec = port; }
+	action a_drop() { drop(); }
+	table fwd {
+		key = { ipv4.dst_ip : exact; }
+		actions = { a2; @defaultonly a_drop; }
+		default_action = a_drop;
+		size = 1024;
+		entries = {
+			(10.0.0.1) : a2(3);
+			(10.0.0.2) : a2(4);
+		}
+	}
+	apply {
+		a1();
+		if (ipv4.isValid()) {
+			fwd.apply();
+		}
+		if (ig_md.ttl == 0) { a_drop(); }
+		ipv4.ttl = ig_md.ttl - 1;
+	}
+}
+
+deparser MyDeparser {
+	emit(eth);
+	emit(ipv4);
+}
+
+pipeline ingress_pipeline {
+	parser = MyParser;
+	control = MyIngress;
+	deparser = MyDeparser;
+}
+`
+
+func TestParseMiniProgram(t *testing.T) {
+	prog, err := ParseAndCheck("mini", miniProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Headers) != 2 {
+		t.Fatalf("headers = %d, want 2", len(prog.Headers))
+	}
+	if prog.Headers["ethernet_t"].Width() != 112 {
+		t.Fatalf("ethernet width = %d", prog.Headers["ethernet_t"].Width())
+	}
+	pr := prog.Parsers["MyParser"]
+	if pr == nil || pr.Start != "start" || len(pr.States) != 2 {
+		t.Fatalf("parser = %+v", pr)
+	}
+	sel := pr.States["start"].Trans
+	if sel.Kind != TransSelect || len(sel.Cases) != 2 {
+		t.Fatalf("select = %+v", sel)
+	}
+	if sel.Cases[0].Val != 0x0800 || sel.Cases[0].Target != "parse_ipv4" {
+		t.Fatalf("case 0 = %+v", sel.Cases[0])
+	}
+	if !sel.Cases[1].IsDefault {
+		t.Fatal("case 1 should be default")
+	}
+	ctl := prog.Controls["MyIngress"]
+	if len(ctl.Actions) != 3 || len(ctl.Tables) != 1 {
+		t.Fatalf("control: %d actions, %d tables", len(ctl.Actions), len(ctl.Tables))
+	}
+	tbl := ctl.Tables["fwd"]
+	if len(tbl.Keys) != 1 || tbl.Keys[0].Kind != MatchExact {
+		t.Fatalf("table keys = %+v", tbl.Keys)
+	}
+	if !tbl.DefaultOnly["a_drop"] {
+		t.Fatal("@defaultonly not recorded")
+	}
+	if len(tbl.ConstEntries) != 2 {
+		t.Fatalf("const entries = %d", len(tbl.ConstEntries))
+	}
+	if tbl.ConstEntries[0].KeyVals[0] != 0x0A000001 {
+		t.Fatalf("dotted IP literal = %#x", tbl.ConstEntries[0].KeyVals[0])
+	}
+	if prog.Pipelines["ingress_pipeline"].Control != "MyIngress" {
+		t.Fatal("pipeline control not resolved")
+	}
+	if prog.LoC < 50 {
+		t.Fatalf("LoC = %d, unexpectedly small", prog.LoC)
+	}
+}
+
+func TestImplicitStdMeta(t *testing.T) {
+	prog, err := ParseAndCheck("m", miniProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := prog.InstanceType(StdMetaInstance)
+	if ht == nil || ht.Field("egress_spec") == nil {
+		t.Fatal("std_meta not implicitly declared")
+	}
+	if prog.Instance(StdMetaInstance).IsHeader {
+		t.Fatal("std_meta must be a struct instance")
+	}
+}
+
+func TestFieldWidthAnnotation(t *testing.T) {
+	prog, err := ParseAndCheck("m", miniProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := prog.Controls["MyIngress"]
+	a1 := ctl.Actions["a1"]
+	as := a1.Body[0].(*AssignStmt)
+	if as.LHS.(*FieldRef).Width != 8 || as.RHS.(*FieldRef).Width != 8 {
+		t.Fatalf("widths not annotated: %+v %+v", as.LHS, as.RHS)
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := LexAll(`x = 0x0800 + 0b101 + 8w255 + 10.0.0.1; // comment
+	/* block */ y <= z >> 2 &&& 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ints []uint64
+	var puncts []string
+	for _, tk := range toks {
+		switch tk.Kind {
+		case TokInt:
+			ints = append(ints, tk.Val)
+		case TokPunct:
+			puncts = append(puncts, tk.Text)
+		}
+	}
+	wantInts := []uint64{0x0800, 5, 255, 0x0A000001, 2, 3}
+	if len(ints) != len(wantInts) {
+		t.Fatalf("ints = %v, want %v", ints, wantInts)
+	}
+	for i := range ints {
+		if ints[i] != wantInts[i] {
+			t.Fatalf("ints[%d] = %d, want %d", i, ints[i], wantInts[i])
+		}
+	}
+	joined := strings.Join(puncts, " ")
+	if !strings.Contains(joined, ">>") || !strings.Contains(joined, "&&&") || !strings.Contains(joined, "<=") {
+		t.Fatalf("puncts = %v", puncts)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := LexAll(`"unterminated`); err == nil {
+		t.Fatal("want unterminated-string error")
+	}
+	if _, err := LexAll(`/* unterminated`); err == nil {
+		t.Fatal("want unterminated-comment error")
+	}
+	if _, err := LexAll(`10.0.0`); err == nil {
+		t.Fatal("want bad numeric literal error")
+	}
+	if _, err := LexAll(`999.0.0.1`); err == nil {
+		t.Fatal("want bad dotted literal error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown instance", `control C { apply { nosuch.field = 1; } }`},
+		{"unknown field", `header h_t { bit<8> a; } h_t h; control C { apply { h.b = 1; } }`},
+		{"unknown table", `control C { apply { t.apply(); } }`},
+		{"unknown action", `control C { apply { act(); } }`},
+		{"extract outside parser", `header h_t { bit<8> a; } h_t h; control C { apply { extract(h); } }`},
+		{"bad match kind", `header h_t { bit<8> a; } h_t h; control C { action a() {} table t { key = { h.a : fuzzy; } actions = { a; } } apply { t.apply(); } }`},
+		{"arity mismatch", `control C { action a(bit<8> x) {} apply { a(); } }`},
+		{"width mismatch", `header h_t { bit<8> a; bit<16> b; } h_t h; control C { apply { h.a = h.b; } }`},
+		{"dup state", `parser P { state s { transition accept; } state s { transition accept; } }`},
+		{"bad transition", `parser P { state s { transition nowhere; } }`},
+		{"lookahead in control", `control C { apply { if (lookahead<bit<8>>() == 1) {} } }`},
+		{"switch case not action", `header h_t { bit<8> a; } h_t h; control C { action a() {} table t { key = { h.a : exact; } actions = { a; } } apply { switch (t.apply().action_run) { other: {} } } }`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseAndCheck(tc.name, tc.src); err == nil {
+			t.Errorf("%s: expected error, got none", tc.name)
+		}
+	}
+}
+
+func TestParseIfApplyHitMiss(t *testing.T) {
+	src := `
+header h_t { bit<8> a; } h_t h;
+control C {
+	action set(bit<8> v) { h.a = v; }
+	table t { key = { h.a : exact; } actions = { set; } }
+	apply {
+		if (t.apply().hit) { h.a = 1; } else { h.a = 2; }
+		if (t.apply().miss) { h.a = 3; }
+	}
+}`
+	prog, err := ParseAndCheck("hit", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := prog.Controls["C"].Apply
+	first := ap[0].(*IfApplyStmt)
+	if len(first.OnHit) != 1 || len(first.OnMis) != 1 {
+		t.Fatalf("hit/miss arms: %d/%d", len(first.OnHit), len(first.OnMis))
+	}
+	second := ap[1].(*IfApplyStmt)
+	if len(second.OnHit) != 0 || len(second.OnMis) != 1 {
+		t.Fatalf("miss form arms: %d/%d", len(second.OnHit), len(second.OnMis))
+	}
+}
+
+func TestParseSwitchActionRun(t *testing.T) {
+	src := `
+header h_t { bit<8> a; } h_t h;
+control C {
+	action x() { h.a = 1; }
+	action y() { h.a = 2; }
+	table t { key = { h.a : exact; } actions = { x; y; } }
+	apply {
+		switch (t.apply().action_run) {
+			x: { h.a = 10; }
+			y: { h.a = 20; }
+			default: { h.a = 30; }
+		}
+	}
+}`
+	prog, err := ParseAndCheck("sw", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := prog.Controls["C"].Apply[0].(*SwitchApplyStmt)
+	if len(sw.Cases) != 2 || len(sw.Default) != 1 {
+		t.Fatalf("switch = %+v", sw)
+	}
+}
+
+func TestParseLookaheadAndMaskedSelect(t *testing.T) {
+	src := `
+header h_t { bit<8> kind; } h_t h;
+parser P {
+	state start {
+		transition select(lookahead<bit<8>>()) {
+			0: opt_end;
+			1 &&& 0x0F: opt_nop;
+			default: accept;
+		}
+	}
+	state opt_end { extract(h); transition accept; }
+	state opt_nop { extract(h); transition start; }
+}`
+	prog, err := ParseAndCheck("la", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := prog.Parsers["P"].States["start"].Trans
+	if _, ok := tr.Expr.(*LookaheadExpr); !ok {
+		t.Fatalf("select expr = %T", tr.Expr)
+	}
+	if !tr.Cases[1].HasMask || tr.Cases[1].Mask != 0x0F {
+		t.Fatalf("mask = %+v", tr.Cases[1])
+	}
+}
+
+func TestParseRegisterHashPrimitives(t *testing.T) {
+	src := `
+header h_t { bit<32> v; } h_t h;
+register<bit<32>>(64) reg;
+control C {
+	apply {
+		reg.read(h.v, 0);
+		reg.write(1, h.v);
+		hash(h.v, h.v);
+		drop();
+		recirculate();
+	}
+}`
+	prog, err := ParseAndCheck("reg", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Registers["reg"].Width != 32 || prog.Registers["reg"].Size != 64 {
+		t.Fatalf("register = %+v", prog.Registers["reg"])
+	}
+	ap := prog.Controls["C"].Apply
+	if _, ok := ap[0].(*RegReadStmt); !ok {
+		t.Fatalf("stmt 0 = %T", ap[0])
+	}
+	if _, ok := ap[2].(*HashStmt); !ok {
+		t.Fatalf("stmt 2 = %T", ap[2])
+	}
+	if p, ok := ap[3].(*PrimitiveStmt); !ok || p.Name != "drop" {
+		t.Fatalf("stmt 3 = %+v", ap[3])
+	}
+}
+
+func TestExprPrecedenceAndShift(t *testing.T) {
+	src := `
+header h_t { bit<8> a; bit<8> b; } h_t h;
+control C {
+	apply {
+		h.a = h.a + h.b & 0x0F;
+		h.b = h.a << 2;
+		h.a = h.b >> 1;
+		if (h.a == 1 && h.b != 2 || h.a > h.b) { h.a = 0; }
+	}
+}`
+	prog, err := ParseAndCheck("prec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h.a + h.b & 0x0F parses as (h.a + h.b) & 0x0F given & binds looser
+	// than + in our (P4-style) table.
+	as := prog.Controls["C"].Apply[0].(*AssignStmt)
+	top := as.RHS.(*BinaryExpr)
+	if top.Op != "&" {
+		t.Fatalf("top op = %q, want &", top.Op)
+	}
+	sh := prog.Controls["C"].Apply[2].(*AssignStmt).RHS.(*BinaryExpr)
+	if sh.Op != ">>" {
+		t.Fatalf("op = %q, want >>", sh.Op)
+	}
+}
+
+func TestSliceExpr(t *testing.T) {
+	src := `
+header h_t { bit<16> a; bit<4> b; } h_t h;
+control C { apply { h.b = h.a[7:4]; } }`
+	prog, err := ParseAndCheck("slice", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Controls["C"].Apply[0].(*AssignStmt)
+	sl := as.RHS.(*SliceExpr)
+	if sl.Hi != 7 || sl.Lo != 4 {
+		t.Fatalf("slice = %+v", sl)
+	}
+}
+
+func TestConstDecl(t *testing.T) {
+	src := `
+const bit<16> TYPE_IPV4 = 0x0800;
+header h_t { bit<16> t; } h_t h;
+parser P {
+	state start {
+		extract(h);
+		transition select(h.t) { 0x0800: accept; default: reject; }
+	}
+}`
+	prog, err := ParseAndCheck("const", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Consts["TYPE_IPV4"] != 0x0800 {
+		t.Fatalf("const = %#x", prog.Consts["TYPE_IPV4"])
+	}
+}

@@ -1,0 +1,1419 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parser is the recursive-descent parser state.
+type parser struct {
+	toks []Token
+	pos  int
+	loc  int
+}
+
+// Parse parses P4lite source into an unchecked Program. Callers normally
+// use ParseAndCheck.
+func Parse(name, src string) (*Program, error) {
+	toks, err := lexAllSplit(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, loc: countLoC(src)}
+	prog := &Program{
+		Name:      name,
+		Headers:   map[string]*HeaderType{},
+		Structs:   map[string]*HeaderType{},
+		Parsers:   map[string]*Parser{},
+		Controls:  map[string]*Control{},
+		Deparsers: map[string]*Deparser{},
+		Registers: map[string]*Register{},
+		Pipelines: map[string]*Pipeline{},
+		Consts:    map[string]uint64{},
+		LoC:       p.loc,
+	}
+	for !p.at(TokEOF, "") {
+		if err := p.parseDecl(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// ParseAndCheck parses and type-checks P4lite source.
+func ParseAndCheck(name, src string) (*Program, error) {
+	prog, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func countLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "//") {
+			n++
+		}
+	}
+	return n
+}
+
+// lexAllSplit tokenizes and splits ">>" into two ">" when it follows a type
+// context; we conservatively split all ">>" tokens and re-fuse them in the
+// expression parser, which is simpler than tracking type contexts.
+func lexAllSplit(src string) ([]Token, error) {
+	raw, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Token
+	for _, t := range raw {
+		if t.Kind == TokPunct && t.Text == ">>" {
+			out = append(out,
+				Token{Kind: TokPunct, Text: ">", Line: t.Line, Col: t.Col},
+				Token{Kind: TokPunct, Text: ">", Line: t.Line, Col: t.Col + 1})
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, fmt.Errorf("p4: %d:%d: expected %q, got %q", t.Line, t.Col, want, t.String())
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectIdent() (Token, error) { return p.expect(TokIdent, "") }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("p4: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+// parseBitType parses `bit < INT >` and returns the width.
+func (p *parser) parseBitType() (int, error) {
+	if _, err := p.expect(TokIdent, "bit"); err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(TokPunct, "<"); err != nil {
+		return 0, err
+	}
+	w, err := p.expect(TokInt, "")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(TokPunct, ">"); err != nil {
+		return 0, err
+	}
+	if w.Val == 0 || w.Val > 1024 {
+		return 0, p.errf("unsupported bit width %d", w.Val)
+	}
+	return int(w.Val), nil
+}
+
+func (p *parser) parseDecl(prog *Program) error {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return p.errf("expected declaration, got %q", t.String())
+	}
+	switch t.Text {
+	case "header":
+		return p.parseHeader(prog)
+	case "struct":
+		return p.parseStruct(prog)
+	case "const":
+		return p.parseConst(prog)
+	case "parser":
+		return p.parseParser(prog)
+	case "control":
+		return p.parseControl(prog)
+	case "deparser":
+		return p.parseDeparser(prog)
+	case "register", "counter", "meter":
+		return p.parseRegister(prog, nil)
+	case "pipeline":
+		return p.parsePipeline(prog)
+	default:
+		// Instance declaration: TypeName instName ;
+		return p.parseInstance(prog)
+	}
+}
+
+func (p *parser) parseFields() ([]*Field, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var fields []*Field
+	for !p.accept(TokPunct, "}") {
+		w, err := p.parseBitType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		fields = append(fields, &Field{Name: name.Text, Width: w})
+	}
+	return fields, nil
+}
+
+func (p *parser) parseHeader(prog *Program) error {
+	p.pos++ // header
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fields, err := p.parseFields()
+	if err != nil {
+		return err
+	}
+	prog.Headers[name.Text] = &HeaderType{Name: name.Text, Fields: fields}
+	return nil
+}
+
+func (p *parser) parseStruct(prog *Program) error {
+	p.pos++ // struct
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fields, err := p.parseFields()
+	if err != nil {
+		return err
+	}
+	prog.Structs[name.Text] = &HeaderType{Name: name.Text, Fields: fields}
+	return nil
+}
+
+func (p *parser) parseConst(prog *Program) error {
+	p.pos++ // const
+	if _, err := p.parseBitType(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return err
+	}
+	v, err := p.expect(TokInt, "")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return err
+	}
+	prog.Consts[name.Text] = v.Val
+	return nil
+}
+
+func (p *parser) parseInstance(prog *Program) error {
+	typ, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return err
+	}
+	prog.Instances = append(prog.Instances, &Instance{Name: name.Text, TypeName: typ.Text})
+	return nil
+}
+
+func (p *parser) parseRegister(prog *Program, ctl *Control) error {
+	kind := p.cur().Text // register | counter | meter
+	p.pos++
+	if _, err := p.expect(TokPunct, "<"); err != nil {
+		return err
+	}
+	w, err := p.parseBitType()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, ">"); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return err
+	}
+	size, err := p.expect(TokInt, "")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return err
+	}
+	prog.Registers[name.Text] = &Register{Name: name.Text, Width: w, Size: int(size.Val), Kind: kind}
+	return nil
+}
+
+func (p *parser) parsePipeline(prog *Program) error {
+	p.pos++ // pipeline
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return err
+	}
+	pl := &Pipeline{Name: name.Text}
+	for !p.accept(TokPunct, "}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return err
+		}
+		switch key.Text {
+		case "parser":
+			v, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			pl.Parser = v.Text
+		case "control", "ingress", "egress":
+			v, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			pl.Control = v.Text
+		case "deparser":
+			v, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			pl.Deparser = v.Text
+		case "recirc":
+			v, err := p.expect(TokInt, "")
+			if err != nil {
+				return err
+			}
+			pl.Recirc = int(v.Val)
+		default:
+			return p.errf("unknown pipeline property %q", key.Text)
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return err
+		}
+	}
+	prog.Pipelines[name.Text] = pl
+	return nil
+}
+
+// ---- parser (state machine) declarations ----
+
+func (p *parser) parseParser(prog *Program) error {
+	p.pos++ // parser
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return err
+	}
+	pr := &Parser{Name: name.Text, States: map[string]*State{}}
+	for !p.accept(TokPunct, "}") {
+		if _, err := p.expect(TokIdent, "state"); err != nil {
+			return err
+		}
+		sname, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		st, err := p.parseState(sname.Text)
+		if err != nil {
+			return err
+		}
+		if _, dup := pr.States[st.Name]; dup {
+			return p.errf("duplicate state %q", st.Name)
+		}
+		pr.States[st.Name] = st
+		pr.Order = append(pr.Order, st.Name)
+		if pr.Start == "" {
+			pr.Start = st.Name
+		}
+		if st.Name == "start" {
+			pr.Start = "start"
+		}
+	}
+	prog.Parsers[name.Text] = pr
+	return nil
+}
+
+func (p *parser) parseState(name string) (*State, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	st := &State{Name: name}
+	for {
+		if p.at(TokIdent, "transition") {
+			break
+		}
+		if p.at(TokPunct, "}") {
+			break
+		}
+		s, err := p.parseStmt(stmtCtxParser)
+		if err != nil {
+			return nil, err
+		}
+		st.Stmts = append(st.Stmts, s)
+	}
+	if p.accept(TokIdent, "transition") {
+		tr, err := p.parseTransition()
+		if err != nil {
+			return nil, err
+		}
+		st.Trans = tr
+	} else {
+		st.Trans = &Transition{Kind: TransDirect, Target: "accept"}
+	}
+	if _, err := p.expect(TokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseTransition() (*Transition, error) {
+	if p.accept(TokIdent, "select") {
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "{"); err != nil {
+			return nil, err
+		}
+		tr := &Transition{Kind: TransSelect, Expr: e}
+		for !p.accept(TokPunct, "}") {
+			sc := &SelectCase{}
+			switch {
+			case p.accept(TokIdent, "default"), p.accept(TokIdent, "_"):
+				sc.IsDefault = true
+			default:
+				v, err := p.expect(TokInt, "")
+				if err != nil {
+					return nil, err
+				}
+				sc.Val = v.Val
+				if p.accept(TokPunct, "&&&") {
+					m, err := p.expect(TokInt, "")
+					if err != nil {
+						return nil, err
+					}
+					sc.Mask = m.Val
+					sc.HasMask = true
+				}
+			}
+			if _, err := p.expect(TokPunct, ":"); err != nil {
+				return nil, err
+			}
+			tgt, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			sc.Target = tgt.Text
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			tr.Cases = append(tr.Cases, sc)
+		}
+		return tr, nil
+	}
+	tgt, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &Transition{Kind: TransDirect, Target: tgt.Text}, nil
+}
+
+// ---- control declarations ----
+
+func (p *parser) parseControl(prog *Program) error {
+	p.pos++ // control
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	// Optional parameter list, ignored: control Foo(md) { ... }
+	if p.accept(TokPunct, "(") {
+		for !p.accept(TokPunct, ")") {
+			if p.at(TokEOF, "") {
+				return p.errf("unterminated control parameter list")
+			}
+			p.pos++
+		}
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return err
+	}
+	ctl := &Control{Name: name.Text, Actions: map[string]*Action{}, Tables: map[string]*Table{}}
+	for !p.accept(TokPunct, "}") {
+		switch {
+		case p.at(TokIdent, "action"):
+			if err := p.parseAction(ctl); err != nil {
+				return err
+			}
+		case p.at(TokIdent, "table"):
+			if err := p.parseTable(ctl); err != nil {
+				return err
+			}
+		case p.at(TokIdent, "register"), p.at(TokIdent, "counter"), p.at(TokIdent, "meter"):
+			if err := p.parseRegister(prog, ctl); err != nil {
+				return err
+			}
+		case p.at(TokIdent, "apply"):
+			p.pos++
+			body, err := p.parseBlock(stmtCtxControl)
+			if err != nil {
+				return err
+			}
+			ctl.Apply = body
+		default:
+			return p.errf("unexpected token %q in control", p.cur().String())
+		}
+	}
+	prog.Controls[name.Text] = ctl
+	return nil
+}
+
+func (p *parser) parseAction(ctl *Control) error {
+	p.pos++ // action
+	defaultOnly := false
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	act := &Action{Name: name.Text, DefaultOnly: defaultOnly}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return err
+	}
+	for !p.accept(TokPunct, ")") {
+		if len(act.Params) > 0 {
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return err
+			}
+		}
+		w, err := p.parseBitType()
+		if err != nil {
+			return err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		act.Params = append(act.Params, &Param{Name: pn.Text, Width: w})
+	}
+	body, err := p.parseBlock(stmtCtxControl)
+	if err != nil {
+		return err
+	}
+	act.Body = body
+	if _, dup := ctl.Actions[act.Name]; dup {
+		return p.errf("duplicate action %q", act.Name)
+	}
+	ctl.Actions[act.Name] = act
+	ctl.Order = append(ctl.Order, act.Name)
+	return nil
+}
+
+func (p *parser) parseTable(ctl *Control) error {
+	p.pos++ // table
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	// Optional empty parameter list: table t() { ... }
+	if p.accept(TokPunct, "(") {
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return err
+	}
+	tbl := &Table{Name: name.Text, Control: ctl.Name, Size: 1024, DefaultOnly: map[string]bool{}}
+	for !p.accept(TokPunct, "}") {
+		prop, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch prop.Text {
+		case "key":
+			if _, err := p.expect(TokPunct, "="); err != nil {
+				return err
+			}
+			if _, err := p.expect(TokPunct, "{"); err != nil {
+				return err
+			}
+			for !p.accept(TokPunct, "}") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				if _, err := p.expect(TokPunct, ":"); err != nil {
+					return err
+				}
+				mk, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				var kind MatchKind
+				switch mk.Text {
+				case "exact":
+					kind = MatchExact
+				case "lpm":
+					kind = MatchLPM
+				case "ternary":
+					kind = MatchTernary
+				case "range":
+					kind = MatchRange
+				default:
+					return p.errf("unknown match kind %q", mk.Text)
+				}
+				if _, err := p.expect(TokPunct, ";"); err != nil {
+					return err
+				}
+				tbl.Keys = append(tbl.Keys, &TableKey{Expr: e, Kind: kind})
+			}
+		case "actions":
+			if _, err := p.expect(TokPunct, "="); err != nil {
+				return err
+			}
+			if _, err := p.expect(TokPunct, "{"); err != nil {
+				return err
+			}
+			for !p.accept(TokPunct, "}") {
+				defaultOnly := p.accept(TokIdent, "@defaultonly")
+				an, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if _, err := p.expect(TokPunct, ";"); err != nil {
+					return err
+				}
+				tbl.Actions = append(tbl.Actions, an.Text)
+				if defaultOnly {
+					tbl.DefaultOnly[an.Text] = true
+				}
+			}
+		case "default_action":
+			if _, err := p.expect(TokPunct, "="); err != nil {
+				return err
+			}
+			an, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			tbl.DefaultAction = an.Text
+			if p.accept(TokPunct, "(") {
+				for !p.accept(TokPunct, ")") {
+					if len(tbl.DefaultArgs) > 0 {
+						if _, err := p.expect(TokPunct, ","); err != nil {
+							return err
+						}
+					}
+					e, err := p.parseExpr()
+					if err != nil {
+						return err
+					}
+					tbl.DefaultArgs = append(tbl.DefaultArgs, e)
+				}
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return err
+			}
+		case "size":
+			if _, err := p.expect(TokPunct, "="); err != nil {
+				return err
+			}
+			v, err := p.expect(TokInt, "")
+			if err != nil {
+				return err
+			}
+			tbl.Size = int(v.Val)
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return err
+			}
+		case "entries":
+			if _, err := p.expect(TokPunct, "="); err != nil {
+				return err
+			}
+			if _, err := p.expect(TokPunct, "{"); err != nil {
+				return err
+			}
+			for !p.accept(TokPunct, "}") {
+				entry, err := p.parseConstEntry()
+				if err != nil {
+					return err
+				}
+				entry.Priority = len(tbl.ConstEntries)
+				tbl.ConstEntries = append(tbl.ConstEntries, entry)
+			}
+		default:
+			return p.errf("unknown table property %q", prop.Text)
+		}
+	}
+	if _, dup := ctl.Tables[tbl.Name]; dup {
+		return p.errf("duplicate table %q", tbl.Name)
+	}
+	ctl.Tables[tbl.Name] = tbl
+	ctl.Order = append(ctl.Order, tbl.Name)
+	return nil
+}
+
+// parseConstEntry parses `(k1, k2 &&& m, _) : action(arg, ...);`.
+func (p *parser) parseConstEntry() (*ConstEntry, error) {
+	e := &ConstEntry{}
+	parseKey := func() error {
+		if p.accept(TokIdent, "_") {
+			e.KeyVals = append(e.KeyVals, 0)
+			e.KeyMasks = append(e.KeyMasks, 0)
+			return nil
+		}
+		v, err := p.expect(TokInt, "")
+		if err != nil {
+			return err
+		}
+		mask := ^uint64(0)
+		if p.accept(TokPunct, "&&&") {
+			m, err := p.expect(TokInt, "")
+			if err != nil {
+				return err
+			}
+			mask = m.Val
+		}
+		e.KeyVals = append(e.KeyVals, v.Val)
+		e.KeyMasks = append(e.KeyMasks, mask)
+		return nil
+	}
+	if p.accept(TokPunct, "(") {
+		for !p.accept(TokPunct, ")") {
+			if len(e.KeyVals) > 0 {
+				if _, err := p.expect(TokPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			if err := parseKey(); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := parseKey(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ":"); err != nil {
+		return nil, err
+	}
+	an, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	e.Action = an.Text
+	if p.accept(TokPunct, "(") {
+		for !p.accept(TokPunct, ")") {
+			if len(e.Args) > 0 {
+				if _, err := p.expect(TokPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			v, err := p.expect(TokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			e.Args = append(e.Args, v.Val)
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ---- deparser ----
+
+func (p *parser) parseDeparser(prog *Program) error {
+	p.pos++ // deparser
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	body, err := p.parseBlock(stmtCtxDeparser)
+	if err != nil {
+		return err
+	}
+	prog.Deparsers[name.Text] = &Deparser{Name: name.Text, Stmts: body}
+	return nil
+}
+
+// ---- statements ----
+
+type stmtCtx int
+
+const (
+	stmtCtxControl stmtCtx = iota
+	stmtCtxParser
+	stmtCtxDeparser
+)
+
+func (p *parser) parseBlock(ctx stmtCtx) ([]Stmt, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept(TokPunct, "}") {
+		s, err := p.parseStmt(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt(ctx stmtCtx) (Stmt, error) {
+	t := p.cur()
+	line := t.Line
+	if t.Kind != TokIdent {
+		return nil, p.errf("expected statement, got %q", t.String())
+	}
+	switch {
+	case t.Text == "if":
+		return p.parseIf(ctx)
+	case t.Text == "switch":
+		return p.parseSwitchApply(ctx)
+	case t.Text == "extract" || strings.HasSuffix(t.Text, ".extract"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		h, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExtractStmt{Header: h.Text, Line: line}, nil
+	case t.Text == "emit" || strings.HasSuffix(t.Text, ".emit"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		h, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &EmitStmt{Header: h.Text, Line: line}, nil
+	case t.Text == "update_checksum":
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		dst, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var ins []Expr
+		for p.accept(TokPunct, ",") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ins = append(ins, e)
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &UpdateChecksumStmt{Dst: dst, Inputs: ins, Line: line}, nil
+	case t.Text == "hash":
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		dst, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var ins []Expr
+		for p.accept(TokPunct, ",") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ins = append(ins, e)
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &HashStmt{Dst: dst, Inputs: ins, Line: line}, nil
+	case t.Text == "drop" || t.Text == "mark_to_drop" || t.Text == "to_cpu" ||
+		t.Text == "recirculate" || t.Text == "resubmit" || t.Text == "mirror":
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		name := t.Text
+		if name == "mark_to_drop" {
+			name = "drop"
+		}
+		return &PrimitiveStmt{Name: name, Line: line}, nil
+	case strings.HasSuffix(t.Text, ".setValid"), strings.HasSuffix(t.Text, ".setInvalid"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		hdr := t.Text[:strings.LastIndex(t.Text, ".")]
+		return &SetValidStmt{Header: hdr, Valid: strings.HasSuffix(t.Text, ".setValid"), Line: line}, nil
+	case strings.HasSuffix(t.Text, ".apply"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		tbl := t.Text[:strings.LastIndex(t.Text, ".")]
+		return &ApplyStmt{Table: tbl, Line: line}, nil
+	case strings.HasSuffix(t.Text, ".count"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		ctr := t.Text[:strings.LastIndex(t.Text, ".")]
+		return &CountStmt{Counter: ctr, Index: idx, Line: line}, nil
+	case strings.HasSuffix(t.Text, ".execute_meter"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		dst, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		mtr := t.Text[:strings.LastIndex(t.Text, ".")]
+		return &ExecuteMeterStmt{Meter: mtr, Index: idx, Dst: dst, Line: line}, nil
+	case strings.HasSuffix(t.Text, ".read"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		dst, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		reg := t.Text[:strings.LastIndex(t.Text, ".")]
+		return &RegReadStmt{Reg: reg, Dst: dst, Index: idx, Line: line}, nil
+	case strings.HasSuffix(t.Text, ".write"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ","); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		reg := t.Text[:strings.LastIndex(t.Text, ".")]
+		return &RegWriteStmt{Reg: reg, Index: idx, Val: val, Line: line}, nil
+	}
+	// Either an action call `a1(args);` or an assignment `lhs = expr;`.
+	if p.peek().Kind == TokPunct && p.peek().Text == "(" {
+		name := t.Text
+		p.pos += 2 // ident (
+		var args []Expr
+		for !p.accept(TokPunct, ")") {
+			if len(args) > 0 {
+				if _, err := p.expect(TokPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &CallActionStmt{Action: name, Args: args, Line: line}, nil
+	}
+	// Assignment.
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: lhs, RHS: rhs, Line: line}, nil
+}
+
+func (p *parser) parseIf(ctx stmtCtx) (Stmt, error) {
+	line := p.cur().Line
+	p.pos++ // if
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	// Special form: if (t.apply().hit) / if (t.apply().miss) / if (!t.apply().hit)
+	neg := false
+	save := p.pos
+	if p.accept(TokPunct, "!") {
+		neg = true
+	}
+	if t := p.cur(); t.Kind == TokIdent && strings.HasSuffix(t.Text, ".apply") {
+		tbl := t.Text[:strings.LastIndex(t.Text, ".")]
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "."); err != nil {
+			return nil, err
+		}
+		kind, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if kind.Text != "hit" && kind.Text != "miss" {
+			return nil, p.errf("expected .hit or .miss, got %q", kind.Text)
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(TokIdent, "else") {
+			if p.at(TokIdent, "if") {
+				s, err := p.parseIf(ctx)
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.parseBlock(ctx)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		isMiss := kind.Text == "miss"
+		if neg {
+			isMiss = !isMiss
+		}
+		if isMiss {
+			then, els = els, then
+		}
+		return &IfApplyStmt{Table: tbl, OnHit: then, OnMis: els, Line: line}, nil
+	}
+	p.pos = save
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept(TokIdent, "else") {
+		if p.at(TokIdent, "if") {
+			s, err := p.parseIf(ctx)
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{s}
+		} else {
+			els, err = p.parseBlock(ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+func (p *parser) parseSwitchApply(ctx stmtCtx) (Stmt, error) {
+	line := p.cur().Line
+	p.pos++ // switch
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind != TokIdent || !strings.HasSuffix(t.Text, ".apply") {
+		return nil, p.errf("switch requires t.apply().action_run")
+	}
+	tbl := t.Text[:strings.LastIndex(t.Text, ".")]
+	p.pos++
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "."); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIdent, "action_run"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	sw := &SwitchApplyStmt{Table: tbl, Line: line}
+	for !p.accept(TokPunct, "}") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if name.Text == "default" {
+			sw.Default = body
+		} else {
+			sw.Cases = append(sw.Cases, &SwitchCase{Action: name.Text, Body: body})
+		}
+	}
+	return sw, nil
+}
+
+// ---- expressions ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+// Precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<"}, // >> is re-fused below
+	{"+", "-"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range precLevels[level] {
+			if p.at(TokPunct, op) {
+				// Disambiguate ">" from the split ">>": two adjacent ">"
+				// tokens on the same position form a right shift at the
+				// shift precedence level.
+				if op == ">" && p.peek().Kind == TokPunct && p.peek().Text == ">" &&
+					p.peek().Col == p.cur().Col+1 && p.peek().Line == p.cur().Line {
+					continue // handled at shift level
+				}
+				matched = op
+				break
+			}
+		}
+		// Right-shift: ">" ">" adjacent at shift precedence.
+		if matched == "" && level == 7 && p.at(TokPunct, ">") &&
+			p.peek().Kind == TokPunct && p.peek().Text == ">" &&
+			p.peek().Col == p.cur().Col+1 && p.peek().Line == p.cur().Line {
+			p.pos += 2
+			rhs, err := p.parseBinary(level + 1)
+			if err != nil {
+				return nil, err
+			}
+			lhs = &BinaryExpr{Op: ">>", X: lhs, Y: rhs}
+			continue
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: matched, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.accept(TokPunct, "!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", X: x}, nil
+	case p.accept(TokPunct, "~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "~", X: x}, nil
+	case p.accept(TokPunct, "-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	var out Expr
+	switch {
+	case t.Kind == TokInt:
+		p.pos++
+		out = &IntLit{Val: t.Val}
+	case t.Kind == TokPunct && t.Text == "(":
+		// Cast `(bit<8>)x` or parenthesized expression.
+		if p.peek().Kind == TokIdent && p.peek().Text == "bit" {
+			p.pos++ // (
+			w, err := p.parseBitType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			out = &CastExpr{Width: w, X: x}
+		} else {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			out = e
+		}
+	case t.Kind == TokIdent:
+		p.pos++
+		switch {
+		case strings.HasSuffix(t.Text, ".isValid"):
+			if _, err := p.expect(TokPunct, "("); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			out = &IsValidExpr{Instance: t.Text[:strings.LastIndex(t.Text, ".")]}
+		case strings.HasSuffix(t.Text, ".lookahead") || t.Text == "lookahead":
+			if _, err := p.expect(TokPunct, "<"); err != nil {
+				return nil, err
+			}
+			w, err := p.parseBitType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ">"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "("); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			out = &LookaheadExpr{Width: w}
+		case strings.Contains(t.Text, "."):
+			i := strings.LastIndex(t.Text, ".")
+			out = &FieldRef{Instance: t.Text[:i], Field: t.Text[i+1:]}
+		default:
+			out = &VarRef{Name: t.Text}
+		}
+	default:
+		return nil, p.errf("expected expression, got %q", t.String())
+	}
+	// Postfix slice [hi:lo].
+	for p.at(TokPunct, "[") {
+		p.pos++
+		hi, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		lo, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		out = &SliceExpr{X: out, Hi: int(hi.Val), Lo: int(lo.Val)}
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+// Package p4 implements the frontend for the P4₁₆ subset that Aquila
+// verifies: a lexer, a recursive-descent parser, the AST, and a type
+// checker. The subset covers the constructs the paper's Table 1 requires —
+// headers/structs, parser state machines with select/lookahead, match-action
+// controls with tables, actions, registers, hash, deparsers with emit and
+// checksum updates, and multi-pipeline switch organization.
+package p4
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies a lexical token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokPunct // single/multi char punctuation & operators
+)
+
+// Token is a lexical token with position information.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  uint64 // for TokInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Val)
+	default:
+		return t.Text
+	}
+}
+
+// Lexer tokenizes P4lite source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+var multiPunct = []string{
+	"&&&", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+}
+
+func (l *Lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("p4: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance(2)
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.advance(1)
+			}
+			if l.pos+1 >= len(l.src) {
+				return l.errf("unterminated block comment")
+			}
+			l.advance(2)
+		case c == '@':
+			// Annotations like @defaultonly / @name("x") become ident tokens
+			// starting with '@'.
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '@' || c == '$' || c == '#' ||
+		unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.src[l.pos]
+
+	// String literal.
+	if c == '"' {
+		end := l.pos + 1
+		for end < len(l.src) && l.src[end] != '"' {
+			end++
+		}
+		if end >= len(l.src) {
+			return Token{}, l.errf("unterminated string")
+		}
+		text := l.src[l.pos+1 : end]
+		l.advance(end - l.pos + 1)
+		return Token{Kind: TokString, Text: text, Line: startLine, Col: startCol}, nil
+	}
+
+	// Number: decimal, hex, binary; P4 width'prefix (8w255) tolerated.
+	if unicode.IsDigit(rune(c)) {
+		end := l.pos
+		for end < len(l.src) && (isIdentPart(l.src[end]) || l.src[end] == 'x' || l.src[end] == 'X') {
+			end++
+		}
+		text := l.src[l.pos:end]
+		l.advance(end - l.pos)
+		// Dotted IPv4 literal (e.g. 10.0.0.1) becomes a 32-bit constant.
+		if strings.Count(text, ".") == 3 {
+			var a, b2, c, d uint64
+			if _, err := fmt.Sscanf(text, "%d.%d.%d.%d", &a, &b2, &c, &d); err == nil &&
+				a < 256 && b2 < 256 && c < 256 && d < 256 {
+				v := a<<24 | b2<<16 | c<<8 | d
+				return Token{Kind: TokInt, Text: text, Val: v, Line: startLine, Col: startCol}, nil
+			}
+			return Token{}, l.errf("bad dotted literal %q", text)
+		}
+		if strings.Contains(text, ".") {
+			return Token{}, l.errf("bad numeric literal %q", text)
+		}
+		// Strip P4 width prefix "8w" / "16s".
+		if i := strings.IndexAny(text, "ws"); i > 0 && allDigits(text[:i]) && i+1 < len(text) {
+			text = text[i+1:]
+		}
+		var v uint64
+		var err error
+		switch {
+		case strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X"):
+			_, err = fmt.Sscanf(strings.ToLower(text), "0x%x", &v)
+		case strings.HasPrefix(text, "0b"):
+			for _, ch := range text[2:] {
+				switch ch {
+				case '0':
+					v <<= 1
+				case '1':
+					v = v<<1 | 1
+				case '_':
+				default:
+					err = fmt.Errorf("bad binary literal %q", text)
+				}
+			}
+		default:
+			_, err = fmt.Sscanf(text, "%d", &v)
+		}
+		if err != nil {
+			return Token{}, l.errf("bad integer literal %q", text)
+		}
+		return Token{Kind: TokInt, Text: text, Val: v, Line: startLine, Col: startCol}, nil
+	}
+
+	// Identifier (may contain dots for field paths; '@'/'$'/'#' prefixes).
+	if isIdentStart(c) {
+		end := l.pos + 1
+		for end < len(l.src) && isIdentPart(l.src[end]) {
+			end++
+		}
+		text := l.src[l.pos:end]
+		l.advance(end - l.pos)
+		return Token{Kind: TokIdent, Text: text, Line: startLine, Col: startCol}, nil
+	}
+
+	// Punctuation, longest match first.
+	for _, p := range multiPunct {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			return Token{Kind: TokPunct, Text: p, Line: startLine, Col: startCol}, nil
+		}
+	}
+	l.advance(1)
+	return Token{Kind: TokPunct, Text: string(c), Line: startLine, Col: startCol}, nil
+}
+
+func allDigits(s string) bool {
+	for _, c := range s {
+		if !unicode.IsDigit(c) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// LexAll tokenizes the whole input (mainly for tests).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

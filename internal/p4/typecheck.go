@@ -1,0 +1,606 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Check type-checks a parsed program in place: it resolves instance types,
+// annotates expression widths, and validates statement well-formedness.
+func Check(prog *Program) error {
+	c := &checker{prog: prog, instances: map[string]*Instance{}}
+	return c.run()
+}
+
+type checker struct {
+	prog      *Program
+	instances map[string]*Instance
+}
+
+func (c *checker) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("p4: %s: %s", c.prog.Name, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) run() error {
+	prog := c.prog
+	// Implicit standard metadata instance.
+	if _, ok := prog.Structs["std_meta_t"]; !ok {
+		prog.Structs["std_meta_t"] = &HeaderType{Name: "std_meta_t", Fields: StdMetaFields}
+	}
+	hasStd := false
+	for _, inst := range prog.Instances {
+		if inst.Name == StdMetaInstance {
+			hasStd = true
+		}
+	}
+	if !hasStd {
+		prog.Instances = append(prog.Instances, &Instance{Name: StdMetaInstance, TypeName: "std_meta_t"})
+	}
+	for _, inst := range prog.Instances {
+		if _, dup := c.instances[inst.Name]; dup {
+			return c.errf("duplicate instance %q", inst.Name)
+		}
+		if _, ok := prog.Headers[inst.TypeName]; ok {
+			inst.IsHeader = true
+		} else if _, ok := prog.Structs[inst.TypeName]; !ok {
+			return c.errf("instance %q has unknown type %q", inst.Name, inst.TypeName)
+		}
+		c.instances[inst.Name] = inst
+	}
+	for _, name := range sortedKeys(prog.Parsers) {
+		if err := c.checkParser(prog.Parsers[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(prog.Controls) {
+		if err := c.checkControl(prog.Controls[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(prog.Deparsers) {
+		if err := c.checkDeparser(prog.Deparsers[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(prog.Pipelines) {
+		pl := prog.Pipelines[name]
+		if pl.Parser != "" {
+			if _, ok := prog.Parsers[pl.Parser]; !ok {
+				return c.errf("pipeline %q references unknown parser %q", name, pl.Parser)
+			}
+		}
+		if pl.Control != "" {
+			if _, ok := prog.Controls[pl.Control]; !ok {
+				return c.errf("pipeline %q references unknown control %q", name, pl.Control)
+			}
+		}
+		if pl.Deparser != "" {
+			if _, ok := prog.Deparsers[pl.Deparser]; !ok {
+				return c.errf("pipeline %q references unknown deparser %q", name, pl.Deparser)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *checker) checkDeparser(d *Deparser) error {
+	sc := &scope{vars: map[string]int{}}
+	for _, s := range d.Stmts {
+		switch s.(type) {
+		case *EmitStmt, *UpdateChecksumStmt:
+			if err := c.checkStmt(s, sc, false); err != nil {
+				return fmt.Errorf("%w (in deparser %s)", err, d.Name)
+			}
+		default:
+			return c.errf("deparser %s: only emit/update_checksum allowed, got %T", d.Name, s)
+		}
+	}
+	return nil
+}
+
+// InstanceType returns the layout of an instance (header or struct).
+func (c *checker) instanceType(name string) *HeaderType {
+	inst, ok := c.instances[name]
+	if !ok {
+		return nil
+	}
+	if inst.IsHeader {
+		return c.prog.Headers[inst.TypeName]
+	}
+	return c.prog.Structs[inst.TypeName]
+}
+
+// InstanceType is the exported accessor used by the encoder.
+func (p *Program) InstanceType(name string) *HeaderType {
+	for _, inst := range p.Instances {
+		if inst.Name == name {
+			if inst.IsHeader {
+				return p.Headers[inst.TypeName]
+			}
+			return p.Structs[inst.TypeName]
+		}
+	}
+	return nil
+}
+
+// Instance returns the named instance or nil.
+func (p *Program) Instance(name string) *Instance {
+	for _, inst := range p.Instances {
+		if inst.Name == name {
+			return inst
+		}
+	}
+	return nil
+}
+
+// HeaderInstances returns the header (not struct) instances in order.
+func (p *Program) HeaderInstances() []*Instance {
+	var out []*Instance
+	for _, inst := range p.Instances {
+		if inst.IsHeader {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// scope tracks in-scope variables (action parameters) during checking.
+type scope struct {
+	vars map[string]int // name -> width
+}
+
+func (c *checker) checkParser(pr *Parser) error {
+	if len(pr.States) == 0 {
+		return c.errf("parser %q has no states", pr.Name)
+	}
+	if _, ok := pr.States[pr.Start]; !ok {
+		return c.errf("parser %q start state %q missing", pr.Name, pr.Start)
+	}
+	for _, name := range pr.Order {
+		st := pr.States[name]
+		sc := &scope{vars: map[string]int{}}
+		for _, s := range st.Stmts {
+			if err := c.checkStmt(s, sc, true); err != nil {
+				return fmt.Errorf("%w (in parser %s state %s)", err, pr.Name, name)
+			}
+		}
+		tr := st.Trans
+		switch tr.Kind {
+		case TransDirect:
+			if !c.validTarget(pr, tr.Target) {
+				return c.errf("parser %s state %s: unknown transition target %q", pr.Name, name, tr.Target)
+			}
+		case TransSelect:
+			if _, err := c.checkExpr(tr.Expr, sc, 0, true); err != nil {
+				return fmt.Errorf("%w (in parser %s state %s select)", err, pr.Name, name)
+			}
+			for _, cs := range tr.Cases {
+				if !c.validTarget(pr, cs.Target) {
+					return c.errf("parser %s state %s: unknown select target %q", pr.Name, name, cs.Target)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) validTarget(pr *Parser, tgt string) bool {
+	if tgt == "accept" || tgt == "reject" {
+		return true
+	}
+	_, ok := pr.States[tgt]
+	return ok
+}
+
+func (c *checker) checkControl(ctl *Control) error {
+	for _, name := range ctl.Order {
+		if act, ok := ctl.Actions[name]; ok {
+			sc := &scope{vars: map[string]int{}}
+			for _, pm := range act.Params {
+				sc.vars[pm.Name] = pm.Width
+			}
+			for _, s := range act.Body {
+				if err := c.checkStmt(s, sc, false); err != nil {
+					return fmt.Errorf("%w (in action %s.%s)", err, ctl.Name, name)
+				}
+			}
+			continue
+		}
+		tbl := ctl.Tables[name]
+		sc := &scope{vars: map[string]int{}}
+		for _, k := range tbl.Keys {
+			if _, err := c.checkExpr(k.Expr, sc, 0, false); err != nil {
+				return fmt.Errorf("%w (in table %s.%s key)", err, ctl.Name, name)
+			}
+		}
+		for _, an := range tbl.Actions {
+			if _, ok := ctl.Actions[an]; !ok && an != "NoAction" {
+				return c.errf("table %s.%s references unknown action %q", ctl.Name, name, an)
+			}
+		}
+		if tbl.DefaultAction != "" && tbl.DefaultAction != "NoAction" {
+			if _, ok := ctl.Actions[tbl.DefaultAction]; !ok {
+				return c.errf("table %s.%s default action %q unknown", ctl.Name, name, tbl.DefaultAction)
+			}
+		}
+		for _, e := range tbl.ConstEntries {
+			if len(e.KeyVals) != len(tbl.Keys) {
+				return c.errf("table %s.%s entry has %d keys, want %d", ctl.Name, name, len(e.KeyVals), len(tbl.Keys))
+			}
+			if _, ok := ctl.Actions[e.Action]; !ok {
+				return c.errf("table %s.%s entry uses unknown action %q", ctl.Name, name, e.Action)
+			}
+		}
+	}
+	sc := &scope{vars: map[string]int{}}
+	for _, s := range ctl.Apply {
+		if err := c.checkApplyStmt(s, ctl, sc); err != nil {
+			return fmt.Errorf("%w (in control %s apply)", err, ctl.Name)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkApplyStmt(s Stmt, ctl *Control, sc *scope) error {
+	switch st := s.(type) {
+	case *ApplyStmt:
+		if _, ok := ctl.Tables[st.Table]; !ok {
+			return c.errf("apply of unknown table %q", st.Table)
+		}
+	case *IfApplyStmt:
+		if _, ok := ctl.Tables[st.Table]; !ok {
+			return c.errf("apply of unknown table %q", st.Table)
+		}
+		for _, b := range st.OnHit {
+			if err := c.checkApplyStmt(b, ctl, sc); err != nil {
+				return err
+			}
+		}
+		for _, b := range st.OnMis {
+			if err := c.checkApplyStmt(b, ctl, sc); err != nil {
+				return err
+			}
+		}
+	case *SwitchApplyStmt:
+		tbl, ok := ctl.Tables[st.Table]
+		if !ok {
+			return c.errf("switch on unknown table %q", st.Table)
+		}
+		actions := map[string]bool{}
+		for _, a := range tbl.Actions {
+			actions[a] = true
+		}
+		for _, cs := range st.Cases {
+			if !actions[cs.Action] {
+				return c.errf("switch case %q is not an action of table %q", cs.Action, st.Table)
+			}
+			for _, b := range cs.Body {
+				if err := c.checkApplyStmt(b, ctl, sc); err != nil {
+					return err
+				}
+			}
+		}
+		for _, b := range st.Default {
+			if err := c.checkApplyStmt(b, ctl, sc); err != nil {
+				return err
+			}
+		}
+	case *IfStmt:
+		if _, err := c.checkExpr(st.Cond, sc, -1, false); err != nil {
+			return err
+		}
+		for _, b := range st.Then {
+			if err := c.checkApplyStmt(b, ctl, sc); err != nil {
+				return err
+			}
+		}
+		for _, b := range st.Else {
+			if err := c.checkApplyStmt(b, ctl, sc); err != nil {
+				return err
+			}
+		}
+	case *CallActionStmt:
+		act, ok := ctl.Actions[st.Action]
+		if !ok {
+			return c.errf("call of unknown action %q", st.Action)
+		}
+		if len(st.Args) != len(act.Params) {
+			return c.errf("action %q called with %d args, want %d", st.Action, len(st.Args), len(act.Params))
+		}
+		for i, a := range st.Args {
+			if _, err := c.checkExpr(a, sc, act.Params[i].Width, false); err != nil {
+				return err
+			}
+		}
+	default:
+		return c.checkStmt(s, sc, false)
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope, inParser bool) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		lw, err := c.checkLValue(st.LHS, sc)
+		if err != nil {
+			return err
+		}
+		if _, err := c.checkExpr(st.RHS, sc, lw, inParser); err != nil {
+			return err
+		}
+	case *ExtractStmt:
+		if !inParser {
+			return c.errf("extract outside parser")
+		}
+		inst := c.instances[st.Header]
+		if inst == nil || !inst.IsHeader {
+			return c.errf("extract of non-header %q", st.Header)
+		}
+	case *SetValidStmt:
+		inst := c.instances[st.Header]
+		if inst == nil || !inst.IsHeader {
+			return c.errf("setValid/setInvalid on non-header %q", st.Header)
+		}
+	case *IfStmt:
+		if _, err := c.checkExpr(st.Cond, sc, -1, inParser); err != nil {
+			return err
+		}
+		for _, b := range st.Then {
+			if err := c.checkStmt(b, sc, inParser); err != nil {
+				return err
+			}
+		}
+		for _, b := range st.Else {
+			if err := c.checkStmt(b, sc, inParser); err != nil {
+				return err
+			}
+		}
+	case *RegReadStmt:
+		reg, ok := c.prog.Registers[st.Reg]
+		if !ok {
+			return c.errf("read of unknown register %q", st.Reg)
+		}
+		lw, err := c.checkLValue(st.Dst, sc)
+		if err != nil {
+			return err
+		}
+		if lw != reg.Width {
+			return c.errf("register %q read into width-%d lvalue (register width %d)", st.Reg, lw, reg.Width)
+		}
+		if _, err := c.checkExpr(st.Index, sc, 0, inParser); err != nil {
+			return err
+		}
+	case *RegWriteStmt:
+		reg, ok := c.prog.Registers[st.Reg]
+		if !ok {
+			return c.errf("write of unknown register %q", st.Reg)
+		}
+		if _, err := c.checkExpr(st.Index, sc, 0, inParser); err != nil {
+			return err
+		}
+		if _, err := c.checkExpr(st.Val, sc, reg.Width, inParser); err != nil {
+			return err
+		}
+	case *CountStmt:
+		if _, ok := c.prog.Registers[st.Counter]; !ok {
+			return c.errf("count on unknown counter %q", st.Counter)
+		}
+		if _, err := c.checkExpr(st.Index, sc, 0, inParser); err != nil {
+			return err
+		}
+	case *ExecuteMeterStmt:
+		if _, ok := c.prog.Registers[st.Meter]; !ok {
+			return c.errf("execute_meter on unknown meter %q", st.Meter)
+		}
+		if _, err := c.checkExpr(st.Index, sc, 0, inParser); err != nil {
+			return err
+		}
+		if _, err := c.checkLValue(st.Dst, sc); err != nil {
+			return err
+		}
+	case *HashStmt:
+		if _, err := c.checkLValue(st.Dst, sc); err != nil {
+			return err
+		}
+		for _, e := range st.Inputs {
+			if _, err := c.checkExpr(e, sc, 0, inParser); err != nil {
+				return err
+			}
+		}
+	case *PrimitiveStmt:
+		switch st.Name {
+		case "drop", "to_cpu", "recirculate", "resubmit", "mirror":
+		default:
+			return c.errf("unknown primitive %q", st.Name)
+		}
+	case *EmitStmt:
+		inst := c.instances[st.Header]
+		if inst == nil || !inst.IsHeader {
+			return c.errf("emit of non-header %q", st.Header)
+		}
+	case *UpdateChecksumStmt:
+		if _, err := c.checkLValue(st.Dst, sc); err != nil {
+			return err
+		}
+		for _, e := range st.Inputs {
+			if _, err := c.checkExpr(e, sc, 0, false); err != nil {
+				return err
+			}
+		}
+	default:
+		return c.errf("statement %T not allowed here", s)
+	}
+	return nil
+}
+
+func (c *checker) checkLValue(e Expr, sc *scope) (int, error) {
+	switch x := e.(type) {
+	case *FieldRef:
+		return c.resolveFieldRef(x)
+	case *VarRef:
+		if w, ok := sc.vars[x.Name]; ok {
+			x.Width = w
+			return w, nil
+		}
+		return 0, c.errf("assignment to unknown variable %q", x.Name)
+	case *SliceExpr:
+		if _, err := c.checkLValue(x.X, sc); err != nil {
+			return 0, err
+		}
+		return x.Hi - x.Lo + 1, nil
+	}
+	return 0, c.errf("expression %q is not assignable", e.String())
+}
+
+func (c *checker) resolveFieldRef(x *FieldRef) (int, error) {
+	ht := c.instanceType(x.Instance)
+	if ht == nil {
+		return 0, c.errf("unknown instance %q", x.Instance)
+	}
+	f := ht.Field(x.Field)
+	if f == nil {
+		return 0, c.errf("instance %q has no field %q", x.Instance, x.Field)
+	}
+	x.Width = f.Width
+	return f.Width, nil
+}
+
+// checkExpr verifies an expression. want is the expected width: 0 means any
+// bit-vector width, -1 means boolean. It returns the expression's width
+// (-1 for boolean).
+func (c *checker) checkExpr(e Expr, sc *scope, want int, inParser bool) (int, error) {
+	w, err := c.exprWidth(e, sc, want, inParser)
+	if err != nil {
+		return 0, err
+	}
+	if want == -1 && w != -1 {
+		// Numeric used as boolean: allowed only for comparisons; reject.
+		return 0, c.errf("expression %q is not boolean", e.String())
+	}
+	if want > 0 && w > 0 && w != want {
+		return 0, c.errf("expression %q has width %d, want %d", e.String(), w, want)
+	}
+	return w, nil
+}
+
+func (c *checker) exprWidth(e Expr, sc *scope, want int, inParser bool) (int, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.Width == 0 && want > 0 {
+			x.Width = want
+		}
+		if x.Width == 0 {
+			// Unconstrained literal; keep width 0, encoder will coerce.
+			return 0, nil
+		}
+		return x.Width, nil
+	case *FieldRef:
+		return c.resolveFieldRef(x)
+	case *VarRef:
+		if w, ok := sc.vars[x.Name]; ok {
+			x.Width = w
+			return w, nil
+		}
+		if v, ok := c.prog.Consts[x.Name]; ok {
+			_ = v
+			if want > 0 {
+				x.Width = want
+			}
+			return x.Width, nil
+		}
+		return 0, c.errf("unknown identifier %q", x.Name)
+	case *IsValidExpr:
+		inst := c.instances[x.Instance]
+		if inst == nil || !inst.IsHeader {
+			return 0, c.errf("isValid on non-header %q", x.Instance)
+		}
+		return -1, nil
+	case *UnaryExpr:
+		switch x.Op {
+		case "!":
+			if _, err := c.checkExpr(x.X, sc, -1, inParser); err != nil {
+				return 0, err
+			}
+			return -1, nil
+		default: // ~ and -
+			return c.exprWidth(x.X, sc, want, inParser)
+		}
+	case *BinaryExpr:
+		switch x.Op {
+		case "&&", "||":
+			if _, err := c.checkExpr(x.X, sc, -1, inParser); err != nil {
+				return 0, err
+			}
+			if _, err := c.checkExpr(x.Y, sc, -1, inParser); err != nil {
+				return 0, err
+			}
+			return -1, nil
+		case "==", "!=", "<", ">", "<=", ">=":
+			wx, err := c.exprWidth(x.X, sc, 0, inParser)
+			if err != nil {
+				return 0, err
+			}
+			wy, err := c.exprWidth(x.Y, sc, wx, inParser)
+			if err != nil {
+				return 0, err
+			}
+			if wx == 0 {
+				if _, err := c.exprWidth(x.X, sc, wy, inParser); err != nil {
+					return 0, err
+				}
+			} else if wy != 0 && wx != wy {
+				return 0, c.errf("width mismatch in %q (%d vs %d)", x.String(), wx, wy)
+			}
+			return -1, nil
+		default: // arithmetic/bitwise/shift
+			wx, err := c.exprWidth(x.X, sc, want, inParser)
+			if err != nil {
+				return 0, err
+			}
+			wantY := wx
+			if x.Op == "<<" || x.Op == ">>" {
+				wantY = 0 // shift amount width may differ
+			}
+			wy, err := c.exprWidth(x.Y, sc, wantY, inParser)
+			if err != nil {
+				return 0, err
+			}
+			if wx == 0 && wy != 0 && x.Op != "<<" && x.Op != ">>" {
+				wx = wy
+				if _, err := c.exprWidth(x.X, sc, wx, inParser); err != nil {
+					return 0, err
+				}
+			}
+			return wx, nil
+		}
+	case *CastExpr:
+		if _, err := c.exprWidth(x.X, sc, 0, inParser); err != nil {
+			return 0, err
+		}
+		return x.Width, nil
+	case *LookaheadExpr:
+		if !inParser {
+			return 0, c.errf("lookahead outside parser")
+		}
+		return x.Width, nil
+	case *SliceExpr:
+		wx, err := c.exprWidth(x.X, sc, 0, inParser)
+		if err != nil {
+			return 0, err
+		}
+		if x.Hi < x.Lo || (wx > 0 && x.Hi >= wx) {
+			return 0, c.errf("slice [%d:%d] out of range for width %d", x.Hi, x.Lo, wx)
+		}
+		return x.Hi - x.Lo + 1, nil
+	}
+	return 0, c.errf("unsupported expression %T", e)
+}

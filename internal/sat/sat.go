@@ -1,0 +1,809 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat lineage: two-watched-literal propagation, VSIDS
+// branching with phase saving, first-UIP clause learning with
+// recursive-minimization, Luby restarts, LBD-based learnt-clause database
+// reduction, and solving under assumptions with final-conflict (unsat core)
+// extraction.
+//
+// It is the bottom layer of Aquila's verification stack; the bit-vector
+// theory in package smt lowers verification conditions to CNF and solves
+// them here.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Lit is a literal: variable v has positive literal 2v and negative 2v+1.
+// Variables are numbered from 0.
+type Lit int32
+
+// MkLit builds a literal from a variable index and sign (true = negated).
+func MkLit(v int, neg bool) Lit {
+	if neg {
+		return Lit(2*v + 1)
+	}
+	return Lit(2 * v)
+}
+
+// Var returns the variable index of the literal.
+func (l Lit) Var() int { return int(l) >> 1 }
+
+// Neg reports whether the literal is negative.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("~x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+// lbool is a lifted boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// Status is a solver verdict.
+type Status int
+
+const (
+	// Unknown means the solve was aborted (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBudget is returned by Solve when the conflict budget is exhausted.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	lbd     int
+	act     float64
+	deleted bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+type varData struct {
+	reason *clause // antecedent clause, nil for decisions/assumptions
+	level  int32
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause
+
+	watches [][]watcher // indexed by literal
+
+	assigns  []lbool // indexed by var
+	vardata  []varData
+	polarity []bool // saved phase, indexed by var
+	activity []float64
+	varInc   float64
+
+	order heap // VSIDS order
+
+	trail    []Lit
+	trailLim []int // decision-level boundaries
+	qhead    int
+
+	seen      []byte
+	analyzeTo []Lit
+	minStack  []Lit
+
+	clauseInc float64
+
+	ok bool // false once UNSAT at level 0
+
+	assumptions []Lit
+	conflictSet []Lit   // final conflict (subset of negated assumptions)
+	model       []lbool // snapshot of the last satisfying assignment
+
+	// Stats
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnt       int64
+
+	maxLearnts  float64
+	lubyIdx     int
+	budget      int64 // remaining conflicts allowed, <0 means unlimited
+	numVarsFree int
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		varInc:     1.0,
+		clauseInc:  1.0,
+		ok:         true,
+		budget:     -1,
+		maxLearnts: 4000,
+	}
+}
+
+// NumVars returns the number of variables allocated so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses retained.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.vardata = append(s.vardata, varData{})
+	s.polarity = append(s.polarity, true) // default phase: false (polarity=negated)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, 0)
+	s.order.push(s, v)
+	s.numVarsFree++
+	return v
+}
+
+// SetBudget limits the number of conflicts for subsequent Solve calls.
+// A negative value removes the limit.
+func (s *Solver) SetBudget(conflicts int64) { s.budget = conflicts }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+func (s *Solver) level(v int) int { return int(s.vardata[v].level) }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a problem clause. It returns false if the solver is already
+// in an unsatisfiable state at level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Sort & dedupe; detect tautologies and satisfied/false literals.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if int(l.Var()) >= s.NumVars() {
+			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // clause already satisfied
+		case lFalse:
+			continue // drop false literal
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, reason *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.vardata[v] = varData{reason: reason, level: int32(s.decisionLevel())}
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			if c.deleted {
+				continue
+			}
+			// Make sure the false literal is lits[1].
+			notP := p.Not()
+			if c.lits[0] == notP {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{c, first}
+			n++
+			if s.value(first) == lFalse {
+				// Conflict: copy remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.trail[i].Neg()
+		s.assigns[v] = lUndef
+		s.order.pushIfAbsent(s, v)
+	}
+	s.qhead = s.trailLim[level]
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+}
+
+func (s *Solver) varBump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.decrease(s, v)
+}
+
+func (s *Solver) varDecay() { s.varInc /= 0.95 }
+
+func (s *Solver) clauseBump(c *clause) {
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) clauseDecay() { s.clauseInc /= 0.999 }
+
+// analyze computes a first-UIP learnt clause from the conflict and returns
+// it together with the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // reserve slot for the asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for i := 0; i < len(confl.lits); i++ {
+			q := confl.lits[i]
+			if q == p { // reason clauses carry the asserting literal; skip it
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] == 0 && s.level(v) > 0 {
+				s.varBump(v)
+				s.seen[v] = 1
+				if s.level(v) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		if confl.learnt {
+			s.clauseBump(confl)
+		}
+		// Select next literal to look at.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.vardata[p.Var()].reason
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: remove literals implied by the rest.
+	s.analyzeTo = s.analyzeTo[:0]
+	for _, l := range learnt {
+		s.analyzeTo = append(s.analyzeTo, l)
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		if s.vardata[v].reason == nil || !s.litRedundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Find backtrack level.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level(learnt[i].Var()) > s.level(learnt[maxI].Var()) {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level(learnt[1].Var())
+	}
+	for _, l := range s.analyzeTo {
+		s.seen[l.Var()] = 0
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether l is implied by the other literals of the
+// learnt clause (local minimization, non-recursive).
+func (s *Solver) litRedundant(l Lit) bool {
+	c := s.vardata[l.Var()].reason
+	if c == nil {
+		return false
+	}
+	for _, q := range c.lits {
+		if q == l.Not() || q == l {
+			continue
+		}
+		v := q.Var()
+		if s.level(v) == 0 {
+			continue
+		}
+		if s.seen[v] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []Lit) int {
+	levels := map[int]struct{}{}
+	for _, l := range lits {
+		levels[s.level(l.Var())] = struct{}{}
+	}
+	return len(levels)
+}
+
+// analyzeFinal computes the subset of assumptions responsible for a conflict
+// on assumption literal p; the result (negated assumptions) lands in
+// s.conflictSet.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflictSet = s.conflictSet[:0]
+	s.conflictSet = append(s.conflictSet, p.Not())
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if r := s.vardata[v].reason; r == nil {
+			if s.level(v) > 0 {
+				s.conflictSet = append(s.conflictSet, s.trail[i].Not())
+			}
+		} else {
+			for _, q := range r.lits {
+				if s.level(q.Var()) > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnts by (lbd asc, activity desc) — cheap partial policy:
+	// remove the worse half, keeping binary and low-LBD clauses.
+	if len(s.learnts) < 2 {
+		return
+	}
+	// Simple selection: compute median activity.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.act
+	}
+	med := quickMedian(acts)
+	kept := s.learnts[:0]
+	removed := 0
+	for _, c := range s.learnts {
+		if len(c.lits) > 2 && c.lbd > 2 && c.act < med && !s.locked(c) && removed < len(s.learnts)/2 {
+			c.deleted = true
+			removed++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.value(l) == lTrue && s.vardata[l.Var()].reason == c
+}
+
+func quickMedian(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	b := append([]float64(nil), a...)
+	k := len(b) / 2
+	lo, hi := 0, len(b)-1
+	for lo < hi {
+		p := b[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for b[i] < p {
+				i++
+			}
+			for b[j] > p {
+				j--
+			}
+			if i <= j {
+				b[i], b[j] = b[j], b[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return b[k]
+}
+
+// luby returns the x-th element of the Luby restart sequence
+// (1,1,2,1,1,2,4,...), following MiniSat: find the finite subsequence
+// containing index x, then recurse into it by modulo.
+func luby(x int) float64 {
+	size, seq := 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x = x % size
+	}
+	return math.Pow(2, float64(seq))
+}
+
+// search runs CDCL until a restart, a verdict, or budget exhaustion.
+func (s *Solver) search(maxConflicts int) Status {
+	conflicts := 0
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.Learnt++
+				s.attach(c)
+				s.clauseBump(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varDecay()
+			s.clauseDecay()
+			continue
+		}
+		// No conflict.
+		if s.budget >= 0 && s.Conflicts >= s.budget {
+			return Unknown
+		}
+		if conflicts >= maxConflicts {
+			s.cancelUntil(len(s.assumptions))
+			return Unknown // restart
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+		}
+		// Place assumptions as pseudo-decisions.
+		var next Lit = -1
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level
+			case lFalse:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
+			}
+			if next != -1 {
+				break
+			}
+		}
+		if next == -1 {
+			// Regular decision.
+			v := s.pickBranchVar()
+			if v == -1 {
+				return Sat
+			}
+			s.Decisions++
+			next = MkLit(v, s.polarity[v])
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	for !s.order.empty() {
+		v := s.order.pop(s)
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// Solve determines satisfiability under the given assumption literals.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		s.conflictSet = s.conflictSet[:0]
+		return Unsat
+	}
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.conflictSet = s.conflictSet[:0]
+	defer s.cancelUntil(0)
+
+	s.lubyIdx = 0
+	for {
+		maxC := int(luby(s.lubyIdx) * 100)
+		s.lubyIdx++
+		st := s.search(maxC)
+		switch st {
+		case Sat:
+			// Snapshot the model before the deferred backtrack erases it.
+			s.model = append(s.model[:0], s.assigns...)
+			return Sat
+		case Unsat:
+			return Unsat
+		}
+		if s.budget >= 0 && s.Conflicts >= s.budget {
+			return Unknown
+		}
+		s.maxLearnts *= 1.05
+	}
+}
+
+// Value returns the model value of variable v after a Sat verdict.
+func (s *Solver) Value(v int) bool { return v < len(s.model) && s.model[v] == lTrue }
+
+// Model returns a copy of the last satisfying assignment (only meaningful
+// after a Sat verdict).
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.model))
+	for i, a := range s.model {
+		m[i] = a == lTrue
+	}
+	return m
+}
+
+// Conflict returns the final conflict clause after an Unsat verdict under
+// assumptions: a subset of the negations of the failed assumptions.
+func (s *Solver) Conflict() []Lit { return append([]Lit(nil), s.conflictSet...) }
+
+// Okay reports whether the solver is still consistent at level 0.
+func (s *Solver) Okay() bool { return s.ok }
+
+// ---- binary heap ordered by activity (max-heap) ----
+
+type heap struct {
+	data []int32
+	pos  []int32 // var -> index in data, -1 if absent
+}
+
+func (h *heap) less(s *Solver, a, b int32) bool {
+	return s.activity[a] > s.activity[b]
+}
+
+func (h *heap) ensure(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *heap) empty() bool { return len(h.data) == 0 }
+
+func (h *heap) push(s *Solver, v int) {
+	h.ensure(v)
+	if h.pos[v] != -1 {
+		return
+	}
+	h.data = append(h.data, int32(v))
+	h.pos[v] = int32(len(h.data) - 1)
+	h.up(s, len(h.data)-1)
+}
+
+func (h *heap) pushIfAbsent(s *Solver, v int) { h.push(s, v) }
+
+func (h *heap) pop(s *Solver) int {
+	top := h.data[0]
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	h.pos[top] = -1
+	if len(h.data) > 0 {
+		h.data[0] = last
+		h.pos[last] = 0
+		h.down(s, 0)
+	}
+	return int(top)
+}
+
+func (h *heap) decrease(s *Solver, v int) {
+	h.ensure(v)
+	if h.pos[v] == -1 {
+		return
+	}
+	h.up(s, int(h.pos[v]))
+}
+
+func (h *heap) up(s *Solver, i int) {
+	x := h.data[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(s, x, h.data[p]) {
+			break
+		}
+		h.data[i] = h.data[p]
+		h.pos[h.data[p]] = int32(i)
+		i = p
+	}
+	h.data[i] = x
+	h.pos[x] = int32(i)
+}
+
+func (h *heap) down(s *Solver, i int) {
+	x := h.data[i]
+	for {
+		l := 2*i + 1
+		if l >= len(h.data) {
+			break
+		}
+		c := l
+		if r := l + 1; r < len(h.data) && h.less(s, h.data[r], h.data[l]) {
+			c = r
+		}
+		if !h.less(s, h.data[c], x) {
+			break
+		}
+		h.data[i] = h.data[c]
+		h.pos[h.data[c]] = int32(i)
+		i = c
+	}
+	h.data[i] = x
+	h.pos[x] = int32(i)
+}

@@ -1,0 +1,333 @@
+package smt
+
+import (
+	"fmt"
+
+	"aquila/internal/sat"
+)
+
+// blaster lowers hash-consed terms to CNF over a sat.Solver via Tseitin
+// encoding. Caching is per-term (the term DAG is already maximally shared
+// by hash-consing), so every subterm is encoded at most once.
+type blaster struct {
+	sat       *sat.Solver
+	bvCache   map[int][]sat.Lit
+	boolCache map[int]sat.Lit
+	litTrue   sat.Lit
+}
+
+func newBlaster(s *sat.Solver) *blaster {
+	b := &blaster{
+		sat:       s,
+		bvCache:   map[int][]sat.Lit{},
+		boolCache: map[int]sat.Lit{},
+	}
+	v := s.NewVar()
+	b.litTrue = sat.MkLit(v, false)
+	s.AddClause(b.litTrue)
+	return b
+}
+
+func (b *blaster) litFalse() sat.Lit { return b.litTrue.Not() }
+
+func (b *blaster) fresh() sat.Lit { return sat.MkLit(b.sat.NewVar(), false) }
+
+func (b *blaster) isTrue(l sat.Lit) bool  { return l == b.litTrue }
+func (b *blaster) isFalse(l sat.Lit) bool { return l == b.litFalse() }
+
+// and returns a literal equivalent to x & y.
+func (b *blaster) and(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x) || b.isFalse(y):
+		return b.litFalse()
+	case b.isTrue(x):
+		return y
+	case b.isTrue(y):
+		return x
+	case x == y:
+		return x
+	case x == y.Not():
+		return b.litFalse()
+	}
+	o := b.fresh()
+	b.sat.AddClause(o.Not(), x)
+	b.sat.AddClause(o.Not(), y)
+	b.sat.AddClause(o, x.Not(), y.Not())
+	return o
+}
+
+func (b *blaster) or(x, y sat.Lit) sat.Lit { return b.and(x.Not(), y.Not()).Not() }
+
+// xor returns a literal equivalent to x ^ y.
+func (b *blaster) xor(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x):
+		return y
+	case b.isFalse(y):
+		return x
+	case b.isTrue(x):
+		return y.Not()
+	case b.isTrue(y):
+		return x.Not()
+	case x == y:
+		return b.litFalse()
+	case x == y.Not():
+		return b.litTrue
+	}
+	o := b.fresh()
+	b.sat.AddClause(o.Not(), x, y)
+	b.sat.AddClause(o.Not(), x.Not(), y.Not())
+	b.sat.AddClause(o, x.Not(), y)
+	b.sat.AddClause(o, x, y.Not())
+	return o
+}
+
+// mux returns a literal equivalent to c ? x : y.
+func (b *blaster) mux(c, x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isTrue(c):
+		return x
+	case b.isFalse(c):
+		return y
+	case x == y:
+		return x
+	}
+	if b.isTrue(x) {
+		return b.or(c, y)
+	}
+	if b.isFalse(x) {
+		return b.and(c.Not(), y)
+	}
+	if b.isTrue(y) {
+		return b.or(c.Not(), x)
+	}
+	if b.isFalse(y) {
+		return b.and(c, x)
+	}
+	o := b.fresh()
+	b.sat.AddClause(c.Not(), x.Not(), o)
+	b.sat.AddClause(c.Not(), x, o.Not())
+	b.sat.AddClause(c, y.Not(), o)
+	b.sat.AddClause(c, y, o.Not())
+	return o
+}
+
+// fullAdder returns (sum, carry) of x+y+cin.
+func (b *blaster) fullAdder(x, y, cin sat.Lit) (sum, cout sat.Lit) {
+	xy := b.xor(x, y)
+	sum = b.xor(xy, cin)
+	cout = b.or(b.and(x, y), b.and(cin, xy))
+	return sum, cout
+}
+
+// bv blasts a bit-vector term into its literal vector, LSB first.
+func (b *blaster) bv(t *Term) []sat.Lit {
+	if got, ok := b.bvCache[t.ID]; ok {
+		return got
+	}
+	var out []sat.Lit
+	switch t.Op {
+	case OpBVConst:
+		out = make([]sat.Lit, t.Width)
+		for i := 0; i < t.Width; i++ {
+			if t.Val.Bit(i) == 1 {
+				out[i] = b.litTrue
+			} else {
+				out[i] = b.litFalse()
+			}
+		}
+	case OpBVVar:
+		out = make([]sat.Lit, t.Width)
+		for i := range out {
+			out[i] = b.fresh()
+		}
+	case OpBVNot:
+		a := b.bv(t.Args[0])
+		out = make([]sat.Lit, t.Width)
+		for i := range out {
+			out[i] = a[i].Not()
+		}
+	case OpBVNeg:
+		// -a == ~a + 1
+		a := b.bv(t.Args[0])
+		out = make([]sat.Lit, t.Width)
+		carry := b.litTrue
+		for i := range out {
+			out[i], carry = b.fullAdder(a[i].Not(), b.litFalse(), carry)
+		}
+	case OpBVAnd, OpBVOr, OpBVXor:
+		x := b.bv(t.Args[0])
+		y := b.bv(t.Args[1])
+		out = make([]sat.Lit, t.Width)
+		for i := range out {
+			switch t.Op {
+			case OpBVAnd:
+				out[i] = b.and(x[i], y[i])
+			case OpBVOr:
+				out[i] = b.or(x[i], y[i])
+			default:
+				out[i] = b.xor(x[i], y[i])
+			}
+		}
+	case OpBVAdd, OpBVSub:
+		x := b.bv(t.Args[0])
+		y := b.bv(t.Args[1])
+		out = make([]sat.Lit, t.Width)
+		var carry sat.Lit
+		if t.Op == OpBVAdd {
+			carry = b.litFalse()
+		} else {
+			carry = b.litTrue // a - b == a + ~b + 1
+		}
+		for i := range out {
+			yi := y[i]
+			if t.Op == OpBVSub {
+				yi = yi.Not()
+			}
+			out[i], carry = b.fullAdder(x[i], yi, carry)
+		}
+	case OpBVMul:
+		x := b.bv(t.Args[0])
+		y := b.bv(t.Args[1])
+		w := t.Width
+		acc := make([]sat.Lit, w)
+		for i := range acc {
+			acc[i] = b.litFalse()
+		}
+		for i := 0; i < w; i++ {
+			// acc += (y[i] ? x << i : 0)
+			carry := b.litFalse()
+			for j := i; j < w; j++ {
+				bit := b.and(y[i], x[j-i])
+				acc[j], carry = b.fullAdder(acc[j], bit, carry)
+			}
+		}
+		out = acc
+	case OpBVShl, OpBVLshr:
+		x := b.bv(t.Args[0])
+		sh := b.bv(t.Args[1])
+		out = b.barrelShift(x, sh, t.Op == OpBVShl)
+	case OpBVConcat:
+		hi := b.bv(t.Args[0])
+		lo := b.bv(t.Args[1])
+		out = make([]sat.Lit, 0, t.Width)
+		out = append(out, lo...)
+		out = append(out, hi...)
+	case OpBVExtract:
+		a := b.bv(t.Args[0])
+		out = append([]sat.Lit(nil), a[t.Lo:t.Hi+1]...)
+	case OpBVIte:
+		c := b.boolLit(t.Args[0])
+		x := b.bv(t.Args[1])
+		y := b.bv(t.Args[2])
+		out = make([]sat.Lit, t.Width)
+		for i := range out {
+			out[i] = b.mux(c, x[i], y[i])
+		}
+	default:
+		panic(fmt.Sprintf("smt: blast: not a bit-vector op: %v", opNames[t.Op]))
+	}
+	b.bvCache[t.ID] = out
+	return out
+}
+
+// barrelShift shifts x by the amount encoded in sh; left when isLeft.
+// Amounts >= len(x) produce zero.
+func (b *blaster) barrelShift(x []sat.Lit, sh []sat.Lit, isLeft bool) []sat.Lit {
+	w := len(x)
+	cur := append([]sat.Lit(nil), x...)
+	stages := 0
+	for 1<<stages < w {
+		stages++
+	}
+	for s := 0; s < stages && s < len(sh); s++ {
+		amt := 1 << s
+		next := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var shifted sat.Lit
+			if isLeft {
+				if i-amt >= 0 {
+					shifted = cur[i-amt]
+				} else {
+					shifted = b.litFalse()
+				}
+			} else {
+				if i+amt < w {
+					shifted = cur[i+amt]
+				} else {
+					shifted = b.litFalse()
+				}
+			}
+			next[i] = b.mux(sh[s], shifted, cur[i])
+		}
+		cur = next
+	}
+	// Any shift bit at or above 'stages' zeroes the result.
+	overflow := b.litFalse()
+	for s := stages; s < len(sh); s++ {
+		overflow = b.or(overflow, sh[s])
+	}
+	if !b.isFalse(overflow) {
+		for i := range cur {
+			cur[i] = b.and(cur[i], overflow.Not())
+		}
+	}
+	return cur
+}
+
+// boolLit blasts a boolean term into a single literal.
+func (b *blaster) boolLit(t *Term) sat.Lit {
+	if got, ok := b.boolCache[t.ID]; ok {
+		return got
+	}
+	var out sat.Lit
+	switch t.Op {
+	case OpBoolConst:
+		if t.ConstBool() {
+			out = b.litTrue
+		} else {
+			out = b.litFalse()
+		}
+	case OpBoolVar:
+		out = b.fresh()
+	case OpNot:
+		out = b.boolLit(t.Args[0]).Not()
+	case OpAnd:
+		out = b.and(b.boolLit(t.Args[0]), b.boolLit(t.Args[1]))
+	case OpOr:
+		out = b.or(b.boolLit(t.Args[0]), b.boolLit(t.Args[1]))
+	case OpImplies:
+		out = b.or(b.boolLit(t.Args[0]).Not(), b.boolLit(t.Args[1]))
+	case OpIff:
+		out = b.xor(b.boolLit(t.Args[0]), b.boolLit(t.Args[1])).Not()
+	case OpBoolIte:
+		out = b.mux(b.boolLit(t.Args[0]), b.boolLit(t.Args[1]), b.boolLit(t.Args[2]))
+	case OpEq:
+		x := b.bv(t.Args[0])
+		y := b.bv(t.Args[1])
+		out = b.litTrue
+		for i := range x {
+			out = b.and(out, b.xor(x[i], y[i]).Not())
+		}
+	case OpUlt, OpUle:
+		x := b.bv(t.Args[0])
+		y := b.bv(t.Args[1])
+		// Process LSB to MSB; higher bits dominate.
+		var lt sat.Lit
+		if t.Op == OpUlt {
+			lt = b.litFalse()
+		} else {
+			lt = b.litTrue // a <= b starts from equality counting as true
+		}
+		for i := 0; i < len(x); i++ {
+			eq := b.xor(x[i], y[i]).Not()
+			bi := b.and(x[i].Not(), y[i])
+			lt = b.mux(eq, lt, bi)
+		}
+		out = lt
+	default:
+		panic(fmt.Sprintf("smt: blast: not a boolean op: %v", opNames[t.Op]))
+	}
+	b.boolCache[t.ID] = out
+	return out
+}

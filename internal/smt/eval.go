@@ -1,0 +1,128 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Env maps variable names to concrete values for evaluation. Bit-vector
+// variables map to *big.Int values; boolean variables map to bools.
+type Env struct {
+	BV   map[string]*big.Int
+	Bool map[string]bool
+}
+
+// NewEnv returns an empty evaluation environment.
+func NewEnv() *Env {
+	return &Env{BV: map[string]*big.Int{}, Bool: map[string]bool{}}
+}
+
+// EvalBV evaluates a bit-vector term under env. Missing variables default
+// to zero. The result is normalized into [0, 2^width).
+func EvalBV(t *Term, env *Env) *big.Int {
+	v, _ := eval(t, env, map[int]interface{}{})
+	return v.(*big.Int)
+}
+
+// EvalBool evaluates a boolean term under env.
+func EvalBool(t *Term, env *Env) bool {
+	v, _ := eval(t, env, map[int]interface{}{})
+	return v.(bool)
+}
+
+func eval(t *Term, env *Env, memo map[int]interface{}) (interface{}, error) {
+	if v, ok := memo[t.ID]; ok {
+		return v, nil
+	}
+	var res interface{}
+	bv := func(i int) *big.Int {
+		v, _ := eval(t.Args[i], env, memo)
+		return v.(*big.Int)
+	}
+	bo := func(i int) bool {
+		v, _ := eval(t.Args[i], env, memo)
+		return v.(bool)
+	}
+	switch t.Op {
+	case OpBVConst:
+		res = t.Val
+	case OpBoolConst:
+		res = t.Val.Sign() != 0
+	case OpBVVar:
+		if v, ok := env.BV[t.Name]; ok {
+			res = normConst(v, t.Width)
+		} else {
+			res = big.NewInt(0)
+		}
+	case OpBoolVar:
+		res = env.Bool[t.Name]
+	case OpBVNot:
+		res = normConst(new(big.Int).Xor(bv(0), maskFor(t.Width)), t.Width)
+	case OpBVNeg:
+		res = normConst(new(big.Int).Neg(bv(0)), t.Width)
+	case OpBVAnd:
+		res = new(big.Int).And(bv(0), bv(1))
+	case OpBVOr:
+		res = new(big.Int).Or(bv(0), bv(1))
+	case OpBVXor:
+		res = new(big.Int).Xor(bv(0), bv(1))
+	case OpBVAdd:
+		res = normConst(new(big.Int).Add(bv(0), bv(1)), t.Width)
+	case OpBVSub:
+		res = normConst(new(big.Int).Sub(bv(0), bv(1)), t.Width)
+	case OpBVMul:
+		res = normConst(new(big.Int).Mul(bv(0), bv(1)), t.Width)
+	case OpBVShl:
+		sh := bv(1)
+		if !sh.IsUint64() || sh.Uint64() >= uint64(t.Width) {
+			res = big.NewInt(0)
+		} else {
+			res = normConst(new(big.Int).Lsh(bv(0), uint(sh.Uint64())), t.Width)
+		}
+	case OpBVLshr:
+		sh := bv(1)
+		if !sh.IsUint64() || sh.Uint64() >= uint64(t.Width) {
+			res = big.NewInt(0)
+		} else {
+			res = new(big.Int).Rsh(bv(0), uint(sh.Uint64()))
+		}
+	case OpBVConcat:
+		v := new(big.Int).Lsh(bv(0), uint(t.Args[1].Width))
+		res = v.Or(v, bv(1))
+	case OpBVExtract:
+		v := new(big.Int).Rsh(bv(0), uint(t.Lo))
+		res = normConst(v, t.Width)
+	case OpBVIte:
+		if bo(0) {
+			res = bv(1)
+		} else {
+			res = bv(2)
+		}
+	case OpNot:
+		res = !bo(0)
+	case OpAnd:
+		res = bo(0) && bo(1)
+	case OpOr:
+		res = bo(0) || bo(1)
+	case OpImplies:
+		res = !bo(0) || bo(1)
+	case OpIff:
+		res = bo(0) == bo(1)
+	case OpEq:
+		res = bv(0).Cmp(bv(1)) == 0
+	case OpUlt:
+		res = bv(0).Cmp(bv(1)) < 0
+	case OpUle:
+		res = bv(0).Cmp(bv(1)) <= 0
+	case OpBoolIte:
+		if bo(0) {
+			res = bo(1)
+		} else {
+			res = bo(2)
+		}
+	default:
+		return nil, fmt.Errorf("smt: eval: unknown op %d", t.Op)
+	}
+	memo[t.ID] = res
+	return res, nil
+}

@@ -1,0 +1,263 @@
+package smt
+
+import (
+	"math/big"
+
+	"aquila/internal/sat"
+)
+
+// Status re-exports the SAT verdict type for callers that only import smt.
+type Status = sat.Status
+
+// Verdicts.
+const (
+	Unknown = sat.Unknown
+	Sat     = sat.Sat
+	Unsat   = sat.Unsat
+)
+
+// Solver is an incremental QF_BV solver: assert boolean terms, check
+// satisfiability (optionally under assumptions), extract models.
+type Solver struct {
+	ctx *Ctx
+	sat *sat.Solver
+	b   *blaster
+
+	asserted []*Term
+	blasted  map[int]bool // variable terms whose bits are allocated
+}
+
+// NewSolver returns a fresh solver over the given term context.
+func NewSolver(ctx *Ctx) *Solver {
+	s := sat.New()
+	return &Solver{ctx: ctx, sat: s, b: newBlaster(s), blasted: map[int]bool{}}
+}
+
+// Ctx returns the term context the solver operates over.
+func (s *Solver) Ctx() *Ctx { return s.ctx }
+
+// SetBudget bounds the number of SAT conflicts for subsequent checks;
+// exceeding it yields Unknown. Negative removes the bound.
+func (s *Solver) SetBudget(conflicts int64) { s.sat.SetBudget(conflicts) }
+
+// Stats returns (decisions, conflicts, propagations) of the underlying SAT
+// solver.
+func (s *Solver) Stats() (int64, int64, int64) {
+	return s.sat.Decisions, s.sat.Conflicts, s.sat.Propagations
+}
+
+// NumClauses reports the size of the generated CNF, a proxy for solver
+// memory (what the paper reports as verification memory).
+func (s *Solver) NumClauses() int { return s.sat.NumClauses() }
+
+// NumSATVars reports the number of allocated SAT variables.
+func (s *Solver) NumSATVars() int { return s.sat.NumVars() }
+
+// Assert adds a boolean term as a hard constraint.
+func (s *Solver) Assert(t *Term) {
+	mustBool("Assert", t)
+	s.asserted = append(s.asserted, t)
+	l := s.b.boolLit(t)
+	s.sat.AddClause(l)
+}
+
+// Indicator blasts a boolean term and returns a SAT literal equivalent to
+// it, without asserting it. Used for assumptions and MaxSAT soft clauses.
+func (s *Solver) Indicator(t *Term) sat.Lit {
+	mustBool("Indicator", t)
+	return s.b.boolLit(t)
+}
+
+// Check determines satisfiability of the asserted constraints under the
+// given boolean assumption terms.
+func (s *Solver) Check(assumptions ...*Term) Status {
+	lits := make([]sat.Lit, len(assumptions))
+	for i, a := range assumptions {
+		lits[i] = s.Indicator(a)
+	}
+	return s.sat.Solve(lits...)
+}
+
+// CheckLits is Check with pre-blasted assumption literals.
+func (s *Solver) CheckLits(assumptions ...sat.Lit) Status {
+	return s.sat.Solve(assumptions...)
+}
+
+// UnsatAssumptions returns, after an Unsat verdict under assumptions, the
+// subset of assumption indices that participated in the conflict.
+func (s *Solver) UnsatAssumptions(assumptions []*Term) []int {
+	conflict := s.sat.Conflict()
+	inConflict := map[sat.Lit]bool{}
+	for _, l := range conflict {
+		inConflict[l] = true
+	}
+	var out []int
+	for i, a := range assumptions {
+		if inConflict[s.Indicator(a).Not()] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Model captures a satisfying assignment. Values of terms are obtained by
+// evaluating them under the variable assignment, so any term over the same
+// context can be queried, including terms never blasted.
+type Model struct {
+	env *Env
+}
+
+// Model returns the model after a Sat verdict. Variables that were never
+// part of the blasted formula evaluate to zero/false.
+func (s *Solver) Model() *Model {
+	env := NewEnv()
+	// Walk every asserted term's variables and read their bits back.
+	seen := map[int]bool{}
+	var collect func(t *Term)
+	collect = func(t *Term) {
+		if seen[t.ID] {
+			return
+		}
+		seen[t.ID] = true
+		switch t.Op {
+		case OpBVVar:
+			if lits, ok := s.b.bvCache[t.ID]; ok {
+				v := new(big.Int)
+				for i, l := range lits {
+					if s.litValue(l) {
+						v.SetBit(v, i, 1)
+					}
+				}
+				env.BV[t.Name] = v
+			}
+		case OpBoolVar:
+			if l, ok := s.b.boolCache[t.ID]; ok {
+				env.Bool[t.Name] = s.litValue(l)
+			}
+		}
+		for _, a := range t.Args {
+			collect(a)
+		}
+	}
+	for _, t := range s.asserted {
+		collect(t)
+	}
+	return &Model{env: env}
+}
+
+func (s *Solver) litValue(l sat.Lit) bool {
+	v := s.sat.Value(l.Var())
+	if l.Neg() {
+		return !v
+	}
+	return v
+}
+
+// ModelCollect extends the model with variables reachable from extra terms
+// (e.g. assumption terms not asserted).
+func (s *Solver) ModelCollect(m *Model, terms ...*Term) {
+	for _, t := range terms {
+		for _, v := range Vars(t) {
+			switch v.Op {
+			case OpBVVar:
+				if lits, ok := s.b.bvCache[v.ID]; ok {
+					val := new(big.Int)
+					for i, l := range lits {
+						if s.litValue(l) {
+							val.SetBit(val, i, 1)
+						}
+					}
+					m.env.BV[v.Name] = val
+				}
+			case OpBoolVar:
+				if l, ok := s.b.boolCache[v.ID]; ok {
+					m.env.Bool[v.Name] = s.litValue(l)
+				}
+			}
+		}
+	}
+}
+
+// BV evaluates a bit-vector term under the model.
+func (m *Model) BV(t *Term) *big.Int { return EvalBV(t, m.env) }
+
+// Uint64 evaluates a bit-vector term under the model as a uint64.
+func (m *Model) Uint64(t *Term) uint64 { return EvalBV(t, m.env).Uint64() }
+
+// Bool evaluates a boolean term under the model.
+func (m *Model) Bool(t *Term) bool { return EvalBool(t, m.env) }
+
+// Env exposes the raw variable assignment of the model.
+func (m *Model) Env() *Env { return m.env }
+
+// Maximize finds an assignment satisfying all asserted hard constraints
+// that maximizes the number of satisfied soft terms. It returns the model,
+// the number of satisfied soft terms, and ok=false when the hard
+// constraints alone are unsatisfiable.
+//
+// The implementation is a linear UNSAT-to-SAT search on the number of
+// violated soft constraints using a sequential-counter cardinality
+// encoding; Aquila's bug localization (§5.2) uses this for
+// "MAXSAT_i ¬rep_i" minimization, where the number of violated softs (the
+// number of replaced tables) is expected to be small.
+//
+// A budget exhaustion (Unknown) during the initial hard check is reported
+// as ok=false, indistinguishable from hard-unsat; callers with budgets
+// should treat ok=false conservatively.
+func (s *Solver) Maximize(soft []*Term) (*Model, int, bool) {
+	if s.Check() != Sat {
+		return nil, 0, false
+	}
+	if len(soft) == 0 {
+		return s.Model(), 0, true
+	}
+	// violated[i] is true when soft[i] is false.
+	violated := make([]sat.Lit, len(soft))
+	for i, t := range soft {
+		violated[i] = s.Indicator(t).Not()
+	}
+	// Sequential counter: count[j] = "at least j+1 of violated are true".
+	counts := s.cardinalityCounter(violated)
+	for k := 0; k <= len(soft); k++ {
+		// Assume at most k violated: ¬count[k] (i.e. not "at least k+1").
+		var assumptions []sat.Lit
+		if k < len(counts) {
+			assumptions = append(assumptions, counts[k].Not())
+		}
+		if st := s.sat.Solve(assumptions...); st == Sat {
+			m := s.Model()
+			s.ModelCollect(m, soft...)
+			return m, len(soft) - k, true
+		}
+	}
+	// Unreachable: with no cardinality assumption the hard constraints are
+	// satisfiable per the initial check.
+	m := s.Model()
+	return m, 0, true
+}
+
+// cardinalityCounter builds a sequential (Sinz) counter over lits and
+// returns outputs out[j] ≡ "at least j+1 of lits are true".
+func (s *Solver) cardinalityCounter(lits []sat.Lit) []sat.Lit {
+	n := len(lits)
+	// reg[j] after processing i inputs: at least j+1 of the first i are true.
+	reg := make([]sat.Lit, n)
+	for j := range reg {
+		reg[j] = s.b.litFalse()
+	}
+	for i := 0; i < n; i++ {
+		next := make([]sat.Lit, n)
+		for j := 0; j < n; j++ {
+			ge := reg[j] // already ≥ j+1 without lits[i]
+			var carry sat.Lit
+			if j == 0 {
+				carry = lits[i] // lits[i] alone reaches count 1
+			} else {
+				carry = s.b.and(reg[j-1], lits[i])
+			}
+			next[j] = s.b.or(ge, carry)
+		}
+		reg = next
+	}
+	return reg
+}

@@ -1,0 +1,671 @@
+// Package smt implements the quantifier-free bit-vector (QF_BV) theory
+// layer of Aquila's verification stack: a hash-consed term language with
+// constant folding, a Tseitin bit-blaster targeting the CDCL solver in
+// package sat, model extraction, and an assumption-based MaxSAT procedure
+// used by bug localization (§5 of the paper).
+//
+// The paper uses Z3; this package is the substitution documented in
+// DESIGN.md. Verdicts (sat/unsat and models) are interchangeable with any
+// sound and complete QF_BV solver.
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Op identifies a term constructor.
+type Op uint8
+
+// Term operators. BV operators produce bit-vector terms; the remainder
+// produce boolean terms.
+const (
+	OpBVConst Op = iota
+	OpBVVar
+	OpBVNot
+	OpBVNeg
+	OpBVAnd
+	OpBVOr
+	OpBVXor
+	OpBVAdd
+	OpBVSub
+	OpBVMul
+	OpBVShl
+	OpBVLshr
+	OpBVConcat  // args[0] is high bits, args[1] is low bits
+	OpBVExtract // bits Hi..Lo of args[0]
+	OpBVIte     // args[0] bool, args[1], args[2] bv
+
+	OpBoolConst
+	OpBoolVar
+	OpNot
+	OpAnd
+	OpOr
+	OpImplies
+	OpIff
+	OpEq  // bv equality
+	OpUlt // unsigned less-than
+	OpUle // unsigned less-or-equal
+	OpBoolIte
+)
+
+var opNames = map[Op]string{
+	OpBVConst: "const", OpBVVar: "var", OpBVNot: "bvnot", OpBVNeg: "bvneg",
+	OpBVAnd: "bvand", OpBVOr: "bvor", OpBVXor: "bvxor", OpBVAdd: "bvadd",
+	OpBVSub: "bvsub", OpBVMul: "bvmul", OpBVShl: "bvshl", OpBVLshr: "bvlshr",
+	OpBVConcat: "concat", OpBVExtract: "extract", OpBVIte: "bvite",
+	OpBoolConst: "bool", OpBoolVar: "boolvar", OpNot: "not", OpAnd: "and",
+	OpOr: "or", OpImplies: "=>", OpIff: "<=>", OpEq: "=", OpUlt: "bvult",
+	OpUle: "bvule", OpBoolIte: "ite",
+}
+
+// Term is an immutable, hash-consed SMT term. Boolean terms have Width 0;
+// bit-vector terms have Width >= 1. Terms must be created through a Ctx;
+// pointer equality coincides with structural equality within one Ctx.
+type Term struct {
+	ID    int
+	Op    Op
+	Width int // 0 for boolean terms
+	Args  []*Term
+	Name  string   // variables
+	Val   *big.Int // constants (normalized into [0, 2^Width))
+	Hi    int      // extract upper bit (inclusive)
+	Lo    int      // extract lower bit (inclusive)
+}
+
+// IsBool reports whether the term is boolean-sorted.
+func (t *Term) IsBool() bool { return t.Width == 0 }
+
+// IsConst reports whether the term is a constant.
+func (t *Term) IsConst() bool { return t.Op == OpBVConst || t.Op == OpBoolConst }
+
+// ConstUint64 returns the value of a bit-vector constant as uint64.
+// It panics on non-constants or widths above 64.
+func (t *Term) ConstUint64() uint64 {
+	if t.Op != OpBVConst {
+		panic("smt: ConstUint64 on non-constant")
+	}
+	return t.Val.Uint64()
+}
+
+// ConstBool returns the value of a boolean constant.
+func (t *Term) ConstBool() bool {
+	if t.Op != OpBoolConst {
+		panic("smt: ConstBool on non-constant")
+	}
+	return t.Val.Sign() != 0
+}
+
+// String renders the term in SMT-LIB-flavoured prefix form.
+func (t *Term) String() string {
+	switch t.Op {
+	case OpBVConst:
+		return fmt.Sprintf("#x%s[%d]", t.Val.Text(16), t.Width)
+	case OpBoolConst:
+		if t.ConstBool() {
+			return "true"
+		}
+		return "false"
+	case OpBVVar, OpBoolVar:
+		return t.Name
+	case OpBVExtract:
+		return fmt.Sprintf("(extract %d %d %s)", t.Hi, t.Lo, t.Args[0])
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(opNames[t.Op])
+	for _, a := range t.Args {
+		b.WriteByte(' ')
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Ctx owns a hash-consing table; all terms used together must come from the
+// same Ctx. Ctx is not safe for concurrent use.
+type Ctx struct {
+	table  map[string]*Term
+	nextID int
+	true_  *Term
+	false_ *Term
+
+	// Size accounting, used by the benchmark harness to report formula
+	// sizes the way the paper reports memory footprints.
+	created int
+}
+
+// NewCtx returns an empty term context.
+func NewCtx() *Ctx {
+	c := &Ctx{table: make(map[string]*Term)}
+	c.true_ = c.intern(&Term{Op: OpBoolConst, Val: big.NewInt(1)})
+	c.false_ = c.intern(&Term{Op: OpBoolConst, Val: big.NewInt(0)})
+	return c
+}
+
+// NumTerms returns the number of distinct terms created in this context —
+// a proxy for formula memory footprint.
+func (c *Ctx) NumTerms() int { return c.created }
+
+func (c *Ctx) key(t *Term) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:%d:%d:%d:%s", t.Op, t.Width, t.Hi, t.Lo, t.Name)
+	if t.Val != nil {
+		b.WriteByte(':')
+		b.WriteString(t.Val.Text(16))
+	}
+	for _, a := range t.Args {
+		fmt.Fprintf(&b, ",%d", a.ID)
+	}
+	return b.String()
+}
+
+func (c *Ctx) intern(t *Term) *Term {
+	k := c.key(t)
+	if got, ok := c.table[k]; ok {
+		return got
+	}
+	t.ID = c.nextID
+	c.nextID++
+	c.created++
+	c.table[k] = t
+	return t
+}
+
+func maskFor(width int) *big.Int {
+	m := new(big.Int).Lsh(big.NewInt(1), uint(width))
+	return m.Sub(m, big.NewInt(1))
+}
+
+func normConst(v *big.Int, width int) *big.Int {
+	out := new(big.Int).And(v, maskFor(width))
+	return out
+}
+
+// ---- boolean constructors ----
+
+// True returns the boolean constant true.
+func (c *Ctx) True() *Term { return c.true_ }
+
+// False returns the boolean constant false.
+func (c *Ctx) False() *Term { return c.false_ }
+
+// Bool returns the boolean constant for v.
+func (c *Ctx) Bool(v bool) *Term {
+	if v {
+		return c.true_
+	}
+	return c.false_
+}
+
+// BoolVar returns the boolean variable with the given name.
+func (c *Ctx) BoolVar(name string) *Term {
+	return c.intern(&Term{Op: OpBoolVar, Name: name})
+}
+
+// Not returns the boolean negation of a.
+func (c *Ctx) Not(a *Term) *Term {
+	mustBool("Not", a)
+	if a.Op == OpBoolConst {
+		return c.Bool(!a.ConstBool())
+	}
+	if a.Op == OpNot {
+		return a.Args[0]
+	}
+	return c.intern(&Term{Op: OpNot, Args: []*Term{a}})
+}
+
+// And returns the conjunction of the arguments (true when empty).
+func (c *Ctx) And(args ...*Term) *Term {
+	flat := make([]*Term, 0, len(args))
+	for _, a := range args {
+		mustBool("And", a)
+		if a.Op == OpBoolConst {
+			if !a.ConstBool() {
+				return c.false_
+			}
+			continue
+		}
+		flat = append(flat, a)
+	}
+	switch len(flat) {
+	case 0:
+		return c.true_
+	case 1:
+		return flat[0]
+	}
+	// Balanced binary reduction keeps blasting depth logarithmic.
+	for len(flat) > 1 {
+		var next []*Term
+		for i := 0; i < len(flat); i += 2 {
+			if i+1 == len(flat) {
+				next = append(next, flat[i])
+			} else {
+				next = append(next, c.and2(flat[i], flat[i+1]))
+			}
+		}
+		flat = next
+	}
+	return flat[0]
+}
+
+func (c *Ctx) and2(a, b *Term) *Term {
+	if a == b {
+		return a
+	}
+	if a == c.Not(b) {
+		return c.false_
+	}
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	return c.intern(&Term{Op: OpAnd, Args: []*Term{a, b}})
+}
+
+// Or returns the disjunction of the arguments (false when empty).
+func (c *Ctx) Or(args ...*Term) *Term {
+	neg := make([]*Term, len(args))
+	for i, a := range args {
+		mustBool("Or", a)
+		neg[i] = c.Not(a)
+	}
+	return c.Not(c.And(neg...))
+}
+
+// Implies returns a -> b.
+func (c *Ctx) Implies(a, b *Term) *Term { return c.Or(c.Not(a), b) }
+
+// Iff returns a <-> b.
+func (c *Ctx) Iff(a, b *Term) *Term {
+	mustBool("Iff", a)
+	mustBool("Iff", b)
+	if a == b {
+		return c.true_
+	}
+	if a.Op == OpBoolConst {
+		if a.ConstBool() {
+			return b
+		}
+		return c.Not(b)
+	}
+	if b.Op == OpBoolConst {
+		if b.ConstBool() {
+			return a
+		}
+		return c.Not(a)
+	}
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	return c.intern(&Term{Op: OpIff, Args: []*Term{a, b}})
+}
+
+// BoolIte returns if cond then a else b over booleans.
+func (c *Ctx) BoolIte(cond, a, b *Term) *Term {
+	mustBool("BoolIte", cond)
+	mustBool("BoolIte", a)
+	mustBool("BoolIte", b)
+	if cond.Op == OpBoolConst {
+		if cond.ConstBool() {
+			return a
+		}
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return c.intern(&Term{Op: OpBoolIte, Args: []*Term{cond, a, b}})
+}
+
+// ---- bit-vector constructors ----
+
+// BV returns the bit-vector constant v of the given width.
+func (c *Ctx) BV(v uint64, width int) *Term {
+	return c.BVBig(new(big.Int).SetUint64(v), width)
+}
+
+// BVBig returns the bit-vector constant v (mod 2^width) of the given width.
+func (c *Ctx) BVBig(v *big.Int, width int) *Term {
+	if width <= 0 {
+		panic("smt: BV width must be positive")
+	}
+	return c.intern(&Term{Op: OpBVConst, Width: width, Val: normConst(v, width)})
+}
+
+// Var returns the bit-vector variable with the given name and width.
+func (c *Ctx) Var(name string, width int) *Term {
+	if width <= 0 {
+		panic("smt: Var width must be positive")
+	}
+	return c.intern(&Term{Op: OpBVVar, Width: width, Name: name})
+}
+
+func mustBool(op string, t *Term) {
+	if !t.IsBool() {
+		panic("smt: " + op + " requires boolean operand, got width " +
+			fmt.Sprint(t.Width))
+	}
+}
+
+func mustSameWidth(op string, a, b *Term) {
+	if a.IsBool() || b.IsBool() || a.Width != b.Width {
+		panic(fmt.Sprintf("smt: %s requires equal-width bit-vectors (got %d, %d)",
+			op, a.Width, b.Width))
+	}
+}
+
+func (c *Ctx) bvBin(op Op, a, b *Term, fold func(x, y *big.Int, w int) *big.Int, commutative bool) *Term {
+	mustSameWidth(opNames[op], a, b)
+	if a.Op == OpBVConst && b.Op == OpBVConst {
+		return c.BVBig(fold(a.Val, b.Val, a.Width), a.Width)
+	}
+	if commutative && a.ID > b.ID {
+		a, b = b, a
+	}
+	return c.intern(&Term{Op: op, Width: a.Width, Args: []*Term{a, b}})
+}
+
+// BVNot returns the bitwise complement of a.
+func (c *Ctx) BVNot(a *Term) *Term {
+	if a.Op == OpBVConst {
+		v := new(big.Int).Xor(a.Val, maskFor(a.Width))
+		return c.BVBig(v, a.Width)
+	}
+	if a.Op == OpBVNot {
+		return a.Args[0]
+	}
+	return c.intern(&Term{Op: OpBVNot, Width: a.Width, Args: []*Term{a}})
+}
+
+// BVNeg returns the two's-complement negation of a.
+func (c *Ctx) BVNeg(a *Term) *Term {
+	if a.Op == OpBVConst {
+		return c.BVBig(new(big.Int).Neg(a.Val), a.Width)
+	}
+	return c.intern(&Term{Op: OpBVNeg, Width: a.Width, Args: []*Term{a}})
+}
+
+// BVAnd returns the bitwise AND of a and b.
+func (c *Ctx) BVAnd(a, b *Term) *Term {
+	if b.Op == OpBVConst && a.Op != OpBVConst {
+		a, b = b, a
+	}
+	if a.Op == OpBVConst {
+		if a.Val.Sign() == 0 {
+			return a
+		}
+		if a.Val.Cmp(maskFor(a.Width)) == 0 {
+			return b
+		}
+	}
+	if a == b {
+		return a
+	}
+	return c.bvBin(OpBVAnd, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).And(x, y)
+	}, true)
+}
+
+// BVOr returns the bitwise OR of a and b.
+func (c *Ctx) BVOr(a, b *Term) *Term {
+	if b.Op == OpBVConst && a.Op != OpBVConst {
+		a, b = b, a
+	}
+	if a.Op == OpBVConst {
+		if a.Val.Sign() == 0 {
+			return b
+		}
+		if a.Val.Cmp(maskFor(a.Width)) == 0 {
+			return a
+		}
+	}
+	if a == b {
+		return a
+	}
+	return c.bvBin(OpBVOr, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Or(x, y)
+	}, true)
+}
+
+// BVXor returns the bitwise XOR of a and b.
+func (c *Ctx) BVXor(a, b *Term) *Term {
+	if a == b {
+		return c.BV(0, a.Width)
+	}
+	return c.bvBin(OpBVXor, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Xor(x, y)
+	}, true)
+}
+
+// BVAdd returns a + b (mod 2^width).
+func (c *Ctx) BVAdd(a, b *Term) *Term {
+	if b.Op == OpBVConst && b.Val.Sign() == 0 {
+		return a
+	}
+	if a.Op == OpBVConst && a.Val.Sign() == 0 {
+		return b
+	}
+	return c.bvBin(OpBVAdd, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Add(x, y)
+	}, true)
+}
+
+// BVSub returns a - b (mod 2^width).
+func (c *Ctx) BVSub(a, b *Term) *Term {
+	if b.Op == OpBVConst && b.Val.Sign() == 0 {
+		return a
+	}
+	if a == b {
+		return c.BV(0, a.Width)
+	}
+	return c.bvBin(OpBVSub, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Sub(x, y)
+	}, false)
+}
+
+// BVMul returns a * b (mod 2^width).
+func (c *Ctx) BVMul(a, b *Term) *Term {
+	if b.Op == OpBVConst && a.Op != OpBVConst {
+		a, b = b, a
+	}
+	if a.Op == OpBVConst {
+		if a.Val.Sign() == 0 {
+			return a
+		}
+		if a.Val.Cmp(big.NewInt(1)) == 0 {
+			return b
+		}
+	}
+	return c.bvBin(OpBVMul, a, b, func(x, y *big.Int, w int) *big.Int {
+		return new(big.Int).Mul(x, y)
+	}, true)
+}
+
+// BVShl returns a << b (filling with zeros).
+func (c *Ctx) BVShl(a, b *Term) *Term {
+	if b.Op == OpBVConst && b.Val.Sign() == 0 {
+		return a
+	}
+	return c.bvBin(OpBVShl, a, b, func(x, y *big.Int, w int) *big.Int {
+		if !y.IsUint64() || y.Uint64() >= uint64(w) {
+			return big.NewInt(0)
+		}
+		return new(big.Int).Lsh(x, uint(y.Uint64()))
+	}, false)
+}
+
+// BVLshr returns a >> b (logical).
+func (c *Ctx) BVLshr(a, b *Term) *Term {
+	if b.Op == OpBVConst && b.Val.Sign() == 0 {
+		return a
+	}
+	return c.bvBin(OpBVLshr, a, b, func(x, y *big.Int, w int) *big.Int {
+		if !y.IsUint64() || y.Uint64() >= uint64(w) {
+			return big.NewInt(0)
+		}
+		return new(big.Int).Rsh(x, uint(y.Uint64()))
+	}, false)
+}
+
+// Concat returns hi ++ lo, with hi occupying the upper bits.
+func (c *Ctx) Concat(hi, lo *Term) *Term {
+	if hi.IsBool() || lo.IsBool() {
+		panic("smt: Concat requires bit-vectors")
+	}
+	if hi.Op == OpBVConst && lo.Op == OpBVConst {
+		v := new(big.Int).Lsh(hi.Val, uint(lo.Width))
+		v.Or(v, lo.Val)
+		return c.BVBig(v, hi.Width+lo.Width)
+	}
+	return c.intern(&Term{Op: OpBVConcat, Width: hi.Width + lo.Width, Args: []*Term{hi, lo}})
+}
+
+// Extract returns bits hi..lo (inclusive, 0-indexed from LSB) of a.
+func (c *Ctx) Extract(a *Term, hi, lo int) *Term {
+	if a.IsBool() {
+		panic("smt: Extract requires a bit-vector")
+	}
+	if hi < lo || lo < 0 || hi >= a.Width {
+		panic(fmt.Sprintf("smt: Extract [%d:%d] out of range for width %d", hi, lo, a.Width))
+	}
+	if hi == a.Width-1 && lo == 0 {
+		return a
+	}
+	if a.Op == OpBVConst {
+		v := new(big.Int).Rsh(a.Val, uint(lo))
+		return c.BVBig(v, hi-lo+1)
+	}
+	if a.Op == OpBVExtract {
+		return c.Extract(a.Args[0], a.Lo+hi, a.Lo+lo)
+	}
+	return c.intern(&Term{Op: OpBVExtract, Width: hi - lo + 1, Args: []*Term{a}, Hi: hi, Lo: lo})
+}
+
+// ZeroExt widens a to the given width by prepending zero bits.
+func (c *Ctx) ZeroExt(a *Term, width int) *Term {
+	if width < a.Width {
+		panic("smt: ZeroExt target narrower than operand")
+	}
+	if width == a.Width {
+		return a
+	}
+	return c.Concat(c.BV(0, width-a.Width), a)
+}
+
+// Resize widens (zero-extends) or narrows (truncates) a to width.
+func (c *Ctx) Resize(a *Term, width int) *Term {
+	switch {
+	case width == a.Width:
+		return a
+	case width > a.Width:
+		return c.ZeroExt(a, width)
+	default:
+		return c.Extract(a, width-1, 0)
+	}
+}
+
+// Ite returns if cond then a else b over equal-width bit-vectors.
+func (c *Ctx) Ite(cond, a, b *Term) *Term {
+	mustBool("Ite", cond)
+	mustSameWidth("Ite", a, b)
+	if cond.Op == OpBoolConst {
+		if cond.ConstBool() {
+			return a
+		}
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return c.intern(&Term{Op: OpBVIte, Width: a.Width, Args: []*Term{cond, a, b}})
+}
+
+// Eq returns a == b over equal-width bit-vectors.
+func (c *Ctx) Eq(a, b *Term) *Term {
+	mustSameWidth("Eq", a, b)
+	if a == b {
+		return c.true_
+	}
+	if a.Op == OpBVConst && b.Op == OpBVConst {
+		return c.Bool(a.Val.Cmp(b.Val) == 0)
+	}
+	if a.ID > b.ID {
+		a, b = b, a
+	}
+	return c.intern(&Term{Op: OpEq, Args: []*Term{a, b}})
+}
+
+// Neq returns a != b.
+func (c *Ctx) Neq(a, b *Term) *Term { return c.Not(c.Eq(a, b)) }
+
+// Ult returns a < b (unsigned).
+func (c *Ctx) Ult(a, b *Term) *Term {
+	mustSameWidth("Ult", a, b)
+	if a == b {
+		return c.false_
+	}
+	if a.Op == OpBVConst && b.Op == OpBVConst {
+		return c.Bool(a.Val.Cmp(b.Val) < 0)
+	}
+	return c.intern(&Term{Op: OpUlt, Args: []*Term{a, b}})
+}
+
+// Ule returns a <= b (unsigned).
+func (c *Ctx) Ule(a, b *Term) *Term {
+	mustSameWidth("Ule", a, b)
+	if a == b {
+		return c.true_
+	}
+	if a.Op == OpBVConst && b.Op == OpBVConst {
+		return c.Bool(a.Val.Cmp(b.Val) <= 0)
+	}
+	return c.intern(&Term{Op: OpUle, Args: []*Term{a, b}})
+}
+
+// Ugt returns a > b (unsigned).
+func (c *Ctx) Ugt(a, b *Term) *Term { return c.Ult(b, a) }
+
+// Uge returns a >= b (unsigned).
+func (c *Ctx) Uge(a, b *Term) *Term { return c.Ule(b, a) }
+
+// Vars returns the free variables of t, sorted by name.
+func Vars(t *Term) []*Term {
+	seen := map[int]bool{}
+	var out []*Term
+	var walk func(*Term)
+	walk = func(x *Term) {
+		if seen[x.ID] {
+			return
+		}
+		seen[x.ID] = true
+		if x.Op == OpBVVar || x.Op == OpBoolVar {
+			out = append(out, x)
+			return
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TermSize returns the number of distinct subterms of t (DAG size).
+func TermSize(t *Term) int {
+	seen := map[int]bool{}
+	var walk func(*Term)
+	walk = func(x *Term) {
+		if seen[x.ID] {
+			return
+		}
+		seen[x.ID] = true
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return len(seen)
+}

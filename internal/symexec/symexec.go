@@ -1,0 +1,937 @@
+// Package symexec implements a Vera-style verification baseline (§8): an
+// explicit path-enumerating symbolic executor over the P4 IR. Where
+// Aquila's sequential encoding merges control flow into one compact
+// formula, this engine forks at every parser select, table entry and
+// conditional, solving per-path feasibility queries — the strategy whose
+// path explosion the paper's Table 3 demonstrates on production-scale
+// programs.
+package symexec
+
+import (
+	"fmt"
+	"time"
+
+	"aquila/internal/p4"
+	"aquila/internal/smt"
+	"aquila/internal/tables"
+)
+
+// ErrPathExplosion reports that the engine exceeded its path budget — the
+// analogue of Vera's OOT entries in Table 3.
+type ErrPathExplosion struct {
+	Paths int
+}
+
+func (e *ErrPathExplosion) Error() string {
+	return fmt.Sprintf("symexec: path budget exceeded (%d paths)", e.Paths)
+}
+
+// Options configures the engine.
+type Options struct {
+	// MaxPaths aborts the exploration beyond this many explored paths
+	// (default 100000).
+	MaxPaths int
+	// LoopBound bounds parser loops (default 4).
+	LoopBound int
+	// Deadline bounds wall-clock time (zero: none).
+	Deadline time.Duration
+	// SolveEveryFork prunes infeasible paths eagerly with a solver call at
+	// each fork, like Vera; costs many small queries.
+	SolveEveryFork bool
+}
+
+// Property is the checked property: a function producing the asserted
+// condition from the final symbolic state of each path. The engine reports
+// paths whose condition can be false.
+type Property func(ctx *smt.Ctx, get func(name string, width int) *smt.Term) *smt.Term
+
+// Violation is a failing path.
+type Violation struct {
+	PathCond *smt.Term
+	Model    *smt.Model
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	Paths      int
+	Violations []*Violation
+	Time       time.Duration
+}
+
+// Engine is the symbolic executor.
+type Engine struct {
+	ctx   *smt.Ctx
+	prog  *p4.Program
+	snap  *tables.Snapshot
+	opts  Options
+	fresh int
+
+	headerIDs map[string]uint64
+	headers   []string
+	solver    *smt.Solver
+	start     time.Time
+}
+
+// New returns an engine over prog (+ optional snapshot).
+func New(prog *p4.Program, snap *tables.Snapshot, opts Options) *Engine {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 100000
+	}
+	if opts.LoopBound == 0 {
+		opts.LoopBound = 4
+	}
+	ctx := smt.NewCtx()
+	e := &Engine{ctx: ctx, prog: prog, snap: snap, opts: opts, headerIDs: map[string]uint64{}}
+	i := 0
+	for _, inst := range prog.Instances {
+		if inst.IsHeader {
+			i++
+			e.headerIDs[inst.Name] = uint64(i)
+			e.headers = append(e.headers, inst.Name)
+		}
+	}
+	e.solver = smt.NewSolver(ctx)
+	return e
+}
+
+// Ctx exposes the engine's term context (for building assumptions).
+func (e *Engine) Ctx() *smt.Ctx { return e.ctx }
+
+// pathState is one execution path.
+type pathState struct {
+	vals   map[string]*smt.Term
+	cond   *smt.Term
+	extIdx int
+}
+
+func (s *pathState) clone() *pathState {
+	c := &pathState{vals: make(map[string]*smt.Term, len(s.vals)), cond: s.cond, extIdx: s.extIdx}
+	for k, v := range s.vals {
+		c.vals[k] = v
+	}
+	return c
+}
+
+func (e *Engine) get(s *pathState, name string, width int) *smt.Term {
+	if v, ok := s.vals[name]; ok {
+		return v
+	}
+	if width == 0 {
+		return e.ctx.BoolVar(name)
+	}
+	return e.ctx.Var(name, width)
+}
+
+// Run explores the named components and checks the property on every
+// complete path.
+func (e *Engine) Run(components []string, assume *smt.Term, prop Property) (*Result, error) {
+	e.start = time.Now()
+	res := &Result{}
+	c := e.ctx
+	init := &pathState{vals: map[string]*smt.Term{}, cond: c.True()}
+	for _, h := range e.headers {
+		init.vals[h+".$valid"] = c.False()
+	}
+	for _, f := range []string{"drop", "to_cpu", "recirc", "resubmit", "mirror"} {
+		init.vals["std_meta."+f] = c.BV(0, 1)
+	}
+	for ctlName, ctl := range e.prog.Controls {
+		for tn := range ctl.Tables {
+			init.vals["$applied."+ctlName+"."+tn] = c.False()
+			init.vals["$hit."+ctlName+"."+tn] = c.False()
+			init.vals["$action."+ctlName+"."+tn] = c.BV(0, 16)
+		}
+	}
+	if assume != nil {
+		init.cond = c.And(init.cond, assume)
+	}
+	paths, err := e.runComponents(components, init, res)
+	if err != nil {
+		return res, err
+	}
+	for _, p := range paths {
+		check := prop(c, func(name string, width int) *smt.Term { return e.get(p, name, width) })
+		violation := c.And(p.cond, c.Not(check))
+		if e.solver.Check(violation) == smt.Sat {
+			m := e.solver.Model()
+			e.solver.ModelCollect(m, violation)
+			res.Violations = append(res.Violations, &Violation{PathCond: violation, Model: m})
+		}
+	}
+	res.Time = time.Since(e.start)
+	return res, nil
+}
+
+func (e *Engine) budgetCheck(res *Result) error {
+	if res.Paths > e.opts.MaxPaths {
+		return &ErrPathExplosion{Paths: res.Paths}
+	}
+	if e.opts.Deadline > 0 && time.Since(e.start) > e.opts.Deadline {
+		return &ErrPathExplosion{Paths: res.Paths}
+	}
+	return nil
+}
+
+func (e *Engine) runComponents(components []string, s *pathState, res *Result) ([]*pathState, error) {
+	paths := []*pathState{s}
+	for _, comp := range components {
+		var next []*pathState
+		for _, p := range paths {
+			out, err := e.runComponent(comp, p, res)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, out...)
+		}
+		paths = next
+	}
+	return paths, nil
+}
+
+func (e *Engine) runComponent(name string, s *pathState, res *Result) ([]*pathState, error) {
+	if _, ok := e.prog.Parsers[name]; ok {
+		return e.runParser(name, s, res)
+	}
+	if _, ok := e.prog.Controls[name]; ok {
+		ctl := e.prog.Controls[name]
+		return e.runStmts(ctl, ctl.Apply, s, nil, res)
+	}
+	if pl, ok := e.prog.Pipelines[name]; ok {
+		var comps []string
+		if pl.Parser != "" {
+			comps = append(comps, pl.Parser)
+		}
+		if pl.Control != "" {
+			comps = append(comps, pl.Control)
+		}
+		return e.runComponents(comps, s, res)
+	}
+	if _, ok := e.prog.Deparsers[name]; ok {
+		return []*pathState{s}, nil // deparsing has no property-relevant effect here
+	}
+	return nil, fmt.Errorf("symexec: unknown component %q", name)
+}
+
+// fork registers a new path branch, with optional eager feasibility
+// pruning.
+func (e *Engine) fork(s *pathState, cond *smt.Term, res *Result) (*pathState, bool, error) {
+	ns := s.clone()
+	ns.cond = e.ctx.And(ns.cond, cond)
+	res.Paths++
+	if err := e.budgetCheck(res); err != nil {
+		return nil, false, err
+	}
+	if ns.cond == e.ctx.False() {
+		return nil, false, nil
+	}
+	if e.opts.SolveEveryFork {
+		if e.solver.Check(ns.cond) != smt.Sat {
+			return nil, false, nil
+		}
+	}
+	return ns, true, nil
+}
+
+func (e *Engine) runParser(name string, s *pathState, res *Result) ([]*pathState, error) {
+	pr := e.prog.Parsers[name]
+	s.vals["$accept."+name] = e.ctx.False()
+	s.vals["$reject."+name] = e.ctx.False()
+	return e.runParserState(pr, pr.Start, s, map[string]int{}, res)
+}
+
+func (e *Engine) runParserState(pr *p4.Parser, stName string, s *pathState, visits map[string]int, res *Result) ([]*pathState, error) {
+	c := e.ctx
+	switch stName {
+	case "accept":
+		s.vals["$accept."+pr.Name] = c.True()
+		return []*pathState{s}, nil
+	case "reject":
+		s.vals["$reject."+pr.Name] = c.True()
+		return []*pathState{s}, nil
+	}
+	if visits[stName] >= e.opts.LoopBound {
+		return nil, nil // prune paths beyond the loop bound
+	}
+	visits[stName]++
+	defer func() { visits[stName]-- }()
+
+	st := pr.States[stName]
+	for _, raw := range st.Stmts {
+		if err := e.parserStmt(raw, s); err != nil {
+			return nil, err
+		}
+	}
+	tr := st.Trans
+	if tr.Kind == p4.TransDirect {
+		return e.runParserState(pr, tr.Target, s, visits, res)
+	}
+	scrut, err := e.expr(tr.Expr, s, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []*pathState
+	notPrev := c.True()
+	sawDefault := false
+	for _, cs := range tr.Cases {
+		var match *smt.Term
+		if cs.IsDefault {
+			match = c.True()
+			sawDefault = true
+		} else if cs.HasMask {
+			mask := c.BV(cs.Mask, scrut.Width)
+			match = c.Eq(c.BVAnd(scrut, mask), c.BVAnd(c.BV(cs.Val, scrut.Width), mask))
+		} else {
+			match = c.Eq(scrut, c.BV(cs.Val, scrut.Width))
+		}
+		branchCond := c.And(notPrev, match)
+		notPrev = c.And(notPrev, c.Not(match))
+		ns, feasible, err := e.fork(s, branchCond, res)
+		if err != nil {
+			return nil, err
+		}
+		if !feasible {
+			continue
+		}
+		sub, err := e.runParserState(pr, cs.Target, ns, visits, res)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+		if cs.IsDefault {
+			break
+		}
+	}
+	if !sawDefault {
+		ns, feasible, err := e.fork(s, notPrev, res)
+		if err != nil {
+			return nil, err
+		}
+		if feasible {
+			ns.vals["$reject."+pr.Name] = c.True()
+			out = append(out, ns)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) parserStmt(raw p4.Stmt, s *pathState) error {
+	c := e.ctx
+	switch st := raw.(type) {
+	case *p4.ExtractStmt:
+		ht := e.prog.InstanceType(st.Header)
+		for _, f := range ht.Fields {
+			s.vals[st.Header+"."+f.Name] = c.Var("pkt."+st.Header+"."+f.Name, f.Width)
+		}
+		if s.extIdx < len(e.headers) {
+			slot := e.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx), 8)
+			s.cond = c.And(s.cond, c.Eq(slot, c.BV(e.headerIDs[st.Header], 8)))
+		} else {
+			s.cond = c.False()
+		}
+		s.vals[st.Header+".$valid"] = c.True()
+		s.extIdx++
+	case *p4.AssignStmt:
+		return e.assign(st, s, nil)
+	case *p4.SetValidStmt:
+		s.vals[st.Header+".$valid"] = c.Bool(st.Valid)
+	default:
+		return fmt.Errorf("symexec: unsupported parser statement %T", raw)
+	}
+	return nil
+}
+
+func (e *Engine) runStmts(ctl *p4.Control, stmts []p4.Stmt, s *pathState, params map[string]*smt.Term, res *Result) ([]*pathState, error) {
+	paths := []*pathState{s}
+	for _, raw := range stmts {
+		var next []*pathState
+		for _, p := range paths {
+			out, err := e.ctlStmt(ctl, raw, p, params, res)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, out...)
+		}
+		paths = next
+	}
+	return paths, nil
+}
+
+func (e *Engine) ctlStmt(ctl *p4.Control, raw p4.Stmt, s *pathState, params map[string]*smt.Term, res *Result) ([]*pathState, error) {
+	c := e.ctx
+	switch st := raw.(type) {
+	case *p4.ApplyStmt:
+		return e.applyTable(ctl, ctl.Tables[st.Table], s, res)
+	case *p4.IfApplyStmt:
+		paths, err := e.applyTable(ctl, ctl.Tables[st.Table], s, res)
+		if err != nil {
+			return nil, err
+		}
+		var out []*pathState
+		for _, p := range paths {
+			hit := e.get(p, "$hit."+ctl.Name+"."+st.Table, 0)
+			if h, feasible, err := e.fork(p, hit, res); err != nil {
+				return nil, err
+			} else if feasible {
+				sub, err := e.runStmts(ctl, st.OnHit, h, params, res)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+			if m, feasible, err := e.fork(p, c.Not(hit), res); err != nil {
+				return nil, err
+			} else if feasible {
+				sub, err := e.runStmts(ctl, st.OnMis, m, params, res)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+		}
+		return out, nil
+	case *p4.IfStmt:
+		cond, err := e.expr(st.Cond, s, params, -1)
+		if err != nil {
+			return nil, err
+		}
+		if !cond.IsBool() {
+			cond = c.Neq(cond, c.BV(0, cond.Width))
+		}
+		var out []*pathState
+		if t, feasible, err := e.fork(s, cond, res); err != nil {
+			return nil, err
+		} else if feasible {
+			sub, err := e.runStmts(ctl, st.Then, t, params, res)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		if f, feasible, err := e.fork(s, c.Not(cond), res); err != nil {
+			return nil, err
+		} else if feasible {
+			sub, err := e.runStmts(ctl, st.Else, f, params, res)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case *p4.CallActionStmt:
+		act := ctl.Actions[st.Action]
+		args := make([]*smt.Term, len(st.Args))
+		for i, a := range st.Args {
+			t, err := e.expr(a, s, params, act.Params[i].Width)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = t
+		}
+		return e.runAction(ctl, act, args, s, res)
+	case *p4.AssignStmt:
+		return []*pathState{s}, e.assign(st, s, params)
+	case *p4.SetValidStmt:
+		s.vals[st.Header+".$valid"] = c.Bool(st.Valid)
+		return []*pathState{s}, nil
+	case *p4.PrimitiveStmt:
+		field := map[string]string{
+			"drop": "drop", "to_cpu": "to_cpu", "recirculate": "recirc",
+			"resubmit": "resubmit", "mirror": "mirror",
+		}[st.Name]
+		s.vals["std_meta."+field] = c.BV(1, 1)
+		return []*pathState{s}, nil
+	case *p4.RegReadStmt:
+		reg := e.prog.Registers[st.Reg]
+		return []*pathState{s}, e.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: e.get(s, "reg."+st.Reg, reg.Width)}}, s, params)
+	case *p4.RegWriteStmt:
+		reg := e.prog.Registers[st.Reg]
+		v, err := e.expr(st.Val, s, params, reg.Width)
+		if err != nil {
+			return nil, err
+		}
+		s.vals["reg."+st.Reg] = v
+		return []*pathState{s}, nil
+	case *p4.CountStmt:
+		reg := e.prog.Registers[st.Counter]
+		cur := e.get(s, "reg."+st.Counter, reg.Width)
+		s.vals["reg."+st.Counter] = c.BVAdd(cur, c.BV(1, reg.Width))
+		return []*pathState{s}, nil
+	case *p4.ExecuteMeterStmt:
+		e.fresh++
+		w := 32
+		if fr, ok := st.Dst.(*p4.FieldRef); ok {
+			w = e.prog.InstanceType(fr.Instance).Field(fr.Field).Width
+		}
+		h := c.Var(fmt.Sprintf("$symhash.%d", e.fresh), w)
+		return []*pathState{s}, e.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: h}}, s, params)
+	case *p4.HashStmt:
+		e.fresh++
+		w := 32
+		if fr, ok := st.Dst.(*p4.FieldRef); ok {
+			w = e.prog.InstanceType(fr.Instance).Field(fr.Field).Width
+		}
+		h := c.Var(fmt.Sprintf("$symhash.%d", e.fresh), w)
+		return []*pathState{s}, e.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: h}}, s, params)
+	case *p4.SwitchApplyStmt:
+		paths, err := e.applyTable(ctl, ctl.Tables[st.Table], s, res)
+		if err != nil {
+			return nil, err
+		}
+		tbl := ctl.Tables[st.Table]
+		laidOf := func(a string) uint64 {
+			for i, an := range tbl.Actions {
+				if an == a {
+					return uint64(i + 1)
+				}
+			}
+			return 0
+		}
+		var out []*pathState
+		for _, p := range paths {
+			av := e.get(p, "$action."+ctl.Name+"."+st.Table, 16)
+			covered := c.False()
+			for _, cs := range st.Cases {
+				cond := c.Eq(av, c.BV(laidOf(cs.Action), 16))
+				if tbl.DefaultAction == cs.Action {
+					cond = c.Or(cond, c.Eq(av, c.BV(0, 16)))
+				}
+				covered = c.Or(covered, cond)
+				if b, feasible, err := e.fork(p, cond, res); err != nil {
+					return nil, err
+				} else if feasible {
+					sub, err := e.runStmts(ctl, cs.Body, b, params, res)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, sub...)
+				}
+			}
+			if d, feasible, err := e.fork(p, c.Not(covered), res); err != nil {
+				return nil, err
+			} else if feasible {
+				sub, err := e.runStmts(ctl, st.Default, d, params, res)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("symexec: unsupported statement %T", raw)
+}
+
+func (e *Engine) runAction(ctl *p4.Control, act *p4.Action, args []*smt.Term, s *pathState, res *Result) ([]*pathState, error) {
+	params := map[string]*smt.Term{}
+	for i, pm := range act.Params {
+		params[pm.Name] = args[i]
+	}
+	return e.runStmts(ctl, act.Body, s, params, res)
+}
+
+// applyTable forks one path per entry (plus the miss path) — Vera's
+// per-rule exploration.
+func (e *Engine) applyTable(ctl *p4.Control, tbl *p4.Table, s *pathState, res *Result) ([]*pathState, error) {
+	c := e.ctx
+	keys := make([]*smt.Term, len(tbl.Keys))
+	for i, k := range tbl.Keys {
+		t, err := e.expr(k.Expr, s, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = t
+	}
+	laidOf := func(a string) uint64 {
+		for i, an := range tbl.Actions {
+			if an == a {
+				return uint64(i + 1)
+			}
+		}
+		return 0
+	}
+	ents := e.entriesFor(ctl, tbl)
+	var out []*pathState
+	if ents == nil {
+		// Unknown entries: one branch per installable action + miss.
+		for _, an := range tbl.Actions {
+			if tbl.DefaultOnly[an] || ctl.Actions[an] == nil {
+				continue
+			}
+			act := ctl.Actions[an]
+			ns, feasible, err := e.fork(s, c.True(), res)
+			if err != nil {
+				return nil, err
+			}
+			if !feasible {
+				continue
+			}
+			ns.vals["$applied."+ctl.Name+"."+tbl.Name] = c.True()
+			ns.vals["$hit."+ctl.Name+"."+tbl.Name] = c.True()
+			ns.vals["$action."+ctl.Name+"."+tbl.Name] = c.BV(laidOf(an), 16)
+			args := make([]*smt.Term, len(act.Params))
+			for j, pm := range act.Params {
+				e.fresh++
+				args[j] = c.Var(fmt.Sprintf("$symarg.%d", e.fresh), pm.Width)
+			}
+			sub, err := e.runAction(ctl, act, args, ns, res)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		miss, feasible, err := e.fork(s, c.True(), res)
+		if err != nil {
+			return nil, err
+		}
+		if feasible {
+			sub, err := e.runTableMiss(ctl, tbl, miss, res)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	}
+	notPrev := c.True()
+	for _, ent := range ents {
+		match := e.matchTerm(keys, ent)
+		branchCond := c.And(notPrev, match)
+		notPrev = c.And(notPrev, c.Not(match))
+		ns, feasible, err := e.fork(s, branchCond, res)
+		if err != nil {
+			return nil, err
+		}
+		if !feasible {
+			continue
+		}
+		ns.vals["$applied."+ctl.Name+"."+tbl.Name] = c.True()
+		ns.vals["$hit."+ctl.Name+"."+tbl.Name] = c.True()
+		ns.vals["$action."+ctl.Name+"."+tbl.Name] = c.BV(laidOf(ent.Action), 16)
+		act := ctl.Actions[ent.Action]
+		if act != nil {
+			args := make([]*smt.Term, len(act.Params))
+			for j, pm := range act.Params {
+				var v uint64
+				if j < len(ent.Args) {
+					v = ent.Args[j]
+				}
+				args[j] = c.BV(v, pm.Width)
+			}
+			sub, err := e.runAction(ctl, act, args, ns, res)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		} else {
+			out = append(out, ns)
+		}
+	}
+	miss, feasible, err := e.fork(s, notPrev, res)
+	if err != nil {
+		return nil, err
+	}
+	if feasible {
+		sub, err := e.runTableMiss(ctl, tbl, miss, res)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+func (e *Engine) runTableMiss(ctl *p4.Control, tbl *p4.Table, s *pathState, res *Result) ([]*pathState, error) {
+	c := e.ctx
+	s.vals["$applied."+ctl.Name+"."+tbl.Name] = c.True()
+	s.vals["$hit."+ctl.Name+"."+tbl.Name] = c.False()
+	s.vals["$action."+ctl.Name+"."+tbl.Name] = c.BV(0, 16)
+	act := ctl.Actions[tbl.DefaultAction]
+	if act == nil {
+		return []*pathState{s}, nil
+	}
+	args := make([]*smt.Term, len(act.Params))
+	for j, pm := range act.Params {
+		var v uint64
+		if j < len(tbl.DefaultArgs) {
+			if lit, ok := tbl.DefaultArgs[j].(*p4.IntLit); ok {
+				v = lit.Val
+			}
+		}
+		args[j] = c.BV(v, pm.Width)
+	}
+	return e.runAction(ctl, act, args, s, res)
+}
+
+func (e *Engine) entriesFor(ctl *p4.Control, tbl *p4.Table) []*tables.Entry {
+	fq := ctl.Name + "." + tbl.Name
+	if e.snap != nil && e.snap.Has(fq) {
+		return e.snap.Entries(fq)
+	}
+	if len(tbl.ConstEntries) > 0 {
+		var out []*tables.Entry
+		for _, ce := range tbl.ConstEntries {
+			ent := &tables.Entry{Action: ce.Action, Args: append([]uint64(nil), ce.Args...)}
+			for i := range ce.KeyVals {
+				if ce.KeyMasks[i] == 0 {
+					ent.Keys = append(ent.Keys, tables.Wildcard())
+				} else {
+					ent.Keys = append(ent.Keys, tables.Exact(ce.KeyVals[i]))
+				}
+			}
+			out = append(out, ent)
+		}
+		return out
+	}
+	return nil
+}
+
+func (e *Engine) matchTerm(keys []*smt.Term, ent *tables.Entry) *smt.Term {
+	c := e.ctx
+	cond := c.True()
+	for i, km := range ent.Keys {
+		if i >= len(keys) {
+			break
+		}
+		k := keys[i]
+		switch {
+		case km.IsRange:
+			cond = c.And(cond, c.Ule(c.BV(km.Value, k.Width), k), c.Ule(k, c.BV(km.High, k.Width)))
+		case km.PrefixLen >= 0:
+			var mask uint64
+			for b := 0; b < km.PrefixLen && b < k.Width; b++ {
+				mask |= 1 << uint(k.Width-1-b)
+			}
+			mv := c.BV(mask, k.Width)
+			cond = c.And(cond, c.Eq(c.BVAnd(k, mv), c.BVAnd(c.BV(km.Value, k.Width), mv)))
+		case km.Mask == ^uint64(0):
+			cond = c.And(cond, c.Eq(k, c.BV(km.Value, k.Width)))
+		case km.Mask == 0:
+		default:
+			mv := c.BV(km.Mask, k.Width)
+			cond = c.And(cond, c.Eq(c.BVAnd(k, mv), c.BVAnd(c.BV(km.Value, k.Width), mv)))
+		}
+	}
+	return cond
+}
+
+func (e *Engine) assign(st *p4.AssignStmt, s *pathState, params map[string]*smt.Term) error {
+	c := e.ctx
+	switch lhs := st.LHS.(type) {
+	case *p4.FieldRef:
+		w := e.prog.InstanceType(lhs.Instance).Field(lhs.Field).Width
+		rhs, err := e.expr(st.RHS, s, params, w)
+		if err != nil {
+			return err
+		}
+		s.vals[lhs.Instance+"."+lhs.Field] = c.Resize(rhs, w)
+		return nil
+	case *p4.SliceExpr:
+		fr, ok := lhs.X.(*p4.FieldRef)
+		if !ok {
+			return fmt.Errorf("symexec: slice base must be a field")
+		}
+		w := e.prog.InstanceType(fr.Instance).Field(fr.Field).Width
+		cur := e.get(s, fr.Instance+"."+fr.Field, w)
+		rhs, err := e.expr(st.RHS, s, params, lhs.Hi-lhs.Lo+1)
+		if err != nil {
+			return err
+		}
+		nv := c.Resize(rhs, lhs.Hi-lhs.Lo+1)
+		var parts *smt.Term
+		if lhs.Hi < w-1 {
+			parts = c.Extract(cur, w-1, lhs.Hi+1)
+		}
+		if parts == nil {
+			parts = nv
+		} else {
+			parts = c.Concat(parts, nv)
+		}
+		if lhs.Lo > 0 {
+			parts = c.Concat(parts, c.Extract(cur, lhs.Lo-1, 0))
+		}
+		s.vals[fr.Instance+"."+fr.Field] = parts
+		return nil
+	}
+	return fmt.Errorf("symexec: unsupported lvalue %T", st.LHS)
+}
+
+func (e *Engine) expr(x p4.Expr, s *pathState, params map[string]*smt.Term, want int) (*smt.Term, error) {
+	c := e.ctx
+	switch v := x.(type) {
+	case *p4.ExternExpr:
+		return v.X.(*smt.Term), nil
+	case *p4.IntLit:
+		w := v.Width
+		if w == 0 {
+			w = want
+		}
+		if w <= 0 {
+			w = 32
+		}
+		return c.BV(v.Val, w), nil
+	case *p4.FieldRef:
+		return e.get(s, v.Instance+"."+v.Field, e.prog.InstanceType(v.Instance).Field(v.Field).Width), nil
+	case *p4.VarRef:
+		if t, ok := params[v.Name]; ok {
+			return t, nil
+		}
+		if cv, ok := e.prog.Consts[v.Name]; ok {
+			w := want
+			if w <= 0 {
+				w = 32
+			}
+			return c.BV(cv, w), nil
+		}
+		return nil, fmt.Errorf("symexec: unbound identifier %q", v.Name)
+	case *p4.IsValidExpr:
+		return e.get(s, v.Instance+".$valid", 0), nil
+	case *p4.LookaheadExpr:
+		if s.extIdx >= len(e.headers) {
+			return c.BV(0, v.Width), nil
+		}
+		slot := e.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx), 8)
+		out := c.BV(0, v.Width)
+		for _, h := range e.headers {
+			ht := e.prog.InstanceType(h)
+			if ht.Width() < v.Width {
+				continue
+			}
+			var acc *smt.Term
+			for _, f := range ht.Fields {
+				fv := c.Var("pkt."+h+"."+f.Name, f.Width)
+				if acc == nil {
+					acc = fv
+				} else {
+					acc = c.Concat(acc, fv)
+				}
+				if acc.Width >= v.Width {
+					break
+				}
+			}
+			lead := c.Extract(acc, acc.Width-1, acc.Width-v.Width)
+			out = c.Ite(c.Eq(slot, c.BV(e.headerIDs[h], 8)), lead, out)
+		}
+		return out, nil
+	case *p4.CastExpr:
+		t, err := e.expr(v.X, s, params, v.Width)
+		if err != nil {
+			return nil, err
+		}
+		return c.Resize(t, v.Width), nil
+	case *p4.SliceExpr:
+		t, err := e.expr(v.X, s, params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return c.Extract(t, v.Hi, v.Lo), nil
+	case *p4.UnaryExpr:
+		t, err := e.expr(v.X, s, params, pick(v.Op == "!", -1, want))
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "!":
+			if !t.IsBool() {
+				t = c.Neq(t, c.BV(0, t.Width))
+			}
+			return c.Not(t), nil
+		case "~":
+			return c.BVNot(t), nil
+		default:
+			return c.BVNeg(t), nil
+		}
+	case *p4.BinaryExpr:
+		if v.Op == "&&" || v.Op == "||" {
+			a, err := e.expr(v.X, s, params, -1)
+			if err != nil {
+				return nil, err
+			}
+			b, err := e.expr(v.Y, s, params, -1)
+			if err != nil {
+				return nil, err
+			}
+			if !a.IsBool() {
+				a = c.Neq(a, c.BV(0, a.Width))
+			}
+			if !b.IsBool() {
+				b = c.Neq(b, c.BV(0, b.Width))
+			}
+			if v.Op == "&&" {
+				return c.And(a, b), nil
+			}
+			return c.Or(a, b), nil
+		}
+		var a, b *smt.Term
+		var err error
+		if _, lit := v.X.(*p4.IntLit); lit {
+			b, err = e.expr(v.Y, s, params, 0)
+			if err != nil {
+				return nil, err
+			}
+			a, err = e.expr(v.X, s, params, b.Width)
+		} else {
+			a, err = e.expr(v.X, s, params, want)
+			if err != nil {
+				return nil, err
+			}
+			b, err = e.expr(v.Y, s, params, a.Width)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == "<<" || v.Op == ">>" {
+			b = c.Resize(b, a.Width)
+		}
+		switch v.Op {
+		case "+":
+			return c.BVAdd(a, b), nil
+		case "-":
+			return c.BVSub(a, b), nil
+		case "&":
+			return c.BVAnd(a, b), nil
+		case "|":
+			return c.BVOr(a, b), nil
+		case "^":
+			return c.BVXor(a, b), nil
+		case "<<":
+			return c.BVShl(a, b), nil
+		case ">>":
+			return c.BVLshr(a, b), nil
+		case "==":
+			return c.Eq(a, b), nil
+		case "!=":
+			return c.Neq(a, b), nil
+		case "<":
+			return c.Ult(a, b), nil
+		case ">":
+			return c.Ugt(a, b), nil
+		case "<=":
+			return c.Ule(a, b), nil
+		case ">=":
+			return c.Uge(a, b), nil
+		}
+	}
+	return nil, fmt.Errorf("symexec: unsupported expression %T", x)
+}
+
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// OrderAssume builds the standard input-order assumption over the
+// engine's context.
+func (e *Engine) OrderAssume(headers ...string) *smt.Term {
+	c := e.ctx
+	cond := c.True()
+	for i := 0; i < len(e.headers); i++ {
+		var id uint64
+		if i < len(headers) {
+			id = e.headerIDs[headers[i]]
+		}
+		cond = c.And(cond, c.Eq(c.Var(fmt.Sprintf("pkt.$order.%d", i), 8), c.BV(id, 8)))
+	}
+	return cond
+}

@@ -1,0 +1,121 @@
+package tables
+
+import "testing"
+
+func TestParseSnapshot(t *testing.T) {
+	src := `
+# demo snapshot
+table Ing.fwd {
+  10.0.0.1 -> send(3)
+  10.1.0.0/16 -> send(4)
+  0x0a000000 &&& 0xff000000 -> send(5)
+  1..9, 7 -> mark(2, 3)
+  _ -> drop
+}
+table Ing.acl {
+  20.0.1.0/24 -> deny(1)
+}
+`
+	snap, err := ParseSnapshot(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Tables(); len(got) != 2 || got[0] != "Ing.acl" {
+		t.Fatalf("tables = %v", got)
+	}
+	fwd := snap.Entries("Ing.fwd")
+	if len(fwd) != 5 {
+		t.Fatalf("fwd entries = %d", len(fwd))
+	}
+	// LPM entries sort before non-LPM by prefix length.
+	if fwd[0].Keys[0].PrefixLen != 24 && fwd[0].Keys[0].PrefixLen != 16 {
+		// acl has /24 but fwd's best prefix is /16
+	}
+	if fwd[0].Action != "send" || fwd[0].Args[0] != 4 {
+		t.Fatalf("first (longest prefix) entry = %+v", fwd[0])
+	}
+	var exact *Entry
+	for _, e := range fwd {
+		if len(e.Keys) == 1 && e.Keys[0].Mask == ^uint64(0) {
+			exact = e
+		}
+	}
+	if exact == nil || exact.Keys[0].Value != 0x0A000001 {
+		t.Fatalf("exact entry = %+v", exact)
+	}
+	var rng *Entry
+	for _, e := range fwd {
+		if len(e.Keys) == 2 {
+			rng = e
+		}
+	}
+	if rng == nil || !rng.Keys[0].IsRange || rng.Keys[0].Value != 1 || rng.Keys[0].High != 9 {
+		t.Fatalf("range entry = %+v", rng)
+	}
+	if rng.Keys[1].Value != 7 || rng.Args[1] != 3 {
+		t.Fatalf("range entry second key/args = %+v", rng)
+	}
+	if snap.NumEntries() != 6 {
+		t.Fatalf("NumEntries = %d", snap.NumEntries())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"10.0.0.1 -> send(3)",          // entry outside table
+		"table T {",                    // unterminated
+		"table T {\n nonsense \n}",     // missing ->
+		"table T {\n 1 -> a(xyz) \n}",  // bad arg
+		"table T {\n 10.0.0 -> a \n}",  // bad dotted quad
+		"}",                            // unmatched brace
+		"table T {\ntable U {\n}\n}",   // nested
+		"table T {\n 1/aa -> a() \n}",  // bad prefix
+		"table T {\n 1 &&& zz -> a\n}", // bad mask
+	}
+	for _, src := range bad {
+		if _, err := ParseSnapshot(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestLPMMask(t *testing.T) {
+	km := LPM(0x0A010000, 16, 32)
+	if km.Mask != 0xFFFF0000 {
+		t.Fatalf("mask = %#x", km.Mask)
+	}
+	if km.Value != 0x0A010000 {
+		t.Fatalf("value = %#x", km.Value)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSnapshot()
+	s.Add("T", &Entry{Keys: []KeyMatch{Exact(1)}, Action: "a", Priority: -1})
+	c := s.Clone()
+	c.Add("T", &Entry{Keys: []KeyMatch{Exact(2)}, Action: "b", Priority: -1})
+	if len(s.Entries("T")) != 1 || len(c.Entries("T")) != 2 {
+		t.Fatal("clone not independent")
+	}
+	c.Entries("T")[0].Args = append(c.Entries("T")[0].Args, 9)
+	if len(s.Entries("T")[0].Args) != 0 {
+		t.Fatal("args aliased between clones")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	s := NewSnapshot()
+	s.Add("T", &Entry{Keys: []KeyMatch{Ternary(0, 0)}, Action: "last", Priority: -1})
+	s.Add("T", &Entry{Keys: []KeyMatch{Exact(5)}, Action: "first", Priority: -1})
+	es := s.Entries("T")
+	if es[0].Action != "last" { // insertion order preserved for equal prefix
+		t.Fatalf("entries = %+v", es)
+	}
+	// Explicit priorities override insertion order.
+	s2 := NewSnapshot()
+	s2.Add("T", &Entry{Keys: []KeyMatch{Exact(1)}, Action: "a", Priority: 5})
+	s2.Add("T", &Entry{Keys: []KeyMatch{Exact(2)}, Action: "b", Priority: 1})
+	if s2.Entries("T")[0].Action != "b" {
+		t.Fatal("priority not respected")
+	}
+}

@@ -1,0 +1,957 @@
+package validate
+
+import (
+	"fmt"
+
+	"aquila/internal/p4"
+	"aquila/internal/smt"
+	"aquila/internal/tables"
+)
+
+// interp is the semantic generator of §6: an independent big-step symbolic
+// evaluator in the style of Gauntlet that computes the output value of
+// every header field directly, sharing no code with the GCL encoder. The
+// only coupling is the variable-naming convention, which plays the role of
+// the refinement relation R (§6: "we simply require that every header
+// field in s_A is identical to its counterpart in s_X").
+type interp struct {
+	ctx       *smt.Ctx
+	prog      *p4.Program
+	snap      *tables.Snapshot
+	loopBound int
+	hashSeq   int
+
+	headerIDs map[string]uint64
+	headers   []string
+}
+
+func newInterp(ctx *smt.Ctx, prog *p4.Program, snap *tables.Snapshot, loopBound int) *interp {
+	ip := &interp{ctx: ctx, prog: prog, snap: snap, loopBound: loopBound, headerIDs: map[string]uint64{}}
+	i := 0
+	for _, inst := range prog.Instances {
+		if inst.IsHeader {
+			i++
+			ip.headerIDs[inst.Name] = uint64(i)
+			ip.headers = append(ip.headers, inst.Name)
+		}
+	}
+	return ip
+}
+
+// state is a symbolic machine state: a direct map from variable names to
+// value terms, plus the well-formedness (assumption) constraint collected
+// along the way, plus the concrete extraction count of the current parse
+// path.
+type state struct {
+	vals   map[string]*smt.Term
+	wf     *smt.Term
+	extIdx int
+}
+
+func (ip *interp) initialState() *state {
+	s := &state{vals: map[string]*smt.Term{}, wf: ip.ctx.True()}
+	c := ip.ctx
+	for _, h := range ip.headers {
+		s.vals[h+".$valid"] = c.False()
+	}
+	for _, f := range []string{"drop", "to_cpu", "recirc", "resubmit", "mirror"} {
+		s.vals["std_meta."+f] = c.BV(0, 1)
+	}
+	s.vals["std_meta.recirc_count"] = c.BV(0, 8)
+	s.vals["pkt.$extidx"] = c.BV(0, 8)
+	s.vals["pkt.$outidx"] = c.BV(0, 8)
+	return s
+}
+
+func (s *state) clone() *state {
+	c := &state{vals: make(map[string]*smt.Term, len(s.vals)), wf: s.wf, extIdx: s.extIdx}
+	for k, v := range s.vals {
+		c.vals[k] = v
+	}
+	return c
+}
+
+// get reads a variable, defaulting to its symbolic initial value.
+func (ip *interp) get(s *state, name string, width int) *smt.Term {
+	if v, ok := s.vals[name]; ok {
+		return v
+	}
+	if width == 0 {
+		return ip.ctx.BoolVar(name)
+	}
+	return ip.ctx.Var(name, width)
+}
+
+func (ip *interp) fieldWidth(inst, field string) int {
+	return ip.prog.InstanceType(inst).Field(field).Width
+}
+
+// merge combines two successor states under a branch condition.
+func (ip *interp) merge(cond *smt.Term, a, b *state) *state {
+	c := ip.ctx
+	out := &state{vals: map[string]*smt.Term{}, wf: c.BoolIte(cond, a.wf, b.wf)}
+	names := map[string]bool{}
+	for k := range a.vals {
+		names[k] = true
+	}
+	for k := range b.vals {
+		names[k] = true
+	}
+	for name := range names {
+		av, aok := a.vals[name]
+		bv, bok := b.vals[name]
+		switch {
+		case aok && bok:
+			// fine
+		case aok:
+			if av.IsBool() {
+				bv = c.BoolVar(name)
+			} else {
+				bv = c.Var(name, av.Width)
+			}
+		default:
+			if bv.IsBool() {
+				av = c.BoolVar(name)
+			} else {
+				av = c.Var(name, bv.Width)
+			}
+		}
+		if av == bv {
+			out.vals[name] = av
+		} else if av.IsBool() {
+			out.vals[name] = c.BoolIte(cond, av, bv)
+		} else {
+			out.vals[name] = c.Ite(cond, av, bv)
+		}
+	}
+	// extIdx: only meaningful while both are equal (inside a parse path).
+	if a.extIdx == b.extIdx {
+		out.extIdx = a.extIdx
+	} else {
+		out.extIdx = -1
+	}
+	return out
+}
+
+// ---- expressions ----
+
+func (ip *interp) expr(e p4.Expr, s *state, params map[string]*smt.Term, want int) (*smt.Term, error) {
+	c := ip.ctx
+	switch v := e.(type) {
+	case *p4.ExternExpr:
+		return v.X.(*smt.Term), nil
+	case *p4.IntLit:
+		w := v.Width
+		if w == 0 {
+			w = want
+		}
+		if w <= 0 {
+			w = 32
+		}
+		return c.BV(v.Val, w), nil
+	case *p4.FieldRef:
+		return ip.get(s, v.Instance+"."+v.Field, ip.fieldWidth(v.Instance, v.Field)), nil
+	case *p4.VarRef:
+		if t, ok := params[v.Name]; ok {
+			return t, nil
+		}
+		if cv, ok := ip.prog.Consts[v.Name]; ok {
+			w := want
+			if w <= 0 {
+				w = 32
+			}
+			return c.BV(cv, w), nil
+		}
+		return nil, fmt.Errorf("validate: unbound identifier %q", v.Name)
+	case *p4.IsValidExpr:
+		return ip.get(s, v.Instance+".$valid", 0), nil
+	case *p4.LookaheadExpr:
+		return ip.lookahead(s, v.Width), nil
+	case *p4.CastExpr:
+		x, err := ip.expr(v.X, s, params, v.Width)
+		if err != nil {
+			return nil, err
+		}
+		return c.Resize(x, v.Width), nil
+	case *p4.SliceExpr:
+		x, err := ip.expr(v.X, s, params, 0)
+		if err != nil {
+			return nil, err
+		}
+		return c.Extract(x, v.Hi, v.Lo), nil
+	case *p4.UnaryExpr:
+		switch v.Op {
+		case "!":
+			x, err := ip.boolExpr(v.X, s, params)
+			if err != nil {
+				return nil, err
+			}
+			return c.Not(x), nil
+		case "~":
+			x, err := ip.expr(v.X, s, params, want)
+			if err != nil {
+				return nil, err
+			}
+			return c.BVNot(x), nil
+		default:
+			x, err := ip.expr(v.X, s, params, want)
+			if err != nil {
+				return nil, err
+			}
+			return c.BVNeg(x), nil
+		}
+	case *p4.BinaryExpr:
+		switch v.Op {
+		case "&&", "||":
+			a, err := ip.boolExpr(v.X, s, params)
+			if err != nil {
+				return nil, err
+			}
+			b, err := ip.boolExpr(v.Y, s, params)
+			if err != nil {
+				return nil, err
+			}
+			if v.Op == "&&" {
+				return c.And(a, b), nil
+			}
+			return c.Or(a, b), nil
+		}
+		var a, b *smt.Term
+		var err error
+		if _, lit := v.X.(*p4.IntLit); lit {
+			b, err = ip.expr(v.Y, s, params, 0)
+			if err != nil {
+				return nil, err
+			}
+			a, err = ip.expr(v.X, s, params, b.Width)
+		} else {
+			a, err = ip.expr(v.X, s, params, want)
+			if err != nil {
+				return nil, err
+			}
+			wantY := a.Width
+			if v.Op == "<<" || v.Op == ">>" {
+				wantY = a.Width
+			}
+			b, err = ip.expr(v.Y, s, params, wantY)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == "<<" || v.Op == ">>" {
+			b = c.Resize(b, a.Width)
+		}
+		switch v.Op {
+		case "+":
+			return c.BVAdd(a, b), nil
+		case "-":
+			return c.BVSub(a, b), nil
+		case "&":
+			return c.BVAnd(a, b), nil
+		case "|":
+			return c.BVOr(a, b), nil
+		case "^":
+			return c.BVXor(a, b), nil
+		case "<<":
+			return c.BVShl(a, b), nil
+		case ">>":
+			return c.BVLshr(a, b), nil
+		case "==":
+			return c.Eq(a, b), nil
+		case "!=":
+			return c.Neq(a, b), nil
+		case "<":
+			return c.Ult(a, b), nil
+		case ">":
+			return c.Ugt(a, b), nil
+		case "<=":
+			return c.Ule(a, b), nil
+		case ">=":
+			return c.Uge(a, b), nil
+		}
+		return nil, fmt.Errorf("validate: unknown operator %q", v.Op)
+	}
+	return nil, fmt.Errorf("validate: unsupported expression %T", e)
+}
+
+func (ip *interp) boolExpr(e p4.Expr, s *state, params map[string]*smt.Term) (*smt.Term, error) {
+	t, err := ip.expr(e, s, params, -1)
+	if err != nil {
+		return nil, err
+	}
+	if !t.IsBool() {
+		t = ip.ctx.Neq(t, ip.ctx.BV(0, t.Width))
+	}
+	return t, nil
+}
+
+// lookahead reads the leading bits of the next unparsed header. On a parse
+// path the extraction index is concrete, so the order slot is read
+// directly.
+func (ip *interp) lookahead(s *state, width int) *smt.Term {
+	c := ip.ctx
+	if s.extIdx < 0 || s.extIdx >= len(ip.headers) {
+		return c.BV(0, width) // past the wire: zero padding
+	}
+	slot := ip.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx), 8)
+	out := c.BV(0, width)
+	for _, h := range ip.headers {
+		lead := ip.leadingPktBits(h, width)
+		if lead == nil {
+			continue
+		}
+		out = c.Ite(c.Eq(slot, c.BV(ip.headerIDs[h], 8)), lead, out)
+	}
+	return out
+}
+
+func (ip *interp) leadingPktBits(inst string, width int) *smt.Term {
+	c := ip.ctx
+	ht := ip.prog.InstanceType(inst)
+	if ht.Width() < width {
+		return nil
+	}
+	var acc *smt.Term
+	for _, f := range ht.Fields {
+		fv := c.Var("pkt."+inst+"."+f.Name, f.Width)
+		if acc == nil {
+			acc = fv
+		} else {
+			acc = c.Concat(acc, fv)
+		}
+		if acc.Width >= width {
+			break
+		}
+	}
+	return c.Extract(acc, acc.Width-1, acc.Width-width)
+}
+
+// ---- parser ----
+
+func (ip *interp) runParser(name string, s *state) (*state, error) {
+	pr, ok := ip.prog.Parsers[name]
+	if !ok {
+		return nil, fmt.Errorf("validate: unknown parser %q", name)
+	}
+	s.vals["$accept."+name] = ip.ctx.False()
+	s.vals["$reject."+name] = ip.ctx.False()
+	return ip.runParserState(pr, pr.Start, s, map[string]int{})
+}
+
+func (ip *interp) runParserState(pr *p4.Parser, stName string, s *state, visits map[string]int) (*state, error) {
+	c := ip.ctx
+	switch stName {
+	case "accept":
+		s.vals["$accept."+pr.Name] = c.True()
+		return s, nil
+	case "reject":
+		s.vals["$reject."+pr.Name] = c.True()
+		return s, nil
+	}
+	if visits[stName] >= ip.loopBound {
+		s.wf = c.False() // bounded: deeper recursions are infeasible
+		return s, nil
+	}
+	visits[stName]++
+	defer func() { visits[stName]-- }()
+
+	st := pr.States[stName]
+	for _, raw := range st.Stmts {
+		if err := ip.parserStmt(raw, s); err != nil {
+			return nil, err
+		}
+	}
+	tr := st.Trans
+	if tr.Kind == p4.TransDirect {
+		return ip.runParserState(pr, tr.Target, s, visits)
+	}
+	scrut, err := ip.expr(tr.Expr, s, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Build successor states last-to-first, merging with the case
+	// conditions; an unmatched select rejects.
+	rejected := s.clone()
+	rejected.vals["$reject."+pr.Name] = c.True()
+	result := rejected
+	matchedAny := false
+	for i := len(tr.Cases) - 1; i >= 0; i-- {
+		cs := tr.Cases[i]
+		branch, err := ip.runParserState(pr, cs.Target, s.clone(), visits)
+		if err != nil {
+			return nil, err
+		}
+		if cs.IsDefault {
+			result = branch
+			matchedAny = true
+			continue
+		}
+		var match *smt.Term
+		if cs.HasMask {
+			mask := c.BV(cs.Mask, scrut.Width)
+			match = c.Eq(c.BVAnd(scrut, mask), c.BVAnd(c.BV(cs.Val, scrut.Width), mask))
+		} else {
+			match = c.Eq(scrut, c.BV(cs.Val, scrut.Width))
+		}
+		// Earlier cases take precedence, so the fold from the back uses
+		// plain ite nesting.
+		result = ip.merge(match, branch, result)
+	}
+	_ = matchedAny
+	return result, nil
+}
+
+func (ip *interp) parserStmt(raw p4.Stmt, s *state) error {
+	c := ip.ctx
+	switch st := raw.(type) {
+	case *p4.ExtractStmt:
+		ht := ip.prog.InstanceType(st.Header)
+		for _, f := range ht.Fields {
+			s.vals[st.Header+"."+f.Name] = c.Var("pkt."+st.Header+"."+f.Name, f.Width)
+		}
+		// Wire-order consistency, with the concrete per-path index.
+		if s.extIdx >= 0 && s.extIdx < len(ip.headers) {
+			slot := ip.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx), 8)
+			s.wf = c.And(s.wf, c.Eq(slot, c.BV(ip.headerIDs[st.Header], 8)))
+		} else {
+			s.wf = c.False() // extracting beyond the wire
+		}
+		s.vals[st.Header+".$valid"] = c.True()
+		s.extIdx++
+		s.vals["pkt.$extidx"] = c.BV(uint64(s.extIdx), 8)
+	case *p4.AssignStmt:
+		return ip.assign(st, s, nil)
+	case *p4.SetValidStmt:
+		s.vals[st.Header+".$valid"] = c.Bool(st.Valid)
+	case *p4.IfStmt:
+		cond, err := ip.boolExpr(st.Cond, s, nil)
+		if err != nil {
+			return err
+		}
+		a := s.clone()
+		b := s.clone()
+		for _, t := range st.Then {
+			if err := ip.parserStmt(t, a); err != nil {
+				return err
+			}
+		}
+		for _, t := range st.Else {
+			if err := ip.parserStmt(t, b); err != nil {
+				return err
+			}
+		}
+		*s = *ip.merge(cond, a, b)
+	default:
+		return fmt.Errorf("validate: unsupported parser statement %T", raw)
+	}
+	return nil
+}
+
+func (ip *interp) assign(st *p4.AssignStmt, s *state, params map[string]*smt.Term) error {
+	c := ip.ctx
+	switch lhs := st.LHS.(type) {
+	case *p4.FieldRef:
+		w := ip.fieldWidth(lhs.Instance, lhs.Field)
+		rhs, err := ip.expr(st.RHS, s, params, w)
+		if err != nil {
+			return err
+		}
+		s.vals[lhs.Instance+"."+lhs.Field] = c.Resize(rhs, w)
+		return nil
+	case *p4.SliceExpr:
+		fr, ok := lhs.X.(*p4.FieldRef)
+		if !ok {
+			return fmt.Errorf("validate: slice assignment base must be a field")
+		}
+		w := ip.fieldWidth(fr.Instance, fr.Field)
+		cur := ip.get(s, fr.Instance+"."+fr.Field, w)
+		rhs, err := ip.expr(st.RHS, s, params, lhs.Hi-lhs.Lo+1)
+		if err != nil {
+			return err
+		}
+		nv := c.Resize(rhs, lhs.Hi-lhs.Lo+1)
+		var parts *smt.Term
+		if lhs.Hi < w-1 {
+			parts = c.Extract(cur, w-1, lhs.Hi+1)
+		}
+		if parts == nil {
+			parts = nv
+		} else {
+			parts = c.Concat(parts, nv)
+		}
+		if lhs.Lo > 0 {
+			parts = c.Concat(parts, c.Extract(cur, lhs.Lo-1, 0))
+		}
+		s.vals[fr.Instance+"."+fr.Field] = parts
+		return nil
+	}
+	return fmt.Errorf("validate: unsupported lvalue %T", st.LHS)
+}
+
+// ---- controls ----
+
+func (ip *interp) runControl(name string, s *state) (*state, error) {
+	ctl, ok := ip.prog.Controls[name]
+	if !ok {
+		return nil, fmt.Errorf("validate: unknown control %q", name)
+	}
+	for _, raw := range ctl.Apply {
+		var err error
+		s, err = ip.applyStmt(ctl, raw, s, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (ip *interp) applyStmt(ctl *p4.Control, raw p4.Stmt, s *state, params map[string]*smt.Term) (*state, error) {
+	c := ip.ctx
+	switch st := raw.(type) {
+	case *p4.ApplyStmt:
+		return ip.applyTable(ctl, ctl.Tables[st.Table], s)
+	case *p4.IfApplyStmt:
+		s, err := ip.applyTable(ctl, ctl.Tables[st.Table], s)
+		if err != nil {
+			return nil, err
+		}
+		hit := ip.get(s, "$hit."+ctl.Name+"."+st.Table, 0)
+		a := s.clone()
+		b := s.clone()
+		for _, t := range st.OnHit {
+			a, err = ip.applyStmt(ctl, t, a, params)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, t := range st.OnMis {
+			b, err = ip.applyStmt(ctl, t, b, params)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ip.merge(hit, a, b), nil
+	case *p4.SwitchApplyStmt:
+		s, err := ip.applyTable(ctl, ctl.Tables[st.Table], s)
+		if err != nil {
+			return nil, err
+		}
+		actionVal := ip.get(s, "$action."+ctl.Name+"."+st.Table, 16)
+		def := s.clone()
+		for _, t := range st.Default {
+			def, err = ip.applyStmt(ctl, t, def, params)
+			if err != nil {
+				return nil, err
+			}
+		}
+		result := def
+		tbl := ctl.Tables[st.Table]
+		laidOf := func(a string) uint64 {
+			for i, an := range tbl.Actions {
+				if an == a {
+					return uint64(i + 1)
+				}
+			}
+			return 0
+		}
+		for i := len(st.Cases) - 1; i >= 0; i-- {
+			cs := st.Cases[i]
+			branch := s.clone()
+			for _, t := range cs.Body {
+				branch, err = ip.applyStmt(ctl, t, branch, params)
+				if err != nil {
+					return nil, err
+				}
+			}
+			cond := c.Eq(actionVal, c.BV(laidOf(cs.Action), 16))
+			if tbl.DefaultAction == cs.Action {
+				cond = c.Or(cond, c.Eq(actionVal, c.BV(0, 16)))
+			}
+			result = ip.merge(cond, branch, result)
+		}
+		return result, nil
+	case *p4.IfStmt:
+		cond, err := ip.boolExpr(st.Cond, s, params)
+		if err != nil {
+			return nil, err
+		}
+		a := s.clone()
+		b := s.clone()
+		for _, t := range st.Then {
+			a, err = ip.applyStmt(ctl, t, a, params)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, t := range st.Else {
+			b, err = ip.applyStmt(ctl, t, b, params)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ip.merge(cond, a, b), nil
+	case *p4.CallActionStmt:
+		act := ctl.Actions[st.Action]
+		args := make([]*smt.Term, len(st.Args))
+		for i, a := range st.Args {
+			t, err := ip.expr(a, s, params, act.Params[i].Width)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = t
+		}
+		return ip.runAction(ctl, act, args, s)
+	case *p4.AssignStmt:
+		return s, ip.assign(st, s, params)
+	case *p4.SetValidStmt:
+		s.vals[st.Header+".$valid"] = c.Bool(st.Valid)
+		return s, nil
+	case *p4.RegReadStmt:
+		reg := ip.prog.Registers[st.Reg]
+		val := ip.get(s, "reg."+st.Reg, reg.Width)
+		return s, ip.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: val}}, s, params)
+	case *p4.RegWriteStmt:
+		reg := ip.prog.Registers[st.Reg]
+		v, err := ip.expr(st.Val, s, params, reg.Width)
+		if err != nil {
+			return nil, err
+		}
+		s.vals["reg."+st.Reg] = v
+		return s, nil
+	case *p4.CountStmt:
+		reg := ip.prog.Registers[st.Counter]
+		cur := ip.get(s, "reg."+st.Counter, reg.Width)
+		s.vals["reg."+st.Counter] = c.BVAdd(cur, c.BV(1, reg.Width))
+		return s, nil
+	case *p4.ExecuteMeterStmt:
+		ip.hashSeq++
+		w := ip.lvalueWidth(st.Dst)
+		h := c.Var(fmt.Sprintf("$hash.%d", ip.hashSeq), w)
+		return s, ip.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: h}}, s, params)
+	case *p4.HashStmt:
+		ip.hashSeq++
+		w := ip.lvalueWidth(st.Dst)
+		h := c.Var(fmt.Sprintf("$hash.%d", ip.hashSeq), w)
+		return s, ip.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: h}}, s, params)
+	case *p4.PrimitiveStmt:
+		field := map[string]string{
+			"drop": "drop", "to_cpu": "to_cpu", "recirculate": "recirc",
+			"resubmit": "resubmit", "mirror": "mirror",
+		}[st.Name]
+		s.vals["std_meta."+field] = c.BV(1, 1)
+		return s, nil
+	}
+	return nil, fmt.Errorf("validate: unsupported control statement %T", raw)
+}
+
+func (ip *interp) lvalueWidth(e p4.Expr) int {
+	switch x := e.(type) {
+	case *p4.FieldRef:
+		return ip.fieldWidth(x.Instance, x.Field)
+	case *p4.SliceExpr:
+		return x.Hi - x.Lo + 1
+	}
+	return 32
+}
+
+func (ip *interp) runAction(ctl *p4.Control, act *p4.Action, args []*smt.Term, s *state) (*state, error) {
+	params := map[string]*smt.Term{}
+	for i, pm := range act.Params {
+		params[pm.Name] = args[i]
+	}
+	var err error
+	for _, raw := range act.Body {
+		s, err = ip.applyStmt(ctl, raw, s, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// applyTable interprets a table entry-by-entry — no ABVs, no lookup tree:
+// the straightforward reference semantics the encoder is checked against.
+func (ip *interp) applyTable(ctl *p4.Control, tbl *p4.Table, s *state) (*state, error) {
+	c := ip.ctx
+	s.vals["$applied."+ctl.Name+"."+tbl.Name] = c.True()
+	keys := make([]*smt.Term, len(tbl.Keys))
+	for i, k := range tbl.Keys {
+		t, err := ip.expr(k.Expr, s, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = t
+	}
+	ents := ip.entriesFor(ctl, tbl)
+	laidOf := func(a string) uint64 {
+		for i, an := range tbl.Actions {
+			if an == a {
+				return uint64(i + 1)
+			}
+		}
+		return 0
+	}
+	if ents == nil {
+		// Unknown entries: the same named free choices as the encoder.
+		hit := c.BoolVar("$tbl." + ctl.Name + "." + tbl.Name + ".hit")
+		laid := c.Var("$tbl."+ctl.Name+"."+tbl.Name+".laid", 16)
+		var installable []string
+		for _, an := range tbl.Actions {
+			if !tbl.DefaultOnly[an] && ctl.Actions[an] != nil {
+				installable = append(installable, an)
+			}
+		}
+		// Miss state.
+		miss := s.clone()
+		miss.vals["$hit."+ctl.Name+"."+tbl.Name] = c.False()
+		miss.vals["$action."+ctl.Name+"."+tbl.Name] = c.BV(0, 16)
+		var err error
+		if act := ctl.Actions[tbl.DefaultAction]; act != nil {
+			args := make([]*smt.Term, len(act.Params))
+			for j, pm := range act.Params {
+				if j < len(tbl.DefaultArgs) {
+					if lit, ok := tbl.DefaultArgs[j].(*p4.IntLit); ok {
+						args[j] = c.BV(lit.Val, pm.Width)
+						continue
+					}
+				}
+				args[j] = c.Var(fmt.Sprintf("$tbl.%s.%s.defarg.%d", ctl.Name, tbl.Name, j), pm.Width)
+			}
+			miss, err = ip.runAction(ctl, act, args, miss)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(installable) == 0 {
+			return miss, nil
+		}
+		inRange := c.False()
+		for _, an := range installable {
+			inRange = c.Or(inRange, c.Eq(laid, c.BV(laidOf(an), 16)))
+		}
+		clamped := c.Ite(inRange, laid, c.BV(laidOf(installable[0]), 16))
+		// Hit state: dispatch backwards over installable actions.
+		base := s.clone()
+		base.vals["$hit."+ctl.Name+"."+tbl.Name] = c.True()
+		base.vals["$action."+ctl.Name+"."+tbl.Name] = clamped
+		hitState := base.clone()
+		for i := len(installable) - 1; i >= 0; i-- {
+			an := installable[i]
+			act := ctl.Actions[an]
+			args := make([]*smt.Term, len(act.Params))
+			for j, pm := range act.Params {
+				args[j] = c.Var(fmt.Sprintf("$tbl.%s.%s.arg.%s.%d", ctl.Name, tbl.Name, an, j), pm.Width)
+			}
+			branch, err := ip.runAction(ctl, act, args, base.clone())
+			if err != nil {
+				return nil, err
+			}
+			if i == len(installable)-1 {
+				hitState = branch
+			} else {
+				hitState = ip.merge(c.Eq(clamped, c.BV(laidOf(an), 16)), branch, hitState)
+			}
+		}
+		return ip.merge(hit, hitState, miss), nil
+	}
+
+	// Known entries: fold from the default upward so earlier entries win.
+	result := s.clone()
+	result.vals["$hit."+ctl.Name+"."+tbl.Name] = c.False()
+	result.vals["$action."+ctl.Name+"."+tbl.Name] = c.BV(0, 16)
+	if act := ctl.Actions[tbl.DefaultAction]; act != nil {
+		args := make([]*smt.Term, len(act.Params))
+		for j, pm := range act.Params {
+			var v uint64
+			if j < len(tbl.DefaultArgs) {
+				if lit, ok := tbl.DefaultArgs[j].(*p4.IntLit); ok {
+					v = lit.Val
+				}
+			}
+			args[j] = c.BV(v, pm.Width)
+		}
+		var err error
+		result, err = ip.runAction(ctl, act, args, result)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := len(ents) - 1; i >= 0; i-- {
+		ent := ents[i]
+		act := ctl.Actions[ent.Action]
+		match := ip.matchTerm(keys, ent)
+		branch := s.clone()
+		branch.vals["$hit."+ctl.Name+"."+tbl.Name] = c.True()
+		branch.vals["$action."+ctl.Name+"."+tbl.Name] = c.BV(laidOf(ent.Action), 16)
+		if act != nil {
+			args := make([]*smt.Term, len(act.Params))
+			for j, pm := range act.Params {
+				var v uint64
+				if j < len(ent.Args) {
+					v = ent.Args[j]
+				}
+				args[j] = c.BV(v, pm.Width)
+			}
+			var err error
+			branch, err = ip.runAction(ctl, act, args, branch)
+			if err != nil {
+				return nil, err
+			}
+		}
+		result = ip.merge(match, branch, result)
+	}
+	return result, nil
+}
+
+func (ip *interp) entriesFor(ctl *p4.Control, tbl *p4.Table) []*tables.Entry {
+	fq := ctl.Name + "." + tbl.Name
+	if ip.snap != nil && ip.snap.Has(fq) {
+		return ip.snap.Entries(fq)
+	}
+	if len(tbl.ConstEntries) > 0 {
+		var out []*tables.Entry
+		for _, ce := range tbl.ConstEntries {
+			ent := &tables.Entry{Action: ce.Action, Args: append([]uint64(nil), ce.Args...), Priority: ce.Priority}
+			for i := range ce.KeyVals {
+				if ce.KeyMasks[i] == 0 {
+					ent.Keys = append(ent.Keys, tables.Wildcard())
+				} else if tbl.Keys[i].Kind == p4.MatchTernary {
+					ent.Keys = append(ent.Keys, tables.Ternary(ce.KeyVals[i], ce.KeyMasks[i]))
+				} else {
+					ent.Keys = append(ent.Keys, tables.Exact(ce.KeyVals[i]))
+				}
+			}
+			out = append(out, ent)
+		}
+		return out
+	}
+	return nil
+}
+
+func (ip *interp) matchTerm(keys []*smt.Term, ent *tables.Entry) *smt.Term {
+	c := ip.ctx
+	cond := c.True()
+	for i, km := range ent.Keys {
+		if i >= len(keys) {
+			break
+		}
+		k := keys[i]
+		switch {
+		case km.IsRange:
+			cond = c.And(cond, c.Ule(c.BV(km.Value, k.Width), k), c.Ule(k, c.BV(km.High, k.Width)))
+		case km.PrefixLen >= 0:
+			var mask uint64
+			for b := 0; b < km.PrefixLen && b < k.Width; b++ {
+				mask |= 1 << uint(k.Width-1-b)
+			}
+			mv := c.BV(mask, k.Width)
+			cond = c.And(cond, c.Eq(c.BVAnd(k, mv), c.BVAnd(c.BV(km.Value, k.Width), mv)))
+		case km.Mask == ^uint64(0):
+			cond = c.And(cond, c.Eq(k, c.BV(km.Value, k.Width)))
+		case km.Mask == 0:
+		default:
+			mv := c.BV(km.Mask, k.Width)
+			cond = c.And(cond, c.Eq(c.BVAnd(k, mv), c.BVAnd(c.BV(km.Value, k.Width), mv)))
+		}
+	}
+	return cond
+}
+
+// ---- deparser ----
+
+func (ip *interp) runDeparser(name string, s *state) (*state, error) {
+	dp, ok := ip.prog.Deparsers[name]
+	if !ok {
+		return nil, fmt.Errorf("validate: unknown deparser %q", name)
+	}
+	c := ip.ctx
+	n := len(ip.headers)
+	for i := 0; i < n; i++ {
+		s.vals[fmt.Sprintf("pkt.$out.%d", i)] = c.BV(0, 8)
+	}
+	s.vals["pkt.$outidx"] = c.BV(0, 8)
+	var checksums []*p4.UpdateChecksumStmt
+	for _, raw := range dp.Stmts {
+		switch st := raw.(type) {
+		case *p4.EmitStmt:
+			valid := ip.get(s, st.Header+".$valid", 0)
+			outIdx := ip.get(s, "pkt.$outidx", 8)
+			id := c.BV(ip.headerIDs[st.Header], 8)
+			for i := 0; i < n; i++ {
+				slot := ip.get(s, fmt.Sprintf("pkt.$out.%d", i), 8)
+				cond := c.And(valid, c.Eq(outIdx, c.BV(uint64(i), 8)))
+				s.vals[fmt.Sprintf("pkt.$out.%d", i)] = c.Ite(cond, id, slot)
+			}
+			s.vals["pkt.$outidx"] = c.Ite(valid, c.BVAdd(outIdx, c.BV(1, 8)), outIdx)
+		case *p4.UpdateChecksumStmt:
+			checksums = append(checksums, st)
+		}
+	}
+	// Unparsed tail.
+	outIdx := ip.get(s, "pkt.$outidx", 8)
+	extIdx := ip.get(s, "pkt.$extidx", 8)
+	selectOrder := func(idx *smt.Term) *smt.Term {
+		out := c.BV(0, 8)
+		for i := n - 1; i >= 0; i-- {
+			out = c.Ite(c.Eq(idx, c.BV(uint64(i), 8)), ip.get(s, fmt.Sprintf("pkt.$order.%d", i), 8), out)
+		}
+		return out
+	}
+	for k := 0; k < n; k++ {
+		val := selectOrder(c.BVAdd(extIdx, c.BV(uint64(k), 8)))
+		dst := c.BVAdd(outIdx, c.BV(uint64(k), 8))
+		for i := 0; i < n; i++ {
+			slot := ip.get(s, fmt.Sprintf("pkt.$out.%d", i), 8)
+			cond := c.And(c.Eq(dst, c.BV(uint64(i), 8)), c.Neq(val, c.BV(0, 8)))
+			s.vals[fmt.Sprintf("pkt.$out.%d", i)] = c.Ite(cond, val, slot)
+		}
+	}
+	for _, st := range checksums {
+		w := ip.lvalueWidth(st.Dst)
+		sum := c.BV(0, w)
+		for _, in := range st.Inputs {
+			t, err := ip.expr(in, s, nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			sum = c.BVAdd(sum, c.Resize(t, w))
+		}
+		if err := ip.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: sum}}, s, nil); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// runComponent dispatches by component kind, following pipelines.
+func (ip *interp) runComponent(name string, s *state) (*state, error) {
+	if _, ok := ip.prog.Parsers[name]; ok {
+		return ip.runParser(name, s)
+	}
+	if _, ok := ip.prog.Controls[name]; ok {
+		return ip.runControl(name, s)
+	}
+	if _, ok := ip.prog.Deparsers[name]; ok {
+		return ip.runDeparser(name, s)
+	}
+	if pl, ok := ip.prog.Pipelines[name]; ok {
+		var err error
+		if pl.Parser != "" {
+			if s, err = ip.runParser(pl.Parser, s); err != nil {
+				return nil, err
+			}
+		}
+		if pl.Control != "" {
+			if s, err = ip.runControl(pl.Control, s); err != nil {
+				return nil, err
+			}
+		}
+		if pl.Deparser != "" {
+			if s, err = ip.runDeparser(pl.Deparser, s); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("validate: unknown component %q", name)
+}

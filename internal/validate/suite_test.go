@@ -1,0 +1,50 @@
+package validate
+
+import (
+	"testing"
+
+	"aquila/internal/encode"
+	"aquila/internal/genprog"
+	"aquila/internal/progs"
+)
+
+// TestBenchmarkSuiteValidates runs the self validator over every
+// hand-written Table 3 benchmark — the §6 workflow Aquila's own
+// development used ("the majority of bugs in Aquila were detected in the
+// early stage of development").
+func TestBenchmarkSuiteValidates(t *testing.T) {
+	for _, bm := range progs.HandWrittenSuite() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			prog, err := bm.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Validate(prog, nil, bm.Calls, encode.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Equivalent {
+				t.Fatalf("encoder/interpreter divergence:\n%s", res)
+			}
+		})
+	}
+}
+
+// TestGeneratedProgramValidates runs the validator on a generated
+// production-shaped program (small scale to keep the test fast).
+func TestGeneratedProgramValidates(t *testing.T) {
+	cfg := genprog.SwitchT("small")
+	bm := genprog.Assemble(cfg)
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Validate(prog, genprog.TTLSnapshot(cfg, false), bm.Calls, encode.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("generated program divergence:\n%s", res)
+	}
+}

@@ -1,0 +1,346 @@
+// Package verify is Aquila's verification driver (Figure 7): it composes
+// the component GCLs according to the LPI program block, generates
+// verification conditions, and drives the SMT solver to find either the
+// first violated assertion (all assertions checked together) or all of
+// them one by one — the §5.1/§8.1 find-first vs find-all modes.
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"aquila/internal/encode"
+	"aquila/internal/gcl"
+	"aquila/internal/lpi"
+	"aquila/internal/p4"
+	"aquila/internal/smt"
+	"aquila/internal/tables"
+)
+
+// Options configures a verification run.
+type Options struct {
+	// Encode selects the encoding modes; TrackModified is filled from the
+	// spec automatically.
+	Encode encode.Options
+	// FindAll checks every assertion one by one; otherwise the run stops
+	// at the first violated assertion (checked all together).
+	FindAll bool
+	// Budget bounds SAT conflicts per check (<=0: unlimited). Exhaustion
+	// is reported as ErrBudget.
+	Budget int64
+}
+
+// Violation describes a violated assertion with its counterexample.
+type Violation struct {
+	Label string
+	Info  *lpi.AssertionInfo // nil for non-LPI assertions
+	Model *smt.Model
+	// Cex renders the counterexample's variable assignment.
+	Cex string
+	// Cond is the violation condition (used by bug localization).
+	Cond *smt.Term
+}
+
+// Stats captures cost metrics the paper reports in Table 3 / Figure 11.
+type Stats struct {
+	EncodeTime time.Duration
+	SolveTime  time.Duration
+	GCLSize    int
+	TermNodes  int // DAG nodes in the term context (memory proxy)
+	CNFClauses int
+	SATVars    int
+	Assertions int
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	Holds      bool
+	Violations []*Violation
+	Stats      Stats
+
+	// Internals exposed for bug localization and tooling.
+	Ctx     *smt.Ctx
+	Env     *encode.Env
+	Program gcl.Stmt
+	Result  *gcl.Result
+}
+
+// ErrBudget reports solver budget exhaustion (the analogue of the paper's
+// OOT entries).
+var ErrBudget = fmt.Errorf("verify: solver budget exhausted")
+
+// Run verifies prog (+ optional snapshot) against spec.
+func Run(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec, opts Options) (*Report, error) {
+	ctx := smt.NewCtx()
+	eopts := opts.Encode
+	eopts.TrackModified = lpi.TrackModified(spec)
+	env := encode.NewEnv(ctx, prog, snap, eopts)
+	return RunWithEnv(ctx, env, spec, opts)
+}
+
+// RunWithEnv verifies with a caller-provided context and environment
+// (used by localization to re-encode variants of the same program).
+func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*Report, error) {
+	t0 := time.Now()
+	comp := lpi.NewCompiler(spec, env)
+	program, err := comp.Compile()
+	if err != nil {
+		return nil, err
+	}
+	enc := gcl.NewEncoder(ctx)
+	res := enc.Encode(program, nil)
+	encodeTime := time.Since(t0)
+
+	rep := &Report{
+		Ctx:     ctx,
+		Env:     env,
+		Program: program,
+		Result:  res,
+		Stats: Stats{
+			EncodeTime: encodeTime,
+			GCLSize:    gcl.Size(program),
+			Assertions: len(res.Violations),
+		},
+	}
+	t1 := time.Now()
+	err = rep.check(opts)
+	rep.Stats.SolveTime = time.Since(t1)
+	rep.Stats.TermNodes = ctx.NumTerms()
+	rep.Holds = len(rep.Violations) == 0
+	return rep, err
+}
+
+func (rep *Report) check(opts Options) error {
+	ctx := rep.Ctx
+	solver := smt.NewSolver(ctx)
+	if opts.Budget > 0 {
+		solver.SetBudget(opts.Budget)
+	}
+	defer func() {
+		rep.Stats.CNFClauses = solver.NumClauses()
+		rep.Stats.SATVars = solver.NumSATVars()
+	}()
+
+	if !opts.FindAll {
+		// Find-first: one query over the disjunction of all violation
+		// conditions ("checking all assertions together", §8.1).
+		any := ctx.False()
+		for _, v := range rep.Result.Violations {
+			any = ctx.Or(any, v.Cond)
+		}
+		st := solver.Check(any)
+		if st == smt.Unknown {
+			return ErrBudget
+		}
+		if st == smt.Unsat {
+			return nil
+		}
+		m := solver.Model()
+		solver.ModelCollect(m, any)
+		// Identify the first assertion the model violates.
+		for _, v := range rep.Result.Violations {
+			if m.Bool(v.Cond) {
+				rep.Violations = append(rep.Violations, rep.makeViolation(v, m))
+				return nil
+			}
+		}
+		// Fall back: report the disjunction (should not happen).
+		rep.Violations = append(rep.Violations, &Violation{Label: "unknown", Model: m, Cond: any})
+		return nil
+	}
+
+	// Find-all: §5.1 — ask for the first violated assertion, remove it,
+	// iterate. Checking each violation condition in program order is
+	// equivalent and keeps the incremental solver state warm.
+	for _, v := range rep.Result.Violations {
+		st := solver.Check(v.Cond)
+		if st == smt.Unknown {
+			return ErrBudget
+		}
+		if st != smt.Sat {
+			continue
+		}
+		m := solver.Model()
+		solver.ModelCollect(m, v.Cond)
+		rep.Violations = append(rep.Violations, rep.makeViolation(v, m))
+	}
+	return nil
+}
+
+func (rep *Report) makeViolation(v *gcl.Violation, m *smt.Model) *Violation {
+	out := &Violation{Label: v.Label, Model: m, Cond: v.Cond}
+	if info, ok := v.Meta.(*lpi.AssertionInfo); ok {
+		out.Info = info
+	}
+	out.Cex = rep.renderCex(v.Cond, m)
+	return out
+}
+
+// renderCex formats the assignment of the input variables mentioned in the
+// violation condition.
+func (rep *Report) renderCex(cond *smt.Term, m *smt.Model) string {
+	vars := smt.Vars(cond)
+	var lines []string
+	for _, v := range vars {
+		name := v.Name
+		// Internal encoder variables are noise in reports.
+		if strings.HasPrefix(name, "$enc.") || strings.HasPrefix(name, "choice!") ||
+			strings.HasPrefix(name, "havoc$") || strings.Contains(name, "!") {
+			continue
+		}
+		// The residual free value of a header field is its pre-parse
+		// content, which is unobservable garbage — suppress it. (Its wire
+		// image appears as pkt.<field> instead.)
+		if rep.Env != nil && !strings.HasPrefix(name, "pkt.") && !strings.HasPrefix(name, "$") {
+			if i := strings.LastIndex(name, "."); i > 0 {
+				if inst := rep.Env.Prog.Instance(name[:i]); inst != nil && inst.IsHeader {
+					continue
+				}
+			}
+		}
+		if v.Op == smt.OpBoolVar {
+			lines = append(lines, fmt.Sprintf("%s = %v", name, m.Bool(v)))
+		} else {
+			lines = append(lines, fmt.Sprintf("%s = 0x%x", name, m.BV(v)))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// BlockedBehaviour names a table behaviour that participates in a
+// violation found under any-entries verification (§2: "for the table
+// entries potentially triggering bugs, the second case enables us to
+// record these entries in a blocklist ahead of time, preventing them in
+// runtime").
+type BlockedBehaviour struct {
+	Table string // fully qualified Control.table
+	// Hit and ActionLAID are the free-choice values of the counterexample:
+	// an entry making this table hit with this action on the
+	// counterexample's packet would trigger the violation.
+	Hit        bool
+	ActionLAID uint64
+	Assertion  string
+}
+
+// Blocklist extracts, for each violation, the wildcard-table behaviours of
+// its counterexample. Only meaningful when the run had no snapshot (tables
+// encoded as function variables).
+func (rep *Report) Blocklist() []BlockedBehaviour {
+	var out []BlockedBehaviour
+	ctx := rep.Ctx
+	for _, v := range rep.Violations {
+		seen := map[string]bool{}
+		for _, t := range smt.Vars(v.Cond) {
+			name := t.Name
+			if !strings.HasPrefix(name, "$tbl.") || !strings.HasSuffix(name, ".hit") {
+				continue
+			}
+			fq := strings.TrimSuffix(strings.TrimPrefix(name, "$tbl."), ".hit")
+			if seen[fq] {
+				continue
+			}
+			seen[fq] = true
+			out = append(out, BlockedBehaviour{
+				Table:      fq,
+				Hit:        v.Model.Bool(ctx.BoolVar("$tbl." + fq + ".hit")),
+				ActionLAID: v.Model.Uint64(ctx.Var("$tbl."+fq+".laid", 16)),
+				Assertion:  v.Label,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Assertion < out[j].Assertion
+	})
+	return out
+}
+
+// String renders a human-readable report.
+func (rep *Report) String() string {
+	var b strings.Builder
+	if rep.Holds {
+		fmt.Fprintf(&b, "verified: all %d assertions hold\n", rep.Stats.Assertions)
+	} else {
+		fmt.Fprintf(&b, "VIOLATED: %d of %d assertions\n", len(rep.Violations), rep.Stats.Assertions)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "  assertion %s", v.Label)
+			if v.Info != nil {
+				fmt.Fprintf(&b, " (line %d: %s)", v.Info.Line, v.Info.Text)
+			}
+			b.WriteString("\n")
+			for _, line := range strings.Split(v.Cex, "\n") {
+				if line != "" {
+					fmt.Fprintf(&b, "    %s\n", line)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&b, "stats: encode %v, solve %v, gcl %d stmts, %d terms, %d clauses, %d sat vars\n",
+		rep.Stats.EncodeTime.Round(time.Millisecond), rep.Stats.SolveTime.Round(time.Millisecond),
+		rep.Stats.GCLSize, rep.Stats.TermNodes, rep.Stats.CNFClauses, rep.Stats.SATVars)
+	return b.String()
+}
+
+// JSONReport is the machine-readable form of a Report, for CI pipelines
+// that gate deployments on verification (the §9 "usage phase" workflow:
+// checking data planes during service runtime and before updates).
+type JSONReport struct {
+	Holds      bool            `json:"holds"`
+	Assertions int             `json:"assertions"`
+	Violations []JSONViolation `json:"violations,omitempty"`
+	Stats      JSONStats       `json:"stats"`
+}
+
+// JSONViolation is one violated assertion.
+type JSONViolation struct {
+	Label          string            `json:"label"`
+	Block          string            `json:"block,omitempty"`
+	Line           int               `json:"line,omitempty"`
+	Text           string            `json:"text,omitempty"`
+	Counterexample map[string]string `json:"counterexample,omitempty"`
+}
+
+// JSONStats carries the cost metrics.
+type JSONStats struct {
+	EncodeMS   int64 `json:"encode_ms"`
+	SolveMS    int64 `json:"solve_ms"`
+	GCLSize    int   `json:"gcl_size"`
+	TermNodes  int   `json:"term_nodes"`
+	CNFClauses int   `json:"cnf_clauses"`
+	SATVars    int   `json:"sat_vars"`
+}
+
+// JSON renders the report for machine consumption.
+func (rep *Report) JSON() ([]byte, error) {
+	out := JSONReport{
+		Holds:      rep.Holds,
+		Assertions: rep.Stats.Assertions,
+		Stats: JSONStats{
+			EncodeMS:   rep.Stats.EncodeTime.Milliseconds(),
+			SolveMS:    rep.Stats.SolveTime.Milliseconds(),
+			GCLSize:    rep.Stats.GCLSize,
+			TermNodes:  rep.Stats.TermNodes,
+			CNFClauses: rep.Stats.CNFClauses,
+			SATVars:    rep.Stats.SATVars,
+		},
+	}
+	for _, v := range rep.Violations {
+		jv := JSONViolation{Label: v.Label, Counterexample: map[string]string{}}
+		if v.Info != nil {
+			jv.Block, jv.Line, jv.Text = v.Info.Block, v.Info.Line, v.Info.Text
+		}
+		for _, line := range strings.Split(v.Cex, "\n") {
+			if name, val, ok := strings.Cut(line, " = "); ok {
+				jv.Counterexample[name] = val
+			}
+		}
+		out.Violations = append(out.Violations, jv)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,54 @@
+// forward.p4 — the paper's Figure 6 subject program.
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ipv4_t { bit<8> ttl; bit<8> protocol; bit<32> src_ip; bit<32> dst_ip; }
+header tcp_t { bit<16> src_port; bit<16> dst_port; }
+header udp_t { bit<16> src_port; bit<16> dst_port; }
+struct ig_md_t { bit<1> redirected; }
+
+ethernet_t ethernet;
+ipv4_t ipv4;
+tcp_t tcp;
+udp_t udp;
+ig_md_t ig_md;
+
+parser IngressParser {
+	state start {
+		extract(ethernet);
+		transition select(ethernet.etherType) {
+			0x0800: parse_ipv4;
+			default: accept;
+		}
+	}
+	state parse_ipv4 {
+		extract(ipv4);
+		transition select(ipv4.protocol) {
+			6: parse_tcp;
+			17: parse_udp;
+			default: accept;
+		}
+	}
+	state parse_tcp { extract(tcp); transition accept; }
+	state parse_udp { extract(udp); transition accept; }
+}
+
+control Ingress {
+	action send(bit<9> port) { std_meta.egress_spec = port; }
+	action rewrite() { ipv4.dst_ip = 10.0.0.2; ig_md.redirected = 1; }
+	action a_drop() { drop(); }
+	table fwd {
+		key = { ipv4.dst_ip : exact; }
+		actions = { rewrite; send; a_drop; }
+		default_action = send(1);
+	}
+	apply {
+		if (ipv4.isValid()) { fwd.apply(); }
+	}
+}
+
+deparser IngressDeparser { emit(ethernet); emit(ipv4); emit(tcp); emit(udp); }
+
+pipeline ingress_pipeline {
+	parser = IngressParser;
+	control = Ingress;
+	deparser = IngressDeparser;
+}
