@@ -95,13 +95,17 @@ type Options struct {
 	FindAll bool
 	// Budget bounds SMT effort per query in SAT conflicts (0: unlimited).
 	Budget int64
+	// Parallel is the worker count for find-all verification and
+	// localization re-checks: 0 uses runtime.GOMAXPROCS(0), 1 forces the
+	// serial path. Reports are byte-identical at every setting.
+	Parallel int
 	// Encode selects the encoding modes; the zero value is the paper's
 	// configuration (sequential encoding, ABV lookup tree, KV packets).
 	Encode EncodeOptions
 }
 
 func (o Options) verifyOptions() verify.Options {
-	return verify.Options{Encode: o.Encode, FindAll: o.FindAll, Budget: o.Budget}
+	return verify.Options{Encode: o.Encode, FindAll: o.FindAll, Budget: o.Budget, Parallel: o.Parallel}
 }
 
 // ParseProgram parses and type-checks P4lite source.

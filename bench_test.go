@@ -261,6 +261,29 @@ func BenchmarkAblation_FindFirstVsFindAll(b *testing.B) {
 	}
 }
 
+// BenchmarkSMT_Interning exercises the hash-consing micro-path: a mix of
+// fresh constructions (map miss + insert) and re-constructions of existing
+// terms (map hit), the dominant operation of GCL encoding.
+func BenchmarkSMT_Interning(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := smt.NewCtx()
+		vars := make([]*smt.Term, 16)
+		for j := range vars {
+			vars[j] = ctx.Var(fmt.Sprintf("v%d", j), 32)
+		}
+		acc := ctx.BV(0, 32)
+		for j := 0; j < 256; j++ {
+			v := vars[j%len(vars)]
+			acc = ctx.BVAdd(acc, ctx.BVXor(v, ctx.BV(uint64(j), 32)))
+			// Re-construction of an existing term: pure lookup.
+			ctx.BVXor(v, ctx.BV(uint64(j), 32))
+			ctx.Extract(acc, 15, 0)
+		}
+		ctx.Eq(acc, ctx.BV(42, 32))
+	}
+}
+
 // BenchmarkSolver_BitBlast exercises the SMT substrate directly: a
 // register-chained arithmetic equation per iteration.
 func BenchmarkSolver_BitBlast(b *testing.B) {

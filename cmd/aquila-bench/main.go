@@ -10,6 +10,7 @@
 //	aquila-bench -exp table4 [-scales small,medium,large]
 //	aquila-bench -exp fig11a [-k 5] [-scale medium]
 //	aquila-bench -exp fig11b [-entries 1000,2000,3000,4000,5000]
+//	aquila-bench -exp parallel [-parallel 1,2,4,8] [-repeats 3] [-out BENCH_parallel.json]
 //	aquila-bench -exp all -quick
 package main
 
@@ -28,13 +29,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|all")
-		quick   = flag.Bool("quick", false, "smaller budgets and workloads")
-		suite   = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
-		scales  = flag.String("scales", "small,medium,large", "table4 switch-T scales")
-		k       = flag.Int("k", 5, "fig11a maximum chain length")
-		scale   = flag.String("scale", "medium", "fig11a/fig11b switch-T scale")
-		entries = flag.String("entries", "1000,2000,3000,4000,5000", "fig11b entry counts")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|all")
+		quick    = flag.Bool("quick", false, "smaller budgets and workloads")
+		suite    = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
+		scales   = flag.String("scales", "small,medium,large", "table4 switch-T scales")
+		k        = flag.Int("k", 5, "fig11a maximum chain length")
+		scale    = flag.String("scale", "medium", "fig11a/fig11b switch-T scale")
+		entries  = flag.String("entries", "1000,2000,3000,4000,5000", "fig11b entry counts")
+		parallel = flag.String("parallel", "1,2,4,8", "parallel-sweep worker counts (first must be 1, the speedup baseline)")
+		repeats  = flag.Int("repeats", 3, "parallel-sweep runs per worker count (best wall time kept)")
+		outPath  = flag.String("out", "BENCH_parallel.json", "parallel-sweep JSON output file (empty: stdout table only)")
 	)
 	flag.Parse()
 
@@ -135,6 +139,37 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.FormatFig11b(rows))
+		return nil
+	})
+
+	run("parallel", func() error {
+		var counts []int
+		for _, s := range strings.Split(*parallel, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			counts = append(counts, n)
+		}
+		reps := *repeats
+		if *quick {
+			reps = 1
+		}
+		res, err := bench.Parallel(progs.DCGatewayBench(), counts, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatParallel(res))
+		if *outPath != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *outPath)
+		}
 		return nil
 	})
 }

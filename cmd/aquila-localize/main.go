@@ -6,6 +6,7 @@
 // Usage:
 //
 //	aquila-localize -spec spec.lpi [-p4 prog.p4] [-entries snap.txt]
+//	                [-budget N] [-parallel N]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"aquila"
 )
@@ -23,6 +25,7 @@ func main() {
 		specPath = flag.String("spec", "", "LPI specification file (required)")
 		entries  = flag.String("entries", "", "table-entry snapshot file")
 		budget   = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
+		parallel = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for localization re-checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -54,7 +57,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	result, err := aquila.Localize(prog, snap, spec, aquila.Options{Budget: *budget})
+	result, err := aquila.Localize(prog, snap, spec, aquila.Options{Budget: *budget, Parallel: *parallel})
 	if err != nil {
 		fatal(err)
 	}

@@ -6,7 +6,7 @@
 //
 //	aquila -spec spec.lpi [-p4 prog.p4] [-entries snap.txt] [-all]
 //	       [-parser sequential|tree] [-table abvtree|abvlinear|naive]
-//	       [-packet kv|bitvector] [-budget N]
+//	       [-packet kv|bitvector] [-budget N] [-parallel N]
 //
 // The P4 program may also be named by the spec's config section
 // (`config { path = prog.p4; }`).
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"aquila"
 	"aquila/internal/encode"
@@ -32,6 +33,7 @@ func main() {
 		tableStr  = flag.String("table", "abvtree", "table encoding: abvtree|abvlinear|naive")
 		packetStr = flag.String("packet", "kv", "packet encoding: kv|bitvector")
 		budget    = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
+		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for -all checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
 		blocklist = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 	)
@@ -66,9 +68,10 @@ func main() {
 		}
 	}
 	opts := aquila.Options{
-		FindAll: *findAll,
-		Budget:  *budget,
-		Encode:  encodeOptions(*parserStr, *tableStr, *packetStr),
+		FindAll:  *findAll,
+		Budget:   *budget,
+		Parallel: *parallel,
+		Encode:   encodeOptions(*parserStr, *tableStr, *packetStr),
 	}
 	report, err := aquila.Verify(prog, snap, spec, opts)
 	if err != nil {

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"aquila/internal/progs"
+	"aquila/internal/verify"
+)
+
+// ParallelRow is one worker-count measurement of the parallel-engine
+// sweep: find-all verification of the same program at a fixed Parallel
+// setting.
+type ParallelRow struct {
+	Workers int `json:"workers"`
+	// WallMS is the best-of-repeats find-all wall time (encode + solve).
+	WallMS float64 `json:"wall_ms"`
+	// SolveMS / SolveCPUMS are the solving phase's wall clock and the
+	// cumulative per-check CPU from the same (best) run. SolveCPUMS is
+	// worker-count independent modulo noise — the fair cost metric.
+	SolveMS    float64 `json:"solve_ms"`
+	SolveCPUMS float64 `json:"solve_cpu_ms"`
+	// Speedup is wall(workers=1) / wall(this row).
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether this row's canonical report bytes match
+	// the workers=1 baseline exactly.
+	Identical bool `json:"identical"`
+	Bugs      int  `json:"bugs"`
+}
+
+// ParallelResult is the whole sweep plus the context needed to judge it.
+type ParallelResult struct {
+	Program    string `json:"program"`
+	Assertions int    `json:"assertions"`
+	// CPUs is runtime.GOMAXPROCS(0) — speedup is bounded by it, so a
+	// 1-CPU container cannot show wall-clock gains at any worker count.
+	CPUs    int           `json:"cpus"`
+	Repeats int           `json:"repeats"`
+	Rows    []ParallelRow `json:"rows"`
+}
+
+// Parallel sweeps find-all verification of bm over workerCounts (each run
+// repeated `repeats` times, best wall time kept) and checks that every
+// worker count reproduces the workers=1 canonical report byte for byte.
+// The first entry of workerCounts must be 1 (the speedup baseline).
+func Parallel(bm *progs.Benchmark, workerCounts []int, repeats int) (*ParallelResult, error) {
+	if len(workerCounts) == 0 || workerCounts[0] != 1 {
+		return nil, fmt.Errorf("bench: parallel sweep needs workerCounts starting at 1, got %v", workerCounts)
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	prog, err := bm.Parse()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := lpiParse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		return nil, err
+	}
+	res := &ParallelResult{
+		Program: bm.Name,
+		CPUs:    runtime.GOMAXPROCS(0),
+		Repeats: repeats,
+	}
+	var baseline []byte
+	var baseWall time.Duration
+	for _, w := range workerCounts {
+		var best time.Duration
+		var bestRep *verify.Report
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			rep, err := verify.Run(prog, nil, spec, verify.Options{FindAll: true, Parallel: w})
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: parallel workers=%d: %w", w, err)
+			}
+			if bestRep == nil || wall < best {
+				best, bestRep = wall, rep
+			}
+		}
+		canon, err := bestRep.CanonicalJSON()
+		if err != nil {
+			return nil, err
+		}
+		if baseline == nil {
+			baseline, baseWall = canon, best
+			res.Assertions = bestRep.Stats.Assertions
+		}
+		res.Rows = append(res.Rows, ParallelRow{
+			Workers:    w,
+			WallMS:     float64(best.Microseconds()) / 1000,
+			SolveMS:    float64(bestRep.Stats.SolveTime.Microseconds()) / 1000,
+			SolveCPUMS: float64(bestRep.Stats.SolveCPU.Microseconds()) / 1000,
+			Speedup:    float64(baseWall) / float64(best),
+			Identical:  bytes.Equal(canon, baseline),
+			Bugs:       len(bestRep.Violations),
+		})
+	}
+	return res, nil
+}
+
+// JSON renders the sweep for BENCH_parallel.json.
+func (r *ParallelResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatParallel renders the sweep as the usual aquila-bench table.
+func FormatParallel(r *ParallelResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel find-all sweep: %s (%d assertions, %d CPUs, best of %d)\n",
+		r.Program, r.Assertions, r.CPUs, r.Repeats)
+	fmt.Fprintf(&b, "%-8s  %10s  %10s  %12s  %8s  %9s  %4s\n",
+		"workers", "wall ms", "solve ms", "solve-cpu ms", "speedup", "identical", "bugs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d  %10.1f  %10.1f  %12.1f  %7.2fx  %9v  %4d\n",
+			row.Workers, row.WallMS, row.SolveMS, row.SolveCPUMS, row.Speedup, row.Identical, row.Bugs)
+	}
+	if r.CPUs == 1 {
+		b.WriteString("note: single-CPU host — wall-clock speedup is bounded at 1.0x; solve-cpu ms shows the worker-count-independent cost.\n")
+	}
+	return b.String()
+}

@@ -374,22 +374,38 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 	}
 
 	// (2) Causality filter: keep actions whose execution the violation
-	// implies (checked on the base encoding's $fired ghosts).
+	// implies (checked on the base encoding's $fired ghosts). The query
+	// terms are built serially on the shared context; the checks — one
+	// fresh solver each over the then-frozen DAG — fan out across the
+	// verify worker pool.
 	ctx := baseRep.Ctx
-	filterSolver := smt.NewSolver(ctx)
-	if vopts.Budget > 0 {
-		filterSolver.SetBudget(vopts.Budget)
-	}
-	filterSolver.Assert(frozenTerm(ctx, frozen))
+	frozenCond := frozenTerm(ctx, frozen)
 	viol := ctx.False()
 	for _, v := range baseRep.Violations {
 		viol = ctx.Or(viol, v.Cond)
 	}
-	var filtered []actionKey
-	for _, key := range sortedActionKeys(suspects) {
+	keys := sortedActionKeys(suspects)
+	queries := make([]*smt.Term, len(keys))
+	for i, key := range keys {
 		fired := baseRep.Env.FiredVar(key.ctl, key.act)
 		// v implies fired  ⇔  unsat(v ∧ ¬fired).
-		if filterSolver.Check(ctx.And(viol, ctx.Not(fired))) == smt.Unsat {
+		queries[i] = ctx.And(frozenCond, viol, ctx.Not(fired))
+	}
+	workers := vopts.Workers()
+	if workers > 1 {
+		ctx.Freeze()
+	}
+	implied := make([]bool, len(keys))
+	verify.ForEach(workers, len(keys), func(i int) {
+		filterSolver := smt.NewSolver(ctx)
+		if vopts.Budget > 0 {
+			filterSolver.SetBudget(vopts.Budget)
+		}
+		implied[i] = filterSolver.Check(queries[i]) == smt.Unsat
+	})
+	var filtered []actionKey
+	for i, key := range keys {
+		if implied[i] {
 			filtered = append(filtered, key)
 		}
 	}
@@ -397,26 +413,42 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 		// Causality pruned everything (e.g. the faulty action never ran on
 		// the frozen input because it is missing); fall back to the taint
 		// set so step 3 can still simulate fixes.
-		filtered = sortedActionKeys(suspects)
+		filtered = keys
 	}
 
 	// (3) Fix simulation: havoc each suspect variable after its action and
-	// check whether some value repairs all assertions.
-	var out []Candidate
+	// check whether some value repairs all assertions. Every simulation
+	// re-encodes into its own private context, so the pairs are
+	// embarrassingly parallel; results are collected by pair index, which
+	// keeps the candidate order identical at every Parallel setting.
+	type fixPair struct {
+		key actionKey
+		v   string
+	}
+	var pairs []fixPair
 	for _, key := range filtered {
 		for _, varName := range sortedSet(suspects[key]) {
-			fixed, err := fixWorks(prog, snap, spec, vopts, frozen, key.ctl, key.act, varName)
-			if err != nil {
-				return nil, pool, err
-			}
-			if fixed {
-				out = append(out, Candidate{
-					Control: key.ctl,
-					Action:  key.act,
-					Var:     varName,
-					Line:    actionLine(prog, key.ctl, key.act),
-				})
-			}
+			pairs = append(pairs, fixPair{key, varName})
+		}
+	}
+	fixed := make([]bool, len(pairs))
+	errs := make([]error, len(pairs))
+	verify.ForEach(workers, len(pairs), func(i int) {
+		p := pairs[i]
+		fixed[i], errs[i] = fixWorks(prog, snap, spec, vopts, frozen, p.key.ctl, p.key.act, p.v)
+	})
+	var out []Candidate
+	for i, p := range pairs {
+		if errs[i] != nil {
+			return nil, pool, errs[i]
+		}
+		if fixed[i] {
+			out = append(out, Candidate{
+				Control: p.key.ctl,
+				Action:  p.key.act,
+				Var:     p.v,
+				Line:    actionLine(prog, p.key.ctl, p.key.act),
+			})
 		}
 	}
 	return out, pool, nil

@@ -477,6 +477,176 @@ deparser FlowletDeparser { emit(ethernet); emit(ipv4); emit(tcp); }
 pipeline flowlet { parser = FlowletParser; control = FlowletIngress; deparser = FlowletDeparser; }
 `
 
+// DCGateway is a larger hand-written program modelled on a data-center
+// VXLAN gateway: VLAN-aware underlay, VXLAN termination, VNI translation,
+// inner-Ethernet forwarding and ECMP over an L4 hash. With 10 tables
+// touching 6 header instances it yields 13 invalid-header-access
+// obligations — enough per-assertion work to exercise the parallel
+// verification engine (it backs BENCH_parallel.json).
+// Seeded bugs: vtep_tbl/vni_xlate_tbl read vxlan without vxlan.isValid(),
+// ecmp_tbl hashes udp ports without udp validity, inner_fwd_tbl keys on
+// the inner Ethernet header unguarded, and vlan_xlate_tbl rewrites the
+// vlan tag without vlan.isValid().
+const DCGateway = `
+// dc_gateway.p4 — VXLAN data-center gateway: terminate tunnels, translate
+// VNIs, forward on the inner Ethernet header, ECMP on an L4 hash.
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header vlan_t { bit<3> pcp; bit<12> vid; bit<16> etherType; }
+header ipv4_t { bit<8> tos; bit<16> totalLen; bit<8> ttl; bit<8> protocol; bit<32> src; bit<32> dst; }
+header udp_t { bit<16> srcPort; bit<16> dstPort; bit<16> length; }
+header vxlan_t { bit<8> flags; bit<24> vni; }
+header inner_ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+struct gw_md_t {
+	bit<1> terminated;
+	bit<16> l4_hash;
+	bit<16> ecmp_offset;
+	bit<16> conn_seen;
+	bit<24> dst_vni;
+}
+
+ethernet_t ethernet;
+vlan_t vlan;
+ipv4_t ipv4;
+udp_t udp;
+vxlan_t vxlan;
+inner_ethernet_t inner_ethernet;
+gw_md_t gw_md;
+
+register<bit<16>>(4096) conn_reg;
+
+parser GatewayParser {
+	state start {
+		extract(ethernet);
+		transition select(ethernet.etherType) {
+			0x8100: parse_vlan;
+			0x0800: parse_ipv4;
+			default: accept;
+		}
+	}
+	state parse_vlan {
+		extract(vlan);
+		transition select(vlan.etherType) {
+			0x0800: parse_ipv4;
+			default: accept;
+		}
+	}
+	state parse_ipv4 {
+		extract(ipv4);
+		transition select(ipv4.protocol) {
+			17: parse_udp;
+			default: accept;
+		}
+	}
+	state parse_udp {
+		extract(udp);
+		transition select(udp.dstPort) {
+			4789: parse_vxlan;
+			default: accept;
+		}
+	}
+	state parse_vxlan { extract(vxlan); transition parse_inner; }
+	state parse_inner { extract(inner_ethernet); transition accept; }
+}
+
+control GatewayIngress {
+	action terminate() {
+		gw_md.terminated = 1;
+		gw_md.dst_vni = vxlan.vni;
+	}
+	action set_out_vni(bit<24> vni) { vxlan.vni = vni; }
+	action compute_hash() {
+		hash(gw_md.l4_hash, ipv4.src, ipv4.dst, udp.srcPort, udp.dstPort);
+		gw_md.ecmp_offset = gw_md.l4_hash & 7;
+		conn_reg.read(gw_md.conn_seen, 0);
+		conn_reg.write(0, gw_md.conn_seen + 1);
+	}
+	action set_nhop(bit<9> port) { std_meta.egress_spec = port; ipv4.ttl = ipv4.ttl - 1; }
+	action inner_nhop(bit<9> port) { std_meta.egress_spec = port; }
+	action rewrite_vlan(bit<12> vid) { vlan.vid = vid; }
+	action set_pcp(bit<3> p) { vlan.pcp = p; }
+	action a_drop() { drop(); }
+	table vtep_tbl {
+		key = { ipv4.dst : lpm; }
+		actions = { terminate; a_drop; }
+	}
+	table vni_xlate_tbl {
+		key = { vxlan.vni : exact; }
+		actions = { set_out_vni; }
+	}
+	table ecmp_tbl {
+		key = { ipv4.protocol : exact; }
+		actions = { compute_hash; }
+	}
+	table ecmp_nhop_tbl {
+		key = { gw_md.ecmp_offset : exact; }
+		actions = { set_nhop; a_drop; }
+		default_action = a_drop;
+	}
+	table ttl_tbl {
+		key = { ipv4.ttl : exact; }
+		actions = { a_drop; }
+	}
+	table acl_tbl {
+		key = { ipv4.src : ternary; udp.dstPort : ternary; }
+		actions = { a_drop; }
+	}
+	table inner_fwd_tbl {
+		key = { inner_ethernet.dst : exact; }
+		actions = { inner_nhop; a_drop; }
+		default_action = a_drop;
+	}
+	table vlan_xlate_tbl {
+		key = { vlan.vid : exact; }
+		actions = { rewrite_vlan; }
+	}
+	table qos_tbl {
+		key = { vlan.pcp : exact; }
+		actions = { set_pcp; }
+	}
+	table dbg_tbl {
+		key = { ethernet.etherType : exact; }
+		actions = { a_drop; }
+	}
+	apply {
+		if (ipv4.isValid()) {
+			// BUG(seeded): vtep_tbl copies vxlan.vni and vni_xlate_tbl
+			// rewrites it without vxlan.isValid() — plain ipv4 packets
+			// reach both.
+			vtep_tbl.apply();
+			vni_xlate_tbl.apply();
+			// BUG(seeded): ecmp hashing reads udp ports without udp
+			// validity.
+			ecmp_tbl.apply();
+			ecmp_nhop_tbl.apply();
+			ttl_tbl.apply();
+			if (udp.isValid()) {
+				acl_tbl.apply();
+			}
+		}
+		// BUG(seeded): inner_fwd_tbl keys on inner_ethernet with no guard
+		// — only the vxlan path parses it.
+		inner_fwd_tbl.apply();
+		// BUG(seeded): vlan rewrite without vlan.isValid().
+		vlan_xlate_tbl.apply();
+		if (vlan.isValid()) {
+			qos_tbl.apply();
+		}
+		dbg_tbl.apply();
+	}
+}
+
+deparser GatewayDeparser { emit(ethernet); emit(vlan); emit(ipv4); emit(udp); emit(vxlan); emit(inner_ethernet); }
+pipeline dc_gateway { parser = GatewayParser; control = GatewayIngress; deparser = GatewayDeparser; }
+`
+
+// DCGatewayBench returns the DC gateway as a benchmark. It is not part of
+// HandWrittenSuite — Table 3 pins exactly five rows — but backs the
+// parallel-engine experiment, which needs a program with many independent
+// assertion obligations.
+func DCGatewayBench() *Benchmark {
+	return &Benchmark{Name: "DC Gateway", Source: DCGateway, Calls: []string{"dc_gateway"}}
+}
+
 // HandWrittenSuite lists the manually-written benchmarks (Table 3 rows
 // 1-5).
 func HandWrittenSuite() []*Benchmark {

@@ -144,7 +144,8 @@ type Solver struct {
 
 	maxLearnts  float64
 	lubyIdx     int
-	budget      int64 // remaining conflicts allowed, <0 means unlimited
+	budget      int64 // conflicts allowed per Solve call, <0 means unlimited
+	budgetLim   int64 // absolute Conflicts ceiling for the current Solve, <0 unlimited
 	numVarsFree int
 }
 
@@ -155,6 +156,7 @@ func New() *Solver {
 		clauseInc:  1.0,
 		ok:         true,
 		budget:     -1,
+		budgetLim:  -1,
 		maxLearnts: 4000,
 	}
 }
@@ -179,7 +181,10 @@ func (s *Solver) NewVar() int {
 	return v
 }
 
-// SetBudget limits the number of conflicts for subsequent Solve calls.
+// SetBudget limits the number of conflicts spent by each subsequent Solve
+// call. The bound is per call — an incremental solver answering many
+// queries grants each one a fresh allowance — so budget semantics are
+// identical whether checks share one solver or run on separate instances.
 // A negative value removes the limit.
 func (s *Solver) SetBudget(conflicts int64) { s.budget = conflicts }
 
@@ -618,7 +623,7 @@ func (s *Solver) search(maxConflicts int) Status {
 			continue
 		}
 		// No conflict.
-		if s.budget >= 0 && s.Conflicts >= s.budget {
+		if s.budgetLim >= 0 && s.Conflicts >= s.budgetLim {
 			return Unknown
 		}
 		if conflicts >= maxConflicts {
@@ -679,6 +684,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.conflictSet = s.conflictSet[:0]
 	defer s.cancelUntil(0)
 
+	s.budgetLim = -1
+	if s.budget >= 0 {
+		s.budgetLim = s.Conflicts + s.budget
+	}
+
 	s.lubyIdx = 0
 	for {
 		maxC := int(luby(s.lubyIdx) * 100)
@@ -692,7 +702,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		case Unsat:
 			return Unsat
 		}
-		if s.budget >= 0 && s.Conflicts >= s.budget {
+		if s.budgetLim >= 0 && s.Conflicts >= s.budgetLim {
 			return Unknown
 		}
 		s.maxLearnts *= 1.05

@@ -14,6 +14,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Op identifies a term constructor.
@@ -125,9 +126,12 @@ func (t *Term) String() string {
 }
 
 // Ctx owns a hash-consing table; all terms used together must come from the
-// same Ctx. Ctx is not safe for concurrent use.
+// same Ctx. A Ctx starts out single-goroutine (no synchronization on the
+// hot path); after Freeze it may be shared across goroutines — existing
+// terms are immutable and read freely, and any residual interning is
+// serialized through a mutex.
 type Ctx struct {
-	table  map[string]*Term
+	table  map[termKey]*Term
 	nextID int
 	true_  *Term
 	false_ *Term
@@ -135,35 +139,88 @@ type Ctx struct {
 	// Size accounting, used by the benchmark harness to report formula
 	// sizes the way the paper reports memory footprints.
 	created int
+
+	// shared is set by Freeze; from then on intern and NumTerms take mu.
+	// It is written strictly before the Ctx is handed to other goroutines.
+	shared bool
+	mu     sync.Mutex
+}
+
+// termKey is the comparable hash-consing key: operator, sort, slice bounds,
+// variable name, constant value, and argument IDs. No term has more than
+// three arguments (ite), so the IDs are inlined; absent slots are -1.
+// Constants are normalized into [0, 2^Width), so values up to 64 bits fit
+// valLo and wider ones fall back to a hex rendering — keying stays
+// allocation-free for every term the encoder produces in practice.
+type termKey struct {
+	op         Op
+	width      int32
+	hi, lo     int32
+	name       string
+	hasVal     bool
+	valLo      uint64
+	valWide    string
+	a0, a1, a2 int32
+}
+
+func makeKey(t *Term) termKey {
+	k := termKey{
+		op: t.Op, width: int32(t.Width), hi: int32(t.Hi), lo: int32(t.Lo),
+		name: t.Name, a0: -1, a1: -1, a2: -1,
+	}
+	if t.Val != nil {
+		k.hasVal = true
+		if t.Val.BitLen() <= 64 {
+			k.valLo = t.Val.Uint64()
+		} else {
+			k.valWide = t.Val.Text(16)
+		}
+	}
+	switch len(t.Args) {
+	case 3:
+		k.a2 = int32(t.Args[2].ID)
+		fallthrough
+	case 2:
+		k.a1 = int32(t.Args[1].ID)
+		fallthrough
+	case 1:
+		k.a0 = int32(t.Args[0].ID)
+	}
+	return k
 }
 
 // NewCtx returns an empty term context.
 func NewCtx() *Ctx {
-	c := &Ctx{table: make(map[string]*Term)}
+	c := &Ctx{table: make(map[termKey]*Term)}
 	c.true_ = c.intern(&Term{Op: OpBoolConst, Val: big.NewInt(1)})
 	c.false_ = c.intern(&Term{Op: OpBoolConst, Val: big.NewInt(0)})
 	return c
 }
 
+// Freeze marks the context as shared across goroutines. Term construction
+// remains possible (serialized through an internal mutex), but the intended
+// pattern is: encode everything, Freeze, then fan out read-only consumers
+// (blasting, solving, model evaluation) — none of which create terms.
+// Freeze must be called before the Ctx is handed to other goroutines;
+// there is no Unfreeze.
+func (c *Ctx) Freeze() { c.shared = true }
+
 // NumTerms returns the number of distinct terms created in this context —
 // a proxy for formula memory footprint.
-func (c *Ctx) NumTerms() int { return c.created }
-
-func (c *Ctx) key(t *Term) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:%d:%d:%d:%s", t.Op, t.Width, t.Hi, t.Lo, t.Name)
-	if t.Val != nil {
-		b.WriteByte(':')
-		b.WriteString(t.Val.Text(16))
+func (c *Ctx) NumTerms() int {
+	if c.shared {
+		c.mu.Lock()
+		defer c.mu.Unlock()
 	}
-	for _, a := range t.Args {
-		fmt.Fprintf(&b, ",%d", a.ID)
-	}
-	return b.String()
+	return c.created
 }
 
 func (c *Ctx) intern(t *Term) *Term {
-	k := c.key(t)
+	if c.shared {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	k := makeKey(t)
 	if got, ok := c.table[k]; ok {
 		return got
 	}
@@ -174,7 +231,23 @@ func (c *Ctx) intern(t *Term) *Term {
 	return t
 }
 
+// maskCache holds 2^w - 1 for small widths; the masks are read-only (every
+// operation on them copies first), so sharing across goroutines is safe.
+var maskCache = func() []*big.Int {
+	masks := make([]*big.Int, 257)
+	for w := range masks {
+		m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+		masks[w] = m.Sub(m, big.NewInt(1))
+	}
+	return masks
+}()
+
+// maskFor returns 2^width - 1. The result is shared and must not be
+// mutated.
 func maskFor(width int) *big.Int {
+	if width >= 0 && width < len(maskCache) {
+		return maskCache[width]
+	}
 	m := new(big.Int).Lsh(big.NewInt(1), uint(width))
 	return m.Sub(m, big.NewInt(1))
 }

@@ -8,8 +8,11 @@ package verify
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"aquila/internal/encode"
@@ -31,6 +34,52 @@ type Options struct {
 	// Budget bounds SAT conflicts per check (<=0: unlimited). Exhaustion
 	// is reported as ErrBudget.
 	Budget int64
+	// Parallel is the number of worker goroutines for find-all checks and
+	// localization re-checks: 0 means runtime.GOMAXPROCS(0), 1 forces the
+	// serial path. Reports are byte-identical at every setting: each
+	// assertion is checked by a deterministic fresh solver over the shared
+	// frozen term DAG, and results are aggregated in assertion order.
+	Parallel int
+}
+
+// Workers returns the effective worker count for the options.
+func (o Options) Workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs f(0), ..., f(n-1) on up to workers goroutines and waits for
+// all of them. With workers <= 1 the calls run inline in index order. It is
+// the fan-out primitive shared by find-all verification and localization;
+// f must write only to index-owned slots.
+func ForEach(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Violation describes a violated assertion with its counterexample.
@@ -47,12 +96,20 @@ type Violation struct {
 // Stats captures cost metrics the paper reports in Table 3 / Figure 11.
 type Stats struct {
 	EncodeTime time.Duration
-	SolveTime  time.Duration
+	// SolveTime is the wall-clock duration of the solving phase; under
+	// parallelism it shrinks with the worker count.
+	SolveTime time.Duration
+	// SolveCPU is the cumulative time spent inside individual SMT checks,
+	// summed across workers; it is (modulo scheduling noise) independent of
+	// the worker count and is the fair cost metric for parallel runs.
+	SolveCPU   time.Duration
 	GCLSize    int
 	TermNodes  int // DAG nodes in the term context (memory proxy)
 	CNFClauses int
 	SATVars    int
 	Assertions int
+	// Workers is the effective worker count of the solving phase.
+	Workers int
 }
 
 // Report is the outcome of a verification run.
@@ -114,60 +171,180 @@ func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*R
 }
 
 func (rep *Report) check(opts Options) error {
+	if !opts.FindAll {
+		return rep.checkFirst(opts)
+	}
+	return rep.checkAll(opts)
+}
+
+// checkFirst runs the §8.1 find-first mode: one query over the disjunction
+// of all violation conditions ("checking all assertions together").
+func (rep *Report) checkFirst(opts Options) error {
 	ctx := rep.Ctx
 	solver := smt.NewSolver(ctx)
 	if opts.Budget > 0 {
 		solver.SetBudget(opts.Budget)
 	}
+	rep.Stats.Workers = 1
 	defer func() {
 		rep.Stats.CNFClauses = solver.NumClauses()
 		rep.Stats.SATVars = solver.NumSATVars()
 	}()
 
-	if !opts.FindAll {
-		// Find-first: one query over the disjunction of all violation
-		// conditions ("checking all assertions together", §8.1).
-		any := ctx.False()
-		for _, v := range rep.Result.Violations {
-			any = ctx.Or(any, v.Cond)
-		}
-		st := solver.Check(any)
-		if st == smt.Unknown {
-			return ErrBudget
-		}
-		if st == smt.Unsat {
-			return nil
-		}
-		m := solver.Model()
-		solver.ModelCollect(m, any)
-		// Identify the first assertion the model violates.
-		for _, v := range rep.Result.Violations {
-			if m.Bool(v.Cond) {
-				rep.Violations = append(rep.Violations, rep.makeViolation(v, m))
-				return nil
-			}
-		}
-		// Fall back: report the disjunction (should not happen).
-		rep.Violations = append(rep.Violations, &Violation{Label: "unknown", Model: m, Cond: any})
+	any := ctx.False()
+	for _, v := range rep.Result.Violations {
+		any = ctx.Or(any, v.Cond)
+	}
+	t0 := time.Now()
+	st := solver.Check(any)
+	rep.Stats.SolveCPU += time.Since(t0)
+	if st == smt.Unknown {
+		return ErrBudget
+	}
+	if st == smt.Unsat {
 		return nil
 	}
-
-	// Find-all: §5.1 — ask for the first violated assertion, remove it,
-	// iterate. Checking each violation condition in program order is
-	// equivalent and keeps the incremental solver state warm.
+	m := solver.Model()
+	solver.ModelCollect(m, any)
+	// Identify the first assertion the model violates.
 	for _, v := range rep.Result.Violations {
-		st := solver.Check(v.Cond)
-		if st == smt.Unknown {
-			return ErrBudget
+		if m.Bool(v.Cond) {
+			rep.Violations = append(rep.Violations, rep.makeViolation(v, m))
+			return nil
 		}
-		if st != smt.Sat {
-			continue
-		}
-		m := solver.Model()
-		solver.ModelCollect(m, v.Cond)
-		rep.Violations = append(rep.Violations, rep.makeViolation(v, m))
 	}
-	return nil
+	// The model satisfied the disjunction but the evaluator attributes it
+	// to no single assertion (possible only through a blaster/evaluator
+	// divergence). Re-check each assertion under the model's assignment
+	// rather than emitting an unusable "unknown" violation.
+	assignment := modelAssignment(ctx, m, any)
+	for _, v := range rep.Result.Violations {
+		s2 := smt.NewSolver(ctx)
+		if opts.Budget > 0 {
+			s2.SetBudget(opts.Budget)
+		}
+		t1 := time.Now()
+		st2 := s2.Check(ctx.And(assignment, v.Cond))
+		rep.Stats.SolveCPU += time.Since(t1)
+		if st2 == smt.Sat {
+			m2 := s2.Model()
+			s2.ModelCollect(m2, v.Cond)
+			rep.Violations = append(rep.Violations, rep.makeViolation(v, m2))
+			return nil
+		}
+	}
+	return fmt.Errorf("verify: find-first produced a model matching no assertion (solver/evaluator inconsistency)")
+}
+
+// modelAssignment renders m's assignment of the variables of t as a
+// conjunction of equalities, for re-checking queries under a fixed model.
+func modelAssignment(ctx *smt.Ctx, m *smt.Model, t *smt.Term) *smt.Term {
+	cond := ctx.True()
+	for _, v := range smt.Vars(t) {
+		if v.Op == smt.OpBoolVar {
+			cond = ctx.And(cond, ctx.Iff(v, ctx.Bool(m.Bool(v))))
+		} else {
+			cond = ctx.And(cond, ctx.Eq(v, ctx.BVBig(m.BV(v), v.Width)))
+		}
+	}
+	return cond
+}
+
+// checkAll runs the §5.1/§8.1 find-all mode: every violation condition is
+// checked independently. Checks fan out across a worker pool over the
+// frozen term context; every assertion gets its own deterministic fresh
+// solver blasting from the shared read-only DAG, so the report is
+// byte-identical at every Parallel setting. Results are aggregated in
+// assertion order.
+func (rep *Report) checkAll(opts Options) error {
+	conds := rep.Result.Violations
+	n := len(conds)
+	workers := opts.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rep.Stats.Workers = workers
+
+	type checkOut struct {
+		done    bool
+		status  smt.Status
+		model   *smt.Model
+		clauses int
+		satVars int
+		cpu     time.Duration
+	}
+	outs := make([]checkOut, n)
+
+	// limit is the lowest assertion index seen to exhaust the budget;
+	// workers skip checks at or beyond it so every worker stops promptly.
+	limit := int64(n)
+
+	runCheck := func(i int) {
+		v := conds[i]
+		solver := smt.NewSolver(rep.Ctx)
+		if opts.Budget > 0 {
+			solver.SetBudget(opts.Budget)
+		}
+		t0 := time.Now()
+		st := solver.Check(v.Cond)
+		o := &outs[i]
+		o.cpu = time.Since(t0)
+		o.status = st
+		o.clauses = solver.NumClauses()
+		o.satVars = solver.NumSATVars()
+		if st == smt.Sat {
+			m := solver.Model()
+			solver.ModelCollect(m, v.Cond)
+			o.model = m
+		}
+		o.done = true
+	}
+
+	if workers > 1 {
+		// The context becomes shared read-only state; blasting and model
+		// extraction never intern, and any stray term creation serializes.
+		rep.Ctx.Freeze()
+		ForEach(workers, n, func(i int) {
+			if int64(i) >= atomic.LoadInt64(&limit) {
+				return
+			}
+			runCheck(i)
+			if outs[i].status == smt.Unknown {
+				for {
+					cur := atomic.LoadInt64(&limit)
+					if int64(i) >= cur || atomic.CompareAndSwapInt64(&limit, cur, int64(i)) {
+						break
+					}
+				}
+			}
+		})
+	}
+
+	// Consume results in assertion order; any check skipped by the early
+	// stop (or by workers == 1, which skips the fan-out entirely) runs
+	// inline here, so the consumed prefix is identical at every Parallel
+	// setting: violations up to the first budget-exhausted check.
+	var err error
+	for i, v := range conds {
+		if !outs[i].done {
+			runCheck(i)
+		}
+		o := &outs[i]
+		rep.Stats.SolveCPU += o.cpu
+		rep.Stats.CNFClauses += o.clauses
+		rep.Stats.SATVars += o.satVars
+		if o.status == smt.Unknown {
+			err = ErrBudget
+			break
+		}
+		if o.status == smt.Sat {
+			rep.Violations = append(rep.Violations, rep.makeViolation(v, o.model))
+		}
+	}
+	return err
 }
 
 func (rep *Report) makeViolation(v *gcl.Violation, m *smt.Model) *Violation {
@@ -281,8 +458,9 @@ func (rep *Report) String() string {
 			}
 		}
 	}
-	fmt.Fprintf(&b, "stats: encode %v, solve %v, gcl %d stmts, %d terms, %d clauses, %d sat vars\n",
+	fmt.Fprintf(&b, "stats: encode %v, solve %v (cpu %v, %d workers), gcl %d stmts, %d terms, %d clauses, %d sat vars\n",
 		rep.Stats.EncodeTime.Round(time.Millisecond), rep.Stats.SolveTime.Round(time.Millisecond),
+		rep.Stats.SolveCPU.Round(time.Millisecond), rep.Stats.Workers,
 		rep.Stats.GCLSize, rep.Stats.TermNodes, rep.Stats.CNFClauses, rep.Stats.SATVars)
 	return b.String()
 }
@@ -310,6 +488,7 @@ type JSONViolation struct {
 type JSONStats struct {
 	EncodeMS   int64 `json:"encode_ms"`
 	SolveMS    int64 `json:"solve_ms"`
+	SolveCPUMS int64 `json:"solve_cpu_ms"`
 	GCLSize    int   `json:"gcl_size"`
 	TermNodes  int   `json:"term_nodes"`
 	CNFClauses int   `json:"cnf_clauses"`
@@ -324,6 +503,7 @@ func (rep *Report) JSON() ([]byte, error) {
 		Stats: JSONStats{
 			EncodeMS:   rep.Stats.EncodeTime.Milliseconds(),
 			SolveMS:    rep.Stats.SolveTime.Milliseconds(),
+			SolveCPUMS: rep.Stats.SolveCPU.Milliseconds(),
 			GCLSize:    rep.Stats.GCLSize,
 			TermNodes:  rep.Stats.TermNodes,
 			CNFClauses: rep.Stats.CNFClauses,
@@ -343,4 +523,17 @@ func (rep *Report) JSON() ([]byte, error) {
 		out.Violations = append(out.Violations, jv)
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// CanonicalJSON renders the report with the volatile wall-clock fields
+// (encode_ms, solve_ms, solve_cpu_ms) zeroed. Everything else — verdict,
+// violations, counterexamples, formula-size stats — is deterministic
+// across runs and across Parallel settings, so two canonical reports of
+// the same verification problem compare byte-for-byte.
+func (rep *Report) CanonicalJSON() ([]byte, error) {
+	canon := *rep
+	canon.Stats.EncodeTime = 0
+	canon.Stats.SolveTime = 0
+	canon.Stats.SolveCPU = 0
+	return canon.JSON()
 }
