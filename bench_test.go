@@ -9,12 +9,14 @@ package aquila
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"aquila/internal/bench"
 	"aquila/internal/encode"
 	"aquila/internal/genprog"
 	"aquila/internal/lpi"
+	"aquila/internal/obs"
 	"aquila/internal/progs"
 	"aquila/internal/smt"
 	"aquila/internal/verify"
@@ -259,6 +261,43 @@ func BenchmarkAblation_FindFirstVsFindAll(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the observability tax on a full find-all
+// verification of the DC Gateway: instrumented-but-disabled (nil sinks —
+// every hook is a nil check) vs fully enabled (tracer + registry + JSONL
+// log to io.Discard). DESIGN.md budgets < 3% for the disabled path.
+func BenchmarkObsOverhead(b *testing.B) {
+	bm := progs.DCGatewayBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, sink *obs.Obs) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			rep, err := verify.Run(prog, nil, spec, verify.Options{
+				FindAll: true, Parallel: 1, Obs: sink})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Stats.Assertions == 0 {
+				b.Fatal("no assertions verified")
+			}
+		}
+	}
+	b.Run("Disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("Enabled", func(b *testing.B) {
+		run(b, &obs.Obs{
+			Tracer:  obs.NewTracer(),
+			Metrics: obs.NewRegistry(),
+			Log:     obs.NewLogger(io.Discard),
+		})
+	})
 }
 
 // BenchmarkSMT_Interning exercises the hash-consing micro-path: a mix of

@@ -11,7 +11,12 @@
 //	aquila-bench -exp fig11a [-k 5] [-scale medium]
 //	aquila-bench -exp fig11b [-entries 1000,2000,3000,4000,5000]
 //	aquila-bench -exp parallel [-parallel 1,2,4,8] [-repeats 3] [-out BENCH_parallel.json]
+//	aquila-bench -exp obs [-repeats 3]
 //	aquila-bench -exp all -quick
+//
+// Observability flags (shared with the other CLIs): -trace writes a
+// Chrome trace-event JSON covering the whole run, -pprof/-memprofile
+// write pprof profiles, -v logs structured JSONL to stderr.
 package main
 
 import (
@@ -24,33 +29,52 @@ import (
 
 	"aquila/internal/bench"
 	"aquila/internal/genprog"
+	"aquila/internal/obs"
 	"aquila/internal/progs"
 )
 
-func main() {
+func main() { os.Exit(mainRun()) }
+
+func mainRun() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|all")
-		quick    = flag.Bool("quick", false, "smaller budgets and workloads")
-		suite    = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
-		scales   = flag.String("scales", "small,medium,large", "table4 switch-T scales")
-		k        = flag.Int("k", 5, "fig11a maximum chain length")
-		scale    = flag.String("scale", "medium", "fig11a/fig11b switch-T scale")
-		entries  = flag.String("entries", "1000,2000,3000,4000,5000", "fig11b entry counts")
-		parallel = flag.String("parallel", "1,2,4,8", "parallel-sweep worker counts (first must be 1, the speedup baseline)")
-		repeats  = flag.Int("repeats", 3, "parallel-sweep runs per worker count (best wall time kept)")
-		outPath  = flag.String("out", "BENCH_parallel.json", "parallel-sweep JSON output file (empty: stdout table only)")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|obs|all")
+		quick     = flag.Bool("quick", false, "smaller budgets and workloads")
+		suite     = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
+		scales    = flag.String("scales", "small,medium,large", "table4 switch-T scales")
+		k         = flag.Int("k", 5, "fig11a maximum chain length")
+		scale     = flag.String("scale", "medium", "fig11a/fig11b switch-T scale")
+		entries   = flag.String("entries", "1000,2000,3000,4000,5000", "fig11b entry counts")
+		parallel  = flag.String("parallel", "1,2,4,8", "parallel-sweep worker counts (first must be 1, the speedup baseline)")
+		repeats   = flag.Int("repeats", 3, "parallel/obs runs per configuration (best wall time kept)")
+		outPath   = flag.String("out", "BENCH_parallel.json", "parallel-sweep JSON output file (empty: stdout table only)")
+		tracePath = flag.String("trace", "", "write Chrome trace-event JSON covering the run")
+		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write heap profile on exit")
+		verbose   = flag.Bool("v", false, "structured JSONL log on stderr")
 	)
 	flag.Parse()
 
+	o, closeObs, err := obs.Setup(obs.Config{
+		TracePath: *tracePath, CPUProfilePath: *cpuProf,
+		MemProfilePath: *memProf, Verbose: *verbose,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aquila-bench: %v\n", err)
+		return 2
+	}
+	obs.SetDefault(o)
+
+	code := 0
 	run := func(name string, f func() error) {
-		if *exp != "all" && *exp != name {
+		if code != 0 || (*exp != "all" && *exp != name) {
 			return
 		}
 		fmt.Printf("==== %s ====\n", name)
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "aquila-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -172,4 +196,35 @@ func main() {
 		}
 		return nil
 	})
+
+	run("obs", func() error {
+		reps := *repeats
+		if *quick {
+			reps = 1
+		}
+		res, err := bench.ObsOverhead(progs.DCGatewayBench(), reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatObs(res))
+		if !*quick {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile("BENCH_obs.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_obs.json")
+		}
+		return nil
+	})
+
+	if err := closeObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "aquila-bench: %v\n", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	return code
 }

@@ -7,6 +7,11 @@
 //
 //	aquila-localize -spec spec.lpi [-p4 prog.p4] [-entries snap.txt]
 //	                [-budget N] [-parallel N]
+//	                [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
+//
+// -trace writes a Chrome trace-event JSON covering the localization
+// pipeline (find-violations, table-entry repair, causality filter, fix
+// simulation) with per-worker thread rows.
 package main
 
 import (
@@ -17,57 +22,82 @@ import (
 	"runtime"
 
 	"aquila"
+	"aquila/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		p4Path   = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
-		specPath = flag.String("spec", "", "LPI specification file (required)")
-		entries  = flag.String("entries", "", "table-entry snapshot file")
-		budget   = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
-		parallel = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for localization re-checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
+		p4Path    = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
+		specPath  = flag.String("spec", "", "LPI specification file (required)")
+		entries   = flag.String("entries", "", "table-entry snapshot file")
+		budget    = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
+		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for localization re-checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
+		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the localization phases")
+		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write heap profile on exit")
+		verbose   = flag.Bool("v", false, "structured JSONL log on stderr")
 	)
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	spec, err := aquila.LoadSpec(*specPath)
+
+	o, closeObs, err := obs.Setup(obs.Config{
+		TracePath: *tracePath, CPUProfilePath: *cpuProf,
+		MemProfilePath: *memProf, Verbose: *verbose,
+	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	progPath := *p4Path
+	obs.SetDefault(o)
+	code := localizeMain(*p4Path, *specPath, *entries, *budget, *parallel)
+	if err := closeObs(); err != nil {
+		return fail(err)
+	}
+	return code
+}
+
+func localizeMain(p4Path, specPath, entries string, budget int64, parallel int) int {
+	spec, err := aquila.LoadSpec(specPath)
+	if err != nil {
+		return fail(err)
+	}
+	progPath := p4Path
 	if progPath == "" {
 		progPath = spec.Config["path"]
 		if progPath != "" && !filepath.IsAbs(progPath) {
-			progPath = filepath.Join(filepath.Dir(*specPath), progPath)
+			progPath = filepath.Join(filepath.Dir(specPath), progPath)
 		}
 	}
 	if progPath == "" {
-		fatal(fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec"))
+		return fail(fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec"))
 	}
 	prog, err := aquila.LoadProgram(progPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var snap *aquila.Snapshot
-	if *entries != "" {
-		snap, err = aquila.LoadSnapshot(*entries)
+	if entries != "" {
+		snap, err = aquila.LoadSnapshot(entries)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
-	result, err := aquila.Localize(prog, snap, spec, aquila.Options{Budget: *budget, Parallel: *parallel})
+	result, err := aquila.Localize(prog, snap, spec, aquila.Options{Budget: budget, Parallel: parallel})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Print(result.String())
 	if result.Kind != aquila.BugNone {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "aquila-localize:", err)
-	os.Exit(2)
+	return 2
 }

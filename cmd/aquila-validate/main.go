@@ -8,6 +8,7 @@
 //
 //	aquila-validate -p4 prog.p4 [-entries snap.txt] [-components a,b,...]
 //	                [-bug empty-state-accept|ignore-defaultonly]
+//	                [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
 package main
 
 import (
@@ -19,34 +20,58 @@ import (
 
 	"aquila"
 	"aquila/internal/encode"
+	"aquila/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		p4Path     = flag.String("p4", "", "P4lite program (required)")
 		entries    = flag.String("entries", "", "table-entry snapshot file")
 		components = flag.String("components", "", "comma-separated components (default: every pipeline)")
 		bug        = flag.String("bug", "", "inject a historical encoder bug (empty-state-accept, ignore-defaultonly)")
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of the validation phases")
+		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write heap profile on exit")
+		verbose    = flag.Bool("v", false, "structured JSONL log on stderr")
 	)
 	flag.Parse()
 	if *p4Path == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	prog, err := aquila.LoadProgram(*p4Path)
+
+	o, closeObs, err := obs.Setup(obs.Config{
+		TracePath: *tracePath, CPUProfilePath: *cpuProf,
+		MemProfilePath: *memProf, Verbose: *verbose,
+	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	obs.SetDefault(o)
+	code := validateMain(*p4Path, *entries, *components, *bug)
+	if err := closeObs(); err != nil {
+		return fail(err)
+	}
+	return code
+}
+
+func validateMain(p4Path, entries, components, bug string) int {
+	prog, err := aquila.LoadProgram(p4Path)
+	if err != nil {
+		return fail(err)
 	}
 	var snap *aquila.Snapshot
-	if *entries != "" {
-		snap, err = aquila.LoadSnapshot(*entries)
+	if entries != "" {
+		snap, err = aquila.LoadSnapshot(entries)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	var comps []string
-	if *components != "" {
-		comps = strings.Split(*components, ",")
+	if components != "" {
+		comps = strings.Split(components, ",")
 	} else {
 		for name := range prog.Pipelines {
 			comps = append(comps, name)
@@ -54,21 +79,22 @@ func main() {
 		sort.Strings(comps)
 	}
 	if len(comps) == 0 {
-		fatal(fmt.Errorf("no components to validate: declare a pipeline or pass -components"))
+		return fail(fmt.Errorf("no components to validate: declare a pipeline or pass -components"))
 	}
 	result, err := aquila.SelfValidate(prog, snap, comps, aquila.Options{
-		Encode: encode.Options{InjectEncoderBug: *bug},
+		Encode: encode.Options{InjectEncoderBug: bug},
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Print(result.String())
 	if !result.Equivalent {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "aquila-validate:", err)
-	os.Exit(2)
+	return 2
 }

@@ -7,9 +7,16 @@
 //	aquila -spec spec.lpi [-p4 prog.p4] [-entries snap.txt] [-all]
 //	       [-parser sequential|tree] [-table abvtree|abvlinear|naive]
 //	       [-packet kv|bitvector] [-budget N] [-parallel N]
+//	       [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
 //
 // The P4 program may also be named by the spec's config section
-// (`config { path = prog.p4; }`).
+// (`config { path = prog.p4; }`), or selected from the built-in corpus
+// with -builtin (e.g. `aquila -builtin dc-gateway -all`, which infers the
+// undefined-behaviour spec — handy for smoke tests and CI).
+//
+// -trace writes a Chrome trace-event JSON (load it in chrome://tracing or
+// Perfetto) with one span per pipeline phase and per assertion solve;
+// under -parallel each worker appears as its own thread row.
 package main
 
 import (
@@ -21,12 +28,19 @@ import (
 
 	"aquila"
 	"aquila/internal/encode"
+	"aquila/internal/obs"
+	"aquila/internal/progs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so the observability closers (trace
+// flush, profile writes) registered before the verdict always execute.
+func run() int {
 	var (
 		p4Path    = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
-		specPath  = flag.String("spec", "", "LPI specification file (required)")
+		specPath  = flag.String("spec", "", "LPI specification file (required unless -builtin)")
+		builtin   = flag.String("builtin", "", "verify a built-in benchmark program (dc-gateway) under its inferred undefined-behaviour spec")
 		entries   = flag.String("entries", "", "table-entry snapshot file (omit: verify under any entries)")
 		findAll   = flag.Bool("all", false, "find all violated assertions (default: first only)")
 		parserStr = flag.String("parser", "sequential", "parser encoding: sequential|tree")
@@ -36,60 +50,95 @@ func main() {
 		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for -all checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
 		blocklist = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
+		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the run's phases and per-assertion solves")
+		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write heap profile on exit")
+		verbose   = flag.Bool("v", false, "structured JSONL log on stderr (phase begin/end, verdicts, budget exhaustion)")
 	)
 	flag.Parse()
-	if *specPath == "" {
+	if *specPath == "" && *builtin == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	spec, err := aquila.LoadSpec(*specPath)
+
+	o, closeObs, err := obs.Setup(obs.Config{
+		TracePath: *tracePath, CPUProfilePath: *cpuProf,
+		MemProfilePath: *memProf, Verbose: *verbose,
+	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	progPath := *p4Path
-	if progPath == "" {
-		progPath = spec.Config["path"]
-		if progPath != "" && !filepath.IsAbs(progPath) {
-			progPath = filepath.Join(filepath.Dir(*specPath), progPath)
+	obs.SetDefault(o)
+	code := verifyMain(*p4Path, *specPath, *builtin, *entries,
+		*findAll, *blocklist, *jsonOut, *budget, *parallel,
+		encodeOptions(*parserStr, *tableStr, *packetStr))
+	if err := closeObs(); err != nil {
+		return fail(err)
+	}
+	return code
+}
+
+func verifyMain(p4Path, specPath, builtin, entries string,
+	findAll, blocklist, jsonOut bool, budget int64, parallel int,
+	eopts encode.Options) int {
+	var prog *aquila.Program
+	var spec *aquila.Spec
+	var err error
+	if builtin != "" {
+		prog, spec, err = builtinProblem(builtin)
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		spec, err = aquila.LoadSpec(specPath)
+		if err != nil {
+			return fail(err)
+		}
+		progPath := p4Path
+		if progPath == "" {
+			progPath = spec.Config["path"]
+			if progPath != "" && !filepath.IsAbs(progPath) {
+				progPath = filepath.Join(filepath.Dir(specPath), progPath)
+			}
+		}
+		if progPath == "" {
+			return fail(fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec"))
+		}
+		prog, err = aquila.LoadProgram(progPath)
+		if err != nil {
+			return fail(err)
 		}
 	}
-	if progPath == "" {
-		fatal(fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec"))
-	}
-	prog, err := aquila.LoadProgram(progPath)
-	if err != nil {
-		fatal(err)
-	}
 	var snap *aquila.Snapshot
-	if *entries != "" {
-		snap, err = aquila.LoadSnapshot(*entries)
+	if entries != "" {
+		snap, err = aquila.LoadSnapshot(entries)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	opts := aquila.Options{
-		FindAll:  *findAll,
-		Budget:   *budget,
-		Parallel: *parallel,
-		Encode:   encodeOptions(*parserStr, *tableStr, *packetStr),
+		FindAll:  findAll,
+		Budget:   budget,
+		Parallel: parallel,
+		Encode:   eopts,
 	}
 	report, err := aquila.Verify(prog, snap, spec, opts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	if *jsonOut {
+	if jsonOut {
 		data, err := report.JSON()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println(string(data))
 		if !report.Holds {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	fmt.Print(report.String())
-	if *blocklist && snap == nil && !report.Holds {
+	if blocklist && snap == nil && !report.Holds {
 		fmt.Println("blocklist (entry behaviours to prevent at runtime):")
 		for _, b := range report.Blocklist() {
 			mode := "miss"
@@ -100,8 +149,30 @@ func main() {
 		}
 	}
 	if !report.Holds {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// builtinProblem resolves a -builtin name to a corpus program plus its
+// inferred undefined-behaviour spec.
+func builtinProblem(name string) (*aquila.Program, *aquila.Spec, error) {
+	var bm *progs.Benchmark
+	switch name {
+	case "dc-gateway":
+		bm = progs.DCGatewayBench()
+	default:
+		return nil, nil, fmt.Errorf("unknown -builtin %q (available: dc-gateway)", name)
+	}
+	prog, err := bm.Parse()
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := aquila.ParseSpec(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, spec, nil
 }
 
 func encodeOptions(parserStr, tableStr, packetStr string) encode.Options {
@@ -129,7 +200,7 @@ func encodeOptions(parserStr, tableStr, packetStr string) encode.Options {
 	return o
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "aquila:", err)
-	os.Exit(2)
+	return 2
 }

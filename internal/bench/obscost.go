@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"aquila/internal/obs"
+	"aquila/internal/progs"
+	"aquila/internal/verify"
+)
+
+// ObsResult measures the cost of the observability layer on a find-all
+// verification run: the same problem solved with no sinks attached
+// (instrumented code, every hook a nil check) and with the full sink set
+// (tracer + metrics registry + structured log to io.Discard). The
+// overhead budget in DESIGN.md is <3% with sinks disabled; the enabled
+// figure bounds what users pay for a trace.
+type ObsResult struct {
+	Program    string  `json:"program"`
+	Assertions int     `json:"assertions"`
+	Repeats    int     `json:"repeats"`
+	DisabledMS float64 `json:"disabled_ms"`
+	EnabledMS  float64 `json:"enabled_ms"`
+	// OverheadPct is (enabled - disabled) / disabled, in percent; small
+	// problems are timer-noise dominated, so treat single-digit negatives
+	// as "no measurable difference".
+	OverheadPct float64 `json:"overhead_pct"`
+	// Identical reports whether the canonical report bytes match between
+	// the two runs — attaching sinks must not change results.
+	Identical bool `json:"identical"`
+	// Spans / Counters summarize what the enabled run recorded.
+	Spans    int `json:"spans"`
+	Counters int `json:"counters"`
+}
+
+// ObsOverhead runs the instrumentation-overhead experiment on bm (each
+// configuration repeated `repeats` times, best wall time kept).
+func ObsOverhead(bm *progs.Benchmark, repeats int) (*ObsResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	prog, err := bm.Parse()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := lpiParse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(o *obs.Obs) (time.Duration, *verify.Report, error) {
+		var best time.Duration
+		var bestRep *verify.Report
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			rep, err := verify.Run(prog, nil, spec, verify.Options{
+				FindAll: true, Parallel: 1, Obs: o,
+			})
+			wall := time.Since(start)
+			if err != nil {
+				return 0, nil, err
+			}
+			if bestRep == nil || wall < best {
+				best, bestRep = wall, rep
+			}
+		}
+		return best, bestRep, nil
+	}
+
+	disabledWall, disabledRep, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs disabled run: %w", err)
+	}
+	sink := &obs.Obs{
+		Tracer:  obs.NewTracer(),
+		Metrics: obs.NewRegistry(),
+		Log:     obs.NewLogger(io.Discard),
+	}
+	enabledWall, enabledRep, err := run(sink)
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs enabled run: %w", err)
+	}
+
+	canonA, err := disabledRep.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	canonB, err := enabledRep.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ObsResult{
+		Program:    bm.Name,
+		Assertions: disabledRep.Stats.Assertions,
+		Repeats:    repeats,
+		DisabledMS: float64(disabledWall.Microseconds()) / 1000,
+		EnabledMS:  float64(enabledWall.Microseconds()) / 1000,
+		Identical:  bytes.Equal(canonA, canonB),
+		Spans:      len(sink.Tracer.Events()),
+		Counters:   len(sink.Metrics.Snapshot()),
+	}
+	if disabledWall > 0 {
+		res.OverheadPct = 100 * float64(enabledWall-disabledWall) / float64(disabledWall)
+	}
+	return res, nil
+}
+
+// JSON renders the experiment for BENCH_obs.json.
+func (r *ObsResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatObs renders the experiment as the usual aquila-bench table.
+func FormatObs(r *ObsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability overhead: %s (%d assertions, best of %d)\n",
+		r.Program, r.Assertions, r.Repeats)
+	fmt.Fprintf(&b, "%-22s  %10s\n", "configuration", "wall ms")
+	fmt.Fprintf(&b, "%-22s  %10.1f\n", "sinks disabled (nil)", r.DisabledMS)
+	fmt.Fprintf(&b, "%-22s  %10.1f\n", "tracer+metrics+log", r.EnabledMS)
+	fmt.Fprintf(&b, "overhead: %+.1f%%, canonical reports identical: %v, %d trace events, %d counters\n",
+		r.OverheadPct, r.Identical, r.Spans, r.Counters)
+	return b.String()
+}

@@ -92,12 +92,15 @@ type Options struct {
 func Localize(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec, opts Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{SuggestedEntries: map[string]string{}}
+	o := opts.Verify.Observer()
 
 	// Step 1: find violated assertions + counterexample (§5.1).
 	vopts := opts.Verify
 	vopts.FindAll = true
 	vopts.Encode.TrackFired = true
+	endFind := o.Phase(0, "localize:find-violations")
 	baseRep, err := verify.Run(prog, snap, spec, vopts)
+	endFind()
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +116,9 @@ func Localize(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec, opts Opti
 
 	// Step 2: table-entry localization (only meaningful with a snapshot).
 	if snap != nil && snap.NumEntries() > 0 {
+		endTbl := o.Phase(0, "localize:table-entries")
 		tbls, suggested, ok, err := locateTableEntries(prog, snap, spec, vopts, frozen)
+		endTbl()
 		if err != nil {
 			return nil, err
 		}
@@ -122,6 +127,9 @@ func Localize(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec, opts Opti
 			res.Tables = tbls
 			res.SuggestedEntries = suggested
 			res.Time = time.Since(start)
+			o.Event("localize_done", map[string]any{
+				"kind": "table-entry", "tables": len(tbls),
+			})
 			return res, nil
 		}
 	}
@@ -137,6 +145,9 @@ func Localize(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec, opts Opti
 		return nil, err
 	}
 	res.Time = time.Since(start)
+	o.Event("localize_done", map[string]any{
+		"kind": "program", "candidates": len(res.Candidates), "pool": res.Pool,
+	})
 	return res, nil
 }
 
@@ -395,14 +406,19 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 	if workers > 1 {
 		ctx.Freeze()
 	}
+	o := vopts.Observer()
 	implied := make([]bool, len(keys))
-	verify.ForEach(workers, len(keys), func(i int) {
+	endFilter := o.Phase(0, "localize:filter")
+	verify.ForEachWorker(workers, len(keys), func(worker, i int) {
+		endSpan := o.Span(worker, "filter:"+keys[i].ctl+"."+keys[i].act)
 		filterSolver := smt.NewSolver(ctx)
 		if vopts.Budget > 0 {
 			filterSolver.SetBudget(vopts.Budget)
 		}
 		implied[i] = filterSolver.Check(queries[i]) == smt.Unsat
+		endSpan()
 	})
+	endFilter()
 	var filtered []actionKey
 	for i, key := range keys {
 		if implied[i] {
@@ -433,10 +449,14 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 	}
 	fixed := make([]bool, len(pairs))
 	errs := make([]error, len(pairs))
-	verify.ForEach(workers, len(pairs), func(i int) {
+	endFix := o.Phase(0, "localize:fix-simulation")
+	verify.ForEachWorker(workers, len(pairs), func(worker, i int) {
 		p := pairs[i]
+		endSpan := o.Span(worker, "fix:"+p.key.ctl+"."+p.key.act+"/"+p.v)
 		fixed[i], errs[i] = fixWorks(prog, snap, spec, vopts, frozen, p.key.ctl, p.key.act, p.v)
+		endSpan()
 	})
+	endFix()
 	var out []Candidate
 	for i, p := range pairs {
 		if errs[i] != nil {

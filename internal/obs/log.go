@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger emits structured JSONL events (one JSON object per line):
+// phase begin/end, per-assertion verdicts, budget exhaustion. The CLIs
+// attach it to stderr under -v, replacing the previously silent runs.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+}
+
+// NewLogger returns a logger writing JSONL to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, start: time.Now()}
+}
+
+// Event writes {"ts_ms":…, "event":…, …fields} as one line. Field keys are
+// marshalled in sorted order (encoding/json map behaviour), so output is
+// stable for tooling. Safe on nil; marshal or write errors are dropped —
+// logging must never fail a verification run.
+func (l *Logger) Event(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = event
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec["ts_ms"] = float64(time.Since(l.start).Microseconds()) / 1000
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.w.Write(append(data, '\n'))
+}

@@ -1,0 +1,92 @@
+// Package obs is Aquila's observability layer: hierarchical phase tracing
+// (exportable as Chrome trace-event JSON), a counter/gauge metrics
+// registry fed by the SAT and SMT layers, and structured JSONL logging.
+//
+// The paper's headline claim is practical usability at production scale,
+// and its evaluation (Table 3, Figure 11, §6) attributes verification cost
+// per phase and per assertion; this package makes the same attribution
+// available at runtime. Everything is stdlib-only and designed so that an
+// unattached sink costs a nil-check and nothing else: every hook is a
+// method on a possibly-nil *Obs (or *Tracer / *Registry / *Logger), and
+// all of them return immediately on nil receivers. The hot solver loops in
+// internal/sat and internal/smt are not hooked at all — they keep plain
+// per-instance counters that the verification driver folds into the
+// registry at check granularity.
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// Obs bundles the three sinks a run can attach. A nil *Obs (the default)
+// disables all instrumentation; individual fields may also be nil.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Log     *Logger
+}
+
+// noop is the cached closure Phase returns when nothing is attached, so
+// disabled spans allocate nothing.
+var noop = func() {}
+
+// Phase opens a span named name on thread tid in the tracer and emits a
+// phase_begin log event; the returned closure closes both. Safe on nil.
+func (o *Obs) Phase(tid int, name string) func() {
+	if o == nil || (o.Tracer == nil && o.Log == nil) {
+		return noop
+	}
+	o.Tracer.Begin(tid, name)
+	o.Log.Event("phase_begin", map[string]any{"phase": name, "tid": tid})
+	return func() {
+		o.Tracer.End(tid, name)
+		o.Log.Event("phase_end", map[string]any{"phase": name, "tid": tid})
+	}
+}
+
+// Span opens a span in the tracer only (no log event) — used for
+// high-frequency spans like per-assertion solves, which get their own
+// richer log event with the verdict. Safe on nil.
+func (o *Obs) Span(tid int, name string) func() {
+	if o == nil || o.Tracer == nil {
+		return noop
+	}
+	o.Tracer.Begin(tid, name)
+	return func() { o.Tracer.End(tid, name) }
+}
+
+// Count adds delta to the named counter. Safe on nil.
+func (o *Obs) Count(name string, delta int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(name).Add(delta)
+}
+
+// SetGauge sets the named gauge. Safe on nil.
+func (o *Obs) SetGauge(name string, v int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge(name).Set(v)
+}
+
+// Event emits a structured log event. Safe on nil.
+func (o *Obs) Event(event string, fields map[string]any) {
+	if o == nil {
+		return
+	}
+	o.Log.Event(event, fields)
+}
+
+// defaultObs is the process-wide fallback sink, set by the CLIs so that
+// code paths without an explicit Options.Obs (e.g. the bench harness
+// driving verify.Run internally) still trace. It is nil unless a CLI
+// attached sinks, so library use pays only an atomic load + nil check.
+var defaultObs atomic.Pointer[Obs]
+
+// SetDefault installs the process-wide default sink (nil to clear).
+func SetDefault(o *Obs) { defaultObs.Store(o) }
+
+// Default returns the process-wide default sink, or nil.
+func Default() *Obs { return defaultObs.Load() }

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceSchema pins the Chrome trace-event contract: WriteJSON emits
+// well-formed JSON whose events have monotone timestamps and whose B/E
+// pairs match per (tid, name) with stack discipline.
+func TestTraceSchema(t *testing.T) {
+	tr := NewTracer()
+	tr.NameThread(0, "main")
+	tr.Begin(0, "solve")
+	tr.Begin(1, "solve:a1")
+	tr.End(1, "solve:a1")
+	tr.Begin(2, "solve:a2")
+	tr.Begin(2, "inner")
+	tr.End(2, "inner")
+	tr.End(2, "solve:a2")
+	tr.End(0, "solve")
+
+	reg := NewRegistry()
+	reg.Counter(CtrSATConflicts).Add(7)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, reg); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		OtherData       map[string]int64 `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+	if got := file.OtherData[CtrSATConflicts]; got != 7 {
+		t.Errorf("otherData[%s] = %d, want 7", CtrSATConflicts, got)
+	}
+
+	// Monotone timestamps across the whole stream.
+	last := int64(-1)
+	for i, e := range file.TraceEvents {
+		if e.TS < last {
+			t.Errorf("event %d (%s %s): ts %d < previous %d", i, e.Ph, e.Name, e.TS, last)
+		}
+		last = e.TS
+	}
+
+	// Matched B/E with stack discipline per tid.
+	stacks := map[int][]string{}
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "B":
+			stacks[e.TID] = append(stacks[e.TID], e.Name)
+		case "E":
+			st := stacks[e.TID]
+			if len(st) == 0 {
+				t.Fatalf("E %q on tid %d with no open span", e.Name, e.TID)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				t.Fatalf("E %q on tid %d, but innermost open span is %q", e.Name, e.TID, top)
+			}
+			stacks[e.TID] = st[:len(st)-1]
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", e.Name)
+			}
+		default:
+			t.Errorf("unexpected ph %q", e.Ph)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("tid %d: unclosed spans %v", tid, st)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Counter("a").Add(3)
+	r.Gauge("g").Set(9)
+	r.Gauge("g").Set(4)
+	if got := r.Counter("a").Value(); got != 5 {
+		t.Errorf("counter a = %d, want 5", got)
+	}
+	if got := r.Gauge("g").Value(); got != 4 {
+		t.Errorf("gauge g = %d, want 4", got)
+	}
+	snap := r.Snapshot()
+	if snap["a"] != 5 || snap["g"] != 4 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "a" || names[1] != "g" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestLoggerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Event("phase_begin", map[string]any{"phase": "solve", "tid": 0})
+	l.Event("assertion", map[string]any{"label": "a1", "status": "unsat"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	lastTS := -1.0
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v: %s", i, err, line)
+		}
+		if _, ok := rec["event"]; !ok {
+			t.Errorf("line %d missing event key: %s", i, line)
+		}
+		ts, ok := rec["ts_ms"].(float64)
+		if !ok || ts < lastTS {
+			t.Errorf("line %d: ts_ms %v not monotone after %v", i, rec["ts_ms"], lastTS)
+		}
+		lastTS = ts
+	}
+}
+
+// TestNilSafety: every hook must be callable through nil receivers — the
+// disabled fast path the whole pipeline relies on.
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	o.Phase(0, "p")()
+	o.Span(1, "s")()
+	o.Count("c", 1)
+	o.SetGauge("g", 2)
+	o.Event("e", nil)
+
+	var tr *Tracer
+	tr.Begin(0, "x")
+	tr.End(0, "x")
+	tr.NameThread(0, "x")
+	if tr.Events() != nil {
+		t.Error("nil tracer Events != nil")
+	}
+
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(1)
+	if r.Snapshot() != nil || r.Names() != nil {
+		t.Error("nil registry snapshot/names != nil")
+	}
+	var c *Counter
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+	var g *Gauge
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Error("nil gauge value != 0")
+	}
+
+	var l *Logger
+	l.Event("e", map[string]any{"k": "v"})
+
+	// An Obs with only some sinks attached must not touch the nil ones.
+	partial := &Obs{Tracer: NewTracer()}
+	partial.Phase(0, "p")()
+	partial.Count("c", 1)
+	partial.Event("e", nil)
+}
+
+// TestSetupTraceFile: Setup's close function writes the trace JSON.
+func TestSetupTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	o, closeAll, err := Setup(Config{TracePath: path})
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if o == nil || o.Tracer == nil || o.Metrics == nil {
+		t.Fatal("Setup with TracePath returned incomplete Obs")
+	}
+	o.Phase(0, "phase")()
+	if err := closeAll(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if _, ok := file["traceEvents"]; !ok {
+		t.Error("trace missing traceEvents")
+	}
+}
+
+// TestSetupEmpty: a zero config selects nothing — nil Obs, no-op close.
+func TestSetupEmpty(t *testing.T) {
+	o, closeAll, err := Setup(Config{})
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if o != nil {
+		t.Errorf("empty Setup returned non-nil Obs")
+	}
+	if err := closeAll(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestDefaultObs(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default obs not nil at test start")
+	}
+	o := &Obs{Metrics: NewRegistry()}
+	SetDefault(o)
+	if Default() != o {
+		t.Error("Default() != installed obs")
+	}
+	SetDefault(nil)
+	if Default() != nil {
+		t.Error("Default() not cleared")
+	}
+}

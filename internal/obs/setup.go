@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config selects the sinks a CLI attaches — the -trace, -pprof,
+// -memprofile and -v flags map onto it one-to-one.
+type Config struct {
+	// TracePath, when non-empty, collects spans and writes Chrome
+	// trace-event JSON there on Close.
+	TracePath string
+	// CPUProfilePath, when non-empty, runs a CPU profile for the whole
+	// process lifetime (written on Close).
+	CPUProfilePath string
+	// MemProfilePath, when non-empty, writes a heap profile on Close.
+	MemProfilePath string
+	// Verbose attaches a JSONL logger to LogTo (default os.Stderr).
+	Verbose bool
+	LogTo   io.Writer
+}
+
+// Setup builds the Obs for a CLI invocation and returns it with a close
+// function that flushes every sink (trace JSON, CPU/heap profiles). When
+// the config selects nothing, the returned Obs is nil — the disabled
+// fast path — and close is a no-op. Callers must run close before
+// os.Exit; the CLIs route all exits through it.
+func Setup(cfg Config) (*Obs, func() error, error) {
+	o := &Obs{}
+	var closers []func() error
+
+	if cfg.TracePath != "" {
+		o.Tracer = NewTracer()
+		o.Metrics = NewRegistry()
+		path := cfg.TracePath
+		closers = append(closers, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("obs: trace: %w", err)
+			}
+			werr := o.Tracer.WriteJSON(f, o.Metrics)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		})
+	}
+	if cfg.Verbose {
+		w := cfg.LogTo
+		if w == nil {
+			w = os.Stderr
+		}
+		o.Log = NewLogger(w)
+		if o.Metrics == nil {
+			o.Metrics = NewRegistry()
+		}
+	}
+	if cfg.CPUProfilePath != "" {
+		f, err := os.Create(cfg.CPUProfilePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		closers = append(closers, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if cfg.MemProfilePath != "" {
+		path := cfg.MemProfilePath
+		closers = append(closers, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			runtime.GC() // settle allocations so the profile reflects live heap
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		})
+	}
+
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if o.Tracer == nil && o.Metrics == nil && o.Log == nil {
+		return nil, closeAll, nil
+	}
+	return o, closeAll, nil
+}

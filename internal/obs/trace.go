@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one Chrome trace-event (the format chrome://tracing and
+// Perfetto load): ph "B"/"E" delimit a duration span on (pid, tid); ph "M"
+// carries thread metadata. Timestamps are microseconds from the tracer's
+// start.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records hierarchical phase spans in-process. Begin/End append
+// under a mutex with the timestamp taken inside the critical section, so
+// the recorded event sequence is monotone in ts by construction — the
+// property the Chrome trace viewer requires and the schema test asserts.
+// Contention is negligible: spans delimit phases and per-assertion solves,
+// not solver-inner-loop work.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewTracer returns a tracer whose timestamps count from now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+func (t *Tracer) append(e Event) {
+	t.mu.Lock()
+	e.TS = time.Since(t.start).Microseconds()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Begin opens a span named name on thread tid. Safe on nil.
+func (t *Tracer) Begin(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Ph: "B", TID: tid})
+}
+
+// End closes the innermost open span named name on thread tid. Safe on
+// nil.
+func (t *Tracer) End(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: name, Ph: "E", TID: tid})
+}
+
+// NameThread emits a thread_name metadata event so the viewer labels tid
+// (e.g. "worker-3"). Safe on nil.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Name: "thread_name", Ph: "M", TID: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Events returns a snapshot copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// traceFile is the object form of the trace-event format; the metrics
+// snapshot rides along in otherData (ignored by viewers, handy for
+// archaeology on CI artifacts).
+type traceFile struct {
+	TraceEvents     []Event          `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	OtherData       map[string]int64 `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the trace in Chrome trace-event JSON (object form).
+// metrics may be nil; when present its snapshot is embedded as otherData.
+func (t *Tracer) WriteJSON(w io.Writer, metrics *Registry) error {
+	if t == nil {
+		return fmt.Errorf("obs: WriteJSON on nil tracer")
+	}
+	out := traceFile{
+		TraceEvents:     t.Events(),
+		DisplayTimeUnit: "ms",
+	}
+	if metrics != nil {
+		out.OtherData = metrics.Snapshot()
+	}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

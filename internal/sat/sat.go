@@ -136,11 +136,15 @@ type Solver struct {
 	conflictSet []Lit   // final conflict (subset of negated assumptions)
 	model       []lbool // snapshot of the last satisfying assignment
 
-	// Stats
+	// Stats. Plain fields, not atomics: a solver instance is
+	// single-goroutine; parallel verification gives every check a fresh
+	// solver and folds these into the observability registry afterwards.
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
-	Learnt       int64
+	Learnt       int64 // learnt clauses retained in the database
+	LearntLits   int64 // total literals across learnt clauses (incl. units)
+	Restarts     int64 // Luby restarts taken (completed search() rounds)
 
 	maxLearnts  float64
 	lubyIdx     int
@@ -608,6 +612,7 @@ func (s *Solver) search(maxConflicts int) Status {
 			}
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
+			s.LearntLits += int64(len(learnt))
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
@@ -705,6 +710,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if s.budgetLim >= 0 && s.Conflicts >= s.budgetLim {
 			return Unknown
 		}
+		s.Restarts++
 		s.maxLearnts *= 1.05
 	}
 }

@@ -344,3 +344,62 @@ func TestManyRestartsTerminate(t *testing.T) {
 		t.Fatal("should decide without budget")
 	}
 }
+
+// TestSearchCounters pins the counter semantics on a formula whose search
+// is fully determined: a unit chain x, x→y, y→z assigns everything by
+// level-0 propagation, so the solver makes no decisions and hits no
+// conflicts, and each of the three literals is popped from the
+// propagation queue exactly once.
+func TestSearchCounters(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	y := s.NewVar()
+	z := s.NewVar()
+	s.AddClause(MkLit(x, true), MkLit(y, false)) // ¬x ∨ y
+	s.AddClause(MkLit(y, true), MkLit(z, false)) // ¬y ∨ z
+	s.AddClause(MkLit(x, false))                 // x (unit: triggers the chain)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if !s.Value(x) || !s.Value(y) || !s.Value(z) {
+		t.Fatalf("model = %v %v %v, want all true", s.Value(x), s.Value(y), s.Value(z))
+	}
+	if s.Propagations != 3 {
+		t.Errorf("Propagations = %d, want 3 (x, y, z each popped once)", s.Propagations)
+	}
+	if s.Decisions != 0 {
+		t.Errorf("Decisions = %d, want 0 (everything fixed at level 0)", s.Decisions)
+	}
+	if s.Conflicts != 0 || s.Restarts != 0 || s.Learnt != 0 || s.LearntLits != 0 {
+		t.Errorf("Conflicts/Restarts/Learnt/LearntLits = %d/%d/%d/%d, want all 0",
+			s.Conflicts, s.Restarts, s.Learnt, s.LearntLits)
+	}
+}
+
+// TestLearntCounters: a formula that forces at least one conflict must
+// record it, along with the learnt clause literals.
+func TestLearntCounters(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	c := s.NewVar()
+	// (a∨b∨c) ∧ (a∨b∨¬c) ∧ (a∨¬b) ∧ (¬a∨b) ∧ (¬a∨¬b) is unsat on {a,b};
+	// search must conflict before concluding Unsat.
+	s.AddClause(MkLit(a, false), MkLit(b, false), MkLit(c, false))
+	s.AddClause(MkLit(a, false), MkLit(b, false), MkLit(c, true))
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.AddClause(MkLit(a, true), MkLit(b, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+	if s.Conflicts == 0 {
+		t.Error("Conflicts = 0, want > 0")
+	}
+	if s.LearntLits == 0 {
+		t.Error("LearntLits = 0, want > 0 (analyze produced learnt literals)")
+	}
+	if s.Decisions == 0 {
+		t.Error("Decisions = 0, want > 0")
+	}
+}

@@ -14,6 +14,21 @@ type blaster struct {
 	bvCache   map[int][]sat.Lit
 	boolCache map[int]sat.Lit
 	litTrue   sat.Lit
+
+	// Instrumentation (plain fields: a blaster is single-goroutine).
+	// cacheHits/cacheMisses count bv()/boolLit() lookups against the
+	// per-term caches; clausesEmitted counts Tseitin clauses handed to the
+	// SAT solver (>= retained clauses, which drop satisfied/tautological
+	// ones).
+	cacheHits      int64
+	cacheMisses    int64
+	clausesEmitted int64
+}
+
+// addClause forwards to the SAT solver, counting emissions.
+func (b *blaster) addClause(lits ...sat.Lit) {
+	b.clausesEmitted++
+	b.sat.AddClause(lits...)
 }
 
 func newBlaster(s *sat.Solver) *blaster {
@@ -50,9 +65,9 @@ func (b *blaster) and(x, y sat.Lit) sat.Lit {
 		return b.litFalse()
 	}
 	o := b.fresh()
-	b.sat.AddClause(o.Not(), x)
-	b.sat.AddClause(o.Not(), y)
-	b.sat.AddClause(o, x.Not(), y.Not())
+	b.addClause(o.Not(), x)
+	b.addClause(o.Not(), y)
+	b.addClause(o, x.Not(), y.Not())
 	return o
 }
 
@@ -75,10 +90,10 @@ func (b *blaster) xor(x, y sat.Lit) sat.Lit {
 		return b.litTrue
 	}
 	o := b.fresh()
-	b.sat.AddClause(o.Not(), x, y)
-	b.sat.AddClause(o.Not(), x.Not(), y.Not())
-	b.sat.AddClause(o, x.Not(), y)
-	b.sat.AddClause(o, x, y.Not())
+	b.addClause(o.Not(), x, y)
+	b.addClause(o.Not(), x.Not(), y.Not())
+	b.addClause(o, x.Not(), y)
+	b.addClause(o, x, y.Not())
 	return o
 }
 
@@ -105,10 +120,10 @@ func (b *blaster) mux(c, x, y sat.Lit) sat.Lit {
 		return b.and(c, x)
 	}
 	o := b.fresh()
-	b.sat.AddClause(c.Not(), x.Not(), o)
-	b.sat.AddClause(c.Not(), x, o.Not())
-	b.sat.AddClause(c, y.Not(), o)
-	b.sat.AddClause(c, y, o.Not())
+	b.addClause(c.Not(), x.Not(), o)
+	b.addClause(c.Not(), x, o.Not())
+	b.addClause(c, y.Not(), o)
+	b.addClause(c, y, o.Not())
 	return o
 }
 
@@ -123,8 +138,10 @@ func (b *blaster) fullAdder(x, y, cin sat.Lit) (sum, cout sat.Lit) {
 // bv blasts a bit-vector term into its literal vector, LSB first.
 func (b *blaster) bv(t *Term) []sat.Lit {
 	if got, ok := b.bvCache[t.ID]; ok {
+		b.cacheHits++
 		return got
 	}
+	b.cacheMisses++
 	var out []sat.Lit
 	switch t.Op {
 	case OpBVConst:
@@ -278,8 +295,10 @@ func (b *blaster) barrelShift(x []sat.Lit, sh []sat.Lit, isLeft bool) []sat.Lit 
 // boolLit blasts a boolean term into a single literal.
 func (b *blaster) boolLit(t *Term) sat.Lit {
 	if got, ok := b.boolCache[t.ID]; ok {
+		b.cacheHits++
 		return got
 	}
+	b.cacheMisses++
 	var out sat.Lit
 	switch t.Op {
 	case OpBoolConst:

@@ -480,3 +480,68 @@ func min64(a, b uint64) uint64 {
 	}
 	return b
 }
+
+// TestSolverStats pins the instrumentation snapshot: blasting a fresh
+// formula misses the per-term caches, emits Tseitin clauses, and the
+// snapshot agrees with the solver's own clause/variable accessors.
+func TestSolverStats(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 8)
+	y := c.Var("y", 8)
+	s := NewSolver(c)
+	sum := c.BVAdd(x, y)
+	s.Assert(c.Eq(sum, c.BV(10, 8)))
+	// Re-use of sum's bits in a second assertion must hit the blast cache.
+	s.Assert(c.Ult(sum, c.BV(200, 8)))
+	if got := s.Check(); got != Sat {
+		t.Fatalf("Check = %v, want Sat", got)
+	}
+	ss := s.SolverStats()
+	if ss.TseitinClauses == 0 {
+		t.Error("TseitinClauses = 0, want > 0")
+	}
+	if ss.BlastMisses == 0 {
+		t.Error("BlastMisses = 0, want > 0 (fresh terms)")
+	}
+	if ss.BlastHits == 0 {
+		t.Error("BlastHits = 0, want > 0 (sum blasted once, used twice)")
+	}
+	if ss.Clauses != s.NumClauses() {
+		t.Errorf("Clauses = %d, NumClauses = %d", ss.Clauses, s.NumClauses())
+	}
+	if ss.SATVars != s.NumSATVars() {
+		t.Errorf("SATVars = %d, NumSATVars = %d", ss.SATVars, s.NumSATVars())
+	}
+	if ss.TseitinClauses < int64(ss.Clauses)-1 {
+		// Emitted >= retained (AddClause drops satisfied/tautological
+		// clauses; the blaster's initial true-literal unit is uncounted).
+		t.Errorf("TseitinClauses %d < retained %d - 1", ss.TseitinClauses, ss.Clauses)
+	}
+	dec, conf, prop := s.Stats()
+	if ss.Decisions != dec || ss.Conflicts != conf || ss.Propagations != prop {
+		t.Errorf("SolverStats disagrees with Stats(): %v vs (%d,%d,%d)", ss, dec, conf, prop)
+	}
+}
+
+// TestInternStats: interning the same term twice is one miss then one
+// hit; the counters are cumulative on the context.
+func TestInternStats(t *testing.T) {
+	c := NewCtx()
+	h0, m0, f0 := c.InternStats()
+	if f0 != 0 {
+		t.Errorf("frozenLocks = %d before any sharing, want 0", f0)
+	}
+	x := c.Var("x", 8)
+	t1 := c.BVAdd(x, c.BV(1, 8))
+	t2 := c.BVAdd(x, c.BV(1, 8))
+	if t1 != t2 {
+		t.Fatal("hash-consing broken")
+	}
+	h1, m1, _ := c.InternStats()
+	if m1 <= m0 {
+		t.Errorf("intern misses did not grow: %d -> %d", m0, m1)
+	}
+	if h1 <= h0 {
+		t.Errorf("intern hits did not grow (t2 should hit): %d -> %d", h0, h1)
+	}
+}

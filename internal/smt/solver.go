@@ -46,6 +46,42 @@ func (s *Solver) Stats() (int64, int64, int64) {
 	return s.sat.Decisions, s.sat.Conflicts, s.sat.Propagations
 }
 
+// SolverStats is a point-in-time snapshot of one solver instance's work:
+// the SAT core's search counters plus the bit-blasting layer's cache and
+// CNF-emission counters. The verification driver sums these across every
+// instance a run creates — the per-assertion cost breakdown the paper's
+// Figure 11 plots.
+type SolverStats struct {
+	Decisions      int64
+	Conflicts      int64
+	Propagations   int64
+	Restarts       int64
+	LearntClauses  int64
+	LearntLits     int64
+	TseitinClauses int64 // CNF clauses emitted by the blaster (>= retained)
+	BlastHits      int64 // per-term blast-cache hits
+	BlastMisses    int64 // per-term blast-cache misses
+	Clauses        int   // problem clauses retained by the SAT core
+	SATVars        int   // SAT variables allocated
+}
+
+// SolverStats snapshots the instance's counters.
+func (s *Solver) SolverStats() SolverStats {
+	return SolverStats{
+		Decisions:      s.sat.Decisions,
+		Conflicts:      s.sat.Conflicts,
+		Propagations:   s.sat.Propagations,
+		Restarts:       s.sat.Restarts,
+		LearntClauses:  s.sat.Learnt,
+		LearntLits:     s.sat.LearntLits,
+		TseitinClauses: s.b.clausesEmitted,
+		BlastHits:      s.b.cacheHits,
+		BlastMisses:    s.b.cacheMisses,
+		Clauses:        s.sat.NumClauses(),
+		SATVars:        s.sat.NumVars(),
+	}
+}
+
 // NumClauses reports the size of the generated CNF, a proxy for solver
 // memory (what the paper reports as verification memory).
 func (s *Solver) NumClauses() int { return s.sat.NumClauses() }

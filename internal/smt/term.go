@@ -144,6 +144,25 @@ type Ctx struct {
 	// It is written strictly before the Ctx is handed to other goroutines.
 	shared bool
 	mu     sync.Mutex
+
+	// Interning instrumentation. internHits/internMisses count table
+	// lookups (misses == created); frozenLocks counts mu acquisitions
+	// after Freeze — the contention proxy for the parallel engine. Plain
+	// fields mutated single-goroutine before Freeze and under mu after;
+	// InternStats takes mu when shared, mirroring NumTerms.
+	internHits   int64
+	internMisses int64
+	frozenLocks  int64
+}
+
+// InternStats reports hash-consing hits and misses and the number of
+// frozen-context mutex acquisitions so far.
+func (c *Ctx) InternStats() (hits, misses, frozenLocks int64) {
+	if c.shared {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.internHits, c.internMisses, c.frozenLocks
 }
 
 // termKey is the comparable hash-consing key: operator, sort, slice bounds,
@@ -211,6 +230,7 @@ func (c *Ctx) NumTerms() int {
 	if c.shared {
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		c.frozenLocks++
 	}
 	return c.created
 }
@@ -219,11 +239,14 @@ func (c *Ctx) intern(t *Term) *Term {
 	if c.shared {
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		c.frozenLocks++
 	}
 	k := makeKey(t)
 	if got, ok := c.table[k]; ok {
+		c.internHits++
 		return got
 	}
+	c.internMisses++
 	t.ID = c.nextID
 	c.nextID++
 	c.created++

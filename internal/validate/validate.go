@@ -20,6 +20,7 @@ import (
 
 	"aquila/internal/encode"
 	"aquila/internal/gcl"
+	"aquila/internal/obs"
 	"aquila/internal/p4"
 	"aquila/internal/smt"
 	"aquila/internal/tables"
@@ -68,22 +69,27 @@ func (r *Result) String() string {
 // regression stories, an injected encoder bug.
 func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options) (*Result, error) {
 	start := time.Now()
+	o := obs.Default()
 	ctx := smt.NewCtx()
 
 	// A(P): Aquila's GCL encoding.
+	endA := o.Phase(0, "validate:encode-A")
 	env := encode.NewEnv(ctx, prog, snap, opts)
 	stmts := []gcl.Stmt{env.InitStmts()}
 	for _, comp := range components {
 		s, err := env.EncodeComponent(comp)
 		if err != nil {
+			endA()
 			return nil, err
 		}
 		stmts = append(stmts, s)
 	}
 	enc := gcl.NewEncoder(ctx)
 	aRes := enc.Encode(gcl.NewSeq(stmts...), nil)
+	endA()
 
 	// X(P): the independent big-step evaluation.
+	endX := o.Phase(0, "validate:interp-X")
 	ip := newInterp(ctx, prog, snap, opts.LoopBound)
 	if ip.loopBound == 0 {
 		ip.loopBound = 4
@@ -93,10 +99,14 @@ func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts
 		var err error
 		xState, err = ip.runComponent(comp, xState)
 		if err != nil {
+			endX()
 			return nil, err
 		}
 	}
+	endX()
 
+	endCheck := o.Phase(0, "validate:check")
+	defer endCheck()
 	res := &Result{Time: 0}
 	solver := smt.NewSolver(ctx)
 
@@ -160,6 +170,10 @@ func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts
 	}
 	res.Equivalent = len(res.Mismatches) == 0
 	res.Time = time.Since(start)
+	o.Event("validate_done", map[string]any{
+		"equivalent": res.Equivalent, "checked": res.Checked,
+		"mismatches": len(res.Mismatches),
+	})
 	return res, nil
 }
 

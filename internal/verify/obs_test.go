@@ -1,0 +1,314 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aquila/internal/lpi"
+	"aquila/internal/obs"
+	"aquila/internal/p4"
+)
+
+// dcGateway returns the DC Gateway corpus entry (13 assertions — the
+// largest hand-written program, used for the observability contracts).
+func dcGateway(t *testing.T) (prog *p4.Program, spec *lpi.Spec) {
+	t.Helper()
+	for _, c := range corpusSuite(t) {
+		if c.name == "DC Gateway" {
+			return c.prog, c.spec
+		}
+	}
+	t.Fatal("DC Gateway not in corpus")
+	return nil, nil
+}
+
+// TestTraceOneSpanPerAssertion: a find-all run records exactly one
+// solve:<label> span per assertion, nested under the solve phase, and the
+// span labels match the encoder's assertion labels.
+func TestTraceOneSpanPerAssertion(t *testing.T) {
+	prog, spec := dcGateway(t)
+	sink := &obs.Obs{Tracer: obs.NewTracer()}
+	rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 4, Obs: sink})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	begins := map[string]int{}
+	workerTids := map[int]bool{}
+	for _, e := range sink.Tracer.Events() {
+		if e.Ph == "B" && strings.HasPrefix(e.Name, "solve:") {
+			begins[e.Name]++
+			workerTids[e.TID] = true
+		}
+	}
+	if len(begins) != rep.Stats.Assertions {
+		t.Errorf("distinct solve spans = %d, want %d", len(begins), rep.Stats.Assertions)
+	}
+	for name, n := range begins {
+		if n != 1 {
+			t.Errorf("span %q began %d times, want 1", name, n)
+		}
+	}
+	for _, a := range rep.Stats.PerAssertion {
+		if begins["solve:"+a.Label] != 1 {
+			t.Errorf("assertion %q has no solve span", a.Label)
+		}
+	}
+	// Under Parallel=4 the spans should spread over >= 2 worker tids —
+	// guaranteed only when the host can actually run 2 workers at once.
+	if runtime.GOMAXPROCS(0) >= 2 && len(workerTids) < 2 {
+		t.Errorf("solve spans all on one tid %v despite Parallel=4 on %d CPUs",
+			workerTids, runtime.GOMAXPROCS(0))
+	}
+	// Phases must be present on tid 0.
+	phases := map[string]bool{}
+	for _, e := range sink.Tracer.Events() {
+		if e.Ph == "B" && e.TID == 0 {
+			phases[e.Name] = true
+		}
+	}
+	for _, want := range []string{"encode", "compose", "vcgen", "solve"} {
+		if !phases[want] {
+			t.Errorf("missing phase span %q on tid 0 (got %v)", want, phases)
+		}
+	}
+}
+
+// TestForEachWorkerDistribution: with blocking work, every pool worker
+// participates — the property that makes worker tids meaningful.
+func TestForEachWorkerDistribution(t *testing.T) {
+	const workers, n = 4, 32
+	var mu sync.Mutex
+	seen := map[int]int{}
+	ForEachWorker(workers, n, func(worker, i int) {
+		time.Sleep(time.Millisecond) // yield so all goroutines get indices
+		mu.Lock()
+		seen[worker]++
+		mu.Unlock()
+	})
+	total := 0
+	for w, cnt := range seen {
+		if w < 1 || w > workers {
+			t.Errorf("worker id %d out of range [1,%d]", w, workers)
+		}
+		total += cnt
+	}
+	if total != n {
+		t.Errorf("total calls = %d, want %d", total, n)
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d workers participated, want >= 2 (saw %v)", len(seen), seen)
+	}
+	// Serial path must report worker 0.
+	ForEachWorker(1, 3, func(worker, i int) {
+		if worker != 0 {
+			t.Errorf("serial worker id = %d, want 0", worker)
+		}
+	})
+}
+
+// TestCanonicalJSONObsInvariant is the tentpole determinism contract:
+// canonical report bytes are identical with tracing on vs off, at worker
+// counts 1, 2 and 4.
+func TestCanonicalJSONObsInvariant(t *testing.T) {
+	prog, spec := dcGateway(t)
+	var want []byte
+	for _, w := range []int{1, 2, 4} {
+		for _, traced := range []bool{false, true} {
+			var sink *obs.Obs
+			if traced {
+				sink = &obs.Obs{
+					Tracer:  obs.NewTracer(),
+					Metrics: obs.NewRegistry(),
+					Log:     obs.NewLogger(&bytes.Buffer{}),
+				}
+			}
+			rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: w, Obs: sink})
+			if err != nil {
+				t.Fatalf("workers=%d traced=%v: %v", w, traced, err)
+			}
+			got, err := rep.CanonicalJSON()
+			if err != nil {
+				t.Fatalf("canonical: %v", err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d traced=%v: canonical report differs from baseline\nbase: %s\ngot:  %s",
+					w, traced, want, got)
+			}
+		}
+	}
+}
+
+// TestPerAssertionBreakdown: the find-all breakdown covers every
+// assertion in order and its columns sum to the report totals.
+func TestPerAssertionBreakdown(t *testing.T) {
+	prog, spec := dcGateway(t)
+	rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Stats.PerAssertion) != rep.Stats.Assertions {
+		t.Fatalf("PerAssertion entries = %d, want %d", len(rep.Stats.PerAssertion), rep.Stats.Assertions)
+	}
+	var conflicts, decisions, props, restarts int64
+	var clauses, vars, sat int
+	for _, a := range rep.Stats.PerAssertion {
+		conflicts += a.Conflicts
+		decisions += a.Decisions
+		props += a.Propagations
+		restarts += a.Restarts
+		clauses += a.CNFClauses
+		vars += a.SATVars
+		switch a.Status {
+		case "sat":
+			sat++
+		case "unsat", "unknown":
+		default:
+			t.Errorf("assertion %q: unexpected status %q", a.Label, a.Status)
+		}
+		// A VC that constant-folds is decided without blasting; any
+		// assertion that did search work must have a CNF footprint.
+		if a.CNFClauses == 0 && (a.Decisions > 0 || a.Conflicts > 0) {
+			t.Errorf("assertion %q: search work with zero clause footprint", a.Label)
+		}
+	}
+	if conflicts != rep.Stats.Conflicts || decisions != rep.Stats.Decisions ||
+		props != rep.Stats.Propagations || restarts != rep.Stats.Restarts {
+		t.Errorf("per-assertion sums (%d,%d,%d,%d) != totals (%d,%d,%d,%d)",
+			conflicts, decisions, props, restarts,
+			rep.Stats.Conflicts, rep.Stats.Decisions, rep.Stats.Propagations, rep.Stats.Restarts)
+	}
+	if clauses != rep.Stats.CNFClauses || vars != rep.Stats.SATVars {
+		t.Errorf("per-assertion clause/var sums (%d,%d) != totals (%d,%d)",
+			clauses, vars, rep.Stats.CNFClauses, rep.Stats.SATVars)
+	}
+	if sat != len(rep.Violations) {
+		t.Errorf("sat statuses = %d, violations = %d", sat, len(rep.Violations))
+	}
+
+	// The JSON report must carry the same breakdown.
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var parsed struct {
+		PerAssertion []struct {
+			Label      string `json:"label"`
+			Status     string `json:"status"`
+			CNFClauses int    `json:"cnf_clauses"`
+		} `json:"per_assertion"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if len(parsed.PerAssertion) != rep.Stats.Assertions {
+		t.Errorf("JSON per_assertion entries = %d, want %d", len(parsed.PerAssertion), rep.Stats.Assertions)
+	}
+	for i, a := range parsed.PerAssertion {
+		if a.Label != rep.Stats.PerAssertion[i].Label || a.CNFClauses != rep.Stats.PerAssertion[i].CNFClauses {
+			t.Errorf("JSON per_assertion[%d] = %+v, want %+v", i, a, rep.Stats.PerAssertion[i])
+		}
+	}
+}
+
+// TestMetricsRegistry: the counters a find-all run publishes agree with
+// the report's own totals.
+func TestMetricsRegistry(t *testing.T) {
+	prog, spec := dcGateway(t)
+	sink := &obs.Obs{Metrics: obs.NewRegistry()}
+	rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 4, Obs: sink})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := sink.Metrics
+	if got := m.Counter(obs.CtrVerifyChecks).Value(); got != int64(rep.Stats.Assertions) {
+		t.Errorf("%s = %d, want %d", obs.CtrVerifyChecks, got, rep.Stats.Assertions)
+	}
+	satN := m.Counter(obs.CtrVerifySat).Value()
+	unsatN := m.Counter(obs.CtrVerifyUnsat).Value()
+	unknownN := m.Counter(obs.CtrVerifyUnknown).Value()
+	if satN+unsatN+unknownN != m.Counter(obs.CtrVerifyChecks).Value() {
+		t.Errorf("verdict counters %d+%d+%d don't sum to checks", satN, unsatN, unknownN)
+	}
+	if satN != int64(len(rep.Violations)) {
+		t.Errorf("%s = %d, want %d", obs.CtrVerifySat, satN, len(rep.Violations))
+	}
+	if got := m.Counter(obs.CtrSATConflicts).Value(); got != rep.Stats.Conflicts {
+		t.Errorf("%s = %d, want %d", obs.CtrSATConflicts, got, rep.Stats.Conflicts)
+	}
+	if got := m.Counter(obs.CtrSATDecisions).Value(); got != rep.Stats.Decisions {
+		t.Errorf("%s = %d, want %d", obs.CtrSATDecisions, got, rep.Stats.Decisions)
+	}
+	// Each solver may drop satisfied clauses and never counts its initial
+	// true-literal unit, so emitted >= retained - one unit per solver.
+	if got, min := m.Counter(obs.CtrSMTTseitinClauses).Value(), int64(rep.Stats.CNFClauses-rep.Stats.Assertions); got < min {
+		t.Errorf("%s = %d, want >= %d", obs.CtrSMTTseitinClauses, got, min)
+	}
+	if got := m.Gauge(obs.GaugeTermNodes).Value(); got != int64(rep.Stats.TermNodes) {
+		t.Errorf("%s = %d, want %d", obs.GaugeTermNodes, got, rep.Stats.TermNodes)
+	}
+	if got := m.Gauge(obs.GaugeVerifyWorkers).Value(); got != int64(rep.Stats.Workers) {
+		t.Errorf("%s = %d, want %d", obs.GaugeVerifyWorkers, got, rep.Stats.Workers)
+	}
+	if got := m.Counter(obs.CtrSMTInternMisses).Value(); got == 0 {
+		t.Errorf("%s = 0, want > 0 (encoding interned terms)", obs.CtrSMTInternMisses)
+	}
+}
+
+// TestStructuredLogEvents: -v mode logs phase boundaries and one
+// assertion event per check, as parseable JSONL.
+func TestStructuredLogEvents(t *testing.T) {
+	prog, spec := dcGateway(t)
+	var buf bytes.Buffer
+	sink := &obs.Obs{Log: obs.NewLogger(&buf)}
+	rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1, Obs: sink})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	events := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v: %s", err, line)
+		}
+		ev, _ := rec["event"].(string)
+		events[ev]++
+	}
+	for _, phase := range []string{"phase_begin", "phase_end"} {
+		if events[phase] < 4 { // encode, compose, vcgen, solve
+			t.Errorf("%s events = %d, want >= 4", phase, events[phase])
+		}
+	}
+	if events["assertion"] != rep.Stats.Assertions {
+		t.Errorf("assertion events = %d, want %d", events["assertion"], rep.Stats.Assertions)
+	}
+}
+
+// TestFindFirstStatsSummed pins the unified Stats semantics: find-first
+// also reports the full footprint of its solver instances and records the
+// SAT search counters, with no per-assertion breakdown.
+func TestFindFirstStatsSummed(t *testing.T) {
+	prog, spec := dcGateway(t)
+	rep, err := Run(prog, nil, spec, Options{FindAll: false})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Stats.CNFClauses == 0 || rep.Stats.SATVars == 0 {
+		t.Errorf("find-first footprint empty: %d clauses, %d vars",
+			rep.Stats.CNFClauses, rep.Stats.SATVars)
+	}
+	if rep.Stats.Decisions == 0 && rep.Stats.Propagations == 0 {
+		t.Error("find-first recorded no search work")
+	}
+	if len(rep.Stats.PerAssertion) != 0 {
+		t.Errorf("find-first PerAssertion = %d entries, want 0", len(rep.Stats.PerAssertion))
+	}
+}

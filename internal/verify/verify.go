@@ -18,6 +18,7 @@ import (
 	"aquila/internal/encode"
 	"aquila/internal/gcl"
 	"aquila/internal/lpi"
+	"aquila/internal/obs"
 	"aquila/internal/p4"
 	"aquila/internal/smt"
 	"aquila/internal/tables"
@@ -40,6 +41,20 @@ type Options struct {
 	// assertion is checked by a deterministic fresh solver over the shared
 	// frozen term DAG, and results are aggregated in assertion order.
 	Parallel int
+	// Obs attaches observability sinks (tracer, metrics, structured log).
+	// nil falls back to the process default (set by the CLIs); when that is
+	// also nil every hook is a nil-check with no measurable overhead, and
+	// attaching sinks never changes verdicts or canonical report bytes.
+	Obs *obs.Obs
+}
+
+// Observer resolves the effective sink: the explicit Options.Obs, else the
+// process-wide default.
+func (o Options) Observer() *obs.Obs {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
 }
 
 // Workers returns the effective worker count for the options.
@@ -55,29 +70,36 @@ func (o Options) Workers() int {
 // the fan-out primitive shared by find-all verification and localization;
 // f must write only to index-owned slots.
 func ForEach(workers, n int, f func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { f(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity passed to f:
+// worker is 0 for inline (serial) execution and 1..workers on the pool —
+// the tracer uses it as the Chrome trace tid so the fan-out is visible.
+func ForEachWorker(workers, n int, f func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
 	var next int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 1; w <= workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				f(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -102,14 +124,91 @@ type Stats struct {
 	// SolveCPU is the cumulative time spent inside individual SMT checks,
 	// summed across workers; it is (modulo scheduling noise) independent of
 	// the worker count and is the fair cost metric for parallel runs.
-	SolveCPU   time.Duration
-	GCLSize    int
-	TermNodes  int // DAG nodes in the term context (memory proxy)
+	SolveCPU  time.Duration
+	GCLSize   int
+	TermNodes int // DAG nodes in the term context (memory proxy)
+	// CNFClauses and SATVars are summed across every solver instance the
+	// run created — in find-all mode one fresh solver per consumed
+	// assertion, in find-first mode the main disjunction query plus any
+	// divergence re-check solvers. Both modes use the same summation
+	// semantics, so the fields mean "total CNF footprint of the run" (the
+	// paper's memory proxy) regardless of mode.
 	CNFClauses int
 	SATVars    int
 	Assertions int
 	// Workers is the effective worker count of the solving phase.
 	Workers int
+
+	// SAT-core search totals, summed across the same solver instances as
+	// CNFClauses/SATVars. Deterministic for a given formula: every check
+	// runs a deterministic fresh solver, so these are identical across
+	// worker counts and across runs.
+	Conflicts     int64
+	Decisions     int64
+	Propagations  int64
+	Restarts      int64
+	LearntClauses int64
+	LearntLits    int64
+
+	// PerAssertion is the find-all per-assertion cost breakdown (the data
+	// Figure 11 plots): one entry per consumed assertion, in assertion
+	// order. Empty in find-first mode, which checks all assertions in one
+	// disjunction query.
+	PerAssertion []AssertionCost
+}
+
+// AssertionCost is the solve cost of one assertion in find-all mode.
+type AssertionCost struct {
+	Label  string
+	Status string // "sat" (violated), "unsat" (holds), "unknown" (budget)
+	// SolveTime is this check's wall time inside the worker.
+	SolveTime    time.Duration
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	CNFClauses   int
+	SATVars      int
+}
+
+// addSolver folds one solver instance's counters into the run totals.
+func (st *Stats) addSolver(ss smt.SolverStats) {
+	st.CNFClauses += ss.Clauses
+	st.SATVars += ss.SATVars
+	st.Conflicts += ss.Conflicts
+	st.Decisions += ss.Decisions
+	st.Propagations += ss.Propagations
+	st.Restarts += ss.Restarts
+	st.LearntClauses += ss.LearntClauses
+	st.LearntLits += ss.LearntLits
+}
+
+// countSolver publishes one solver instance's counters to the metrics
+// registry (nil-safe). Called from worker goroutines — the registry's
+// counters are atomic, which is what the -race CI job exercises.
+func countSolver(o *obs.Obs, ss smt.SolverStats, status smt.Status) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	m := o.Metrics
+	m.Counter(obs.CtrSATConflicts).Add(ss.Conflicts)
+	m.Counter(obs.CtrSATDecisions).Add(ss.Decisions)
+	m.Counter(obs.CtrSATPropagations).Add(ss.Propagations)
+	m.Counter(obs.CtrSATRestarts).Add(ss.Restarts)
+	m.Counter(obs.CtrSATLearntClause).Add(ss.LearntClauses)
+	m.Counter(obs.CtrSATLearntLits).Add(ss.LearntLits)
+	m.Counter(obs.CtrSMTTseitinClauses).Add(ss.TseitinClauses)
+	m.Counter(obs.CtrSMTBlastHits).Add(ss.BlastHits)
+	m.Counter(obs.CtrSMTBlastMisses).Add(ss.BlastMisses)
+	m.Counter(obs.CtrVerifyChecks).Add(1)
+	switch status {
+	case smt.Sat:
+		m.Counter(obs.CtrVerifySat).Add(1)
+	case smt.Unsat:
+		m.Counter(obs.CtrVerifyUnsat).Add(1)
+	default:
+		m.Counter(obs.CtrVerifyUnknown).Add(1)
+	}
 }
 
 // Report is the outcome of a verification run.
@@ -131,24 +230,35 @@ var ErrBudget = fmt.Errorf("verify: solver budget exhausted")
 
 // Run verifies prog (+ optional snapshot) against spec.
 func Run(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec, opts Options) (*Report, error) {
+	o := opts.Observer()
 	ctx := smt.NewCtx()
 	eopts := opts.Encode
 	eopts.TrackModified = lpi.TrackModified(spec)
+	endEncode := o.Phase(0, "encode")
 	env := encode.NewEnv(ctx, prog, snap, eopts)
+	endEncode()
 	return RunWithEnv(ctx, env, spec, opts)
 }
 
 // RunWithEnv verifies with a caller-provided context and environment
 // (used by localization to re-encode variants of the same program).
 func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*Report, error) {
+	o := opts.Observer()
+	// Intern stats are cumulative on the (possibly reused) context; publish
+	// only this run's delta to the registry.
+	internH0, internM0, frozen0 := ctx.InternStats()
 	t0 := time.Now()
+	endCompose := o.Phase(0, "compose")
 	comp := lpi.NewCompiler(spec, env)
 	program, err := comp.Compile()
+	endCompose()
 	if err != nil {
 		return nil, err
 	}
+	endVCGen := o.Phase(0, "vcgen")
 	enc := gcl.NewEncoder(ctx)
 	res := enc.Encode(program, nil)
+	endVCGen()
 	encodeTime := time.Since(t0)
 
 	rep := &Report{
@@ -163,11 +273,33 @@ func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*R
 		},
 	}
 	t1 := time.Now()
+	endSolve := o.Phase(0, "solve")
 	err = rep.check(opts)
+	endSolve()
 	rep.Stats.SolveTime = time.Since(t1)
 	rep.Stats.TermNodes = ctx.NumTerms()
 	rep.Holds = len(rep.Violations) == 0
+	if o != nil && o.Metrics != nil {
+		h1, m1, f1 := ctx.InternStats()
+		o.Metrics.Counter(obs.CtrSMTInternHits).Add(h1 - internH0)
+		o.Metrics.Counter(obs.CtrSMTInternMisses).Add(m1 - internM0)
+		o.Metrics.Counter(obs.CtrSMTFrozenLocks).Add(f1 - frozen0)
+		o.Metrics.Gauge(obs.GaugeTermNodes).Set(int64(rep.Stats.TermNodes))
+		o.Metrics.Gauge(obs.GaugeVerifyWorkers).Set(int64(rep.Stats.Workers))
+	}
 	return rep, err
+}
+
+// statusString renders a solver verdict for reports and logs.
+func statusString(st smt.Status) string {
+	switch st {
+	case smt.Sat:
+		return "sat"
+	case smt.Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
 }
 
 func (rep *Report) check(opts Options) error {
@@ -181,23 +313,29 @@ func (rep *Report) check(opts Options) error {
 // of all violation conditions ("checking all assertions together").
 func (rep *Report) checkFirst(opts Options) error {
 	ctx := rep.Ctx
+	o := opts.Observer()
 	solver := smt.NewSolver(ctx)
 	if opts.Budget > 0 {
 		solver.SetBudget(opts.Budget)
 	}
 	rep.Stats.Workers = 1
-	defer func() {
-		rep.Stats.CNFClauses = solver.NumClauses()
-		rep.Stats.SATVars = solver.NumSATVars()
-	}()
 
-	any := ctx.False()
+	disj := ctx.False()
 	for _, v := range rep.Result.Violations {
-		any = ctx.Or(any, v.Cond)
+		disj = ctx.Or(disj, v.Cond)
 	}
+	endSpan := o.Span(0, "solve:all-assertions")
 	t0 := time.Now()
-	st := solver.Check(any)
+	st := solver.Check(disj)
 	rep.Stats.SolveCPU += time.Since(t0)
+	endSpan()
+	ss := solver.SolverStats()
+	rep.Stats.addSolver(ss)
+	countSolver(o, ss, st)
+	o.Event("check_done", map[string]any{
+		"mode": "find-first", "status": statusString(st),
+		"conflicts": ss.Conflicts, "clauses": ss.Clauses,
+	})
 	if st == smt.Unknown {
 		return ErrBudget
 	}
@@ -205,7 +343,7 @@ func (rep *Report) checkFirst(opts Options) error {
 		return nil
 	}
 	m := solver.Model()
-	solver.ModelCollect(m, any)
+	solver.ModelCollect(m, disj)
 	// Identify the first assertion the model violates.
 	for _, v := range rep.Result.Violations {
 		if m.Bool(v.Cond) {
@@ -217,7 +355,7 @@ func (rep *Report) checkFirst(opts Options) error {
 	// to no single assertion (possible only through a blaster/evaluator
 	// divergence). Re-check each assertion under the model's assignment
 	// rather than emitting an unusable "unknown" violation.
-	assignment := modelAssignment(ctx, m, any)
+	assignment := modelAssignment(ctx, m, disj)
 	for _, v := range rep.Result.Violations {
 		s2 := smt.NewSolver(ctx)
 		if opts.Budget > 0 {
@@ -226,6 +364,9 @@ func (rep *Report) checkFirst(opts Options) error {
 		t1 := time.Now()
 		st2 := s2.Check(ctx.And(assignment, v.Cond))
 		rep.Stats.SolveCPU += time.Since(t1)
+		ss2 := s2.SolverStats()
+		rep.Stats.addSolver(ss2)
+		countSolver(o, ss2, st2)
 		if st2 == smt.Sat {
 			m2 := s2.Model()
 			s2.ModelCollect(m2, v.Cond)
@@ -267,14 +408,14 @@ func (rep *Report) checkAll(opts Options) error {
 		workers = 1
 	}
 	rep.Stats.Workers = workers
+	o := opts.Observer()
 
 	type checkOut struct {
-		done    bool
-		status  smt.Status
-		model   *smt.Model
-		clauses int
-		satVars int
-		cpu     time.Duration
+		done   bool
+		status smt.Status
+		model  *smt.Model
+		ss     smt.SolverStats
+		cpu    time.Duration
 	}
 	outs := make([]checkOut, n)
 
@@ -282,36 +423,44 @@ func (rep *Report) checkAll(opts Options) error {
 	// workers skip checks at or beyond it so every worker stops promptly.
 	limit := int64(n)
 
-	runCheck := func(i int) {
+	runCheck := func(worker, i int) {
 		v := conds[i]
+		endSpan := o.Span(worker, "solve:"+v.Label)
 		solver := smt.NewSolver(rep.Ctx)
 		if opts.Budget > 0 {
 			solver.SetBudget(opts.Budget)
 		}
 		t0 := time.Now()
 		st := solver.Check(v.Cond)
-		o := &outs[i]
-		o.cpu = time.Since(t0)
-		o.status = st
-		o.clauses = solver.NumClauses()
-		o.satVars = solver.NumSATVars()
+		out := &outs[i]
+		out.cpu = time.Since(t0)
+		out.status = st
+		out.ss = solver.SolverStats()
 		if st == smt.Sat {
 			m := solver.Model()
 			solver.ModelCollect(m, v.Cond)
-			o.model = m
+			out.model = m
 		}
-		o.done = true
+		endSpan()
+		countSolver(o, out.ss, st)
+		out.done = true
 	}
 
 	if workers > 1 {
+		if o != nil && o.Tracer != nil {
+			o.Tracer.NameThread(0, "main")
+			for w := 1; w <= workers; w++ {
+				o.Tracer.NameThread(w, fmt.Sprintf("worker-%d", w))
+			}
+		}
 		// The context becomes shared read-only state; blasting and model
 		// extraction never intern, and any stray term creation serializes.
 		rep.Ctx.Freeze()
-		ForEach(workers, n, func(i int) {
+		ForEachWorker(workers, n, func(worker, i int) {
 			if int64(i) >= atomic.LoadInt64(&limit) {
 				return
 			}
-			runCheck(i)
+			runCheck(worker, i)
 			if outs[i].status == smt.Unknown {
 				for {
 					cur := atomic.LoadInt64(&limit)
@@ -326,22 +475,41 @@ func (rep *Report) checkAll(opts Options) error {
 	// Consume results in assertion order; any check skipped by the early
 	// stop (or by workers == 1, which skips the fan-out entirely) runs
 	// inline here, so the consumed prefix is identical at every Parallel
-	// setting: violations up to the first budget-exhausted check.
+	// setting: violations up to the first budget-exhausted check. Inline
+	// re-runs use worker/tid 0 (the consume loop runs on the caller).
 	var err error
 	for i, v := range conds {
 		if !outs[i].done {
-			runCheck(i)
+			runCheck(0, i)
 		}
-		o := &outs[i]
-		rep.Stats.SolveCPU += o.cpu
-		rep.Stats.CNFClauses += o.clauses
-		rep.Stats.SATVars += o.satVars
-		if o.status == smt.Unknown {
+		out := &outs[i]
+		rep.Stats.SolveCPU += out.cpu
+		rep.Stats.addSolver(out.ss)
+		rep.Stats.PerAssertion = append(rep.Stats.PerAssertion, AssertionCost{
+			Label:        v.Label,
+			Status:       statusString(out.status),
+			SolveTime:    out.cpu,
+			Conflicts:    out.ss.Conflicts,
+			Decisions:    out.ss.Decisions,
+			Propagations: out.ss.Propagations,
+			Restarts:     out.ss.Restarts,
+			CNFClauses:   out.ss.Clauses,
+			SATVars:      out.ss.SATVars,
+		})
+		o.Event("assertion", map[string]any{
+			"label": v.Label, "status": statusString(out.status),
+			"solve_us": out.cpu.Microseconds(), "conflicts": out.ss.Conflicts,
+			"clauses": out.ss.Clauses,
+		})
+		if out.status == smt.Unknown {
+			o.Event("budget_exhausted", map[string]any{
+				"label": v.Label, "budget": opts.Budget,
+			})
 			err = ErrBudget
 			break
 		}
-		if o.status == smt.Sat {
-			rep.Violations = append(rep.Violations, rep.makeViolation(v, o.model))
+		if out.status == smt.Sat {
+			rep.Violations = append(rep.Violations, rep.makeViolation(v, out.model))
 		}
 	}
 	return err
@@ -462,6 +630,9 @@ func (rep *Report) String() string {
 		rep.Stats.EncodeTime.Round(time.Millisecond), rep.Stats.SolveTime.Round(time.Millisecond),
 		rep.Stats.SolveCPU.Round(time.Millisecond), rep.Stats.Workers,
 		rep.Stats.GCLSize, rep.Stats.TermNodes, rep.Stats.CNFClauses, rep.Stats.SATVars)
+	fmt.Fprintf(&b, "sat:   %d conflicts, %d decisions, %d propagations, %d restarts, %d learnt clauses (%d literals)\n",
+		rep.Stats.Conflicts, rep.Stats.Decisions, rep.Stats.Propagations,
+		rep.Stats.Restarts, rep.Stats.LearntClauses, rep.Stats.LearntLits)
 	return b.String()
 }
 
@@ -473,6 +644,9 @@ type JSONReport struct {
 	Assertions int             `json:"assertions"`
 	Violations []JSONViolation `json:"violations,omitempty"`
 	Stats      JSONStats       `json:"stats"`
+	// PerAssertion is the find-all per-assertion cost breakdown (Figure 11
+	// data); absent in find-first mode.
+	PerAssertion []JSONAssertionCost `json:"per_assertion,omitempty"`
 }
 
 // JSONViolation is one violated assertion.
@@ -486,13 +660,33 @@ type JSONViolation struct {
 
 // JSONStats carries the cost metrics.
 type JSONStats struct {
-	EncodeMS   int64 `json:"encode_ms"`
-	SolveMS    int64 `json:"solve_ms"`
-	SolveCPUMS int64 `json:"solve_cpu_ms"`
-	GCLSize    int   `json:"gcl_size"`
-	TermNodes  int   `json:"term_nodes"`
-	CNFClauses int   `json:"cnf_clauses"`
-	SATVars    int   `json:"sat_vars"`
+	EncodeMS      int64 `json:"encode_ms"`
+	SolveMS       int64 `json:"solve_ms"`
+	SolveCPUMS    int64 `json:"solve_cpu_ms"`
+	GCLSize       int   `json:"gcl_size"`
+	TermNodes     int   `json:"term_nodes"`
+	CNFClauses    int   `json:"cnf_clauses"`
+	SATVars       int   `json:"sat_vars"`
+	Conflicts     int64 `json:"conflicts"`
+	Decisions     int64 `json:"decisions"`
+	Propagations  int64 `json:"propagations"`
+	Restarts      int64 `json:"restarts"`
+	LearntClauses int64 `json:"learnt_clauses"`
+	LearntLits    int64 `json:"learnt_literals"`
+}
+
+// JSONAssertionCost is one assertion's row in the per-assertion breakdown.
+// Times are microseconds (solve_us) for resolution on small formulas.
+type JSONAssertionCost struct {
+	Label        string `json:"label"`
+	Status       string `json:"status"`
+	SolveUS      int64  `json:"solve_us"`
+	Conflicts    int64  `json:"conflicts"`
+	Decisions    int64  `json:"decisions"`
+	Propagations int64  `json:"propagations"`
+	Restarts     int64  `json:"restarts"`
+	CNFClauses   int    `json:"cnf_clauses"`
+	SATVars      int    `json:"sat_vars"`
 }
 
 // JSON renders the report for machine consumption.
@@ -501,14 +695,33 @@ func (rep *Report) JSON() ([]byte, error) {
 		Holds:      rep.Holds,
 		Assertions: rep.Stats.Assertions,
 		Stats: JSONStats{
-			EncodeMS:   rep.Stats.EncodeTime.Milliseconds(),
-			SolveMS:    rep.Stats.SolveTime.Milliseconds(),
-			SolveCPUMS: rep.Stats.SolveCPU.Milliseconds(),
-			GCLSize:    rep.Stats.GCLSize,
-			TermNodes:  rep.Stats.TermNodes,
-			CNFClauses: rep.Stats.CNFClauses,
-			SATVars:    rep.Stats.SATVars,
+			EncodeMS:      rep.Stats.EncodeTime.Milliseconds(),
+			SolveMS:       rep.Stats.SolveTime.Milliseconds(),
+			SolveCPUMS:    rep.Stats.SolveCPU.Milliseconds(),
+			GCLSize:       rep.Stats.GCLSize,
+			TermNodes:     rep.Stats.TermNodes,
+			CNFClauses:    rep.Stats.CNFClauses,
+			SATVars:       rep.Stats.SATVars,
+			Conflicts:     rep.Stats.Conflicts,
+			Decisions:     rep.Stats.Decisions,
+			Propagations:  rep.Stats.Propagations,
+			Restarts:      rep.Stats.Restarts,
+			LearntClauses: rep.Stats.LearntClauses,
+			LearntLits:    rep.Stats.LearntLits,
 		},
+	}
+	for _, a := range rep.Stats.PerAssertion {
+		out.PerAssertion = append(out.PerAssertion, JSONAssertionCost{
+			Label:        a.Label,
+			Status:       a.Status,
+			SolveUS:      a.SolveTime.Microseconds(),
+			Conflicts:    a.Conflicts,
+			Decisions:    a.Decisions,
+			Propagations: a.Propagations,
+			Restarts:     a.Restarts,
+			CNFClauses:   a.CNFClauses,
+			SATVars:      a.SATVars,
+		})
 	}
 	for _, v := range rep.Violations {
 		jv := JSONViolation{Label: v.Label, Counterexample: map[string]string{}}
@@ -526,14 +739,25 @@ func (rep *Report) JSON() ([]byte, error) {
 }
 
 // CanonicalJSON renders the report with the volatile wall-clock fields
-// (encode_ms, solve_ms, solve_cpu_ms) zeroed. Everything else — verdict,
-// violations, counterexamples, formula-size stats — is deterministic
-// across runs and across Parallel settings, so two canonical reports of
-// the same verification problem compare byte-for-byte.
+// (encode_ms, solve_ms, solve_cpu_ms, per-assertion solve_us) zeroed.
+// Everything else — verdict, violations, counterexamples, formula-size
+// stats, SAT search counters, the per-assertion breakdown — is
+// deterministic across runs and across Parallel settings (every check is
+// a deterministic fresh solver over the same frozen DAG), so two
+// canonical reports of the same verification problem compare
+// byte-for-byte, with or without observability sinks attached.
 func (rep *Report) CanonicalJSON() ([]byte, error) {
 	canon := *rep
 	canon.Stats.EncodeTime = 0
 	canon.Stats.SolveTime = 0
 	canon.Stats.SolveCPU = 0
+	if len(canon.Stats.PerAssertion) > 0 {
+		pa := make([]AssertionCost, len(canon.Stats.PerAssertion))
+		copy(pa, canon.Stats.PerAssertion)
+		for i := range pa {
+			pa[i].SolveTime = 0
+		}
+		canon.Stats.PerAssertion = pa
+	}
 	return canon.JSON()
 }
