@@ -99,13 +99,25 @@ type Options struct {
 	// localization re-checks: 0 uses runtime.GOMAXPROCS(0), 1 forces the
 	// serial path. Reports are byte-identical at every setting.
 	Parallel int
+	// Incremental enables shared-prefix solving for find-all verification
+	// and localization: each worker shard blasts the common VC prefix once
+	// and checks its assertions via activation literals, reusing the CNF
+	// and learned clauses. Verdicts and reports stay byte-identical to the
+	// default fresh-solver mode.
+	Incremental bool
+	// Simplify runs the algebraic simplification pass over the shared
+	// term DAG before blasting. Verification and localization consult it
+	// only in Incremental mode; SelfValidate applies it directly to its
+	// refinement queries.
+	Simplify bool
 	// Encode selects the encoding modes; the zero value is the paper's
 	// configuration (sequential encoding, ABV lookup tree, KV packets).
 	Encode EncodeOptions
 }
 
 func (o Options) verifyOptions() verify.Options {
-	return verify.Options{Encode: o.Encode, FindAll: o.FindAll, Budget: o.Budget, Parallel: o.Parallel}
+	return verify.Options{Encode: o.Encode, FindAll: o.FindAll, Budget: o.Budget,
+		Parallel: o.Parallel, Incremental: o.Incremental, Simplify: o.Simplify}
 }
 
 // ParseProgram parses and type-checks P4lite source.
@@ -166,6 +178,9 @@ func Localize(prog *Program, snap *Snapshot, spec *Spec, opts Options) (*Localiz
 // SelfValidate checks Aquila's own encoder against an independent
 // reference semantics for the named components (§6 of the paper).
 func SelfValidate(prog *Program, snap *Snapshot, components []string, opts Options) (*ValidationResult, error) {
+	if opts.Simplify {
+		return validate.ValidateSimplify(prog, snap, components, opts.Encode)
+	}
 	return validate.Validate(prog, snap, components, opts.Encode)
 }
 

@@ -11,6 +11,7 @@
 //	aquila-bench -exp fig11a [-k 5] [-scale medium]
 //	aquila-bench -exp fig11b [-entries 1000,2000,3000,4000,5000]
 //	aquila-bench -exp parallel [-parallel 1,2,4,8] [-repeats 3] [-out BENCH_parallel.json]
+//	aquila-bench -exp incremental [-parallel 1,2,4] [-repeats 3] [-incr-out BENCH_incremental.json]
 //	aquila-bench -exp obs [-repeats 3]
 //	aquila-bench -exp all -quick
 //
@@ -37,7 +38,7 @@ func main() { os.Exit(mainRun()) }
 
 func mainRun() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|obs|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|obs|all")
 		quick     = flag.Bool("quick", false, "smaller budgets and workloads")
 		suite     = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
 		scales    = flag.String("scales", "small,medium,large", "table4 switch-T scales")
@@ -47,6 +48,7 @@ func mainRun() int {
 		parallel  = flag.String("parallel", "1,2,4,8", "parallel-sweep worker counts (first must be 1, the speedup baseline)")
 		repeats   = flag.Int("repeats", 3, "parallel/obs runs per configuration (best wall time kept)")
 		outPath   = flag.String("out", "BENCH_parallel.json", "parallel-sweep JSON output file (empty: stdout table only)")
+		incrOut   = flag.String("incr-out", "BENCH_incremental.json", "incremental-sweep JSON output file (empty: stdout table only)")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON covering the run")
 		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write heap profile on exit")
@@ -193,6 +195,42 @@ func mainRun() int {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *outPath)
+		}
+		return nil
+	})
+
+	run("incremental", func() error {
+		// Fresh vs shared-prefix incremental solving on the DC gateway.
+		// The worker counts reuse -parallel, capped at 4: the point of the
+		// sweep is clause reuse, not scheduler saturation.
+		var counts []int
+		for _, s := range strings.Split(*parallel, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			if n <= 4 {
+				counts = append(counts, n)
+			}
+		}
+		reps := *repeats
+		if *quick {
+			reps = 1
+		}
+		res, err := bench.Incremental(progs.DCGatewayBench(), counts, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatIncremental(res))
+		if *incrOut != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*incrOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *incrOut)
 		}
 		return nil
 	})

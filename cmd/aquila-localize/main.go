@@ -6,8 +6,13 @@
 // Usage:
 //
 //	aquila-localize -spec spec.lpi [-p4 prog.p4] [-entries snap.txt]
-//	                [-budget N] [-parallel N]
+//	                [-budget N] [-parallel N] [-incremental] [-simplify=false]
 //	                [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
+//
+// -incremental makes the find-violations pass and the causality filter
+// share one blasted solver per worker shard (activation literals over the
+// common prefix) instead of a fresh solver per query; -simplify (default
+// true) adds the algebraic pre-blast pass. Results are identical.
 //
 // -trace writes a Chrome trace-event JSON covering the localization
 // pipeline (find-violations, table-entry repair, causality filter, fix
@@ -34,6 +39,8 @@ func run() int {
 		entries   = flag.String("entries", "", "table-entry snapshot file")
 		budget    = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
 		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for localization re-checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
+		incr      = flag.Bool("incremental", false, "shared-prefix incremental solving for verification and the causality filter")
+		simplify  = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the localization phases")
 		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write heap profile on exit")
@@ -53,14 +60,14 @@ func run() int {
 		return fail(err)
 	}
 	obs.SetDefault(o)
-	code := localizeMain(*p4Path, *specPath, *entries, *budget, *parallel)
+	code := localizeMain(*p4Path, *specPath, *entries, *budget, *parallel, *incr, *simplify)
 	if err := closeObs(); err != nil {
 		return fail(err)
 	}
 	return code
 }
 
-func localizeMain(p4Path, specPath, entries string, budget int64, parallel int) int {
+func localizeMain(p4Path, specPath, entries string, budget int64, parallel int, incremental, simplify bool) int {
 	spec, err := aquila.LoadSpec(specPath)
 	if err != nil {
 		return fail(err)
@@ -86,7 +93,10 @@ func localizeMain(p4Path, specPath, entries string, budget int64, parallel int) 
 			return fail(err)
 		}
 	}
-	result, err := aquila.Localize(prog, snap, spec, aquila.Options{Budget: budget, Parallel: parallel})
+	result, err := aquila.Localize(prog, snap, spec, aquila.Options{
+		Budget: budget, Parallel: parallel,
+		Incremental: incremental, Simplify: simplify,
+	})
 	if err != nil {
 		return fail(err)
 	}

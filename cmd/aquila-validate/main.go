@@ -7,8 +7,12 @@
 // Usage:
 //
 //	aquila-validate -p4 prog.p4 [-entries snap.txt] [-components a,b,...]
-//	                [-bug empty-state-accept|ignore-defaultonly]
+//	                [-bug empty-state-accept|ignore-defaultonly] [-simplify]
 //	                [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
+//
+// -simplify routes every refinement query through the algebraic
+// simplification pass before solving, so a simplifier bug that changes a
+// verdict shows up as a refinement mismatch here.
 package main
 
 import (
@@ -31,6 +35,7 @@ func run() int {
 		entries    = flag.String("entries", "", "table-entry snapshot file")
 		components = flag.String("components", "", "comma-separated components (default: every pipeline)")
 		bug        = flag.String("bug", "", "inject a historical encoder bug (empty-state-accept, ignore-defaultonly)")
+		simplify   = flag.Bool("simplify", false, "pass refinement queries through the algebraic simplification pass")
 		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of the validation phases")
 		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf    = flag.String("memprofile", "", "write heap profile on exit")
@@ -50,14 +55,14 @@ func run() int {
 		return fail(err)
 	}
 	obs.SetDefault(o)
-	code := validateMain(*p4Path, *entries, *components, *bug)
+	code := validateMain(*p4Path, *entries, *components, *bug, *simplify)
 	if err := closeObs(); err != nil {
 		return fail(err)
 	}
 	return code
 }
 
-func validateMain(p4Path, entries, components, bug string) int {
+func validateMain(p4Path, entries, components, bug string, simplify bool) int {
 	prog, err := aquila.LoadProgram(p4Path)
 	if err != nil {
 		return fail(err)
@@ -82,7 +87,8 @@ func validateMain(p4Path, entries, components, bug string) int {
 		return fail(fmt.Errorf("no components to validate: declare a pipeline or pass -components"))
 	}
 	result, err := aquila.SelfValidate(prog, snap, comps, aquila.Options{
-		Encode: encode.Options{InjectEncoderBug: bug},
+		Encode:   encode.Options{InjectEncoderBug: bug},
+		Simplify: simplify,
 	})
 	if err != nil {
 		return fail(err)

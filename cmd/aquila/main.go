@@ -7,7 +7,14 @@
 //	aquila -spec spec.lpi [-p4 prog.p4] [-entries snap.txt] [-all]
 //	       [-parser sequential|tree] [-table abvtree|abvlinear|naive]
 //	       [-packet kv|bitvector] [-budget N] [-parallel N]
+//	       [-incremental] [-simplify=false]
 //	       [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
+//
+// -incremental switches find-all solving to the shared-prefix engine
+// (blast the common VC prefix once per worker shard, check each assertion
+// under an activation literal); it implies -all. -simplify (default true)
+// controls the algebraic pre-blast simplification pass in that mode.
+// Reports are byte-identical to the default fresh-solver mode.
 //
 // The P4 program may also be named by the spec's config section
 // (`config { path = prog.p4; }`), or selected from the built-in corpus
@@ -48,6 +55,8 @@ func run() int {
 		packetStr = flag.String("packet", "kv", "packet encoding: kv|bitvector")
 		budget    = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
 		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for -all checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
+		incr      = flag.Bool("incremental", false, "shared-prefix incremental solving for -all (implies -all)")
+		simplify  = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
 		blocklist = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the run's phases and per-assertion solves")
@@ -70,7 +79,8 @@ func run() int {
 	}
 	obs.SetDefault(o)
 	code := verifyMain(*p4Path, *specPath, *builtin, *entries,
-		*findAll, *blocklist, *jsonOut, *budget, *parallel,
+		*findAll || *incr, *blocklist, *jsonOut, *budget, *parallel,
+		*incr, *simplify,
 		encodeOptions(*parserStr, *tableStr, *packetStr))
 	if err := closeObs(); err != nil {
 		return fail(err)
@@ -80,7 +90,7 @@ func run() int {
 
 func verifyMain(p4Path, specPath, builtin, entries string,
 	findAll, blocklist, jsonOut bool, budget int64, parallel int,
-	eopts encode.Options) int {
+	incremental, simplify bool, eopts encode.Options) int {
 	var prog *aquila.Program
 	var spec *aquila.Spec
 	var err error
@@ -117,10 +127,12 @@ func verifyMain(p4Path, specPath, builtin, entries string,
 		}
 	}
 	opts := aquila.Options{
-		FindAll:  findAll,
-		Budget:   budget,
-		Parallel: parallel,
-		Encode:   eopts,
+		FindAll:     findAll,
+		Budget:      budget,
+		Parallel:    parallel,
+		Incremental: incremental,
+		Simplify:    simplify,
+		Encode:      eopts,
 	}
 	report, err := aquila.Verify(prog, snap, spec, opts)
 	if err != nil {

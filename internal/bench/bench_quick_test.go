@@ -198,3 +198,36 @@ func TestQuickFindModesAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalSweepQuick runs the fresh-vs-incremental sweep on the DC
+// gateway and pins the acceptance bar: strictly fewer total Tseitin
+// clauses in incremental mode, byte-identical canonical reports at every
+// (mode, workers) point.
+func TestIncrementalSweepQuick(t *testing.T) {
+	res, err := Incremental(progs.DCGatewayBench(), []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var freshClauses int64
+	for _, r := range res.Rows {
+		if !r.Identical {
+			t.Fatalf("%s workers=%d: canonical report differs from fresh baseline", r.Mode, r.Workers)
+		}
+		if r.Bugs == 0 {
+			t.Fatalf("%s workers=%d: no bugs on a benchmark with seeded violations", r.Mode, r.Workers)
+		}
+		if r.Mode == "fresh" && r.Workers == 1 {
+			freshClauses = r.TseitinClauses
+		}
+		if r.Mode == "incremental" && r.TseitinClauses >= freshClauses {
+			t.Fatalf("%s workers=%d: Tseitin clauses %d, want < fresh %d",
+				r.Mode, r.Workers, r.TseitinClauses, freshClauses)
+		}
+	}
+	if res.ClauseReduction <= 0 {
+		t.Fatalf("clause reduction %.3f, want > 0", res.ClauseReduction)
+	}
+	if !strings.Contains(FormatIncremental(res), "clause reduction") {
+		t.Fatal("format output malformed")
+	}
+}

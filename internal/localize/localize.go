@@ -255,8 +255,13 @@ func locateTableEntries(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 			soft = append(soft, ctx.Not(env.RepVar(ctlName, tn)))
 		}
 	}
-	model, _, ok := solver.Maximize(soft)
-	if !ok {
+	model, _, st := solver.Maximize(soft)
+	if st == smt.Unknown {
+		// Budget ran out before feasibility was decided: report that
+		// honestly instead of silently claiming "not fixable by entries".
+		return nil, nil, false, fmt.Errorf("localize: table-entry repair: %w", verify.ErrBudget)
+	}
+	if st != smt.Sat {
 		return nil, nil, false, nil // not fixable by entries: program bug
 	}
 	var out []string
@@ -386,9 +391,11 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 
 	// (2) Causality filter: keep actions whose execution the violation
 	// implies (checked on the base encoding's $fired ghosts). The query
-	// terms are built serially on the shared context; the checks — one
-	// fresh solver each over the then-frozen DAG — fan out across the
-	// verify worker pool.
+	// terms are built serially on the shared context; the checks fan out
+	// across the verify worker pool. In incremental mode each shard blasts
+	// the shared prefix (frozen input ∧ violation) once and answers every
+	// owned query under an activation literal, reusing the prefix CNF and
+	// learned clauses; otherwise each query gets its own fresh solver.
 	ctx := baseRep.Ctx
 	frozenCond := frozenTerm(ctx, frozen)
 	viol := ctx.False()
@@ -396,11 +403,17 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 		viol = ctx.Or(viol, v.Cond)
 	}
 	keys := sortedActionKeys(suspects)
+	prefix := ctx.And(frozenCond, viol)
+	if vopts.Incremental && vopts.Simplify {
+		prefix = smt.NewSimplifier(ctx).Simplify(prefix)
+	}
+	notFired := make([]*smt.Term, len(keys))
 	queries := make([]*smt.Term, len(keys))
 	for i, key := range keys {
 		fired := baseRep.Env.FiredVar(key.ctl, key.act)
 		// v implies fired  ⇔  unsat(v ∧ ¬fired).
-		queries[i] = ctx.And(frozenCond, viol, ctx.Not(fired))
+		notFired[i] = ctx.Not(fired)
+		queries[i] = ctx.And(prefix, notFired[i])
 	}
 	workers := vopts.Workers()
 	if workers > 1 {
@@ -409,15 +422,32 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 	o := vopts.Observer()
 	implied := make([]bool, len(keys))
 	endFilter := o.Phase(0, "localize:filter")
-	verify.ForEachWorker(workers, len(keys), func(worker, i int) {
-		endSpan := o.Span(worker, "filter:"+keys[i].ctl+"."+keys[i].act)
-		filterSolver := smt.NewSolver(ctx)
-		if vopts.Budget > 0 {
-			filterSolver.SetBudget(vopts.Budget)
-		}
-		implied[i] = filterSolver.Check(queries[i]) == smt.Unsat
-		endSpan()
-	})
+	if vopts.Incremental {
+		shards := verify.StaticShards(workers, len(keys))
+		verify.ForEachWorker(len(shards), len(shards), func(worker, s int) {
+			shardSolver := smt.NewSolver(ctx)
+			if vopts.Budget > 0 {
+				shardSolver.SetBudget(vopts.Budget)
+			}
+			shardSolver.Assert(prefix)
+			for _, i := range shards[s] {
+				endSpan := o.Span(worker, "filter:"+keys[i].ctl+"."+keys[i].act)
+				lit := shardSolver.Indicator(notFired[i])
+				implied[i] = shardSolver.CheckLits(lit) == smt.Unsat
+				endSpan()
+			}
+		})
+	} else {
+		verify.ForEachWorker(workers, len(keys), func(worker, i int) {
+			endSpan := o.Span(worker, "filter:"+keys[i].ctl+"."+keys[i].act)
+			filterSolver := smt.NewSolver(ctx)
+			if vopts.Budget > 0 {
+				filterSolver.SetBudget(vopts.Budget)
+			}
+			implied[i] = filterSolver.Check(queries[i]) == smt.Unsat
+			endSpan()
+		})
+	}
 	endFilter()
 	var filtered []actionKey
 	for i, key := range keys {
@@ -520,9 +550,21 @@ func fixWorks(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 	if vopts.Budget > 0 {
 		solver.SetBudget(vopts.Budget)
 	}
-	solver.Assert(frozenTerm(ctx, frozen))
+	// The simulation asserts one big conjunction; in incremental mode the
+	// same simplification pass the verifier applies to its shared prefix is
+	// applied here before blasting.
+	conds := []*smt.Term{frozenTerm(ctx, frozen)}
 	for _, v := range encRes.Violations {
-		solver.Assert(ctx.Not(v.Cond))
+		conds = append(conds, ctx.Not(v.Cond))
+	}
+	if vopts.Incremental && vopts.Simplify {
+		simp := smt.NewSimplifier(ctx)
+		for i, cond := range conds {
+			conds[i] = simp.Simplify(cond)
+		}
+	}
+	for _, cond := range conds {
+		solver.Assert(cond)
 	}
 	return solver.Check() == smt.Sat, nil
 }

@@ -11,20 +11,22 @@ import (
 // the latest value.
 const (
 	// SAT core (per-solve work, summed over all fresh solver instances).
-	CtrSATConflicts    = "sat.conflicts"
-	CtrSATDecisions    = "sat.decisions"
-	CtrSATPropagations = "sat.propagations"
-	CtrSATRestarts     = "sat.restarts"
-	CtrSATLearntClause = "sat.learnt_clauses"
-	CtrSATLearntLits   = "sat.learnt_literals"
+	CtrSATConflicts     = "sat.conflicts"
+	CtrSATDecisions     = "sat.decisions"
+	CtrSATPropagations  = "sat.propagations"
+	CtrSATRestarts      = "sat.restarts"
+	CtrSATLearntClause  = "sat.learnt_clauses"
+	CtrSATLearntLits    = "sat.learnt_literals"
+	CtrSATLearntDeleted = "sat.learnt_deleted"
 
 	// SMT layer (bit-blasting and term interning).
-	CtrSMTTseitinClauses = "smt.tseitin_clauses"
-	CtrSMTBlastHits      = "smt.blast_cache_hits"
-	CtrSMTBlastMisses    = "smt.blast_cache_misses"
-	CtrSMTInternHits     = "smt.intern_hits"
-	CtrSMTInternMisses   = "smt.intern_misses"
-	CtrSMTFrozenLocks    = "smt.frozen_ctx_locks"
+	CtrSMTTseitinClauses   = "smt.tseitin_clauses"
+	CtrSMTBlastHits        = "smt.blast_cache_hits"
+	CtrSMTBlastMisses      = "smt.blast_cache_misses"
+	CtrSMTInternHits       = "smt.intern_hits"
+	CtrSMTInternMisses     = "smt.intern_misses"
+	CtrSMTFrozenLocks      = "smt.frozen_ctx_locks"
+	CtrSMTSimplifyRewrites = "smt.simplify_rewrites"
 
 	// Verification driver.
 	CtrVerifyChecks    = "verify.checks"
@@ -33,6 +35,7 @@ const (
 	CtrVerifyUnknown   = "verify.checks_unknown"
 	GaugeTermNodes     = "smt.term_nodes"
 	GaugeVerifyWorkers = "verify.workers"
+	GaugeVerifyShards  = "verify.incremental_shards"
 )
 
 // Counter is a monotone atomic counter. The zero value is usable; a nil

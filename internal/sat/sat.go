@@ -145,8 +145,10 @@ type Solver struct {
 	Learnt       int64 // learnt clauses retained in the database
 	LearntLits   int64 // total literals across learnt clauses (incl. units)
 	Restarts     int64 // Luby restarts taken (completed search() rounds)
+	Deleted      int64 // learnt clauses evicted by database reduction
 
 	maxLearnts  float64
+	learntCap   float64 // hard ceiling on maxLearnts growth, <=0 unlimited
 	lubyIdx     int
 	budget      int64 // conflicts allowed per Solve call, <0 means unlimited
 	budgetLim   int64 // absolute Conflicts ceiling for the current Solve, <0 unlimited
@@ -162,6 +164,23 @@ func New() *Solver {
 		budget:     -1,
 		budgetLim:  -1,
 		maxLearnts: 4000,
+		learntCap:  defaultLearntCap,
+	}
+}
+
+// defaultLearntCap bounds the learnt-clause database. Without it the
+// reduction threshold grows 5% per restart forever, which is harmless for
+// one-shot solving but lets a long-lived incremental solver answering
+// hundreds of queries accumulate an arbitrarily large database.
+const defaultLearntCap = 50_000
+
+// SetLearntCap sets a hard ceiling on the learnt-clause database size
+// (clauses retained before reduceDB triggers). Values <= 0 remove the
+// ceiling, restoring unbounded 5%-per-restart growth.
+func (s *Solver) SetLearntCap(n int) {
+	s.learntCap = float64(n)
+	if s.learntCap > 0 && s.maxLearnts > s.learntCap {
+		s.maxLearnts = s.learntCap
 	}
 }
 
@@ -535,6 +554,7 @@ func (s *Solver) reduceDB() {
 		if len(c.lits) > 2 && c.lbd > 2 && c.act < med && !s.locked(c) && removed < len(s.learnts)/2 {
 			c.deleted = true
 			removed++
+			s.Deleted++
 			continue
 		}
 		kept = append(kept, c)
@@ -712,6 +732,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		s.Restarts++
 		s.maxLearnts *= 1.05
+		if s.learntCap > 0 && s.maxLearnts > s.learntCap {
+			s.maxLearnts = s.learntCap
+		}
 	}
 }
 

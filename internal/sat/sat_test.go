@@ -403,3 +403,47 @@ func TestLearntCounters(t *testing.T) {
 		t.Error("Decisions = 0, want > 0")
 	}
 }
+
+// TestLearntCapAndDeletion: with a tiny learnt-clause ceiling the database
+// reduction must fire (evicting clauses and counting them in Deleted)
+// while the verdict stays correct. A second solver without the ceiling
+// pins the expected verdict.
+func TestLearntCapAndDeletion(t *testing.T) {
+	build := func(s *Solver) {
+		rng := rand.New(rand.NewSource(11))
+		const n = 70
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < int(4.2*n); i++ {
+			var cl []Lit
+			for j := 0; j < 3; j++ {
+				cl = append(cl, MkLit(rng.Intn(n), rng.Intn(2) == 0))
+			}
+			s.AddClause(cl...)
+		}
+	}
+	ref := New()
+	ref.SetLearntCap(0) // unbounded
+	build(ref)
+	want := ref.Solve()
+	if want == Unknown {
+		t.Fatal("reference solve should decide")
+	}
+
+	s := New()
+	s.SetLearntCap(30)
+	build(s)
+	if got := s.Solve(); got != want {
+		t.Fatalf("Solve with learnt cap = %v, want %v", got, want)
+	}
+	if s.Deleted == 0 {
+		t.Error("Deleted = 0, want > 0 (cap must trigger database reduction)")
+	}
+	if s.maxLearnts > 30 {
+		t.Errorf("maxLearnts = %v grew past the cap 30", s.maxLearnts)
+	}
+	if int64(len(s.learnts))+s.Deleted != s.Learnt {
+		t.Errorf("retained %d + deleted %d != learnt %d", len(s.learnts), s.Deleted, s.Learnt)
+	}
+}

@@ -1,0 +1,355 @@
+package smt
+
+import "math/big"
+
+// Simplifier rewrites terms into equivalent but cheaper-to-blast forms:
+// constant folding (by rebuilding through the Ctx constructors), extract
+// and ite pushdown, bvand-with-contiguous-mask to concat/extract (which
+// blast to zero clauses), equality decomposition over concatenations, and
+// boolean absorption in the And/Not normal form the Ctx produces. The
+// verification driver applies it once to the shared VC prefix in
+// incremental mode so every downstream check blasts a smaller formula.
+//
+// All rewrites are local logical equivalences: for every environment the
+// simplified term evaluates to the same value as the original (pinned by
+// the property test in simplify_test.go). Results are memoized per term
+// ID, so simplifying many assertions over one hash-consed DAG does the
+// shared work once.
+type Simplifier struct {
+	ctx  *Ctx
+	memo map[int]*Term
+
+	// Rewrites counts visited DAG nodes whose simplified form differs
+	// from the original (including changes induced by rewritten children).
+	Rewrites int64
+}
+
+// NewSimplifier returns a simplifier producing terms in ctx. The ctx must
+// be the one the input terms were built in.
+func NewSimplifier(ctx *Ctx) *Simplifier {
+	return &Simplifier{ctx: ctx, memo: map[int]*Term{}}
+}
+
+// Simplify returns an equivalent term. The traversal is an explicit-stack
+// post-order walk: VC terms from large parser state spaces are too deep
+// for recursion.
+func (s *Simplifier) Simplify(t *Term) *Term {
+	type frame struct {
+		t        *Term
+		expanded bool
+	}
+	stack := []frame{{t, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		if _, ok := s.memo[f.t.ID]; ok {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if !f.expanded {
+			stack[len(stack)-1].expanded = true
+			for _, a := range f.t.Args {
+				if _, ok := s.memo[a.ID]; !ok {
+					stack = append(stack, frame{a, false})
+				}
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		u := s.rewrite(f.t)
+		if u != f.t {
+			s.Rewrites++
+		}
+		s.memo[f.t.ID] = u
+	}
+	return s.memo[t.ID]
+}
+
+// rewrite rebuilds t over its simplified children (folding constants via
+// the constructors) and then applies the extra rules.
+func (s *Simplifier) rewrite(t *Term) *Term {
+	if len(t.Args) == 0 {
+		return t // constants and variables
+	}
+	c := s.ctx
+	args := make([]*Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = s.memo[a.ID]
+	}
+	var u *Term
+	switch t.Op {
+	case OpBVNot:
+		u = c.BVNot(args[0])
+	case OpBVNeg:
+		u = c.BVNeg(args[0])
+	case OpBVAnd:
+		u = c.BVAnd(args[0], args[1])
+	case OpBVOr:
+		u = c.BVOr(args[0], args[1])
+	case OpBVXor:
+		u = c.BVXor(args[0], args[1])
+	case OpBVAdd:
+		u = c.BVAdd(args[0], args[1])
+	case OpBVSub:
+		u = c.BVSub(args[0], args[1])
+	case OpBVMul:
+		u = c.BVMul(args[0], args[1])
+	case OpBVShl:
+		u = c.BVShl(args[0], args[1])
+	case OpBVLshr:
+		u = c.BVLshr(args[0], args[1])
+	case OpBVConcat:
+		u = c.Concat(args[0], args[1])
+	case OpBVExtract:
+		u = c.Extract(args[0], t.Hi, t.Lo)
+	case OpBVIte:
+		u = c.Ite(args[0], args[1], args[2])
+	case OpNot:
+		u = c.Not(args[0])
+	case OpAnd:
+		u = c.And(args[0], args[1])
+	case OpOr:
+		u = c.Or(args...)
+	case OpImplies:
+		u = c.Implies(args[0], args[1])
+	case OpIff:
+		u = c.Iff(args[0], args[1])
+	case OpEq:
+		u = c.Eq(args[0], args[1])
+	case OpUlt:
+		u = c.Ult(args[0], args[1])
+	case OpUle:
+		u = c.Ule(args[0], args[1])
+	case OpBoolIte:
+		u = c.BoolIte(args[0], args[1], args[2])
+	default:
+		return t
+	}
+	return s.post(u)
+}
+
+// post applies the rules beyond what the constructors fold. u's children
+// are already simplified.
+func (s *Simplifier) post(u *Term) *Term {
+	c := s.ctx
+	switch u.Op {
+	case OpBVAnd:
+		if v := s.maskToSlice(u); v != nil {
+			return v
+		}
+	case OpBVExtract:
+		if v := s.extractPush(u); v != nil {
+			return v
+		}
+	case OpBVIte:
+		cond, a, b := u.Args[0], u.Args[1], u.Args[2]
+		if cond.Op == OpNot {
+			return s.post(c.Ite(cond.Args[0], b, a))
+		}
+		if a.Op == OpBVIte && a.Args[0] == cond {
+			return s.post(c.Ite(cond, a.Args[1], b))
+		}
+		if b.Op == OpBVIte && b.Args[0] == cond {
+			return s.post(c.Ite(cond, a, b.Args[2]))
+		}
+	case OpEq:
+		if v := s.eqDecompose(u); v != nil {
+			return v
+		}
+	case OpUlt:
+		a, b := u.Args[0], u.Args[1]
+		if b.Op == OpBVConst {
+			switch {
+			case b.Val.Sign() == 0:
+				return c.False()
+			case b.Val.Cmp(bigOne) == 0:
+				return c.Eq(a, c.BV(0, a.Width))
+			}
+		}
+		if a.Op == OpBVConst {
+			switch {
+			case a.Val.Sign() == 0:
+				return c.Not(c.Eq(b, c.BV(0, b.Width)))
+			case a.Val.Cmp(maskFor(a.Width)) == 0:
+				return c.False()
+			}
+		}
+	case OpUle:
+		a, b := u.Args[0], u.Args[1]
+		if b.Op == OpBVConst {
+			switch {
+			case b.Val.Sign() == 0:
+				return c.Eq(a, c.BV(0, a.Width))
+			case b.Val.Cmp(maskFor(b.Width)) == 0:
+				return c.True()
+			}
+		}
+		if a.Op == OpBVConst {
+			switch {
+			case a.Val.Sign() == 0:
+				return c.True()
+			case a.Val.Cmp(maskFor(a.Width)) == 0:
+				return c.Eq(b, maskConst(c, b.Width))
+			}
+		}
+	case OpAnd:
+		x, y := u.Args[0], u.Args[1]
+		if v, ok := s.absorb(x, y); ok {
+			return v
+		}
+		if v, ok := s.absorb(y, x); ok {
+			return v
+		}
+	case OpIff:
+		if complementary(u.Args[0], u.Args[1]) {
+			return c.False()
+		}
+	case OpBoolIte:
+		cond, a, b := u.Args[0], u.Args[1], u.Args[2]
+		if cond.Op == OpNot {
+			return s.post(c.BoolIte(cond.Args[0], b, a))
+		}
+		if a.Op == OpBoolConst {
+			if a.ConstBool() {
+				return c.Or(cond, b) // ite(c, true, b) = c ∨ b
+			}
+			return c.And(c.Not(cond), b) // ite(c, false, b) = ¬c ∧ b
+		}
+		if b.Op == OpBoolConst {
+			if b.ConstBool() {
+				return c.Or(c.Not(cond), a) // ite(c, a, true) = ¬c ∨ a
+			}
+			return c.And(cond, a) // ite(c, a, false) = c ∧ a
+		}
+		if a.Op == OpBoolIte && a.Args[0] == cond {
+			return s.post(c.BoolIte(cond, a.Args[1], b))
+		}
+		if b.Op == OpBoolIte && b.Args[0] == cond {
+			return s.post(c.BoolIte(cond, a, b.Args[2]))
+		}
+		if complementary(a, b) {
+			return c.Iff(cond, a) // ite(c, a, ¬a) = c <-> a
+		}
+	}
+	return u
+}
+
+var bigOne = big.NewInt(1)
+
+func maskConst(c *Ctx, w int) *Term { return c.BVBig(maskFor(w), w) }
+
+// maskToSlice rewrites x & m, where m is a constant whose one-bits form a
+// single contiguous run, into zeros ++ x[hi:lo] ++ zeros. Extract and
+// concat blast to zero Tseitin clauses, so the rewrite deletes one AND
+// gate per masked bit.
+func (s *Simplifier) maskToSlice(u *Term) *Term {
+	var m, x *Term
+	switch {
+	case u.Args[0].Op == OpBVConst:
+		m, x = u.Args[0], u.Args[1]
+	case u.Args[1].Op == OpBVConst:
+		m, x = u.Args[1], u.Args[0]
+	default:
+		return nil
+	}
+	if m.Val.Sign() == 0 {
+		return nil // folded by the constructor already
+	}
+	c := s.ctx
+	lo := int(m.Val.TrailingZeroBits())
+	run := new(big.Int).Rsh(m.Val, uint(lo))
+	k := run.BitLen()
+	ones := new(big.Int).Sub(new(big.Int).Lsh(bigOne, uint(k)), bigOne)
+	if run.Cmp(ones) != 0 {
+		return nil // holes in the mask
+	}
+	hi := lo + k - 1
+	res := c.Extract(x, hi, lo)
+	if lo > 0 {
+		res = c.Concat(res, c.BV(0, lo))
+	}
+	if hi < u.Width-1 {
+		res = c.Concat(c.BV(0, u.Width-1-hi), res)
+	}
+	return res
+}
+
+// extractPush narrows an extract over a concatenation to the covered
+// parts. (Extract over extract and full-width extracts are already folded
+// by the constructor.)
+func (s *Simplifier) extractPush(u *Term) *Term {
+	inner := u.Args[0]
+	if inner.Op != OpBVConcat {
+		return nil
+	}
+	c := s.ctx
+	hiPart, loPart := inner.Args[0], inner.Args[1]
+	loW := loPart.Width
+	switch {
+	case u.Hi < loW:
+		return c.Extract(loPart, u.Hi, u.Lo)
+	case u.Lo >= loW:
+		return c.Extract(hiPart, u.Hi-loW, u.Lo-loW)
+	default:
+		return c.Concat(c.Extract(hiPart, u.Hi-loW, 0), c.Extract(loPart, loW-1, u.Lo))
+	}
+}
+
+// eqDecompose splits equalities over concatenations into conjunctions of
+// narrower equalities (a big win for parser state encodings, which compare
+// zero-extended state words against constants), and pushes equalities into
+// ites when a branch matches the other side or constants fold.
+func (s *Simplifier) eqDecompose(u *Term) *Term {
+	c := s.ctx
+	a, b := u.Args[0], u.Args[1]
+	if a.Op != OpBVConcat {
+		a, b = b, a
+	}
+	if a.Op == OpBVConcat {
+		hiA, loA := a.Args[0], a.Args[1]
+		if b.Op == OpBVConcat && b.Args[0].Width == hiA.Width {
+			return c.And(c.Eq(hiA, b.Args[0]), c.Eq(loA, b.Args[1]))
+		}
+		if b.Op == OpBVConst {
+			hiV := new(big.Int).Rsh(b.Val, uint(loA.Width))
+			loV := new(big.Int).And(b.Val, maskFor(loA.Width))
+			return c.And(c.Eq(hiA, c.BVBig(hiV, hiA.Width)), c.Eq(loA, c.BVBig(loV, loA.Width)))
+		}
+	}
+	a, b = u.Args[0], u.Args[1]
+	if a.Op != OpBVIte {
+		a, b = b, a
+	}
+	if a.Op == OpBVIte {
+		cond, x, y := a.Args[0], a.Args[1], a.Args[2]
+		if x == b || y == b || (b.Op == OpBVConst && (x.Op == OpBVConst || y.Op == OpBVConst)) {
+			return s.post(c.BoolIte(cond, c.Eq(x, b), c.Eq(y, b)))
+		}
+	}
+	return nil
+}
+
+// absorb applies x ∧ ¬(p ∧ q) absorption: with p (or q) the complement of
+// x the conjunct is implied (x ∧ (x ∨ ¬q) = x); with p (or q) equal to x
+// it shrinks to x ∧ ¬q. This is the Or-form absorption — Ctx builds a ∨ b
+// as ¬(¬a ∧ ¬b), so redundant disjuncts surface in exactly this shape.
+func (s *Simplifier) absorb(x, y *Term) (*Term, bool) {
+	if y.Op != OpNot || y.Args[0].Op != OpAnd {
+		return nil, false
+	}
+	c := s.ctx
+	p, q := y.Args[0].Args[0], y.Args[0].Args[1]
+	if complementary(p, x) || complementary(q, x) {
+		return x, true
+	}
+	if p == x {
+		return c.And(x, c.Not(q)), true
+	}
+	if q == x {
+		return c.And(x, c.Not(p)), true
+	}
+	return nil, false
+}
+
+func complementary(a, b *Term) bool {
+	return (a.Op == OpNot && a.Args[0] == b) || (b.Op == OpNot && b.Args[0] == a)
+}

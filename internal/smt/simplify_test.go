@@ -1,0 +1,230 @@
+package smt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randBoolTerm builds a random boolean term over bit-vector vars and bool
+// vars, exercising every op the simplifier rewrites.
+func randBoolTerm(c *Ctx, rng *rand.Rand, bvs, bools []*Term, depth int) *Term {
+	if depth == 0 || rng.Intn(5) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return bools[rng.Intn(len(bools))]
+		case 1:
+			return c.Bool(rng.Intn(2) == 0)
+		default:
+			a := randTerm(c, rng, bvs, 1)
+			b := randTerm(c, rng, bvs, 1)
+			switch rng.Intn(3) {
+			case 0:
+				return c.Eq(a, b)
+			case 1:
+				return c.Ult(a, b)
+			default:
+				return c.Ule(a, b)
+			}
+		}
+	}
+	a := randBoolTerm(c, rng, bvs, bools, depth-1)
+	b := randBoolTerm(c, rng, bvs, bools, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return c.And(a, b)
+	case 1:
+		return c.Or(a, b)
+	case 2:
+		return c.Not(a)
+	case 3:
+		return c.Iff(a, b)
+	case 4:
+		return c.Implies(a, b)
+	default:
+		return c.BoolIte(a, b, randBoolTerm(c, rng, bvs, bools, depth-1))
+	}
+}
+
+// TestSimplifySoundness is the core property: a simplified term evaluates
+// identically to the original under random environments. Both bit-vector
+// terms (with extract/concat/ite sprinkled in) and boolean terms are
+// covered.
+func TestSimplifySoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCtx()
+		w := []int{1, 4, 8, 16}[rng.Intn(4)]
+		x := c.Var("x", w)
+		y := c.Var("y", w)
+		bools := []*Term{c.BoolVar("p"), c.BoolVar("q")}
+		bvs := []*Term{x, y}
+
+		// Mix in shapes the plain randTerm rarely produces: masks,
+		// slices, concat equalities.
+		base := randTerm(c, rng, bvs, 3)
+		mask := c.BV(rng.Uint64(), w)
+		shaped := []*Term{
+			base,
+			c.BVAnd(base, mask),
+			c.Concat(base, randTerm(c, rng, bvs, 2)),
+			c.Ite(randBoolTerm(c, rng, bvs, bools, 1), base, randTerm(c, rng, bvs, 2)),
+		}
+		bv := shaped[rng.Intn(len(shaped))]
+		if bv.Width > 1 {
+			lo := rng.Intn(bv.Width)
+			hi := lo + rng.Intn(bv.Width-lo)
+			if rng.Intn(2) == 0 {
+				bv = c.Extract(bv, hi, lo)
+			}
+		}
+		boolT := c.And(
+			randBoolTerm(c, rng, bvs, bools, 3),
+			c.Eq(c.ZeroExt(x, w+8), c.BV(rng.Uint64(), w+8)),
+		)
+
+		s := NewSimplifier(c)
+		sbv := s.Simplify(bv)
+		sbool := s.Simplify(boolT)
+		if sbv.Width != bv.Width || !sbool.IsBool() {
+			return false
+		}
+
+		for trial := 0; trial < 16; trial++ {
+			env := NewEnv()
+			env.BV["x"] = normConst(new(big.Int).SetUint64(rng.Uint64()), w)
+			env.BV["y"] = normConst(new(big.Int).SetUint64(rng.Uint64()), w)
+			env.Bool["p"] = rng.Intn(2) == 0
+			env.Bool["q"] = rng.Intn(2) == 0
+			if EvalBV(bv, env).Cmp(EvalBV(sbv, env)) != 0 {
+				return false
+			}
+			if EvalBool(boolT, env) != EvalBool(sbool, env) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyMaskToSlice(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 16)
+	s := NewSimplifier(c)
+	// Low-bit mask: x & 0x00ff -> 0x00 ++ x[7:0].
+	got := s.Simplify(c.BVAnd(x, c.BV(0x00ff, 16)))
+	want := c.Concat(c.BV(0, 8), c.Extract(x, 7, 0))
+	if got != want {
+		t.Fatalf("low mask: got %v, want %v", got, want)
+	}
+	// Mid-run mask: x & 0x0ff0 -> 0 ++ x[11:4] ++ 0.
+	got = s.Simplify(c.BVAnd(x, c.BV(0x0ff0, 16)))
+	if hasOp(got, OpBVAnd) {
+		t.Fatalf("mid mask: AND gate survived: %v", got)
+	}
+	// Holey mask: untouched.
+	got = s.Simplify(c.BVAnd(x, c.BV(0x0f0f, 16)))
+	if !hasOp(got, OpBVAnd) {
+		t.Fatalf("holey mask should stay an AND: %v", got)
+	}
+	if s.Rewrites == 0 {
+		t.Fatal("Rewrites counter did not advance")
+	}
+}
+
+func TestSimplifyEqConcatSplit(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 8)
+	s := NewSimplifier(c)
+	// The parser-state shape: ZeroExt(x, 16) == 0x0042 splits into the
+	// trivially-true upper half and an 8-bit equality.
+	got := s.Simplify(c.Eq(c.ZeroExt(x, 16), c.BV(0x42, 16)))
+	if got != c.Eq(x, c.BV(0x42, 8)) {
+		t.Fatalf("got %v, want x == 0x42", got)
+	}
+	// An impossible upper half folds the whole equality to false.
+	got = s.Simplify(c.Eq(c.ZeroExt(x, 16), c.BV(0x1042, 16)))
+	if got != c.False() {
+		t.Fatalf("got %v, want false", got)
+	}
+}
+
+func TestSimplifyAbsorption(t *testing.T) {
+	c := NewCtx()
+	p := c.BoolVar("p")
+	q := c.BoolVar("q")
+	s := NewSimplifier(c)
+	// p ∧ (p ∨ q) = p. Ctx builds the Or as ¬(¬p ∧ ¬q).
+	if got := s.Simplify(c.And(p, c.Or(p, q))); got != p {
+		t.Fatalf("p ∧ (p∨q): got %v, want p", got)
+	}
+	// p ∧ (¬p ∨ q) = p ∧ q.
+	if got := s.Simplify(c.And(p, c.Or(c.Not(p), q))); got != c.And(p, q) {
+		t.Fatalf("p ∧ (¬p∨q): got %v, want p∧q", got)
+	}
+}
+
+func TestSimplifyCompareBounds(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 8)
+	s := NewSimplifier(c)
+	zero := c.BV(0, 8)
+	if got := s.Simplify(c.Ult(x, c.BV(1, 8))); got != c.Eq(x, zero) {
+		t.Fatalf("x<1: got %v", got)
+	}
+	if got := s.Simplify(c.Ule(x, zero)); got != c.Eq(x, zero) {
+		t.Fatalf("x<=0: got %v", got)
+	}
+	if got := s.Simplify(c.Ule(x, c.BV(255, 8))); got != c.True() {
+		t.Fatalf("x<=255: got %v", got)
+	}
+	if got := s.Simplify(c.Ult(c.BV(255, 8), x)); got != c.False() {
+		t.Fatalf("255<x: got %v", got)
+	}
+}
+
+func TestSimplifyIte(t *testing.T) {
+	c := NewCtx()
+	p := c.BoolVar("p")
+	x := c.Var("x", 8)
+	y := c.Var("y", 8)
+	z := c.Var("z", 8)
+	s := NewSimplifier(c)
+	// Negated condition flips branches.
+	if got := s.Simplify(c.Ite(c.Not(p), x, y)); got != c.Ite(p, y, x) {
+		t.Fatalf("ite(¬p,x,y): got %v", got)
+	}
+	// Nested same-condition ites collapse.
+	inner := c.Ite(p, x, y)
+	if got := s.Simplify(c.Ite(p, inner, z)); got != c.Ite(p, x, z) {
+		t.Fatalf("nested ite: got %v", got)
+	}
+	// Equality against a matching branch becomes a conditional equality.
+	got := s.Simplify(c.Eq(c.Ite(p, x, y), x))
+	want := s.post(c.BoolIte(p, c.True(), c.Eq(x, y)))
+	if got != want {
+		t.Fatalf("eq-ite: got %v, want %v", got, want)
+	}
+}
+
+func hasOp(t *Term, op Op) bool {
+	seen := map[int]bool{}
+	stack := []*Term{t}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[x.ID] {
+			continue
+		}
+		seen[x.ID] = true
+		if x.Op == op {
+			return true
+		}
+		stack = append(stack, x.Args...)
+	}
+	return false
+}

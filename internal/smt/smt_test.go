@@ -292,9 +292,9 @@ func TestMaximize(t *testing.T) {
 		c.Ult(x, c.BV(5, 8)),
 	}
 	s.Assert(c.Ult(x, c.BV(10, 8)))
-	m, n, ok := s.Maximize(soft)
-	if !ok {
-		t.Fatal("hard constraints should be sat")
+	m, n, st := s.Maximize(soft)
+	if st != Sat {
+		t.Fatalf("Maximize status = %v, want Sat", st)
 	}
 	if n != 2 {
 		t.Fatalf("Maximize satisfied %d soft, want 2", n)
@@ -310,9 +310,9 @@ func TestMaximizeAllSatisfiable(t *testing.T) {
 	s := NewSolver(c)
 	x := c.Var("x", 8)
 	soft := []*Term{c.Ult(x, c.BV(100, 8)), c.Ugt(x, c.BV(50, 8))}
-	_, n, ok := s.Maximize(soft)
-	if !ok || n != 2 {
-		t.Fatalf("Maximize = (%d, %v), want (2, true)", n, ok)
+	_, n, st := s.Maximize(soft)
+	if st != Sat || n != 2 {
+		t.Fatalf("Maximize = (%d, %v), want (2, Sat)", n, st)
 	}
 }
 
@@ -322,8 +322,8 @@ func TestMaximizeHardUnsat(t *testing.T) {
 	x := c.Var("x", 8)
 	s.Assert(c.Ult(x, c.BV(5, 8)))
 	s.Assert(c.Ugt(x, c.BV(5, 8)))
-	if _, _, ok := s.Maximize([]*Term{c.True()}); ok {
-		t.Fatal("Maximize should report hard-unsat")
+	if _, _, st := s.Maximize([]*Term{c.True()}); st != Unsat {
+		t.Fatalf("Maximize status = %v, want Unsat (not Unknown: no budget involved)", st)
 	}
 }
 
@@ -446,8 +446,8 @@ func TestQuickMaximizeOptimal(t *testing.T) {
 				soft = append(soft, c.Ule(c.BV(min64(p.a, p.b), 4), x))
 			}
 		}
-		_, got, ok := s.Maximize(soft)
-		if !ok {
+		_, got, st := s.Maximize(soft)
+		if st != Sat {
 			return lo > hi // hard unsat only if interval empty (cannot happen here)
 		}
 		// Brute force the optimum.
@@ -544,4 +544,85 @@ func TestInternStats(t *testing.T) {
 	if h1 <= h0 {
 		t.Errorf("intern hits did not grow (t2 should hit): %d -> %d", h0, h1)
 	}
+}
+
+// TestMaximizeBudgetUnknown: exhausting the conflict budget during the
+// initial hard check must surface as Unknown, not as Unsat (the bug was
+// conflating "ran out of budget" with "infeasible").
+func TestMaximizeBudgetUnknown(t *testing.T) {
+	c := NewCtx()
+	s := NewSolver(c)
+	// Pigeonhole (9 pigeons, 8 holes) over bool vars: hard-unsat, but any
+	// tiny conflict budget runs out long before unsat is established. The
+	// fix under test: that exhaustion must surface as Unknown, not Unsat.
+	const holes = 8
+	p := func(i, j int) *Term { return c.BoolVar("p" + itoa(i) + "_" + itoa(j)) }
+	for i := 0; i <= holes; i++ {
+		inHole := c.False()
+		for j := 0; j < holes; j++ {
+			inHole = c.Or(inHole, p(i, j))
+		}
+		s.Assert(inHole)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i <= holes; i++ {
+			for k := i + 1; k <= holes; k++ {
+				s.Assert(c.Not(c.And(p(i, j), p(k, j))))
+			}
+		}
+	}
+	s.SetBudget(10)
+	if _, _, st := s.Maximize(nil); st != Unknown {
+		t.Fatalf("Maximize with budget 10 = %v, want Unknown", st)
+	}
+	// With the budget lifted the same solver proves hard-unsat.
+	s.SetBudget(-1)
+	if _, _, st := s.Maximize(nil); st != Unsat {
+		t.Fatalf("Maximize without budget = %v, want Unsat", st)
+	}
+}
+
+// TestDeepModelIterative: Model() and Vars() must survive terms tens of
+// thousands of nodes deep (parser-state chains produce these). The chain
+// is blasted incrementally via Indicator so the blaster's per-term cache
+// keeps its own recursion shallow; the model walk then traverses the full
+// chain depth.
+func TestDeepModelIterative(t *testing.T) {
+	const depth = 30_000
+	c := NewCtx()
+	s := NewSolver(c)
+	x := c.BoolVar("x")
+	chain := x
+	for i := 0; i < depth; i++ {
+		cond := c.BoolVar("b" + itoa(i%7))
+		chain = c.BoolIte(cond, chain, c.Not(chain))
+		s.Indicator(chain) // incremental blast: cache depth stays O(1)
+	}
+	s.Assert(chain)
+	if st := s.Check(); st != Sat {
+		t.Fatalf("Check = %v, want Sat", st)
+	}
+	m := s.Model()
+	if !m.Bool(chain) && m.Bool(chain) {
+		t.Fatal("unreachable")
+	}
+	// The model must actually satisfy the asserted chain.
+	if !EvalBool(chain, m.Env()) {
+		t.Fatal("model does not satisfy the deep chain")
+	}
+	if n := len(Vars(chain)); n != 8 {
+		t.Fatalf("Vars over deep chain = %d names, want 8 (x, b0..b6)", n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
 }

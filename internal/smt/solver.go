@@ -40,6 +40,11 @@ func (s *Solver) Ctx() *Ctx { return s.ctx }
 // exceeding it yields Unknown. Negative removes the bound.
 func (s *Solver) SetBudget(conflicts int64) { s.sat.SetBudget(conflicts) }
 
+// SetLearntCap bounds the learnt-clause database of the underlying SAT
+// core. Long-lived incremental solvers answering many queries use this to
+// keep memory flat; values <= 0 remove the bound.
+func (s *Solver) SetLearntCap(n int) { s.sat.SetLearntCap(n) }
+
 // Stats returns (decisions, conflicts, propagations) of the underlying SAT
 // solver.
 func (s *Solver) Stats() (int64, int64, int64) {
@@ -58,6 +63,7 @@ type SolverStats struct {
 	Restarts       int64
 	LearntClauses  int64
 	LearntLits     int64
+	LearntDeleted  int64 // learnt clauses evicted by database reduction
 	TseitinClauses int64 // CNF clauses emitted by the blaster (>= retained)
 	BlastHits      int64 // per-term blast-cache hits
 	BlastMisses    int64 // per-term blast-cache misses
@@ -74,6 +80,7 @@ func (s *Solver) SolverStats() SolverStats {
 		Restarts:       s.sat.Restarts,
 		LearntClauses:  s.sat.Learnt,
 		LearntLits:     s.sat.LearntLits,
+		LearntDeleted:  s.sat.Deleted,
 		TseitinClauses: s.b.clausesEmitted,
 		BlastHits:      s.b.cacheHits,
 		BlastMisses:    s.b.cacheMisses,
@@ -147,14 +154,24 @@ type Model struct {
 // part of the blasted formula evaluate to zero/false.
 func (s *Solver) Model() *Model {
 	env := NewEnv()
-	// Walk every asserted term's variables and read their bits back.
+	// Walk every asserted term's variables and read their bits back. The
+	// walk keeps an explicit stack: VC terms from deep parser state spaces
+	// can be hundreds of thousands of concat/ite nodes deep, too deep for
+	// recursion.
 	seen := map[int]bool{}
-	var collect func(t *Term)
-	collect = func(t *Term) {
-		if seen[t.ID] {
-			return
+	stack := make([]*Term, 0, 64)
+	push := func(t *Term) {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			stack = append(stack, t)
 		}
-		seen[t.ID] = true
+	}
+	for _, t := range s.asserted {
+		push(t)
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		switch t.Op {
 		case OpBVVar:
 			if lits, ok := s.b.bvCache[t.ID]; ok {
@@ -172,11 +189,8 @@ func (s *Solver) Model() *Model {
 			}
 		}
 		for _, a := range t.Args {
-			collect(a)
+			push(a)
 		}
-	}
-	for _, t := range s.asserted {
-		collect(t)
 	}
 	return &Model{env: env}
 }
@@ -228,24 +242,27 @@ func (m *Model) Env() *Env { return m.env }
 
 // Maximize finds an assignment satisfying all asserted hard constraints
 // that maximizes the number of satisfied soft terms. It returns the model,
-// the number of satisfied soft terms, and ok=false when the hard
-// constraints alone are unsatisfiable.
+// the number of satisfied soft terms, and a status: Sat means the optimum
+// was found, Unsat means the hard constraints alone are unsatisfiable, and
+// Unknown means the conflict budget ran out before either could be
+// established (during the initial hard check or mid-search). Callers with
+// budgets must distinguish Unknown from Unsat — "ran out of time" is not
+// "infeasible".
 //
 // The implementation is a linear UNSAT-to-SAT search on the number of
 // violated soft constraints using a sequential-counter cardinality
 // encoding; Aquila's bug localization (§5.2) uses this for
 // "MAXSAT_i ¬rep_i" minimization, where the number of violated softs (the
 // number of replaced tables) is expected to be small.
-//
-// A budget exhaustion (Unknown) during the initial hard check is reported
-// as ok=false, indistinguishable from hard-unsat; callers with budgets
-// should treat ok=false conservatively.
-func (s *Solver) Maximize(soft []*Term) (*Model, int, bool) {
-	if s.Check() != Sat {
-		return nil, 0, false
+func (s *Solver) Maximize(soft []*Term) (*Model, int, Status) {
+	switch st := s.Check(); st {
+	case Unsat:
+		return nil, 0, Unsat
+	case Unknown:
+		return nil, 0, Unknown
 	}
 	if len(soft) == 0 {
-		return s.Model(), 0, true
+		return s.Model(), 0, Sat
 	}
 	// violated[i] is true when soft[i] is false.
 	violated := make([]sat.Lit, len(soft))
@@ -260,16 +277,19 @@ func (s *Solver) Maximize(soft []*Term) (*Model, int, bool) {
 		if k < len(counts) {
 			assumptions = append(assumptions, counts[k].Not())
 		}
-		if st := s.sat.Solve(assumptions...); st == Sat {
+		switch st := s.sat.Solve(assumptions...); st {
+		case Sat:
 			m := s.Model()
 			s.ModelCollect(m, soft...)
-			return m, len(soft) - k, true
+			return m, len(soft) - k, Sat
+		case Unknown:
+			return nil, 0, Unknown
 		}
 	}
 	// Unreachable: with no cardinality assumption the hard constraints are
 	// satisfiable per the initial check.
 	m := s.Model()
-	return m, 0, true
+	return m, 0, Sat
 }
 
 // cardinalityCounter builds a sequential (Sinz) counter over lits and

@@ -728,23 +728,25 @@ func (c *Ctx) Uge(a, b *Term) *Term { return c.Ule(b, a) }
 
 // Vars returns the free variables of t, sorted by name.
 func Vars(t *Term) []*Term {
-	seen := map[int]bool{}
+	// Iterative walk: counterexample rendering calls this on full VC terms,
+	// which can be too deep for recursion on large parser state spaces.
+	seen := map[int]bool{t.ID: true}
 	var out []*Term
-	var walk func(*Term)
-	walk = func(x *Term) {
-		if seen[x.ID] {
-			return
-		}
-		seen[x.ID] = true
+	stack := []*Term{t}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if x.Op == OpBVVar || x.Op == OpBoolVar {
 			out = append(out, x)
-			return
+			continue
 		}
 		for _, a := range x.Args {
-			walk(a)
+			if !seen[a.ID] {
+				seen[a.ID] = true
+				stack = append(stack, a)
+			}
 		}
 	}
-	walk(t)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -68,6 +68,18 @@ func (r *Result) String() string {
 // order). opts configures the encoder under test — including, for the §7.2
 // regression stories, an injected encoder bug.
 func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options) (*Result, error) {
+	return run(prog, snap, components, opts, false)
+}
+
+// ValidateSimplify runs the same refinement proof but passes every solver
+// query through the algebraic simplification pass first — exercising, in
+// the §6 pipeline itself, that simplification preserves the refinement
+// verdict.
+func ValidateSimplify(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options) (*Result, error) {
+	return run(prog, snap, components, opts, true)
+}
+
+func run(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options, simplify bool) (*Result, error) {
 	start := time.Now()
 	o := obs.Default()
 	ctx := smt.NewCtx()
@@ -109,13 +121,18 @@ func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts
 	defer endCheck()
 	res := &Result{Time: 0}
 	solver := smt.NewSolver(ctx)
+	query := func(cond *smt.Term) *smt.Term { return cond }
+	if simplify {
+		simp := smt.NewSimplifier(ctx)
+		query = simp.Simplify
+	}
 
 	// The Assume part: both representations must constrain inputs alike.
 	// A path-condition divergence is reported against the pseudo-variable
 	// "$path".
 	pathA := aRes.Path
 	pathX := xState.wf
-	if st := solver.Check(ctx.Not(ctx.Iff(pathA, pathX))); st == smt.Sat {
+	if st := solver.Check(query(ctx.Not(ctx.Iff(pathA, pathX)))); st == smt.Sat {
 		m := solver.Model()
 		solver.ModelCollect(m, ctx.Iff(pathA, pathX))
 		res.Mismatches = append(res.Mismatches, Mismatch{Var: "$path", Cex: renderModel(ctx, pathA, pathX, m)})
@@ -162,7 +179,7 @@ func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts
 		}
 		// Only inputs that survive both sides' assumptions matter.
 		cond := ctx.And(pathA, pathX, diff)
-		if solver.Check(cond) == smt.Sat {
+		if solver.Check(query(cond)) == smt.Sat {
 			m := solver.Model()
 			solver.ModelCollect(m, cond)
 			res.Mismatches = append(res.Mismatches, Mismatch{Var: name, Cex: renderModel(ctx, aVal, xVal, m)})

@@ -35,6 +35,18 @@ type Options struct {
 	// Budget bounds SAT conflicts per check (<=0: unlimited). Exhaustion
 	// is reported as ErrBudget.
 	Budget int64
+	// Incremental makes find-all checks share solvers: the common VC
+	// prefix is blasted once per worker shard and each assertion is
+	// checked under an activation literal, reusing the CNF and learned
+	// clauses across checks ("blast once, check many"). Verdicts and
+	// canonical reports are identical to fresh-solver mode; raw cost
+	// counters differ (that is the point). Ignored in find-first mode.
+	Incremental bool
+	// Simplify applies the algebraic simplification pass
+	// (smt.Simplifier) to assertion conditions before blasting.
+	// Only consulted in incremental mode, so the fresh-solver baseline
+	// stays bit-for-bit what it always was.
+	Simplify bool
 	// Parallel is the number of worker goroutines for find-all checks and
 	// localization re-checks: 0 means runtime.GOMAXPROCS(0), 1 forces the
 	// serial path. Reports are byte-identical at every setting: each
@@ -139,16 +151,39 @@ type Stats struct {
 	// Workers is the effective worker count of the solving phase.
 	Workers int
 
+	// Incremental records whether the run shared solvers across checks;
+	// Shards is the number of per-worker incremental solvers it used
+	// (0 in fresh mode).
+	Incremental bool
+	Shards      int
+	// SimplifyRewrites counts DAG nodes changed by the simplification
+	// pass (0 when the pass is off).
+	SimplifyRewrites int64
+	// PrefixClauses is the Tseitin cost of each shard's first check
+	// summed over shards — the "blast once" part of the run, dominated by
+	// the shared VC prefix. Later checks pay only their per-assertion
+	// delta.
+	PrefixClauses int64
+
 	// SAT-core search totals, summed across the same solver instances as
-	// CNFClauses/SATVars. Deterministic for a given formula: every check
-	// runs a deterministic fresh solver, so these are identical across
-	// worker counts and across runs.
+	// CNFClauses/SATVars. In fresh mode these are deterministic for a
+	// given formula at every worker count (every check runs a
+	// deterministic fresh solver); in incremental mode they depend on the
+	// shard composition and are only deterministic for a fixed worker
+	// count.
 	Conflicts     int64
 	Decisions     int64
 	Propagations  int64
 	Restarts      int64
 	LearntClauses int64
 	LearntLits    int64
+	LearntDeleted int64
+	// TseitinClauses counts CNF clauses emitted by the blasters (>=
+	// retained CNFClauses); the headline metric incremental mode shrinks.
+	// BlastHits counts per-term blast-cache hits — the reuse incremental
+	// mode buys.
+	TseitinClauses int64
+	BlastHits      int64
 
 	// PerAssertion is the find-all per-assertion cost breakdown (the data
 	// Figure 11 plots): one entry per consumed assertion, in assertion
@@ -181,6 +216,46 @@ func (st *Stats) addSolver(ss smt.SolverStats) {
 	st.Restarts += ss.Restarts
 	st.LearntClauses += ss.LearntClauses
 	st.LearntLits += ss.LearntLits
+	st.LearntDeleted += ss.LearntDeleted
+	st.TseitinClauses += ss.TseitinClauses
+	st.BlastHits += ss.BlastHits
+}
+
+// statsDelta is the work between two snapshots of one (shared) solver.
+func statsDelta(cur, prev smt.SolverStats) smt.SolverStats {
+	return smt.SolverStats{
+		Decisions:      cur.Decisions - prev.Decisions,
+		Conflicts:      cur.Conflicts - prev.Conflicts,
+		Propagations:   cur.Propagations - prev.Propagations,
+		Restarts:       cur.Restarts - prev.Restarts,
+		LearntClauses:  cur.LearntClauses - prev.LearntClauses,
+		LearntLits:     cur.LearntLits - prev.LearntLits,
+		LearntDeleted:  cur.LearntDeleted - prev.LearntDeleted,
+		TseitinClauses: cur.TseitinClauses - prev.TseitinClauses,
+		BlastHits:      cur.BlastHits - prev.BlastHits,
+		BlastMisses:    cur.BlastMisses - prev.BlastMisses,
+		Clauses:        cur.Clauses - prev.Clauses,
+		SATVars:        cur.SATVars - prev.SATVars,
+	}
+}
+
+// addStats sums two solver-stat snapshots (used to fold a counterexample
+// re-check's cost into its assertion's delta).
+func addStats(a, b smt.SolverStats) smt.SolverStats {
+	return smt.SolverStats{
+		Decisions:      a.Decisions + b.Decisions,
+		Conflicts:      a.Conflicts + b.Conflicts,
+		Propagations:   a.Propagations + b.Propagations,
+		Restarts:       a.Restarts + b.Restarts,
+		LearntClauses:  a.LearntClauses + b.LearntClauses,
+		LearntLits:     a.LearntLits + b.LearntLits,
+		LearntDeleted:  a.LearntDeleted + b.LearntDeleted,
+		TseitinClauses: a.TseitinClauses + b.TseitinClauses,
+		BlastHits:      a.BlastHits + b.BlastHits,
+		BlastMisses:    a.BlastMisses + b.BlastMisses,
+		Clauses:        a.Clauses + b.Clauses,
+		SATVars:        a.SATVars + b.SATVars,
+	}
 }
 
 // countSolver publishes one solver instance's counters to the metrics
@@ -197,6 +272,7 @@ func countSolver(o *obs.Obs, ss smt.SolverStats, status smt.Status) {
 	m.Counter(obs.CtrSATRestarts).Add(ss.Restarts)
 	m.Counter(obs.CtrSATLearntClause).Add(ss.LearntClauses)
 	m.Counter(obs.CtrSATLearntLits).Add(ss.LearntLits)
+	m.Counter(obs.CtrSATLearntDeleted).Add(ss.LearntDeleted)
 	m.Counter(obs.CtrSMTTseitinClauses).Add(ss.TseitinClauses)
 	m.Counter(obs.CtrSMTBlastHits).Add(ss.BlastHits)
 	m.Counter(obs.CtrSMTBlastMisses).Add(ss.BlastMisses)
@@ -305,6 +381,9 @@ func statusString(st smt.Status) string {
 func (rep *Report) check(opts Options) error {
 	if !opts.FindAll {
 		return rep.checkFirst(opts)
+	}
+	if opts.Incremental {
+		return rep.checkAllIncremental(opts)
 	}
 	return rep.checkAll(opts)
 }
@@ -515,6 +594,232 @@ func (rep *Report) checkAll(opts Options) error {
 	return err
 }
 
+// StaticShards partitions indices 0..n-1 into `shards` slices by index
+// modulo: shard s owns s, s+shards, s+2*shards, ... in ascending order.
+// Unlike the dynamic scheduling of ForEachWorker, the assignment depends
+// only on (shards, n) — the property incremental solving needs, because
+// each shard accumulates state in a shared solver and the assertion
+// sequence a solver sees must be reproducible.
+func StaticShards(shards, n int) [][]int {
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][]int, shards)
+	for i := 0; i < n; i++ {
+		out[i%shards] = append(out[i%shards], i)
+	}
+	return out
+}
+
+// checkAllIncremental is find-all with shared solvers ("blast once, check
+// many"): assertions are statically sharded by index across workers, each
+// shard owns one incremental solver, and every assertion is checked via an
+// activation literal (Solver.Indicator + CheckLits) so the blasted CNF of
+// the shared VC prefix and all learned clauses persist across the shard's
+// checks. With Simplify set, the algebraic simplification pass rewrites
+// all conditions over the shared DAG first.
+//
+// Determinism: sat/unsat verdicts are semantic, so they match fresh mode
+// and are identical at every worker count. Counterexample models from a
+// shared solver would depend on the shard's accumulated state, so each
+// violated assertion is re-solved on its ORIGINAL condition by a
+// deterministic fresh solver — the exact procedure fresh mode uses — which
+// makes violations and counterexamples byte-identical to fresh mode.
+// Budget-exhaustion (Unknown) verdicts are the one exception: learned
+// clauses change how far a budget reaches, so they can differ between
+// modes and worker counts (documented in DESIGN.md).
+func (rep *Report) checkAllIncremental(opts Options) error {
+	conds := rep.Result.Violations
+	n := len(conds)
+	workers := opts.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rep.Stats.Workers = workers
+	rep.Stats.Incremental = true
+	rep.Stats.Shards = workers
+	o := opts.Observer()
+
+	// Phase 1 (serial, before any sharing): simplify the conditions over
+	// the common hash-consed DAG. Done once; every shard blasts the
+	// smaller forms.
+	checkConds := make([]*smt.Term, n)
+	for i, v := range conds {
+		checkConds[i] = v.Cond
+	}
+	if opts.Simplify {
+		endSimp := o.Phase(0, "simplify")
+		simp := smt.NewSimplifier(rep.Ctx)
+		for i, c := range checkConds {
+			checkConds[i] = simp.Simplify(c)
+		}
+		endSimp()
+		rep.Stats.SimplifyRewrites = simp.Rewrites
+		if o != nil && o.Metrics != nil {
+			o.Metrics.Counter(obs.CtrSMTSimplifyRewrites).Add(simp.Rewrites)
+		}
+		o.Event("simplify", map[string]any{"rewrites": simp.Rewrites})
+	}
+
+	type checkOut struct {
+		status smt.Status
+		model  *smt.Model
+		ss     smt.SolverStats // this check's delta (incl. any cex re-check)
+		cpu    time.Duration
+	}
+	outs := make([]checkOut, n)
+	prefixClauses := make([]int64, workers) // dominating one-check Tseitin delta per shard
+
+	// limit is the lowest assertion index seen to exhaust the budget;
+	// shards stop at it (their remaining indices are all larger).
+	limit := int64(n)
+
+	// runShard walks the shard's indices in ascending order on one shared
+	// solver. worker is the tracer tid (0 for the serial inline path).
+	runShard := func(worker, shard int, indices []int) {
+		solver := smt.NewSolver(rep.Ctx)
+		if opts.Budget > 0 {
+			solver.SetBudget(opts.Budget)
+		}
+		var prev smt.SolverStats
+		for _, i := range indices {
+			if int64(i) >= atomic.LoadInt64(&limit) {
+				break
+			}
+			v := conds[i]
+			out := &outs[i]
+			endSpan := o.Span(worker, "solve:"+v.Label)
+			t0 := time.Now()
+			lit := solver.Indicator(checkConds[i])
+			st := solver.CheckLits(lit)
+			out.cpu = time.Since(t0)
+			cur := solver.SolverStats()
+			out.ss = statsDelta(cur, prev)
+			prev = cur
+			if out.ss.TseitinClauses > prefixClauses[shard] {
+				// The check that first touches the real VC blasts the whole
+				// shared prefix; later checks reuse its CNF. The largest
+				// single-check delta is that one-time cost (a plain "first
+				// check" would under-report when an early condition
+				// simplifies to a constant and blasts nothing).
+				prefixClauses[shard] = out.ss.TseitinClauses
+			}
+			out.status = st
+			if st == smt.Sat {
+				// Canonical counterexample: re-solve the original condition
+				// with a deterministic fresh solver, exactly as fresh mode
+				// would. Cost is folded into this assertion's delta.
+				s2 := smt.NewSolver(rep.Ctx)
+				if opts.Budget > 0 {
+					s2.SetBudget(opts.Budget)
+				}
+				t1 := time.Now()
+				st2 := s2.Check(v.Cond)
+				out.cpu += time.Since(t1)
+				out.ss = addStats(out.ss, s2.SolverStats())
+				if st2 == smt.Sat {
+					m := s2.Model()
+					s2.ModelCollect(m, v.Cond)
+					out.model = m
+				} else {
+					// The shared solver found the simplified condition sat but
+					// the fresh solver disagreed — impossible for sound
+					// rewrites; surface it instead of fabricating a model.
+					out.status = smt.Unknown
+				}
+			}
+			endSpan()
+			countSolver(o, out.ss, out.status)
+			if out.status == smt.Unknown {
+				for {
+					cur := atomic.LoadInt64(&limit)
+					if int64(i) >= cur || atomic.CompareAndSwapInt64(&limit, cur, int64(i)) {
+						break
+					}
+				}
+			}
+		}
+	}
+
+	shards := StaticShards(workers, n)
+	if workers > 1 {
+		if o != nil && o.Tracer != nil {
+			o.Tracer.NameThread(0, "main")
+			for w := 1; w <= workers; w++ {
+				o.Tracer.NameThread(w, fmt.Sprintf("worker-%d", w))
+			}
+		}
+		// The context becomes shared read-only state (simplification above
+		// already happened); blasting and model extraction never intern,
+		// and any stray term creation serializes.
+		rep.Ctx.Freeze()
+		var wg sync.WaitGroup
+		for s := range shards {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				runShard(shard+1, shard, shards[shard])
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		runShard(0, 0, shards[0])
+	}
+	for _, pc := range prefixClauses {
+		rep.Stats.PrefixClauses += pc
+	}
+	if o != nil && o.Metrics != nil {
+		o.Metrics.Gauge(obs.GaugeVerifyShards).Set(int64(workers))
+	}
+
+	// Consume in assertion order; stop at the first budget-exhausted
+	// check. Every index below the final limit was processed by its
+	// owning shard (a shard only skips indices at or beyond the limit),
+	// so the consumed prefix is complete.
+	var err error
+	for i, v := range conds {
+		if int64(i) > atomic.LoadInt64(&limit) {
+			break
+		}
+		out := &outs[i]
+		rep.Stats.SolveCPU += out.cpu
+		rep.Stats.addSolver(out.ss)
+		rep.Stats.PerAssertion = append(rep.Stats.PerAssertion, AssertionCost{
+			Label:        v.Label,
+			Status:       statusString(out.status),
+			SolveTime:    out.cpu,
+			Conflicts:    out.ss.Conflicts,
+			Decisions:    out.ss.Decisions,
+			Propagations: out.ss.Propagations,
+			Restarts:     out.ss.Restarts,
+			CNFClauses:   out.ss.Clauses,
+			SATVars:      out.ss.SATVars,
+		})
+		o.Event("assertion", map[string]any{
+			"label": v.Label, "status": statusString(out.status),
+			"solve_us": out.cpu.Microseconds(), "conflicts": out.ss.Conflicts,
+			"clauses": out.ss.Clauses, "incremental": true,
+		})
+		if out.status == smt.Unknown {
+			o.Event("budget_exhausted", map[string]any{
+				"label": v.Label, "budget": opts.Budget,
+			})
+			err = ErrBudget
+			break
+		}
+		if out.status == smt.Sat {
+			rep.Violations = append(rep.Violations, rep.makeViolation(v, out.model))
+		}
+	}
+	return err
+}
+
 func (rep *Report) makeViolation(v *gcl.Violation, m *smt.Model) *Violation {
 	out := &Violation{Label: v.Label, Model: m, Cond: v.Cond}
 	if info, ok := v.Meta.(*lpi.AssertionInfo); ok {
@@ -633,6 +938,11 @@ func (rep *Report) String() string {
 	fmt.Fprintf(&b, "sat:   %d conflicts, %d decisions, %d propagations, %d restarts, %d learnt clauses (%d literals)\n",
 		rep.Stats.Conflicts, rep.Stats.Decisions, rep.Stats.Propagations,
 		rep.Stats.Restarts, rep.Stats.LearntClauses, rep.Stats.LearntLits)
+	if rep.Stats.Incremental {
+		fmt.Fprintf(&b, "incr:  %d shards, %d tseitin clauses emitted (%d in shard prefixes), %d blast-cache hits, %d simplifier rewrites, %d learnt deleted\n",
+			rep.Stats.Shards, rep.Stats.TseitinClauses, rep.Stats.PrefixClauses,
+			rep.Stats.BlastHits, rep.Stats.SimplifyRewrites, rep.Stats.LearntDeleted)
+	}
 	return b.String()
 }
 
@@ -673,6 +983,16 @@ type JSONStats struct {
 	Restarts      int64 `json:"restarts"`
 	LearntClauses int64 `json:"learnt_clauses"`
 	LearntLits    int64 `json:"learnt_literals"`
+
+	// Incremental-mode extras (absent in fresh mode and in canonical
+	// reports).
+	Incremental      bool  `json:"incremental,omitempty"`
+	Shards           int   `json:"shards,omitempty"`
+	SimplifyRewrites int64 `json:"simplify_rewrites,omitempty"`
+	PrefixClauses    int64 `json:"prefix_clauses,omitempty"`
+	TseitinClauses   int64 `json:"tseitin_clauses,omitempty"`
+	BlastHits        int64 `json:"blast_cache_hits,omitempty"`
+	LearntDeleted    int64 `json:"learnt_deleted,omitempty"`
 }
 
 // JSONAssertionCost is one assertion's row in the per-assertion breakdown.
@@ -708,6 +1028,14 @@ func (rep *Report) JSON() ([]byte, error) {
 			Restarts:      rep.Stats.Restarts,
 			LearntClauses: rep.Stats.LearntClauses,
 			LearntLits:    rep.Stats.LearntLits,
+
+			Incremental:      rep.Stats.Incremental,
+			Shards:           rep.Stats.Shards,
+			SimplifyRewrites: rep.Stats.SimplifyRewrites,
+			PrefixClauses:    rep.Stats.PrefixClauses,
+			TseitinClauses:   rep.Stats.TseitinClauses,
+			BlastHits:        rep.Stats.BlastHits,
+			LearntDeleted:    rep.Stats.LearntDeleted,
 		},
 	}
 	for _, a := range rep.Stats.PerAssertion {
@@ -738,24 +1066,43 @@ func (rep *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
-// CanonicalJSON renders the report with the volatile wall-clock fields
-// (encode_ms, solve_ms, solve_cpu_ms, per-assertion solve_us) zeroed.
-// Everything else — verdict, violations, counterexamples, formula-size
-// stats, SAT search counters, the per-assertion breakdown — is
-// deterministic across runs and across Parallel settings (every check is
-// a deterministic fresh solver over the same frozen DAG), so two
-// canonical reports of the same verification problem compare
-// byte-for-byte, with or without observability sinks attached.
+// CanonicalJSON renders the report with every cost-dependent field zeroed:
+// wall-clock times, SAT search counters, CNF/term sizes, and the
+// per-assertion cost columns (labels and statuses are kept). What remains
+// — verdict, violations, counterexamples, assertion labels and statuses,
+// GCL size — is the *semantic* outcome of verification, which is
+// deterministic across runs, across Parallel settings, with or without
+// observability sinks, and (the incremental-engine contract) identical
+// between fresh-solver and incremental modes: two canonical reports of
+// the same verification problem compare byte-for-byte. Cost counters are
+// deliberately excluded because solver sharing changes them — that is the
+// optimization, not a behavioural difference; the raw JSON() report keeps
+// them all.
 func (rep *Report) CanonicalJSON() ([]byte, error) {
 	canon := *rep
 	canon.Stats.EncodeTime = 0
 	canon.Stats.SolveTime = 0
 	canon.Stats.SolveCPU = 0
+	canon.Stats.TermNodes = 0
+	canon.Stats.CNFClauses = 0
+	canon.Stats.SATVars = 0
+	canon.Stats.Conflicts = 0
+	canon.Stats.Decisions = 0
+	canon.Stats.Propagations = 0
+	canon.Stats.Restarts = 0
+	canon.Stats.LearntClauses = 0
+	canon.Stats.LearntLits = 0
+	canon.Stats.LearntDeleted = 0
+	canon.Stats.TseitinClauses = 0
+	canon.Stats.BlastHits = 0
+	canon.Stats.Incremental = false
+	canon.Stats.Shards = 0
+	canon.Stats.SimplifyRewrites = 0
+	canon.Stats.PrefixClauses = 0
 	if len(canon.Stats.PerAssertion) > 0 {
 		pa := make([]AssertionCost, len(canon.Stats.PerAssertion))
-		copy(pa, canon.Stats.PerAssertion)
-		for i := range pa {
-			pa[i].SolveTime = 0
+		for i, a := range canon.Stats.PerAssertion {
+			pa[i] = AssertionCost{Label: a.Label, Status: a.Status}
 		}
 		canon.Stats.PerAssertion = pa
 	}
