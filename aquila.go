@@ -110,6 +110,16 @@ type Options struct {
 	// only in Incremental mode; SelfValidate applies it directly to its
 	// refinement queries.
 	Simplify bool
+	// Preprocess enables SatELite-style CNF preprocessing (subsumption,
+	// self-subsuming resolution, bounded variable elimination) in the SAT
+	// cores of verification, localization filtering, and self-validation.
+	// Verdicts, models, and reports are unchanged; the search gets cheaper.
+	Preprocess bool
+	// Slice enables per-assertion cone-of-influence slicing for find-all
+	// verification: VC conjuncts that cannot influence an assertion's
+	// checked condition are dropped before blasting. Reports stay
+	// byte-identical to unsliced mode.
+	Slice bool
 	// Encode selects the encoding modes; the zero value is the paper's
 	// configuration (sequential encoding, ABV lookup tree, KV packets).
 	Encode EncodeOptions
@@ -117,7 +127,8 @@ type Options struct {
 
 func (o Options) verifyOptions() verify.Options {
 	return verify.Options{Encode: o.Encode, FindAll: o.FindAll, Budget: o.Budget,
-		Parallel: o.Parallel, Incremental: o.Incremental, Simplify: o.Simplify}
+		Parallel: o.Parallel, Incremental: o.Incremental, Simplify: o.Simplify,
+		Preprocess: o.Preprocess, Slice: o.Slice}
 }
 
 // ParseProgram parses and type-checks P4lite source.
@@ -178,10 +189,8 @@ func Localize(prog *Program, snap *Snapshot, spec *Spec, opts Options) (*Localiz
 // SelfValidate checks Aquila's own encoder against an independent
 // reference semantics for the named components (§6 of the paper).
 func SelfValidate(prog *Program, snap *Snapshot, components []string, opts Options) (*ValidationResult, error) {
-	if opts.Simplify {
-		return validate.ValidateSimplify(prog, snap, components, opts.Encode)
-	}
-	return validate.Validate(prog, snap, components, opts.Encode)
+	return validate.ValidateWith(prog, snap, components, opts.Encode,
+		validate.Config{Simplify: opts.Simplify, Preprocess: opts.Preprocess})
 }
 
 // SpecLoC counts the effective specification lines of LPI source — the

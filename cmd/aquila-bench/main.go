@@ -12,6 +12,8 @@
 //	aquila-bench -exp fig11b [-entries 1000,2000,3000,4000,5000]
 //	aquila-bench -exp parallel [-parallel 1,2,4,8] [-repeats 3] [-out BENCH_parallel.json]
 //	aquila-bench -exp incremental [-parallel 1,2,4] [-repeats 3] [-incr-out BENCH_incremental.json]
+//	aquila-bench -exp preproc [-parallel 1,2,4] [-repeats 3] [-preproc-out BENCH_preproc.json]
+//	                          [-compare BENCH_preproc.json]
 //	aquila-bench -exp obs [-repeats 3]
 //	aquila-bench -exp all -quick
 //
@@ -21,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +41,7 @@ func main() { os.Exit(mainRun()) }
 
 func mainRun() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|obs|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|all")
 		quick     = flag.Bool("quick", false, "smaller budgets and workloads")
 		suite     = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
 		scales    = flag.String("scales", "small,medium,large", "table4 switch-T scales")
@@ -49,6 +52,8 @@ func mainRun() int {
 		repeats   = flag.Int("repeats", 3, "parallel/obs runs per configuration (best wall time kept)")
 		outPath   = flag.String("out", "BENCH_parallel.json", "parallel-sweep JSON output file (empty: stdout table only)")
 		incrOut   = flag.String("incr-out", "BENCH_incremental.json", "incremental-sweep JSON output file (empty: stdout table only)")
+		prepOut   = flag.String("preproc-out", "BENCH_preproc.json", "preproc-sweep JSON output file (empty: stdout table only)")
+		compare   = flag.String("compare", "", "preproc only: reference BENCH_preproc.json; exit non-zero if relative wall time regresses >20%")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON covering the run")
 		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write heap profile on exit")
@@ -231,6 +236,56 @@ func mainRun() int {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *incrOut)
+		}
+		return nil
+	})
+
+	run("preproc", func() error {
+		// The four {preprocess, slice} configurations on the DC gateway,
+		// fresh and incremental, against the baseline engine. Worker
+		// counts reuse -parallel, capped at 4, like the incremental sweep.
+		var counts []int
+		for _, s := range strings.Split(*parallel, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			if n <= 4 {
+				counts = append(counts, n)
+			}
+		}
+		reps := *repeats
+		if *quick {
+			reps = 1
+		}
+		res, err := bench.Preproc(progs.DCGatewayBench(), counts, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatPreproc(res))
+		if *compare != "" {
+			data, err := os.ReadFile(*compare)
+			if err != nil {
+				return err
+			}
+			var ref bench.PreprocResult
+			if err := json.Unmarshal(data, &ref); err != nil {
+				return fmt.Errorf("parsing %s: %w", *compare, err)
+			}
+			if err := bench.ComparePreproc(&ref, res); err != nil {
+				return err
+			}
+			fmt.Printf("no regression vs %s\n", *compare)
+		}
+		if *prepOut != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*prepOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *prepOut)
 		}
 		return nil
 	})

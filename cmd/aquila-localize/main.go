@@ -7,12 +7,16 @@
 //
 //	aquila-localize -spec spec.lpi [-p4 prog.p4] [-entries snap.txt]
 //	                [-budget N] [-parallel N] [-incremental] [-simplify=false]
+//	                [-preprocess] [-slice]
 //	                [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
 //
 // -incremental makes the find-violations pass and the causality filter
 // share one blasted solver per worker shard (activation literals over the
 // common prefix) instead of a fresh solver per query; -simplify (default
-// true) adds the algebraic pre-blast pass. Results are identical.
+// true) adds the algebraic pre-blast pass. -preprocess enables CNF
+// preprocessing in every verdict-only solver (the model-extracting MaxSAT
+// repair solver stays plain); -slice applies cone-of-influence slicing in
+// the find-violations pass. Results are identical.
 //
 // -trace writes a Chrome trace-event JSON covering the localization
 // pipeline (find-violations, table-entry repair, causality filter, fix
@@ -41,6 +45,8 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for localization re-checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
 		incr      = flag.Bool("incremental", false, "shared-prefix incremental solving for verification and the causality filter")
 		simplify  = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
+		preproc   = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in verdict-only solvers")
+		slice     = flag.Bool("slice", false, "per-assertion cone-of-influence slicing in the find-violations pass")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the localization phases")
 		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write heap profile on exit")
@@ -60,14 +66,14 @@ func run() int {
 		return fail(err)
 	}
 	obs.SetDefault(o)
-	code := localizeMain(*p4Path, *specPath, *entries, *budget, *parallel, *incr, *simplify)
+	code := localizeMain(*p4Path, *specPath, *entries, *budget, *parallel, *incr, *simplify, *preproc, *slice)
 	if err := closeObs(); err != nil {
 		return fail(err)
 	}
 	return code
 }
 
-func localizeMain(p4Path, specPath, entries string, budget int64, parallel int, incremental, simplify bool) int {
+func localizeMain(p4Path, specPath, entries string, budget int64, parallel int, incremental, simplify, preprocess, slice bool) int {
 	spec, err := aquila.LoadSpec(specPath)
 	if err != nil {
 		return fail(err)
@@ -96,6 +102,7 @@ func localizeMain(p4Path, specPath, entries string, budget int64, parallel int, 
 	result, err := aquila.Localize(prog, snap, spec, aquila.Options{
 		Budget: budget, Parallel: parallel,
 		Incremental: incremental, Simplify: simplify,
+		Preprocess: preprocess, Slice: slice,
 	})
 	if err != nil {
 		return fail(err)

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	aquila-validate -p4 prog.p4 [-entries snap.txt] [-components a,b,...]
-//	                [-bug empty-state-accept|ignore-defaultonly] [-simplify]
+//	                [-bug empty-state-accept|ignore-defaultonly] [-simplify] [-preprocess]
 //	                [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
 //
 // -simplify routes every refinement query through the algebraic
@@ -36,6 +36,7 @@ func run() int {
 		components = flag.String("components", "", "comma-separated components (default: every pipeline)")
 		bug        = flag.String("bug", "", "inject a historical encoder bug (empty-state-accept, ignore-defaultonly)")
 		simplify   = flag.Bool("simplify", false, "pass refinement queries through the algebraic simplification pass")
+		preproc    = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in the refinement solver")
 		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of the validation phases")
 		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf    = flag.String("memprofile", "", "write heap profile on exit")
@@ -55,14 +56,14 @@ func run() int {
 		return fail(err)
 	}
 	obs.SetDefault(o)
-	code := validateMain(*p4Path, *entries, *components, *bug, *simplify)
+	code := validateMain(*p4Path, *entries, *components, *bug, *simplify, *preproc)
 	if err := closeObs(); err != nil {
 		return fail(err)
 	}
 	return code
 }
 
-func validateMain(p4Path, entries, components, bug string, simplify bool) int {
+func validateMain(p4Path, entries, components, bug string, simplify, preprocess bool) int {
 	prog, err := aquila.LoadProgram(p4Path)
 	if err != nil {
 		return fail(err)
@@ -87,8 +88,9 @@ func validateMain(p4Path, entries, components, bug string, simplify bool) int {
 		return fail(fmt.Errorf("no components to validate: declare a pipeline or pass -components"))
 	}
 	result, err := aquila.SelfValidate(prog, snap, comps, aquila.Options{
-		Encode:   encode.Options{InjectEncoderBug: bug},
-		Simplify: simplify,
+		Encode:     encode.Options{InjectEncoderBug: bug},
+		Simplify:   simplify,
+		Preprocess: preprocess,
 	})
 	if err != nil {
 		return fail(err)

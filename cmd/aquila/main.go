@@ -7,14 +7,17 @@
 //	aquila -spec spec.lpi [-p4 prog.p4] [-entries snap.txt] [-all]
 //	       [-parser sequential|tree] [-table abvtree|abvlinear|naive]
 //	       [-packet kv|bitvector] [-budget N] [-parallel N]
-//	       [-incremental] [-simplify=false]
+//	       [-incremental] [-simplify=false] [-preprocess] [-slice]
 //	       [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
 //
 // -incremental switches find-all solving to the shared-prefix engine
 // (blast the common VC prefix once per worker shard, check each assertion
 // under an activation literal); it implies -all. -simplify (default true)
 // controls the algebraic pre-blast simplification pass in that mode.
-// Reports are byte-identical to the default fresh-solver mode.
+// -preprocess enables SatELite-style CNF preprocessing in the SAT core;
+// -slice drops VC conjuncts outside each assertion's cone of influence
+// before blasting (find-all modes). Reports are byte-identical to the
+// default fresh-solver mode under every combination of these flags.
 //
 // The P4 program may also be named by the spec's config section
 // (`config { path = prog.p4; }`), or selected from the built-in corpus
@@ -57,6 +60,8 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for -all checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
 		incr      = flag.Bool("incremental", false, "shared-prefix incremental solving for -all (implies -all)")
 		simplify  = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
+		preproc   = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in the SAT core")
+		slice     = flag.Bool("slice", false, "per-assertion cone-of-influence slicing of the VC (find-all modes)")
 		blocklist = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the run's phases and per-assertion solves")
@@ -80,7 +85,7 @@ func run() int {
 	obs.SetDefault(o)
 	code := verifyMain(*p4Path, *specPath, *builtin, *entries,
 		*findAll || *incr, *blocklist, *jsonOut, *budget, *parallel,
-		*incr, *simplify,
+		*incr, *simplify, *preproc, *slice,
 		encodeOptions(*parserStr, *tableStr, *packetStr))
 	if err := closeObs(); err != nil {
 		return fail(err)
@@ -90,7 +95,7 @@ func run() int {
 
 func verifyMain(p4Path, specPath, builtin, entries string,
 	findAll, blocklist, jsonOut bool, budget int64, parallel int,
-	incremental, simplify bool, eopts encode.Options) int {
+	incremental, simplify, preprocess, slice bool, eopts encode.Options) int {
 	var prog *aquila.Program
 	var spec *aquila.Spec
 	var err error
@@ -132,6 +137,8 @@ func verifyMain(p4Path, specPath, builtin, entries string,
 		Parallel:    parallel,
 		Incremental: incremental,
 		Simplify:    simplify,
+		Preprocess:  preprocess,
+		Slice:       slice,
 		Encode:      eopts,
 	}
 	report, err := aquila.Verify(prog, snap, spec, opts)

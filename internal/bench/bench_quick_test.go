@@ -231,3 +231,53 @@ func TestIncrementalSweepQuick(t *testing.T) {
 		t.Fatal("format output malformed")
 	}
 }
+
+func TestPreprocSweepQuick(t *testing.T) {
+	res, err := Preproc(progs.DCGatewayBench(), []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4*2*2 {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), 4*2*2)
+	}
+	for _, r := range res.Rows {
+		if !r.Identical {
+			t.Fatalf("%s/%s workers=%d: canonical report differs from baseline", r.Config, r.Mode, r.Workers)
+		}
+		if r.Bugs == 0 {
+			t.Fatalf("%s/%s workers=%d: no bugs on a benchmark with seeded violations", r.Config, r.Mode, r.Workers)
+		}
+		wantPrep := r.Config == "preprocess" || r.Config == "both"
+		if gotPrep := r.ElimVars+r.SubsumedClauses > 0; gotPrep != wantPrep {
+			t.Fatalf("%s/%s workers=%d: preprocessing work recorded = %v, want %v",
+				r.Config, r.Mode, r.Workers, gotPrep, wantPrep)
+		}
+		wantSlice := r.Config == "slice" || r.Config == "both"
+		if gotSlice := r.SliceDropped > 0; gotSlice != wantSlice {
+			t.Fatalf("%s/%s workers=%d: sliced conjuncts = %d, want dropped: %v",
+				r.Config, r.Mode, r.Workers, r.SliceDropped, wantSlice)
+		}
+	}
+	if res.ClauseReduction <= 0 {
+		t.Fatalf("clause reduction %.3f, want > 0", res.ClauseReduction)
+	}
+	if res.PropagationReduction <= 0 {
+		t.Fatalf("propagation reduction %.3f, want > 0", res.PropagationReduction)
+	}
+	if !strings.Contains(FormatPreproc(res), "clause reduction") {
+		t.Fatal("format output malformed")
+	}
+	// The self-comparison of a sweep must never flag a regression, and a
+	// doctored reference with much tighter ratios must.
+	if err := ComparePreproc(res, res); err != nil {
+		t.Fatalf("self-comparison flagged a regression: %v", err)
+	}
+	tight := *res
+	tight.Rows = append([]PreprocRow(nil), res.Rows...)
+	for i := range tight.Rows {
+		tight.Rows[i].RelWall /= 10
+	}
+	if err := ComparePreproc(&tight, res); err == nil {
+		t.Fatal("10x tighter reference ratios not flagged as a regression")
+	}
+}

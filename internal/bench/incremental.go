@@ -85,8 +85,11 @@ func Incremental(bm *progs.Benchmark, workerCounts []int, repeats int) (*Increme
 			var best time.Duration
 			var bestRep *verify.Report
 			for r := 0; r < repeats; r++ {
+				// Preprocessing and slicing are on by default in the bench
+				// experiments: the sweep measures the shipping configuration.
 				opts := verify.Options{FindAll: true, Parallel: w,
-					Incremental: incremental, Simplify: incremental}
+					Incremental: incremental, Simplify: incremental,
+					Preprocess: true, Slice: true}
 				start := time.Now()
 				rep, err := verify.Run(prog, nil, spec, opts)
 				wall := time.Since(start)

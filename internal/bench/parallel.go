@@ -74,7 +74,10 @@ func Parallel(bm *progs.Benchmark, workerCounts []int, repeats int) (*ParallelRe
 		var bestRep *verify.Report
 		for r := 0; r < repeats; r++ {
 			start := time.Now()
-			rep, err := verify.Run(prog, nil, spec, verify.Options{FindAll: true, Parallel: w})
+			// Preprocessing and slicing are on by default in the bench
+			// experiments: the sweep measures the shipping configuration.
+			rep, err := verify.Run(prog, nil, spec, verify.Options{FindAll: true, Parallel: w,
+				Preprocess: true, Slice: true})
 			wall := time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("bench: parallel workers=%d: %w", w, err)

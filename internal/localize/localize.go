@@ -429,6 +429,12 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 			if vopts.Budget > 0 {
 				shardSolver.SetBudget(vopts.Budget)
 			}
+			// Verdict-only queries: CNF preprocessing is safe here (the
+			// model-extracting MaxSAT solver stays plain so suggested
+			// repairs are unchanged).
+			if vopts.Preprocess {
+				shardSolver.SetPreprocess(true)
+			}
 			shardSolver.Assert(prefix)
 			for _, i := range shards[s] {
 				endSpan := o.Span(worker, "filter:"+keys[i].ctl+"."+keys[i].act)
@@ -443,6 +449,9 @@ func locateProgramBug(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 			filterSolver := smt.NewSolver(ctx)
 			if vopts.Budget > 0 {
 				filterSolver.SetBudget(vopts.Budget)
+			}
+			if vopts.Preprocess {
+				filterSolver.SetPreprocess(true)
 			}
 			implied[i] = filterSolver.Check(queries[i]) == smt.Unsat
 			endSpan()
@@ -549,6 +558,11 @@ func fixWorks(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec,
 	solver := smt.NewSolver(ctx)
 	if vopts.Budget > 0 {
 		solver.SetBudget(vopts.Budget)
+	}
+	// A fix simulation only needs the sat/unsat verdict, so preprocessing
+	// is safe.
+	if vopts.Preprocess {
+		solver.SetPreprocess(true)
 	}
 	// The simulation asserts one big conjunction; in incremental mode the
 	// same simplification pass the verifier applies to its shared prefix is

@@ -19,6 +19,11 @@ const (
 	CtrSATLearntLits    = "sat.learnt_literals"
 	CtrSATLearntDeleted = "sat.learnt_deleted"
 
+	// SAT preprocessing (SatELite-style CNF simplification).
+	CtrSATElimVars     = "sat.elim_vars"
+	CtrSATSubsumed     = "sat.subsumed_clauses"
+	CtrSATStrengthened = "sat.strengthened_clauses"
+
 	// SMT layer (bit-blasting and term interning).
 	CtrSMTTseitinClauses   = "smt.tseitin_clauses"
 	CtrSMTBlastHits        = "smt.blast_cache_hits"
@@ -29,13 +34,14 @@ const (
 	CtrSMTSimplifyRewrites = "smt.simplify_rewrites"
 
 	// Verification driver.
-	CtrVerifyChecks    = "verify.checks"
-	CtrVerifySat       = "verify.checks_sat"
-	CtrVerifyUnsat     = "verify.checks_unsat"
-	CtrVerifyUnknown   = "verify.checks_unknown"
-	GaugeTermNodes     = "smt.term_nodes"
-	GaugeVerifyWorkers = "verify.workers"
-	GaugeVerifyShards  = "verify.incremental_shards"
+	CtrVerifyChecks       = "verify.checks"
+	CtrVerifySat          = "verify.checks_sat"
+	CtrVerifyUnsat        = "verify.checks_unsat"
+	CtrVerifyUnknown      = "verify.checks_unknown"
+	CtrVerifySliceDropped = "verify.slice_conjuncts_dropped"
+	GaugeTermNodes        = "smt.term_nodes"
+	GaugeVerifyWorkers    = "verify.workers"
+	GaugeVerifyShards     = "verify.incremental_shards"
 )
 
 // Counter is a monotone atomic counter. The zero value is usable; a nil

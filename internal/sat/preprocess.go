@@ -1,0 +1,598 @@
+package sat
+
+// SatELite-style CNF preprocessing (Eén & Biere, SAT 2005): occurrence-list
+// backward subsumption, self-subsuming resolution, and bounded variable
+// elimination (BVE) with a clause-growth cutoff, plus level-0 unit and
+// pure-literal simplification (the latter falls out of BVE as the
+// zero-resolvent case). All of it is model-reconstructing: every eliminated
+// variable records its original clauses on an elimination stack, and after
+// a Sat verdict extendModel walks the stack in reverse to assign values
+// that satisfy the original formula, so Model() stays exact.
+//
+// Incremental solving keeps working because (a) Solve freezes assumption
+// variables before preprocessing — their truth varies per query, so they
+// must never be resolved away — and (b) AddClause restores any eliminated
+// variable the new clause mentions by re-adding its recorded clauses
+// (restoreVar), which is sound: the resolvents kept in the database are
+// implied by the originals, so re-adding the originals restores the exact
+// original semantics.
+
+import "sort"
+
+// elimRecord remembers the original clauses of one eliminated variable.
+// clauses becomes nil once the variable has been restored.
+type elimRecord struct {
+	v       int
+	clauses [][]Lit
+}
+
+const (
+	// bveOccLimit skips elimination of variables occurring more often than
+	// this in either polarity; resolving dense variables is quadratic in
+	// the occurrence counts and rarely profitable.
+	bveOccLimit = 40
+	// bveClauseLimit aborts an elimination that would create a resolvent
+	// longer than this.
+	bveClauseLimit = 48
+	// subOccLimit skips subsumption passes whose pivot literal has more
+	// candidate clauses than this.
+	subOccLimit = 600
+	// prepDirtyMin / prepDirtyFrac gate re-preprocessing inside Solve: a
+	// round runs when at least prepDirtyMin clauses arrived since the last
+	// one, or when the additions are at least 1/prepDirtyFrac of the
+	// database. The first blast always qualifies; the small per-check
+	// activation deltas of incremental mode usually do not, so a
+	// long-lived solver is not re-scrubbed on every query.
+	prepDirtyMin  = 800
+	prepDirtyFrac = 8
+)
+
+// SetPreprocess enables preprocessing: Solve then runs a Preprocess round
+// whenever enough clauses arrived since the previous round.
+func (s *Solver) SetPreprocess(on bool) { s.prep = on }
+
+// FreezeVar exempts v from variable elimination, restoring it first if it
+// is currently eliminated. Solve freezes assumption variables
+// automatically; the smt layer freezes indicator variables at creation.
+func (s *Solver) FreezeVar(v int) {
+	s.frozen[v] = true
+	if s.elimed[v] {
+		s.restoreVar(v)
+	}
+}
+
+// restoreVar undoes the elimination of v by re-adding its recorded
+// original clauses. AddClause re-enters restoreVar for any other
+// eliminated variable those clauses mention.
+func (s *Solver) restoreVar(v int) {
+	idx, ok := s.elimIndex[v]
+	if !ok {
+		return
+	}
+	delete(s.elimIndex, v)
+	s.elimed[v] = false
+	rec := &s.elimStack[idx]
+	cls := rec.clauses
+	rec.clauses = nil
+	s.order.pushIfAbsent(s, v)
+	for _, lits := range cls {
+		if !s.AddClause(lits...) {
+			return
+		}
+	}
+}
+
+// extendModel assigns model values to eliminated variables, newest
+// elimination first, choosing for each variable the value that satisfies
+// every recorded original clause under the values fixed so far. BVE
+// guarantees such a value exists: all non-tautological resolvents were
+// added, so at most one polarity can have an otherwise-unsatisfied clause.
+func (s *Solver) extendModel() {
+	for i := len(s.elimStack) - 1; i >= 0; i-- {
+		rec := &s.elimStack[i]
+		if rec.clauses == nil {
+			continue
+		}
+		val := lFalse
+		for _, cl := range rec.clauses {
+			sat, pos := false, false
+			for _, l := range cl {
+				if l.Var() == rec.v {
+					pos = !l.Neg()
+					continue
+				}
+				if (s.model[l.Var()] == lTrue) != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat && pos {
+				val = lTrue
+				break
+			}
+		}
+		s.model[rec.v] = val
+	}
+}
+
+// Preprocess runs one simplification round over the clause database at
+// decision level 0: unit reduction, subsumption, self-subsuming
+// resolution, then bounded variable elimination, then a final subsumption
+// sweep over the resolvents. It returns false if the round proves the
+// formula unsatisfiable.
+func (s *Solver) Preprocess() bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: Preprocess above decision level 0")
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	s.dirty = 0
+	p := &preprocessor{s: s, occ: make([][]int, 2*s.NumVars())}
+	p.build()
+	if s.ok {
+		p.processUnits()
+	}
+	if s.ok {
+		p.subsume()
+	}
+	if s.ok {
+		p.eliminate()
+	}
+	if s.ok {
+		p.subsume()
+	}
+	p.finish()
+	if s.ok && s.propagate() != nil {
+		s.ok = false
+	}
+	return s.ok
+}
+
+// rebuildWatches reconstructs every watch list from the live clause
+// database; preprocessing mutates clauses in place, so the old lists are
+// stale afterwards.
+func (s *Solver) rebuildWatches() {
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+}
+
+// preprocessor is the transient working state of one Preprocess round: an
+// occurrence-list view of the clause database with a subsumption queue.
+type preprocessor struct {
+	s       *Solver
+	cls     []*clause // live view: problem clauses then learnts
+	occ     [][]int   // literal -> indices into cls
+	sig     []uint64  // per-clause variable signature (subset prefilter)
+	inQueue []bool
+	queue   []int // clause indices awaiting a subsumption pass
+	units   []Lit // pending level-0 assignments
+}
+
+func sigOf(lits []Lit) uint64 {
+	var sig uint64
+	for _, l := range lits {
+		sig |= 1 << (uint(l.Var()) & 63)
+	}
+	return sig
+}
+
+// build folds the clause database into occurrence lists, simplifying each
+// clause against the level-0 assignment on the way in.
+func (p *preprocessor) build() {
+	s := p.s
+	all := make([]*clause, 0, len(s.clauses)+len(s.learnts))
+	all = append(all, s.clauses...)
+	all = append(all, s.learnts...)
+	for _, c := range all {
+		if c.deleted {
+			continue
+		}
+		keep, satisfied := c.lits[:0], false
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case lTrue:
+				satisfied = true
+			case lFalse:
+				// drop
+			default:
+				keep = append(keep, l)
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			c.deleted = true
+			continue
+		}
+		c.lits = keep
+		switch len(keep) {
+		case 0:
+			s.ok = false
+			return
+		case 1:
+			p.units = append(p.units, keep[0])
+			c.deleted = true
+			continue
+		}
+		p.addIndexed(c)
+	}
+}
+
+func (p *preprocessor) addIndexed(c *clause) {
+	ci := len(p.cls)
+	p.cls = append(p.cls, c)
+	p.sig = append(p.sig, sigOf(c.lits))
+	p.inQueue = append(p.inQueue, true)
+	p.queue = append(p.queue, ci)
+	for _, l := range c.lits {
+		p.occ[l] = append(p.occ[l], ci)
+	}
+}
+
+func (p *preprocessor) enqueue(ci int) {
+	if !p.inQueue[ci] {
+		p.inQueue[ci] = true
+		p.queue = append(p.queue, ci)
+	}
+}
+
+func (p *preprocessor) occRemove(l Lit, ci int) {
+	list := p.occ[l]
+	for i, x := range list {
+		if x == ci {
+			list[i] = list[len(list)-1]
+			p.occ[l] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+func (p *preprocessor) deleteClause(ci int) {
+	c := p.cls[ci]
+	if c.deleted {
+		return
+	}
+	c.deleted = true
+	for _, l := range c.lits {
+		p.occRemove(l, ci)
+	}
+}
+
+// strengthen removes literal l from clause ci; a clause reduced to a unit
+// is queued for level-0 assignment and retired.
+func (p *preprocessor) strengthen(ci int, l Lit) {
+	c := p.cls[ci]
+	for i, x := range c.lits {
+		if x == l {
+			c.lits[i] = c.lits[len(c.lits)-1]
+			c.lits = c.lits[:len(c.lits)-1]
+			break
+		}
+	}
+	p.occRemove(l, ci)
+	p.sig[ci] = sigOf(c.lits)
+	if len(c.lits) == 1 {
+		p.units = append(p.units, c.lits[0])
+		p.deleteClause(ci)
+		return
+	}
+	p.enqueue(ci)
+}
+
+// processUnits drains pending level-0 assignments against the occurrence
+// lists: satisfied clauses are deleted, falsified literals removed.
+func (p *preprocessor) processUnits() bool {
+	s := p.s
+	for len(p.units) > 0 {
+		l := p.units[0]
+		p.units = p.units[1:]
+		switch s.value(l) {
+		case lTrue:
+			continue
+		case lFalse:
+			s.ok = false
+			return false
+		}
+		s.uncheckedEnqueue(l, nil)
+		for len(p.occ[l]) > 0 {
+			p.deleteClause(p.occ[l][0])
+		}
+		for len(p.occ[l.Not()]) > 0 {
+			p.strengthen(p.occ[l.Not()][0], l.Not())
+		}
+	}
+	return true
+}
+
+// subsumes reports whether clause a subsumes b, allowing at most one
+// flipped literal (self-subsuming resolution). The returned literal is the
+// one to remove from b, or -1 for plain subsumption.
+func subsumes(a, b []Lit) (Lit, bool) {
+	flip := Lit(-1)
+nextLit:
+	for _, la := range a {
+		for _, lb := range b {
+			if lb == la {
+				continue nextLit
+			}
+		}
+		if flip != -1 {
+			return -1, false
+		}
+		for _, lb := range b {
+			if lb == la.Not() {
+				flip = lb
+				continue nextLit
+			}
+		}
+		return -1, false
+	}
+	return flip, true
+}
+
+// subsume drains the queue: each clause checks the candidates sharing its
+// cheapest literal for backward subsumption and self-subsuming resolution.
+func (p *preprocessor) subsume() {
+	s := p.s
+	for len(p.queue) > 0 && s.ok {
+		ci := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inQueue[ci] = false
+		c := p.cls[ci]
+		if c.deleted {
+			continue
+		}
+		// Pivot on the literal with the fewest candidates across both
+		// polarities; a flip on any other literal still leaves the pivot
+		// itself in the candidate clause.
+		var pivot Lit = -1
+		bestN := 0
+		for _, l := range c.lits {
+			n := len(p.occ[l]) + len(p.occ[l.Not()])
+			if pivot == -1 || n < bestN {
+				pivot, bestN = l, n
+			}
+		}
+		if bestN > subOccLimit {
+			continue
+		}
+		p.subsumeWith(ci, pivot)
+		p.subsumeWith(ci, pivot.Not())
+		if len(p.units) > 0 && !p.processUnits() {
+			return
+		}
+	}
+}
+
+func (p *preprocessor) subsumeWith(ci int, l Lit) {
+	c := p.cls[ci]
+	cands := append([]int(nil), p.occ[l]...)
+	for _, cj := range cands {
+		if c.deleted {
+			return
+		}
+		if cj == ci {
+			continue
+		}
+		d := p.cls[cj]
+		if d.deleted || len(d.lits) < len(c.lits) {
+			continue
+		}
+		if p.sig[ci]&^p.sig[cj] != 0 {
+			continue
+		}
+		flip, ok := subsumes(c.lits, d.lits)
+		if !ok {
+			continue
+		}
+		if flip == -1 {
+			// c subsumes d. If a learnt clause subsumes a problem clause
+			// it must be promoted, or database reduction could later evict
+			// the only remaining form of the constraint.
+			if c.learnt && !d.learnt {
+				c.learnt = false
+			}
+			p.s.SubsumedClauses++
+			p.deleteClause(cj)
+			continue
+		}
+		p.s.StrengthenedClauses++
+		p.strengthen(cj, flip)
+	}
+}
+
+// resolve computes the resolvent of a and b on v; ok is false for
+// tautologies.
+func resolve(a, b []Lit, v int) ([]Lit, bool) {
+	out := make([]Lit, 0, len(a)+len(b)-2)
+	for _, l := range a {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() == v {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return nil, false
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	return out, true
+}
+
+// eliminate attempts bounded variable elimination on every unfrozen,
+// unassigned variable, cheapest occurrence counts first.
+func (p *preprocessor) eliminate() {
+	s := p.s
+	type cand struct{ v, n int }
+	cands := make([]cand, 0, s.NumVars())
+	for v := 0; v < s.NumVars(); v++ {
+		if s.frozen[v] || s.elimed[v] || s.assigns[v] != lUndef {
+			continue
+		}
+		n := len(p.occ[MkLit(v, false)]) + len(p.occ[MkLit(v, true)])
+		if n == 0 {
+			continue
+		}
+		cands = append(cands, cand{v, n})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n < cands[j].n
+		}
+		return cands[i].v < cands[j].v
+	})
+	for _, cd := range cands {
+		if !s.ok {
+			return
+		}
+		p.tryEliminate(cd.v)
+	}
+}
+
+// tryEliminate resolves every pos/neg problem-clause pair on v; the
+// elimination commits only when the non-tautological resolvents do not
+// outnumber the clauses they replace (SatELite's zero-growth rule) and
+// none exceeds the length cutoff. Learnt clauses mentioning v are simply
+// dropped — they are implied, and the remaining ones stay implied because
+// every model of the reduced formula extends to one of the original.
+func (p *preprocessor) tryEliminate(v int) {
+	s := p.s
+	if s.frozen[v] || s.elimed[v] || s.assigns[v] != lUndef {
+		return
+	}
+	pl, nl := MkLit(v, false), MkLit(v, true)
+	var pos, neg []int
+	for _, ci := range p.occ[pl] {
+		if !p.cls[ci].learnt {
+			pos = append(pos, ci)
+		}
+	}
+	for _, ci := range p.occ[nl] {
+		if !p.cls[ci].learnt {
+			neg = append(neg, ci)
+		}
+	}
+	if len(pos) > bveOccLimit || len(neg) > bveOccLimit {
+		return
+	}
+	limit := len(pos) + len(neg)
+	var resolvents [][]Lit
+	for _, pi := range pos {
+		for _, ni := range neg {
+			r, ok := resolve(p.cls[pi].lits, p.cls[ni].lits, v)
+			if !ok {
+				continue
+			}
+			if len(r) > bveClauseLimit {
+				return
+			}
+			resolvents = append(resolvents, r)
+			if len(resolvents) > limit {
+				return
+			}
+		}
+	}
+	// Commit: record and remove the originals, drop learnts touching v,
+	// then add the resolvents.
+	rec := elimRecord{v: v}
+	for _, ci := range pos {
+		rec.clauses = append(rec.clauses, append([]Lit(nil), p.cls[ci].lits...))
+	}
+	for _, ci := range neg {
+		rec.clauses = append(rec.clauses, append([]Lit(nil), p.cls[ci].lits...))
+	}
+	for _, ci := range pos {
+		p.deleteClause(ci)
+	}
+	for _, ci := range neg {
+		p.deleteClause(ci)
+	}
+	for len(p.occ[pl]) > 0 {
+		p.deleteClause(p.occ[pl][0])
+	}
+	for len(p.occ[nl]) > 0 {
+		p.deleteClause(p.occ[nl][0])
+	}
+	if s.elimIndex == nil {
+		s.elimIndex = map[int]int{}
+	}
+	s.elimIndex[v] = len(s.elimStack)
+	s.elimStack = append(s.elimStack, rec)
+	s.elimed[v] = true
+	s.ElimVars++
+	for _, r := range resolvents {
+		p.addResolvent(r)
+	}
+	p.processUnits()
+}
+
+// addResolvent installs a BVE resolvent as a problem clause, simplifying
+// against the level-0 assignment first.
+func (p *preprocessor) addResolvent(lits []Lit) {
+	s := p.s
+	out := lits[:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return
+		case lFalse:
+			// drop
+		default:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return
+	case 1:
+		p.units = append(p.units, out[0])
+		return
+	}
+	p.addIndexed(&clause{lits: out})
+}
+
+// finish compacts the database and rebuilds the watch lists.
+func (p *preprocessor) finish() {
+	s := p.s
+	cls := s.clauses[:0]
+	lrn := s.learnts[:0]
+	for _, c := range p.cls {
+		if c.deleted {
+			continue
+		}
+		if c.learnt {
+			lrn = append(lrn, c)
+		} else {
+			cls = append(cls, c)
+		}
+	}
+	s.clauses = cls
+	s.learnts = lrn
+	s.rebuildWatches()
+}

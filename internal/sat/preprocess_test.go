@@ -1,0 +1,280 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPreprocessSubsumption(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, false), MkLit(b, false), MkLit(c, false))
+	// Freeze everything so BVE cannot hide the subsumption effect.
+	for _, v := range []int{a, b, c} {
+		s.FreezeVar(v)
+	}
+	if !s.Preprocess() {
+		t.Fatal("Preprocess reported unsat")
+	}
+	if s.SubsumedClauses != 1 {
+		t.Fatalf("SubsumedClauses = %d, want 1", s.SubsumedClauses)
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("NumClauses = %d, want 1", s.NumClauses())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+}
+
+func TestPreprocessSelfSubsumption(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// (a|b) and (~a|b|c): the first self-subsumes the second to (b|c).
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true), MkLit(b, false), MkLit(c, false))
+	for _, v := range []int{a, b, c} {
+		s.FreezeVar(v)
+	}
+	if !s.Preprocess() {
+		t.Fatal("Preprocess reported unsat")
+	}
+	if s.StrengthenedClauses != 1 {
+		t.Fatalf("StrengthenedClauses = %d, want 1", s.StrengthenedClauses)
+	}
+}
+
+func TestPreprocessBVEAndModel(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// b is defined by a and forces c: (~a|b) (a|~b) (~b|c).
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(b, true), MkLit(c, false))
+	s.AddClause(MkLit(a, false)) // force a true
+	if !s.Preprocess() {
+		t.Fatal("Preprocess reported unsat")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	// The model must cover eliminated variables too: a=1 forces b=1
+	// forces c=1 in the ORIGINAL formula.
+	if !s.Value(a) || !s.Value(b) || !s.Value(c) {
+		t.Fatalf("model a=%v b=%v c=%v, want all true", s.Value(a), s.Value(b), s.Value(c))
+	}
+}
+
+func TestPreprocessPureLiteral(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	// a occurs only positively: pure-literal elimination is BVE with zero
+	// resolvents. b is frozen so the clause survives until BVE looks at a.
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.FreezeVar(b)
+	if !s.Preprocess() {
+		t.Fatal("Preprocess reported unsat")
+	}
+	if s.ElimVars == 0 {
+		t.Fatal("expected at least one eliminated variable")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if !s.Value(a) {
+		t.Fatal("reconstructed model must set the pure literal true")
+	}
+}
+
+func TestPreprocessRestoreOnAddClause(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true))
+	s.AddClause(MkLit(c, false), MkLit(b, false))
+	if !s.Preprocess() {
+		t.Fatal("Preprocess reported unsat")
+	}
+	if s.ElimVars == 0 {
+		t.Skip("nothing eliminated; restore path not exercised")
+	}
+	// New clauses referencing eliminated variables must restore their
+	// original semantics: force a, then contradict b (defined as a). The
+	// restored clauses make the conflict visible — AddClause may already
+	// report it, and Solve must settle on Unsat either way.
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(b, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat (a forces b)", got)
+	}
+}
+
+func TestPreprocessFrozenAssumptions(t *testing.T) {
+	// Assumption variables must answer differently across queries even
+	// when preprocessing runs in between.
+	s := New()
+	s.SetPreprocess(true)
+	sel := s.NewVar()
+	x := s.NewVar()
+	s.AddClause(MkLit(sel, true), MkLit(x, false)) // sel -> x
+	s.AddClause(MkLit(sel, false), MkLit(x, true)) // ~sel -> ~x
+	if got := s.Solve(MkLit(sel, false)); got != Sat {
+		t.Fatalf("Solve(sel) = %v, want Sat", got)
+	}
+	if !s.Value(x) {
+		t.Fatal("sel assumed true must force x")
+	}
+	if got := s.Solve(MkLit(sel, true)); got != Sat {
+		t.Fatalf("Solve(~sel) = %v, want Sat", got)
+	}
+	if s.Value(x) {
+		t.Fatal("sel assumed false must force ~x")
+	}
+}
+
+// randomCNF builds a random k-SAT instance over nVars variables.
+func randomCNF(rng *rand.Rand, nVars, nClauses, k int) [][]Lit {
+	out := make([][]Lit, 0, nClauses)
+	for i := 0; i < nClauses; i++ {
+		cl := make([]Lit, 0, k)
+		used := map[int]bool{}
+		for len(cl) < k {
+			v := rng.Intn(nVars)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cl = append(cl, MkLit(v, rng.Intn(2) == 0))
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+func clauseSatisfied(s *Solver, cl []Lit) bool {
+	for _, l := range cl {
+		if s.Value(l.Var()) != l.Neg() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPreprocessDifferentialRandom3SAT is the core property test: on random
+// 3-SAT instances, preprocessing must preserve the verdict, the returned
+// model must satisfy every ORIGINAL clause, and unsat cores must remain
+// subsets of the negated assumptions.
+func TestPreprocessDifferentialRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 5 + rng.Intn(16)
+		nClauses := 5 + rng.Intn(5*nVars)
+		cnf := randomCNF(rng, nVars, nClauses, 3)
+
+		plain, prep := New(), New()
+		prep.SetPreprocess(true)
+		for i := 0; i < nVars; i++ {
+			plain.NewVar()
+			prep.NewVar()
+		}
+		okPlain, okPrep := true, true
+		for _, cl := range cnf {
+			okPlain = plain.AddClause(cl...) && okPlain
+			okPrep = prep.AddClause(cl...) && okPrep
+		}
+
+		var assumptions []Lit
+		if iter%3 == 0 {
+			for len(assumptions) < 1+rng.Intn(3) {
+				assumptions = append(assumptions, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+		}
+
+		got := prep.Solve(assumptions...)
+		want := plain.Solve(assumptions...)
+		if got != want {
+			t.Fatalf("iter %d: preprocess verdict %v, plain %v (vars=%d clauses=%d assume=%v)",
+				iter, got, want, nVars, nClauses, assumptions)
+		}
+		switch got {
+		case Sat:
+			for ci, cl := range cnf {
+				if !clauseSatisfied(prep, cl) {
+					t.Fatalf("iter %d: reconstructed model violates original clause %d: %v",
+						iter, ci, cl)
+				}
+			}
+			for _, a := range assumptions {
+				if prep.Value(a.Var()) == a.Neg() {
+					t.Fatalf("iter %d: model violates assumption %v", iter, a)
+				}
+			}
+		case Unsat:
+			core := prep.Conflict()
+			for _, l := range core {
+				found := false
+				for _, a := range assumptions {
+					if l == a.Not() {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("iter %d: core literal %v is not a negated assumption %v",
+						iter, l, assumptions)
+				}
+			}
+		}
+	}
+}
+
+// TestPreprocessIncrementalSequence interleaves clause additions and
+// assumption queries on a single long-lived pair of solvers, which is the
+// access pattern of the incremental verification engine.
+func TestPreprocessIncrementalSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		nVars := 8 + rng.Intn(10)
+		plain, prep := New(), New()
+		prep.SetPreprocess(true)
+		for i := 0; i < nVars; i++ {
+			plain.NewVar()
+			prep.NewVar()
+		}
+		for step := 0; step < 6; step++ {
+			for _, cl := range randomCNF(rng, nVars, 2+rng.Intn(3*nVars), 3) {
+				plain.AddClause(cl...)
+				prep.AddClause(cl...)
+			}
+			var assumptions []Lit
+			for len(assumptions) < rng.Intn(3) {
+				assumptions = append(assumptions, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+			}
+			got, want := prep.Solve(assumptions...), plain.Solve(assumptions...)
+			if got != want {
+				t.Fatalf("round %d step %d: preprocess %v, plain %v", round, step, got, want)
+			}
+			if want == Unsat && len(assumptions) == 0 {
+				break // both permanently unsat
+			}
+		}
+	}
+}
+
+func TestPreprocessStatsCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New()
+	s.SetPreprocess(true)
+	const nVars = 30
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for _, cl := range randomCNF(rng, nVars, 120, 3) {
+		s.AddClause(cl...)
+	}
+	s.Solve()
+	if s.ElimVars == 0 && s.SubsumedClauses == 0 && s.StrengthenedClauses == 0 {
+		t.Fatal("preprocessing ran but recorded no work in any stat")
+	}
+}

@@ -139,13 +139,16 @@ type Solver struct {
 	// Stats. Plain fields, not atomics: a solver instance is
 	// single-goroutine; parallel verification gives every check a fresh
 	// solver and folds these into the observability registry afterwards.
-	Conflicts    int64
-	Decisions    int64
-	Propagations int64
-	Learnt       int64 // learnt clauses retained in the database
-	LearntLits   int64 // total literals across learnt clauses (incl. units)
-	Restarts     int64 // Luby restarts taken (completed search() rounds)
-	Deleted      int64 // learnt clauses evicted by database reduction
+	Conflicts           int64
+	Decisions           int64
+	Propagations        int64
+	Learnt              int64 // learnt clauses retained in the database
+	LearntLits          int64 // total literals across learnt clauses (incl. units)
+	Restarts            int64 // Luby restarts taken (completed search() rounds)
+	Deleted             int64 // learnt clauses evicted by database reduction
+	ElimVars            int64 // variables removed by bounded variable elimination
+	SubsumedClauses     int64 // clauses deleted by subsumption
+	StrengthenedClauses int64 // clauses shrunk by self-subsuming resolution
 
 	maxLearnts  float64
 	learntCap   float64 // hard ceiling on maxLearnts growth, <=0 unlimited
@@ -153,6 +156,16 @@ type Solver struct {
 	budget      int64 // conflicts allowed per Solve call, <0 means unlimited
 	budgetLim   int64 // absolute Conflicts ceiling for the current Solve, <0 unlimited
 	numVarsFree int
+
+	// Preprocessing state (preprocess.go). frozen vars are exempt from
+	// elimination; elimed vars are currently substituted away and carry an
+	// elimStack record for model reconstruction and on-demand restore.
+	prep      bool
+	dirty     int    // clauses added since the last Preprocess round
+	frozen    []bool // indexed by var
+	elimed    []bool // indexed by var
+	elimStack []elimRecord
+	elimIndex map[int]int // var -> elimStack index while eliminated
 }
 
 // New returns an empty solver.
@@ -199,6 +212,8 @@ func (s *Solver) NewVar() int {
 	s.activity = append(s.activity, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.seen = append(s.seen, 0)
+	s.frozen = append(s.frozen, false)
+	s.elimed = append(s.elimed, false)
 	s.order.push(s, v)
 	s.numVarsFree++
 	return v
@@ -238,6 +253,20 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause above decision level 0")
 	}
+	// A clause mentioning an eliminated variable forces its restoration:
+	// the stored original clauses come back so the variable's semantics
+	// are intact before the new constraint lands.
+	if len(s.elimStack) > 0 {
+		for _, l := range lits {
+			if v := l.Var(); v < len(s.elimed) && s.elimed[v] {
+				s.restoreVar(v)
+				if !s.ok {
+					return false
+				}
+			}
+		}
+	}
+	s.dirty++
 	// Sort & dedupe; detect tautologies and satisfied/false literals.
 	out := lits[:0:0]
 	for _, l := range lits {
@@ -692,7 +721,7 @@ func (s *Solver) search(maxConflicts int) Status {
 func (s *Solver) pickBranchVar() int {
 	for !s.order.empty() {
 		v := s.order.pop(s)
-		if s.assigns[v] == lUndef {
+		if s.assigns[v] == lUndef && !s.elimed[v] {
 			return v
 		}
 	}
@@ -704,6 +733,23 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		s.conflictSet = s.conflictSet[:0]
 		return Unsat
+	}
+	// Assumption variables must survive elimination: their truth is decided
+	// per call, so baking them into resolvents would change later queries.
+	// Freezing also restores any already-eliminated assumption variable.
+	for _, a := range assumptions {
+		s.FreezeVar(a.Var())
+	}
+	if !s.ok {
+		s.conflictSet = s.conflictSet[:0]
+		return Unsat
+	}
+	if s.prep && s.dirty > 0 &&
+		(s.dirty >= prepDirtyMin || s.dirty*prepDirtyFrac >= len(s.clauses)) {
+		if !s.Preprocess() {
+			s.conflictSet = s.conflictSet[:0]
+			return Unsat
+		}
 	}
 	s.assumptions = append(s.assumptions[:0], assumptions...)
 	s.conflictSet = s.conflictSet[:0]
@@ -721,8 +767,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		st := s.search(maxC)
 		switch st {
 		case Sat:
-			// Snapshot the model before the deferred backtrack erases it.
+			// Snapshot the model before the deferred backtrack erases it,
+			// then reconstruct values for eliminated variables.
 			s.model = append(s.model[:0], s.assigns...)
+			s.extendModel()
 			return Sat
 		case Unsat:
 			return Unsat

@@ -45,6 +45,17 @@ func (s *Solver) SetBudget(conflicts int64) { s.sat.SetBudget(conflicts) }
 // keep memory flat; values <= 0 remove the bound.
 func (s *Solver) SetLearntCap(n int) { s.sat.SetLearntCap(n) }
 
+// SetPreprocess enables SatELite-style CNF preprocessing (subsumption,
+// self-subsuming resolution, bounded variable elimination) in the SAT
+// core. Models are reconstructed for eliminated variables and assumption/
+// indicator variables are exempt, so verdicts, models, and unsat cores are
+// unchanged; only the search gets cheaper.
+func (s *Solver) SetPreprocess(on bool) { s.sat.SetPreprocess(on) }
+
+// Preprocess runs one preprocessing round immediately; it returns false if
+// simplification alone proves the asserted constraints unsatisfiable.
+func (s *Solver) Preprocess() bool { return s.sat.Preprocess() }
+
 // Stats returns (decisions, conflicts, propagations) of the underlying SAT
 // solver.
 func (s *Solver) Stats() (int64, int64, int64) {
@@ -64,6 +75,9 @@ type SolverStats struct {
 	LearntClauses  int64
 	LearntLits     int64
 	LearntDeleted  int64 // learnt clauses evicted by database reduction
+	ElimVars       int64 // variables removed by bounded variable elimination
+	Subsumed       int64 // clauses deleted by subsumption
+	Strengthened   int64 // clauses shrunk by self-subsuming resolution
 	TseitinClauses int64 // CNF clauses emitted by the blaster (>= retained)
 	BlastHits      int64 // per-term blast-cache hits
 	BlastMisses    int64 // per-term blast-cache misses
@@ -81,6 +95,9 @@ func (s *Solver) SolverStats() SolverStats {
 		LearntClauses:  s.sat.Learnt,
 		LearntLits:     s.sat.LearntLits,
 		LearntDeleted:  s.sat.Deleted,
+		ElimVars:       s.sat.ElimVars,
+		Subsumed:       s.sat.SubsumedClauses,
+		Strengthened:   s.sat.StrengthenedClauses,
 		TseitinClauses: s.b.clausesEmitted,
 		BlastHits:      s.b.cacheHits,
 		BlastMisses:    s.b.cacheMisses,
@@ -106,9 +123,14 @@ func (s *Solver) Assert(t *Term) {
 
 // Indicator blasts a boolean term and returns a SAT literal equivalent to
 // it, without asserting it. Used for assumptions and MaxSAT soft clauses.
+// The literal's variable is frozen: an activation literal's truth varies
+// per query, so CNF preprocessing must never resolve it away between
+// incremental checks.
 func (s *Solver) Indicator(t *Term) sat.Lit {
 	mustBool("Indicator", t)
-	return s.b.boolLit(t)
+	l := s.b.boolLit(t)
+	s.sat.FreezeVar(l.Var())
+	return l
 }
 
 // Check determines satisfiability of the asserted constraints under the

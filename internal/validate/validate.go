@@ -68,7 +68,7 @@ func (r *Result) String() string {
 // order). opts configures the encoder under test — including, for the §7.2
 // regression stories, an injected encoder bug.
 func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options) (*Result, error) {
-	return run(prog, snap, components, opts, false)
+	return run(prog, snap, components, opts, Config{})
 }
 
 // ValidateSimplify runs the same refinement proof but passes every solver
@@ -76,10 +76,26 @@ func Validate(prog *p4.Program, snap *tables.Snapshot, components []string, opts
 // the §6 pipeline itself, that simplification preserves the refinement
 // verdict.
 func ValidateSimplify(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options) (*Result, error) {
-	return run(prog, snap, components, opts, true)
+	return run(prog, snap, components, opts, Config{Simplify: true})
 }
 
-func run(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options, simplify bool) (*Result, error) {
+// Config selects the optional solver-side passes of a validation run.
+type Config struct {
+	// Simplify routes every refinement query through the algebraic
+	// simplification pass.
+	Simplify bool
+	// Preprocess enables SatELite-style CNF preprocessing in the solver —
+	// exercising, like Simplify, that the pass preserves refinement
+	// verdicts inside the §6 pipeline itself.
+	Preprocess bool
+}
+
+// ValidateWith runs the refinement proof with the given pass configuration.
+func ValidateWith(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options, cfg Config) (*Result, error) {
+	return run(prog, snap, components, opts, cfg)
+}
+
+func run(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options, cfg Config) (*Result, error) {
 	start := time.Now()
 	o := obs.Default()
 	ctx := smt.NewCtx()
@@ -121,8 +137,11 @@ func run(prog *p4.Program, snap *tables.Snapshot, components []string, opts enco
 	defer endCheck()
 	res := &Result{Time: 0}
 	solver := smt.NewSolver(ctx)
+	if cfg.Preprocess {
+		solver.SetPreprocess(true)
+	}
 	query := func(cond *smt.Term) *smt.Term { return cond }
-	if simplify {
+	if cfg.Simplify {
 		simp := smt.NewSimplifier(ctx)
 		query = simp.Simplify
 	}

@@ -1,0 +1,202 @@
+package verify
+
+import (
+	"bytes"
+	"testing"
+
+	"aquila/internal/gcl"
+	"aquila/internal/genprog"
+	"aquila/internal/lpi"
+	"aquila/internal/progs"
+	"aquila/internal/smt"
+)
+
+// TestPreprocessSliceMatchBaseline is the differential contract of the CNF
+// preprocessing and cone-of-influence slicing passes: on the whole corpus,
+// every combination of {preprocess, slice} across fresh, parallel, and
+// incremental engines at several worker counts produces canonical report
+// bytes identical to the plain serial baseline.
+func TestPreprocessSliceMatchBaseline(t *testing.T) {
+	type pass struct {
+		name       string
+		preprocess bool
+		slice      bool
+	}
+	passes := []pass{
+		{"preprocess", true, false},
+		{"slice", false, true},
+		{"both", true, true},
+	}
+	for _, c := range corpusSuite(t) {
+		base, err := Run(c.prog, nil, c.spec, Options{FindAll: true, Parallel: 1})
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", c.name, err)
+		}
+		want, err := base.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", c.name, err)
+		}
+		for _, p := range passes {
+			for _, incremental := range []bool{false, true} {
+				for _, w := range []int{1, 2, 4} {
+					opts := Options{FindAll: true, Parallel: w,
+						Incremental: incremental,
+						Preprocess:  p.preprocess, Slice: p.slice}
+					rep, err := Run(c.prog, nil, c.spec, opts)
+					if err != nil {
+						t.Fatalf("%s: %s incremental=%v w=%d: %v",
+							c.name, p.name, incremental, w, err)
+					}
+					got, err := rep.CanonicalJSON()
+					if err != nil {
+						t.Fatalf("%s: %s w=%d canonical: %v", c.name, p.name, w, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("%s: %s incremental=%v w=%d differs from baseline\nbaseline: %s\ngot: %s",
+							c.name, p.name, incremental, w, want, got)
+					}
+					if p.slice && rep.Stats.SliceConjuncts == 0 {
+						t.Errorf("%s: %s w=%d: slicing recorded no conjuncts",
+							c.name, p.name, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPreprocessShrinksDCGateway pins the point of the passes on the
+// many-assertion benchmark: preprocessing must record eliminated/subsumed
+// structure and reduce SAT propagations, and slicing must drop conjuncts.
+func TestPreprocessShrinksDCGateway(t *testing.T) {
+	bm := progs.DCGatewayBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	base, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	prep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1, Preprocess: true})
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	if prep.Stats.ElimVars+prep.Stats.SubsumedClauses+prep.Stats.StrengthenedClauses == 0 {
+		t.Error("preprocessing ran but recorded no eliminated/subsumed/strengthened work")
+	}
+	if prep.Stats.CNFClauses >= base.Stats.CNFClauses {
+		t.Errorf("preprocessing retained %d CNF clauses, want < baseline %d",
+			prep.Stats.CNFClauses, base.Stats.CNFClauses)
+	}
+	sliced, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1, Slice: true})
+	if err != nil {
+		t.Fatalf("slice: %v", err)
+	}
+	if sliced.Stats.SliceDropped == 0 {
+		t.Errorf("slicing dropped no conjuncts (saw %d)", sliced.Stats.SliceConjuncts)
+	}
+}
+
+// TestSliceGenprogDifferential repeats the differential check on synthetic
+// production-shaped programs with seeded bugs: slicing must not change
+// which assertions are violated or their counterexamples.
+func TestSliceGenprogDifferential(t *testing.T) {
+	cfgs := []genprog.Config{
+		{Name: "gp_slice_small", Pipes: 1, ParserStates: 6, Tables: 8, ActionsPerTable: 2, SeedBug: true},
+		{Name: "gp_slice_wide", Pipes: 2, ParserStates: 10, Tables: 14, ActionsPerTable: 3, SeedBug: true},
+	}
+	for _, cfg := range cfgs {
+		bm := genprog.Assemble(cfg)
+		prog, err := bm.Parse()
+		if err != nil {
+			t.Fatalf("%s: parse: %v", cfg.Name, err)
+		}
+		spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+		if err != nil {
+			t.Fatalf("%s: spec: %v", cfg.Name, err)
+		}
+		base, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1})
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", cfg.Name, err)
+		}
+		if base.Holds {
+			t.Fatalf("%s: seeded bug not found by baseline", cfg.Name)
+		}
+		want, err := base.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", cfg.Name, err)
+		}
+		for _, w := range []int{1, 2} {
+			rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: w,
+				Preprocess: true, Slice: true, Incremental: w == 2})
+			if err != nil {
+				t.Fatalf("%s: w=%d: %v", cfg.Name, w, err)
+			}
+			got, err := rep.CanonicalJSON()
+			if err != nil {
+				t.Fatalf("%s: w=%d canonical: %v", cfg.Name, w, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: sliced w=%d differs from baseline\nbaseline: %s\ngot: %s",
+					cfg.Name, w, want, got)
+			}
+		}
+	}
+}
+
+// TestStaticShardsNoEmpty is the regression test for the empty-shard bug:
+// StaticShards must never hand a caller an empty shard (each one would
+// spawn a shard goroutine owning an idle solver), and zero work must yield
+// zero shards.
+func TestStaticShardsNoEmpty(t *testing.T) {
+	for _, tc := range []struct{ shards, n, want int }{
+		{4, 0, 0},
+		{1, 0, 0},
+		{0, 0, 0},
+		{4, 2, 2},
+		{8, 3, 3},
+		{2, 5, 2},
+		{1, 1, 1},
+	} {
+		got := StaticShards(tc.shards, tc.n)
+		if len(got) != tc.want {
+			t.Errorf("StaticShards(%d, %d): %d shards, want %d",
+				tc.shards, tc.n, len(got), tc.want)
+		}
+		seen := 0
+		for s, shard := range got {
+			if len(shard) == 0 {
+				t.Errorf("StaticShards(%d, %d): shard %d is empty", tc.shards, tc.n, s)
+			}
+			seen += len(shard)
+		}
+		if seen != tc.n {
+			t.Errorf("StaticShards(%d, %d): %d indices covered, want %d",
+				tc.shards, tc.n, seen, tc.n)
+		}
+	}
+}
+
+// TestIncrementalZeroAssertions pins the n = 0 path end to end: an
+// incremental run over an empty assertion list must hold, spawn no
+// solvers, and not panic on the (absent) first shard.
+func TestIncrementalZeroAssertions(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		rep := &Report{Ctx: smt.NewCtx(), Result: &gcl.Result{}}
+		if err := rep.check(Options{FindAll: true, Incremental: true, Parallel: w,
+			Preprocess: true, Slice: true}); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if !rep.Holds && len(rep.Violations) != 0 {
+			t.Fatalf("w=%d: violations on empty assertion list", w)
+		}
+		if rep.Stats.SATVars != 0 || rep.Stats.CNFClauses != 0 {
+			t.Fatalf("w=%d: empty run created solver work: %+v", w, rep.Stats)
+		}
+	}
+}

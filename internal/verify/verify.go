@@ -47,6 +47,20 @@ type Options struct {
 	// Only consulted in incremental mode, so the fresh-solver baseline
 	// stays bit-for-bit what it always was.
 	Simplify bool
+	// Preprocess enables SatELite-style CNF preprocessing (subsumption,
+	// self-subsuming resolution, bounded variable elimination) in the SAT
+	// core of every checking solver. Verdicts are unchanged; counterexample
+	// models are re-derived by a plain fresh solver so canonical reports
+	// stay byte-identical to the unpreprocessed baseline.
+	Preprocess bool
+	// Slice enables per-assertion cone-of-influence slicing in find-all
+	// modes: VC conjuncts whose free variables cannot reach the assertion's
+	// checked condition are dropped before blasting. An Unsat slice soundly
+	// proves the assertion holds; a Sat slice is confirmed on the full
+	// condition by a plain fresh solver, so canonical reports stay
+	// byte-identical to unsliced mode. Ignored in find-first mode, which
+	// solves one disjunction over all assertions.
+	Slice bool
 	// Parallel is the number of worker goroutines for find-all checks and
 	// localization re-checks: 0 means runtime.GOMAXPROCS(0), 1 forces the
 	// serial path. Reports are byte-identical at every setting: each
@@ -185,6 +199,16 @@ type Stats struct {
 	TseitinClauses int64
 	BlastHits      int64
 
+	// CNF preprocessing totals, summed across the same solver instances
+	// (all zero with Options.Preprocess off).
+	ElimVars            int64
+	SubsumedClauses     int64
+	StrengthenedClauses int64
+	// SliceConjuncts and SliceDropped count the VC conjuncts seen and
+	// removed by cone-of-influence slicing (zero with Options.Slice off).
+	SliceConjuncts int64
+	SliceDropped   int64
+
 	// PerAssertion is the find-all per-assertion cost breakdown (the data
 	// Figure 11 plots): one entry per consumed assertion, in assertion
 	// order. Empty in find-first mode, which checks all assertions in one
@@ -219,6 +243,9 @@ func (st *Stats) addSolver(ss smt.SolverStats) {
 	st.LearntDeleted += ss.LearntDeleted
 	st.TseitinClauses += ss.TseitinClauses
 	st.BlastHits += ss.BlastHits
+	st.ElimVars += ss.ElimVars
+	st.SubsumedClauses += ss.Subsumed
+	st.StrengthenedClauses += ss.Strengthened
 }
 
 // statsDelta is the work between two snapshots of one (shared) solver.
@@ -231,6 +258,9 @@ func statsDelta(cur, prev smt.SolverStats) smt.SolverStats {
 		LearntClauses:  cur.LearntClauses - prev.LearntClauses,
 		LearntLits:     cur.LearntLits - prev.LearntLits,
 		LearntDeleted:  cur.LearntDeleted - prev.LearntDeleted,
+		ElimVars:       cur.ElimVars - prev.ElimVars,
+		Subsumed:       cur.Subsumed - prev.Subsumed,
+		Strengthened:   cur.Strengthened - prev.Strengthened,
 		TseitinClauses: cur.TseitinClauses - prev.TseitinClauses,
 		BlastHits:      cur.BlastHits - prev.BlastHits,
 		BlastMisses:    cur.BlastMisses - prev.BlastMisses,
@@ -250,6 +280,9 @@ func addStats(a, b smt.SolverStats) smt.SolverStats {
 		LearntClauses:  a.LearntClauses + b.LearntClauses,
 		LearntLits:     a.LearntLits + b.LearntLits,
 		LearntDeleted:  a.LearntDeleted + b.LearntDeleted,
+		ElimVars:       a.ElimVars + b.ElimVars,
+		Subsumed:       a.Subsumed + b.Subsumed,
+		Strengthened:   a.Strengthened + b.Strengthened,
 		TseitinClauses: a.TseitinClauses + b.TseitinClauses,
 		BlastHits:      a.BlastHits + b.BlastHits,
 		BlastMisses:    a.BlastMisses + b.BlastMisses,
@@ -273,6 +306,9 @@ func countSolver(o *obs.Obs, ss smt.SolverStats, status smt.Status) {
 	m.Counter(obs.CtrSATLearntClause).Add(ss.LearntClauses)
 	m.Counter(obs.CtrSATLearntLits).Add(ss.LearntLits)
 	m.Counter(obs.CtrSATLearntDeleted).Add(ss.LearntDeleted)
+	m.Counter(obs.CtrSATElimVars).Add(ss.ElimVars)
+	m.Counter(obs.CtrSATSubsumed).Add(ss.Subsumed)
+	m.Counter(obs.CtrSATStrengthened).Add(ss.Strengthened)
 	m.Counter(obs.CtrSMTTseitinClauses).Add(ss.TseitinClauses)
 	m.Counter(obs.CtrSMTBlastHits).Add(ss.BlastHits)
 	m.Counter(obs.CtrSMTBlastMisses).Add(ss.BlastMisses)
@@ -397,6 +433,9 @@ func (rep *Report) checkFirst(opts Options) error {
 	if opts.Budget > 0 {
 		solver.SetBudget(opts.Budget)
 	}
+	if opts.Preprocess {
+		solver.SetPreprocess(true)
+	}
 	rep.Stats.Workers = 1
 
 	disj := ctx.False()
@@ -423,6 +462,31 @@ func (rep *Report) checkFirst(opts Options) error {
 	}
 	m := solver.Model()
 	solver.ModelCollect(m, disj)
+	if opts.Preprocess {
+		// Preprocessing reconstructs models for eliminated variables, which
+		// can yield a different (equally valid) assignment than the plain
+		// solver — and the model picks which assertion find-first reports.
+		// Re-solve the disjunction with a plain fresh solver and use its
+		// deterministic model so reports match the unpreprocessed baseline.
+		s2 := smt.NewSolver(ctx)
+		if opts.Budget > 0 {
+			s2.SetBudget(opts.Budget)
+		}
+		t1 := time.Now()
+		st2 := s2.Check(disj)
+		rep.Stats.SolveCPU += time.Since(t1)
+		ss2 := s2.SolverStats()
+		rep.Stats.addSolver(ss2)
+		countSolver(o, ss2, st2)
+		if st2 == smt.Unknown {
+			return ErrBudget
+		}
+		if st2 != smt.Sat {
+			return fmt.Errorf("verify: plain re-check contradicts preprocessed sat verdict")
+		}
+		m = s2.Model()
+		s2.ModelCollect(m, disj)
+	}
 	// Identify the first assertion the model violates.
 	for _, v := range rep.Result.Violations {
 		if m.Bool(v.Cond) {
@@ -489,6 +553,17 @@ func (rep *Report) checkAll(opts Options) error {
 	rep.Stats.Workers = workers
 	o := opts.Observer()
 
+	// Cone-of-influence slices are computed serially before the context may
+	// freeze (slicing creates terms). With the flag off every checkCond is
+	// the original condition and the paths below are unchanged.
+	checkConds := make([]*smt.Term, n)
+	for i, v := range conds {
+		checkConds[i] = v.Cond
+	}
+	if opts.Slice {
+		rep.sliceConds(opts, conds, checkConds)
+	}
+
 	type checkOut struct {
 		done   bool
 		status smt.Status
@@ -509,19 +584,46 @@ func (rep *Report) checkAll(opts Options) error {
 		if opts.Budget > 0 {
 			solver.SetBudget(opts.Budget)
 		}
+		if opts.Preprocess {
+			solver.SetPreprocess(true)
+		}
 		t0 := time.Now()
-		st := solver.Check(v.Cond)
+		st := solver.Check(checkConds[i])
 		out := &outs[i]
 		out.cpu = time.Since(t0)
 		out.status = st
 		out.ss = solver.SolverStats()
 		if st == smt.Sat {
-			m := solver.Model()
-			solver.ModelCollect(m, v.Cond)
-			out.model = m
+			if opts.Preprocess || checkConds[i] != v.Cond {
+				// Canonical counterexample: confirm on the ORIGINAL condition
+				// with a plain deterministic fresh solver, so reports match
+				// the baseline byte-for-byte. A sliced Sat with a full-
+				// condition Unsat means the dropped (variable-disjoint)
+				// remainder was unsatisfiable on its own: the assertion
+				// holds, exactly the unsliced verdict. Cost is folded into
+				// this assertion's stats.
+				s2 := smt.NewSolver(rep.Ctx)
+				if opts.Budget > 0 {
+					s2.SetBudget(opts.Budget)
+				}
+				t1 := time.Now()
+				st2 := s2.Check(v.Cond)
+				out.cpu += time.Since(t1)
+				out.ss = addStats(out.ss, s2.SolverStats())
+				out.status = st2
+				if st2 == smt.Sat {
+					m := s2.Model()
+					s2.ModelCollect(m, v.Cond)
+					out.model = m
+				}
+			} else {
+				m := solver.Model()
+				solver.ModelCollect(m, v.Cond)
+				out.model = m
+			}
 		}
 		endSpan()
-		countSolver(o, out.ss, st)
+		countSolver(o, out.ss, out.status)
 		out.done = true
 	}
 
@@ -599,8 +701,14 @@ func (rep *Report) checkAll(opts Options) error {
 // Unlike the dynamic scheduling of ForEachWorker, the assignment depends
 // only on (shards, n) — the property incremental solving needs, because
 // each shard accumulates state in a shared solver and the assertion
-// sequence a solver sees must be reproducible.
+// sequence a solver sees must be reproducible. With n <= 0 it returns no
+// shards at all: an empty shard would still make its owner spawn a solver
+// (and blast the shared prefix) for zero checks, so callers must get
+// nothing to iterate instead.
 func StaticShards(shards, n int) [][]int {
+	if n <= 0 {
+		return nil
+	}
 	if shards > n {
 		shards = n
 	}
@@ -646,12 +754,15 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 	rep.Stats.Shards = workers
 	o := opts.Observer()
 
-	// Phase 1 (serial, before any sharing): simplify the conditions over
-	// the common hash-consed DAG. Done once; every shard blasts the
-	// smaller forms.
+	// Phase 1 (serial, before any sharing): slice, then simplify, the
+	// conditions over the common hash-consed DAG. Done once; every shard
+	// blasts the smaller forms.
 	checkConds := make([]*smt.Term, n)
 	for i, v := range conds {
 		checkConds[i] = v.Cond
+	}
+	if opts.Slice {
+		rep.sliceConds(opts, conds, checkConds)
 	}
 	if opts.Simplify {
 		endSimp := o.Phase(0, "simplify")
@@ -686,6 +797,9 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 		solver := smt.NewSolver(rep.Ctx)
 		if opts.Budget > 0 {
 			solver.SetBudget(opts.Budget)
+		}
+		if opts.Preprocess {
+			solver.SetPreprocess(true)
 		}
 		var prev smt.SolverStats
 		for _, i := range indices {
@@ -727,6 +841,12 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 					m := s2.Model()
 					s2.ModelCollect(m, v.Cond)
 					out.model = m
+				} else if st2 == smt.Unsat && opts.Slice {
+					// A sliced Sat with a full-condition Unsat means the
+					// dropped (variable-disjoint) remainder was
+					// unsatisfiable on its own: the assertion holds, which
+					// is exactly the unsliced verdict.
+					out.status = smt.Unsat
 				} else {
 					// The shared solver found the simplified condition sat but
 					// the fresh solver disagreed — impossible for sound
@@ -768,7 +888,7 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 			}(s)
 		}
 		wg.Wait()
-	} else {
+	} else if len(shards) > 0 {
 		runShard(0, 0, shards[0])
 	}
 	for _, pc := range prefixClauses {
@@ -943,6 +1063,14 @@ func (rep *Report) String() string {
 			rep.Stats.Shards, rep.Stats.TseitinClauses, rep.Stats.PrefixClauses,
 			rep.Stats.BlastHits, rep.Stats.SimplifyRewrites, rep.Stats.LearntDeleted)
 	}
+	if rep.Stats.ElimVars+rep.Stats.SubsumedClauses+rep.Stats.StrengthenedClauses > 0 {
+		fmt.Fprintf(&b, "prep:  %d vars eliminated, %d clauses subsumed, %d strengthened\n",
+			rep.Stats.ElimVars, rep.Stats.SubsumedClauses, rep.Stats.StrengthenedClauses)
+	}
+	if rep.Stats.SliceConjuncts > 0 {
+		fmt.Fprintf(&b, "slice: %d of %d VC conjuncts dropped\n",
+			rep.Stats.SliceDropped, rep.Stats.SliceConjuncts)
+	}
 	return b.String()
 }
 
@@ -993,6 +1121,14 @@ type JSONStats struct {
 	TseitinClauses   int64 `json:"tseitin_clauses,omitempty"`
 	BlastHits        int64 `json:"blast_cache_hits,omitempty"`
 	LearntDeleted    int64 `json:"learnt_deleted,omitempty"`
+
+	// Preprocessing / slicing extras (absent with the passes off and in
+	// canonical reports).
+	ElimVars            int64 `json:"elim_vars,omitempty"`
+	SubsumedClauses     int64 `json:"subsumed_clauses,omitempty"`
+	StrengthenedClauses int64 `json:"strengthened_clauses,omitempty"`
+	SliceConjuncts      int64 `json:"slice_conjuncts,omitempty"`
+	SliceDropped        int64 `json:"slice_dropped,omitempty"`
 }
 
 // JSONAssertionCost is one assertion's row in the per-assertion breakdown.
@@ -1036,6 +1172,12 @@ func (rep *Report) JSON() ([]byte, error) {
 			TseitinClauses:   rep.Stats.TseitinClauses,
 			BlastHits:        rep.Stats.BlastHits,
 			LearntDeleted:    rep.Stats.LearntDeleted,
+
+			ElimVars:            rep.Stats.ElimVars,
+			SubsumedClauses:     rep.Stats.SubsumedClauses,
+			StrengthenedClauses: rep.Stats.StrengthenedClauses,
+			SliceConjuncts:      rep.Stats.SliceConjuncts,
+			SliceDropped:        rep.Stats.SliceDropped,
 		},
 	}
 	for _, a := range rep.Stats.PerAssertion {
@@ -1099,6 +1241,11 @@ func (rep *Report) CanonicalJSON() ([]byte, error) {
 	canon.Stats.Shards = 0
 	canon.Stats.SimplifyRewrites = 0
 	canon.Stats.PrefixClauses = 0
+	canon.Stats.ElimVars = 0
+	canon.Stats.SubsumedClauses = 0
+	canon.Stats.StrengthenedClauses = 0
+	canon.Stats.SliceConjuncts = 0
+	canon.Stats.SliceDropped = 0
 	if len(canon.Stats.PerAssertion) > 0 {
 		pa := make([]AssertionCost, len(canon.Stats.PerAssertion))
 		for i, a := range canon.Stats.PerAssertion {
