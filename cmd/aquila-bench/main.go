@@ -15,6 +15,7 @@
 //	aquila-bench -exp preproc [-parallel 1,2,4] [-repeats 3] [-preproc-out BENCH_preproc.json]
 //	                          [-compare BENCH_preproc.json]
 //	aquila-bench -exp obs [-repeats 3]
+//	aquila-bench -exp fuzz [-quick]
 //	aquila-bench -exp all -quick
 //
 // Observability flags (shared with the other CLIs): -trace writes a
@@ -41,7 +42,7 @@ func main() { os.Exit(mainRun()) }
 
 func mainRun() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|fuzz|all")
 		quick     = flag.Bool("quick", false, "smaller budgets and workloads")
 		suite     = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
 		scales    = flag.String("scales", "small,medium,large", "table4 switch-T scales")
@@ -310,6 +311,18 @@ func mainRun() int {
 			}
 			fmt.Println("wrote BENCH_obs.json")
 		}
+		return nil
+	})
+
+	run("fuzz", func() error {
+		// The §6 self-validation story as a benchmark: rediscover both
+		// historical encoder bugs from a fixed seed, then a clean campaign
+		// that must end divergence-free.
+		rows, err := bench.FuzzCampaigns(1, *quick)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFuzz(rows))
 		return nil
 	})
 

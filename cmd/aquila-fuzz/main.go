@@ -1,0 +1,156 @@
+// Command aquila-fuzz runs the coverage-guided differential fuzzing
+// campaign of the self-validation story: generated P4lite programs and
+// table snapshots are mutated at the AST level, steered by structural
+// coverage of the encoder and solver pipeline, and every surviving mutant
+// is checked against three oracles — refinement vs the independent
+// interpreter, verdict/report agreement across the engine matrix, and
+// counterexample replay through the path-based executor.
+//
+// Usage:
+//
+//	aquila-fuzz [-seed N] [-iters N] [-duration 60s] [-bug empty-state-accept]
+//	            [-out dir] [-minimize] [-thorough] [-seeds N] [-muts N]
+//	            [-trace out.json] [-pprof cpu.out] [-v]
+//	aquila-fuzz -replay repro.json
+//
+// Exit status is 0 for a clean campaign, 1 when a divergence was found
+// (reproducers are written under -out), 2 on usage or setup errors.
+// -replay re-runs the oracles on a committed reproducer record: exit 0
+// when the record's expectation holds (a live record still diverges, a
+// "fixed" record replays clean), 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"aquila/internal/fuzz"
+	"aquila/internal/obs"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		seed      = flag.Int64("seed", 1, "campaign seed (the whole run is deterministic in it)")
+		iters     = flag.Int("iters", 1000, "fuzzing iterations")
+		duration  = flag.Duration("duration", 0, "stop after this wall-clock budget (0 = iterations only)")
+		bug       = flag.String("bug", "", "rediscovery mode: inject a historical encoder bug (empty-state-accept, ignore-defaultonly) and stop at the first input exposing it")
+		outDir    = flag.String("out", "", "write reproducer JSON + test files for each divergence into this directory")
+		minimize  = flag.Bool("minimize", true, "delta-debug divergent inputs before reporting")
+		thorough  = flag.Bool("thorough", false, "run the engine matrix and replay oracles on every mutant, not just on new coverage")
+		seedProgs = flag.Int("seeds", 4, "generator configurations seeding the corpus")
+		maxMuts   = flag.Int("muts", 3, "max AST mutations per derived input")
+		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the campaign")
+		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		verbose   = flag.Bool("v", false, "log per-iteration progress to stderr")
+		replay    = flag.String("replay", "", "replay one reproducer .json record instead of fuzzing")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		return runReplay(*replay)
+	}
+
+	o, closeObs, err := obs.Setup(obs.Config{TracePath: *tracePath, CPUProfilePath: *cpuProf, Verbose: *verbose})
+	if err != nil {
+		return fail(err)
+	}
+	obs.SetDefault(o)
+
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	eng := fuzz.New(fuzz.Config{
+		Seed:                *seed,
+		Iters:               *iters,
+		Deadline:            *duration,
+		TargetBug:           *bug,
+		SeedPrograms:        *seedProgs,
+		MaxMutations:        *maxMuts,
+		Log:                 logw,
+		MinimizeDivergences: *minimize,
+		Thorough:            *thorough,
+	})
+	res, err := eng.Run()
+	if err != nil {
+		return fail(err)
+	}
+	if err := closeObs(); err != nil {
+		return fail(err)
+	}
+
+	fmt.Printf("aquila-fuzz: %d iterations (%d rejected), %d coverage points, corpus %d, %s\n",
+		res.Iters, res.Rejected, res.CoveragePoints, res.CorpusSize, res.Elapsed.Round(time.Millisecond))
+	if *bug != "" {
+		if res.FoundAtIter > 0 {
+			fmt.Printf("injected bug %q exposed at iteration %d\n", *bug, res.FoundAtIter)
+		} else {
+			fmt.Printf("injected bug %q NOT exposed within budget\n", *bug)
+			return 1
+		}
+	}
+	if len(res.Divergences) == 0 {
+		fmt.Println("no divergences: the pipeline is self-consistent on this campaign")
+		return 0
+	}
+	for _, d := range res.Divergences {
+		fmt.Printf("DIVERGENCE %s\n", d)
+		if *outDir != "" {
+			r := fuzz.NewRepro(d, *bug)
+			path, err := r.WriteFiles(*outDir)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Printf("  reproducer: %s\n", path)
+		}
+	}
+	// In rediscovery mode finding the divergence is the success condition.
+	if *bug != "" {
+		return 0
+	}
+	return 1
+}
+
+// runReplay re-runs the oracles on one reproducer record and checks its
+// expectation: live records must still diverge, fixed ones must not.
+func runReplay(path string) int {
+	r, err := fuzz.LoadRepro(path)
+	if err != nil {
+		return fail(err)
+	}
+	divs, err := r.Replay()
+	if err != nil {
+		return fail(err)
+	}
+	var hit *fuzz.Divergence
+	for _, d := range divs {
+		if d.Oracle == r.Oracle {
+			hit = d
+			break
+		}
+	}
+	switch {
+	case r.Fixed && hit != nil:
+		fmt.Printf("fixed repro diverges again: %s\n", hit)
+		return 1
+	case r.Fixed:
+		fmt.Printf("fixed repro replays clean on oracle %s\n", r.Oracle)
+		return 0
+	case hit != nil:
+		fmt.Printf("repro still diverges: %s\n", hit)
+		return 0
+	default:
+		fmt.Printf("repro no longer diverges on oracle %s (fixed? mark it \"fixed\": true)\n", r.Oracle)
+		return 1
+	}
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "aquila-fuzz:", err)
+	return 2
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aquila/internal/fuzz"
+)
+
+// FuzzRow is one line of the self-validation fuzzing experiment: a
+// rediscovery campaign against an injected historical encoder bug, or a
+// clean campaign against the unmodified pipeline.
+type FuzzRow struct {
+	Campaign    string
+	Seed        int64
+	Iters       int
+	Rejected    int
+	Coverage    int
+	FoundAtIter int // 0 for clean campaigns
+	Divergences int
+	Wall        time.Duration
+}
+
+// FuzzCampaigns runs the §6 self-validation story as an experiment: the
+// coverage-guided differential fuzzer must rediscover both historical
+// encoder bugs from a fixed seed within a bounded budget, and a clean
+// campaign over the unmodified pipeline must end with zero divergences.
+func FuzzCampaigns(seed int64, quick bool) ([]FuzzRow, error) {
+	rediscBudget, cleanIters := 400, 25
+	if quick {
+		rediscBudget, cleanIters = 200, 5
+	}
+	var rows []FuzzRow
+	for _, bug := range []string{"empty-state-accept", "ignore-defaultonly"} {
+		eng := fuzz.New(fuzz.Config{Seed: seed, Iters: rediscBudget, TargetBug: bug, SeedPrograms: 3})
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("rediscovery %q: %w", bug, err)
+		}
+		if res.FoundAtIter == 0 {
+			return nil, fmt.Errorf("rediscovery %q: bug not exposed in %d iterations", bug, rediscBudget)
+		}
+		rows = append(rows, FuzzRow{
+			Campaign: "rediscover " + bug, Seed: seed, Iters: res.Iters,
+			Rejected: res.Rejected, Coverage: res.CoveragePoints,
+			FoundAtIter: res.FoundAtIter, Divergences: len(res.Divergences), Wall: res.Elapsed,
+		})
+	}
+	eng := fuzz.New(fuzz.Config{Seed: seed, Iters: cleanIters, SeedPrograms: 3})
+	res, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("clean campaign: %w", err)
+	}
+	if len(res.Divergences) > 0 {
+		return nil, fmt.Errorf("clean campaign found %d divergences: %s", len(res.Divergences), res.Divergences[0])
+	}
+	rows = append(rows, FuzzRow{
+		Campaign: "clean pipeline", Seed: seed, Iters: res.Iters,
+		Rejected: res.Rejected, Coverage: res.CoveragePoints,
+		Divergences: len(res.Divergences), Wall: res.Elapsed,
+	})
+	return rows, nil
+}
+
+// FormatFuzz renders the fuzzing experiment rows.
+func FormatFuzz(rows []FuzzRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-30s %6s %6s %8s %9s %9s %7s %10s\n",
+		"campaign", "seed", "iters", "rejected", "coverage", "found@", "diverg", "wall")
+	for _, r := range rows {
+		found := "-"
+		if r.FoundAtIter > 0 {
+			found = fmt.Sprintf("%d", r.FoundAtIter)
+		}
+		fmt.Fprintf(&b, "%-30s %6d %6d %8d %9d %9s %7d %10s\n",
+			r.Campaign, r.Seed, r.Iters, r.Rejected, r.Coverage, found,
+			r.Divergences, r.Wall.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"aquila/internal/genprog"
+	"aquila/internal/obs"
+	"aquila/internal/p4"
+)
+
+// Config parameterizes a fuzzing campaign.
+type Config struct {
+	// Seed makes the whole campaign deterministic: corpus scheduling,
+	// mutation choices and generated base programs all derive from it.
+	Seed int64
+	// Iters bounds the number of fuzzing iterations (mutant executions).
+	Iters int
+	// Deadline, when non-zero, stops the campaign after this duration even
+	// if Iters has not been reached. Deadline-limited campaigns trade the
+	// iteration-count determinism away; tests use Iters only.
+	Deadline time.Duration
+	// TargetBug switches the engine into bug-rediscovery mode: the encoder
+	// under test carries this injected historical bug (see
+	// encode.Options.InjectEncoderBug) and the campaign stops at the first
+	// input whose refinement check exposes it.
+	TargetBug string
+	// SeedPrograms is how many generator configurations seed the corpus
+	// (default 4).
+	SeedPrograms int
+	// MaxMutations caps the mutation count applied per derived input
+	// (default 3).
+	MaxMutations int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// MinimizeDivergences shrinks each divergent input before reporting.
+	MinimizeDivergences bool
+	// Thorough runs the full engine matrix and counterexample replay on
+	// every mutant. By default those deep oracles run only on mutants with
+	// new structural coverage (the refinement oracle still runs on every
+	// mutant), which keeps long campaigns affordable: repeated shapes cost
+	// one refinement proof, not eight verifier runs.
+	Thorough bool
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Iters    int // mutants executed through the oracles
+	Rejected int // mutants the type checker or pipeline refused
+	// CoveragePoints is the number of distinct coverage signatures seen;
+	// CorpusSize the number of inputs retained for further mutation.
+	CoveragePoints int
+	CorpusSize     int
+	Divergences    []*Divergence
+	// FoundAtIter is the 1-based iteration at which TargetBug was exposed
+	// (0 when not in rediscovery mode or not found).
+	FoundAtIter int
+	Elapsed     time.Duration
+}
+
+// corpusEntry is one retained input with its scheduling energy.
+type corpusEntry struct {
+	in     *Input
+	energy int
+}
+
+// Engine is the coverage-guided differential fuzzer.
+type Engine struct {
+	cfg      Config
+	rng      *rand.Rand
+	mut      *Mutator
+	corpus   []*corpusEntry
+	seen     map[string]bool // coverage signatures
+	rejected int
+}
+
+// New returns an engine for the given campaign configuration.
+func New(cfg Config) *Engine {
+	if cfg.SeedPrograms <= 0 {
+		cfg.SeedPrograms = 4
+	}
+	if cfg.MaxMutations <= 0 {
+		cfg.MaxMutations = 3
+	}
+	return &Engine{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		mut:  NewMutator(cfg.Seed ^ 0x5eed),
+		seen: map[string]bool{},
+	}
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Log != nil {
+		fmt.Fprintf(e.cfg.Log, format+"\n", args...)
+	}
+}
+
+// seedCorpus populates the corpus from generator configurations derived
+// from the campaign seed. In rediscovery mode snapshots are withheld so
+// tables run under unknown entries — the regime the "ignore-defaultonly"
+// bug lives in.
+func (e *Engine) seedCorpus() {
+	for i := 0; i < e.cfg.SeedPrograms; i++ {
+		gseed := e.cfg.Seed*31 + int64(i) + 1
+		cfg := genprog.RandomConfig(gseed)
+		bm := genprog.Assemble(cfg)
+		in := &Input{Source: bm.Source, Calls: bm.Calls, Seed: gseed}
+		if _, err := p4.ParseAndCheck(bm.Name, bm.Source); err != nil {
+			continue // generator bug; skip rather than abort the campaign
+		}
+		e.corpus = append(e.corpus, &corpusEntry{in: in, energy: 4})
+	}
+}
+
+// pick selects a corpus entry weighted by energy.
+func (e *Engine) pick() *corpusEntry {
+	total := 0
+	for _, c := range e.corpus {
+		total += c.energy
+	}
+	n := e.rng.Intn(total)
+	for _, c := range e.corpus {
+		n -= c.energy
+		if n < 0 {
+			return c
+		}
+	}
+	return e.corpus[len(e.corpus)-1]
+}
+
+// Run executes the campaign.
+func (e *Engine) Run() (*Result, error) {
+	start := time.Now()
+	e.seedCorpus()
+	if len(e.corpus) == 0 {
+		return nil, fmt.Errorf("fuzz: no seed inputs survived generation")
+	}
+	res := &Result{}
+	for iter := 1; iter <= e.cfg.Iters; iter++ {
+		if e.cfg.Deadline > 0 && time.Since(start) > e.cfg.Deadline {
+			break
+		}
+		parent := e.pick()
+		in, prog, ok := e.deriveMutant(parent.in)
+		if !ok {
+			res.Iters++
+			continue
+		}
+
+		o := &obs.Obs{Metrics: obs.NewRegistry()}
+		divs, accepted := e.refinementOracle(in, prog, o)
+		res.Iters++
+		if !accepted {
+			continue
+		}
+		// Deep oracles (engine matrix + counterexample replay) run when the
+		// refinement proof's coverage signature is new, or always under
+		// Thorough.
+		sig := obs.Signature(o.Metrics.Snapshot())
+		if e.cfg.Thorough || (sig != "" && !e.seen[sig]) {
+			divs = append(divs, e.deepOracles(in, prog, o)...)
+			sig = obs.Signature(o.Metrics.Snapshot())
+		}
+		if sig != "" && !e.seen[sig] {
+			e.seen[sig] = true
+			// New structural coverage: retain the mutant and feed energy
+			// back to the parent that produced it.
+			e.corpus = append(e.corpus, &corpusEntry{in: in, energy: 4})
+			if parent.energy < 16 {
+				parent.energy++
+			}
+			e.logf("iter %d: new coverage (%d points, corpus %d)", iter, len(e.seen), len(e.corpus))
+		} else if parent.energy > 1 {
+			parent.energy--
+		}
+
+		if len(divs) > 0 {
+			for _, d := range divs {
+				e.logf("iter %d: DIVERGENCE %s", iter, d)
+				if e.cfg.MinimizeDivergences {
+					d.Input = e.Minimize(d)
+				}
+			}
+			res.Divergences = append(res.Divergences, divs...)
+			if e.cfg.TargetBug != "" {
+				res.FoundAtIter = iter
+				break
+			}
+		}
+	}
+	res.Rejected = e.rejected
+	res.CoveragePoints = len(e.seen)
+	res.CorpusSize = len(e.corpus)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// deriveMutant clones a parent input (clone = re-parse of its printed
+// source), applies 1..MaxMutations AST edits plus an occasional snapshot
+// edit, and re-checks the result. Mutants that no longer type-check are
+// rejected.
+func (e *Engine) deriveMutant(parent *Input) (*Input, *p4.Program, bool) {
+	prog, err := p4.ParseAndCheck("fuzz-parent", parent.Source)
+	if err != nil {
+		e.rejected++
+		return nil, nil, false
+	}
+	n := 1 + e.rng.Intn(e.cfg.MaxMutations)
+	muts := e.mut.Mutate(prog, n)
+	snap := parent.Snap
+	if snap != nil && e.rng.Intn(4) == 0 {
+		var smuts []string
+		snap, smuts = e.mut.MutateSnapshot(snap, 1)
+		muts = append(muts, smuts...)
+	}
+	src := Print(prog)
+	checked, err := p4.ParseAndCheck("fuzz-mutant", src)
+	if err != nil {
+		e.rejected++
+		return nil, nil, false
+	}
+	in := &Input{
+		Source: src,
+		Snap:   snap,
+		Calls:  parent.Calls,
+		Seed:   parent.Seed,
+		Muts:   append(append([]string{}, parent.Muts...), muts...),
+	}
+	return in, checked, true
+}

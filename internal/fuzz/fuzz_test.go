@@ -1,0 +1,261 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aquila/internal/genprog"
+	"aquila/internal/p4"
+	"aquila/internal/tables"
+)
+
+// TestMutatorDeterministic pins seed determinism: two mutators with the
+// same seed produce identical edit trails and identical mutant source on
+// the same input, and a different seed diverges.
+func TestMutatorDeterministic(t *testing.T) {
+	const seed = int64(7)
+	bm := genprog.Assemble(genprog.RandomConfig(3))
+	gen := func(mseed int64) (string, []string) {
+		prog, err := p4.ParseAndCheck("mdet", bm.Source)
+		if err != nil {
+			t.Fatalf("seed 3 program does not parse: %v", err)
+		}
+		muts := NewMutator(mseed).Mutate(prog, 5)
+		return Print(prog), muts
+	}
+	srcA, mutsA := gen(seed)
+	srcB, mutsB := gen(seed)
+	if srcA != srcB {
+		t.Fatalf("same mutator seed %d produced different mutants", seed)
+	}
+	if strings.Join(mutsA, "|") != strings.Join(mutsB, "|") {
+		t.Fatalf("same mutator seed %d produced different edit trails:\n%v\n%v", seed, mutsA, mutsB)
+	}
+	srcC, _ := gen(seed + 1)
+	if srcC == srcA {
+		t.Fatalf("mutator seeds %d and %d produced identical mutants", seed, seed+1)
+	}
+}
+
+// rediscover runs a bounded rediscovery campaign for one injected
+// historical encoder bug and returns the result.
+func rediscover(t *testing.T, bug string, seed int64, iters int) *Result {
+	t.Helper()
+	eng := New(Config{Seed: seed, Iters: iters, TargetBug: bug, SeedPrograms: 3})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("campaign (seed %d, bug %q): %v", seed, bug, err)
+	}
+	if res.FoundAtIter == 0 {
+		t.Fatalf("bug %q not rediscovered in %d iterations (seed %d, %d rejected, %d coverage points)",
+			bug, res.Iters, seed, res.Rejected, res.CoveragePoints)
+	}
+	t.Logf("bug %q rediscovered at iteration %d (seed %d, %d rejected, %d coverage points)",
+		bug, res.FoundAtIter, seed, res.Rejected, res.CoveragePoints)
+
+	// The divergence must be attributable to the injected bug: the same
+	// input under a clean encoder must pass refinement.
+	d := res.Divergences[0]
+	clean := New(Config{Seed: seed})
+	divs, ok := clean.refinementOracle(d.Input, mustParse(d.Input.Source), freshObs())
+	if !ok {
+		t.Fatalf("clean encoder rejected the divergent input")
+	}
+	if len(divs) != 0 {
+		t.Errorf("input diverges even without the injected bug — latent real bug? %s", divs[0])
+	}
+	return res
+}
+
+// TestRediscoverEmptyStateAccept pins the §6 story: with the
+// "empty-state-accept" historical bug injected into the encoder, the
+// fuzzer finds an input exposing it (a mutant with an emptied parser
+// state) within a bounded budget, deterministically.
+func TestRediscoverEmptyStateAccept(t *testing.T) {
+	rediscover(t, "empty-state-accept", 1, 400)
+}
+
+// TestRediscoverIgnoreDefaultOnly does the same for the
+// "ignore-defaultonly" bug: a mutant marking a table action @defaultonly,
+// verified under unknown entries, must expose the annotation being
+// ignored.
+func TestRediscoverIgnoreDefaultOnly(t *testing.T) {
+	rediscover(t, "ignore-defaultonly", 1, 400)
+}
+
+// TestMinimizerShrinks pins the minimizer acceptance bar: a divergent
+// program found by rediscovery shrinks by at least 50% of its statements
+// while preserving the divergence.
+func TestMinimizerShrinks(t *testing.T) {
+	eng := New(Config{Seed: 1, Iters: 400, TargetBug: "empty-state-accept", SeedPrograms: 3})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if len(res.Divergences) == 0 {
+		t.Fatalf("no divergence to minimize")
+	}
+	d := res.Divergences[0]
+	before := CountStmts(mustParse(d.Input.Source))
+	min := eng.Minimize(d)
+	after := CountStmts(mustParse(min.Source))
+	t.Logf("minimized %d -> %d statements", before, after)
+	if after*2 > before {
+		t.Fatalf("minimizer shrank %d -> %d statements; need at least 50%%", before, after)
+	}
+	// The minimized input must still diverge.
+	prog := mustParse(min.Source)
+	divs, ok := eng.refinementOracle(min, prog, freshObs())
+	if !ok || len(divs) == 0 {
+		t.Fatalf("minimized input no longer diverges")
+	}
+}
+
+// TestCleanCampaign runs a short thorough campaign against the unmodified
+// encoder: every oracle on every mutant, no divergences expected. The
+// long-form campaign lives behind cmd/aquila-fuzz (see EXPERIMENTS.md).
+func TestCleanCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix campaign is slow; run without -short")
+	}
+	eng := New(Config{Seed: 42, Iters: 6, SeedPrograms: 2, Thorough: true})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("unexpected divergence: %s", d)
+	}
+	t.Logf("clean campaign: %d iters, %d rejected, %d coverage points", res.Iters, res.Rejected, res.CoveragePoints)
+}
+
+// TestCampaignDeterministic pins engine-level determinism: two campaigns
+// with the same seed report identical aggregate results.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() *Result {
+		eng := New(Config{Seed: 5, Iters: 30, TargetBug: "empty-state-accept", SeedPrograms: 2})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Iters != b.Iters || a.Rejected != b.Rejected || a.CoveragePoints != b.CoveragePoints ||
+		a.FoundAtIter != b.FoundAtIter || len(a.Divergences) != len(b.Divergences) {
+		t.Fatalf("same campaign seed gave different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFormatSnapshotRoundTrip checks the snapshot text round-trip the
+// repro format relies on.
+func TestFormatSnapshotRoundTrip(t *testing.T) {
+	snap := tables.NewSnapshot()
+	snap.Add("C.t0", &tables.Entry{Keys: []tables.KeyMatch{tables.Exact(7)}, Action: "a", Args: []uint64{3}, Priority: -1})
+	snap.Add("C.t0", &tables.Entry{Keys: []tables.KeyMatch{tables.Ternary(8, 0xf0)}, Action: "b", Priority: -1})
+	snap.Add("C.t1", &tables.Entry{Keys: []tables.KeyMatch{tables.Wildcard()}, Action: "drop", Priority: -1})
+	text := FormatSnapshot(snap)
+	back, err := tables.ParseSnapshot(text)
+	if err != nil {
+		t.Fatalf("formatted snapshot does not re-parse: %v\n%s", err, text)
+	}
+	if FormatSnapshot(back) != text {
+		t.Fatalf("snapshot format not a fixpoint:\n%s\n--- vs ---\n%s", text, FormatSnapshot(back))
+	}
+}
+
+// TestReproWriteAndReplay exercises the full repro path: package a
+// divergence, write it to disk, load it back, replay it, and check the
+// generated standalone test file is valid Go.
+func TestReproWriteAndReplay(t *testing.T) {
+	eng := New(Config{Seed: 1, Iters: 400, TargetBug: "empty-state-accept", SeedPrograms: 3})
+	res, err := eng.Run()
+	if err != nil || len(res.Divergences) == 0 {
+		t.Fatalf("no divergence to package (err=%v)", err)
+	}
+	d := res.Divergences[0]
+	d.Input = eng.Minimize(d)
+	r := NewRepro(d, "empty-state-accept")
+	dir := t.TempDir()
+	jsonPath, err := r.WriteFiles(dir)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	loaded, err := LoadRepro(jsonPath)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	ReplayReproJSON(t, mustJSON(t, loaded))
+
+	// The emitted standalone test must be syntactically valid Go.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTest := false
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), "_test.go") {
+			sawTest = true
+			src, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := parser.ParseFile(token.NewFileSet(), ent.Name(), src, 0); err != nil {
+				t.Errorf("generated test file does not parse: %v", err)
+			}
+		}
+	}
+	if !sawTest {
+		t.Fatalf("no generated test file in %s", dir)
+	}
+}
+
+func mustJSON(t *testing.T, r *Repro) string {
+	t.Helper()
+	js, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal repro: %v", err)
+	}
+	return string(js)
+}
+
+// TestReplayRepros replays every committed reproducer under
+// testdata/fuzz-repros. Live records (open bugs) must still diverge on
+// their recorded oracle; records marked "fixed": true are regression pins
+// for bugs fixed in-tree and must replay divergence-free. The healthy
+// state is therefore: no live records, any number of fixed ones.
+func TestReplayRepros(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "fuzz-repros", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			r, err := LoadRepro(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			divs, err := r.Replay()
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			for _, d := range divs {
+				if d.Oracle == r.Oracle {
+					if r.Fixed {
+						t.Fatalf("fixed repro diverges again: %s", d)
+					}
+					t.Logf("repro still diverges: %s", d)
+					return
+				}
+			}
+			if !r.Fixed {
+				t.Fatalf("repro no longer diverges on oracle %s — the bug is fixed; mark %s \"fixed\": true", r.Oracle, path)
+			}
+		})
+	}
+}

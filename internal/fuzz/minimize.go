@@ -1,0 +1,335 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"aquila/internal/obs"
+	"aquila/internal/p4"
+	"aquila/internal/tables"
+)
+
+// maxMinimizeAttempts bounds the minimizer's total oracle re-runs per
+// divergence.
+const maxMinimizeAttempts = 2000
+
+// Minimize shrinks a divergent input with greedy delta debugging over AST
+// reduction units — drop a statement, inline a branch, remove a parser
+// state or select case, drop an unreferenced table or action, drop a
+// const or snapshot entry — keeping each reduction only if the same
+// oracle still diverges on the shrunk input. The returned input replays
+// the divergence; the original is never modified.
+func (e *Engine) Minimize(d *Divergence) *Input {
+	best := d.Input
+	attempts := 0
+	check := func(in *Input) bool {
+		attempts++
+		prog, err := p4.ParseAndCheck("fuzz-min", in.Source)
+		if err != nil {
+			return false
+		}
+		savedRejects := e.rejected
+		o := &obs.Obs{Metrics: obs.NewRegistry()}
+		var divs []*Divergence
+		if d.Oracle == "refinement" {
+			// The deep oracles cost ~8 verifier runs per attempt; a
+			// refinement divergence needs none of them to re-fire.
+			divs, _ = e.refinementOracle(in, prog, o)
+		} else {
+			divs = e.oracles(in, prog, o)
+		}
+		e.rejected = savedRejects
+		for _, nd := range divs {
+			if nd.Oracle == d.Oracle {
+				return true
+			}
+		}
+		return false
+	}
+
+	improved := true
+	for improved && attempts < maxMinimizeAttempts {
+		improved = false
+		n := len(listReductions(mustParse(best.Source), best.Snap))
+		for i := 0; i < n && attempts < maxMinimizeAttempts; i++ {
+			prog := mustParse(best.Source)
+			reds := listReductions(prog, best.Snap)
+			if i >= len(reds) {
+				break
+			}
+			snap := reds[i].apply()
+			src := Print(prog)
+			cand := &Input{Source: src, Snap: snap, Calls: best.Calls, Seed: best.Seed,
+				Muts: append(append([]string{}, best.Muts...), "minimize: "+reds[i].desc)}
+			if check(cand) {
+				best = cand
+				improved = true
+				e.logf("minimize: kept %q (%d stmts)", reds[i].desc, CountStmts(mustParse(src)))
+				break
+			}
+		}
+	}
+	return best
+}
+
+func mustParse(src string) *p4.Program {
+	prog, err := p4.ParseAndCheck("fuzz-min", src)
+	if err != nil {
+		// The minimizer only prints programs that type-checked a moment
+		// ago; a parse failure here is a printer bug, surfaced loudly.
+		panic(fmt.Sprintf("fuzz: minimizer produced unparseable program: %v", err))
+	}
+	return prog
+}
+
+// CountStmts counts every statement in the program, including statements
+// nested in branches — the size metric minimization is measured against.
+func CountStmts(prog *p4.Program) int {
+	n := 0
+	var count func(list []p4.Stmt)
+	count = func(list []p4.Stmt) {
+		for _, s := range list {
+			n++
+			switch x := s.(type) {
+			case *p4.IfStmt:
+				count(x.Then)
+				count(x.Else)
+			case *p4.IfApplyStmt:
+				count(x.OnHit)
+				count(x.OnMis)
+			case *p4.SwitchApplyStmt:
+				for _, c := range x.Cases {
+					count(c.Body)
+				}
+				count(x.Default)
+			}
+		}
+	}
+	for _, b := range blocks(prog) {
+		count(b.get())
+	}
+	return n
+}
+
+// reduction is one candidate shrinking edit. apply mutates the AST it was
+// built over and returns the (possibly reduced) snapshot to pair with it.
+type reduction struct {
+	desc  string
+	apply func() *tables.Snapshot
+}
+
+// listReductions enumerates candidate shrinking edits in a deterministic
+// order. Each closure is bound to the given AST instance; callers re-parse
+// per attempt.
+func listReductions(prog *p4.Program, snap *tables.Snapshot) []reduction {
+	var reds []reduction
+	keep := func() *tables.Snapshot { return snap }
+	add := func(desc string, apply func()) {
+		reds = append(reds, reduction{desc: desc, apply: func() *tables.Snapshot { apply(); return keep() }})
+	}
+
+	// Statement-level shrinks: drop, or inline one branch of a
+	// conditional.
+	for _, b := range blocks(prog) {
+		list := b.get()
+		for i, s := range list {
+			add(fmt.Sprintf("drop stmt %d in %s", i, b.where), func() {
+				l := b.get()
+				b.set(append(append([]p4.Stmt{}, l[:i]...), l[i+1:]...))
+			})
+			switch x := s.(type) {
+			case *p4.IfStmt:
+				add(fmt.Sprintf("inline then-branch of stmt %d in %s", i, b.where), func() {
+					l := b.get()
+					out := append([]p4.Stmt{}, l[:i]...)
+					out = append(out, x.Then...)
+					out = append(out, l[i+1:]...)
+					b.set(out)
+				})
+			case *p4.IfApplyStmt:
+				add(fmt.Sprintf("flatten if-apply of stmt %d in %s", i, b.where), func() {
+					l := b.get()
+					out := append([]p4.Stmt{}, l[:i]...)
+					out = append(out, &p4.ApplyStmt{Table: x.Table})
+					out = append(out, x.OnHit...)
+					out = append(out, l[i+1:]...)
+					b.set(out)
+				})
+			}
+		}
+	}
+
+	// Parser shrinks: remove a non-start state (rewiring references to
+	// accept), drop select cases, collapse selects to direct transitions.
+	for _, pn := range sortedKeys(prog.Parsers) {
+		par := prog.Parsers[pn]
+		for _, sn := range stateOrder(par) {
+			if sn == par.Start {
+				continue
+			}
+			add(fmt.Sprintf("remove state %s.%s", pn, sn), func() {
+				delete(par.States, sn)
+				for _, other := range par.States {
+					tr := other.Trans
+					if tr == nil {
+						continue
+					}
+					if tr.Target == sn {
+						tr.Target = "accept"
+					}
+					for _, c := range tr.Cases {
+						if c.Target == sn {
+							c.Target = "accept"
+						}
+					}
+				}
+			})
+		}
+		for _, sn := range stateOrder(par) {
+			st := par.States[sn]
+			tr := st.Trans
+			if tr == nil || tr.Kind != p4.TransSelect {
+				continue
+			}
+			for ci, c := range tr.Cases {
+				if len(tr.Cases) > 1 {
+					add(fmt.Sprintf("drop select case %d in %s.%s", ci, pn, sn), func() {
+						tr.Cases = append(append([]*p4.SelectCase{}, tr.Cases[:ci]...), tr.Cases[ci+1:]...)
+					})
+				}
+				add(fmt.Sprintf("collapse select in %s.%s to %s", pn, sn, c.Target), func() {
+					st.Trans = &p4.Transition{Kind: p4.TransDirect, Target: c.Target}
+				})
+			}
+		}
+	}
+
+	// Control shrinks: drop unreferenced tables and actions, trim table
+	// action lists, drop const entries.
+	for _, cn := range sortedKeys(prog.Controls) {
+		ctl := prog.Controls[cn]
+		refs := tableRefs(ctl)
+		for _, tn := range memberOrder(ctl) {
+			if tbl, ok := ctl.Tables[tn]; ok {
+				if !refs[tn] {
+					add(fmt.Sprintf("drop unreferenced table %s.%s", cn, tn), func() {
+						delete(ctl.Tables, tn)
+					})
+				}
+				for ai, an := range tbl.Actions {
+					if len(tbl.Actions) > 1 && an != tbl.DefaultAction {
+						add(fmt.Sprintf("drop action %s from table %s.%s", an, cn, tn), func() {
+							tbl.Actions = append(append([]string{}, tbl.Actions[:ai]...), tbl.Actions[ai+1:]...)
+						})
+					}
+				}
+				for ei := range tbl.ConstEntries {
+					add(fmt.Sprintf("drop const entry %d in %s.%s", ei, cn, tn), func() {
+						tbl.ConstEntries = append(append([]*p4.ConstEntry{}, tbl.ConstEntries[:ei]...), tbl.ConstEntries[ei+1:]...)
+					})
+				}
+			}
+		}
+		used := actionRefs(ctl)
+		for _, an := range memberOrder(ctl) {
+			if _, ok := ctl.Actions[an]; ok && !used[an] {
+				add(fmt.Sprintf("drop unreferenced action %s.%s", cn, an), func() {
+					delete(ctl.Actions, an)
+				})
+			}
+		}
+	}
+
+	// Snapshot shrinks: drop one entry.
+	if snap != nil {
+		for _, tn := range snap.Tables() {
+			es := snap.Entries(tn)
+			for ei := range es {
+				reds = append(reds, reduction{
+					desc: fmt.Sprintf("drop snapshot entry %d in %s", ei, tn),
+					apply: func() *tables.Snapshot {
+						out := snap.Clone()
+						out.Remove(tn)
+						for j, e2 := range es {
+							if j != ei {
+								out.Add(tn, e2)
+							}
+						}
+						return out
+					},
+				})
+			}
+		}
+	}
+	return reds
+}
+
+// tableRefs reports which tables a control's apply block references.
+func tableRefs(ctl *p4.Control) map[string]bool {
+	out := map[string]bool{}
+	var walk func(list []p4.Stmt)
+	walk = func(list []p4.Stmt) {
+		for _, s := range list {
+			switch x := s.(type) {
+			case *p4.ApplyStmt:
+				out[x.Table] = true
+			case *p4.IfApplyStmt:
+				out[x.Table] = true
+				walk(x.OnHit)
+				walk(x.OnMis)
+			case *p4.SwitchApplyStmt:
+				out[x.Table] = true
+				for _, c := range x.Cases {
+					walk(c.Body)
+				}
+				walk(x.Default)
+			case *p4.IfStmt:
+				walk(x.Then)
+				walk(x.Else)
+			}
+		}
+	}
+	walk(ctl.Apply)
+	return out
+}
+
+// actionRefs reports which actions are referenced by any table or called
+// directly from any statement in the control.
+func actionRefs(ctl *p4.Control) map[string]bool {
+	out := map[string]bool{}
+	for _, tbl := range ctl.Tables {
+		for _, an := range tbl.Actions {
+			out[an] = true
+		}
+		if tbl.DefaultAction != "" {
+			out[tbl.DefaultAction] = true
+		}
+		for _, e := range tbl.ConstEntries {
+			out[e.Action] = true
+		}
+	}
+	var walk func(list []p4.Stmt)
+	walk = func(list []p4.Stmt) {
+		for _, s := range list {
+			switch x := s.(type) {
+			case *p4.CallActionStmt:
+				out[x.Action] = true
+			case *p4.IfStmt:
+				walk(x.Then)
+				walk(x.Else)
+			case *p4.IfApplyStmt:
+				walk(x.OnHit)
+				walk(x.OnMis)
+			case *p4.SwitchApplyStmt:
+				for _, c := range x.Cases {
+					walk(c.Body)
+				}
+				walk(x.Default)
+			}
+		}
+	}
+	walk(ctl.Apply)
+	for _, act := range ctl.Actions {
+		walk(act.Body)
+	}
+	return out
+}

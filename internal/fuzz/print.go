@@ -1,0 +1,394 @@
+// Package fuzz is Aquila's coverage-guided differential fuzzing engine
+// (the continuous form of the paper's §6 self-validation): it mutates
+// generated P4lite programs at the AST level, steers mutation energy by
+// structural coverage of the encoder read from the observability
+// registry, and checks every input against three oracles — refinement
+// against the independent interpreter, verdict/report agreement across
+// the engine matrix, and counterexample replay through the path-based
+// symbolic executor. Divergences are shrunk by a delta-debugging
+// minimizer and emitted as reproducer test files.
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aquila/internal/p4"
+)
+
+// Print renders a parsed (and type-checked) P4lite program back into
+// parseable source. It is the inverse of p4.ParseAndCheck for the subset
+// of the language the program actually uses: Print(p) must re-parse to a
+// structurally identical program, which the round-trip test pins. The
+// implicitly declared std_meta instance is skipped; const declarations
+// are printed value-substituted at their use sites.
+func Print(prog *p4.Program) string {
+	pr := &printer{prog: prog}
+	var b strings.Builder
+
+	for _, name := range sortedKeys(prog.Headers) {
+		h := prog.Headers[name]
+		fmt.Fprintf(&b, "header %s {", name)
+		for _, f := range h.Fields {
+			fmt.Fprintf(&b, " bit<%d> %s;", f.Width, f.Name)
+		}
+		b.WriteString(" }\n")
+	}
+	for _, name := range sortedKeys(prog.Structs) {
+		if name == "std_meta_t" {
+			continue
+		}
+		h := prog.Structs[name]
+		fmt.Fprintf(&b, "struct %s {", name)
+		for _, f := range h.Fields {
+			fmt.Fprintf(&b, " bit<%d> %s;", f.Width, f.Name)
+		}
+		b.WriteString(" }\n")
+	}
+	for _, inst := range prog.Instances {
+		if inst.Name == p4.StdMetaInstance {
+			continue
+		}
+		fmt.Fprintf(&b, "%s %s;\n", inst.TypeName, inst.Name)
+	}
+	for _, name := range sortedKeys(prog.Registers) {
+		r := prog.Registers[name]
+		kind := r.Kind
+		if kind == "" {
+			kind = "register"
+		}
+		fmt.Fprintf(&b, "%s<bit<%d>>(%d) %s;\n", kind, r.Width, r.Size, name)
+	}
+	for _, name := range sortedKeys(prog.Parsers) {
+		pr.parser(&b, prog.Parsers[name])
+	}
+	for _, name := range sortedKeys(prog.Controls) {
+		pr.control(&b, prog.Controls[name])
+	}
+	for _, name := range sortedKeys(prog.Deparsers) {
+		dp := prog.Deparsers[name]
+		fmt.Fprintf(&b, "deparser %s {\n", name)
+		pr.stmts(&b, dp.Stmts, "\t")
+		b.WriteString("}\n")
+	}
+	for _, name := range sortedKeys(prog.Pipelines) {
+		pl := prog.Pipelines[name]
+		fmt.Fprintf(&b, "pipeline %s {", name)
+		if pl.Parser != "" {
+			fmt.Fprintf(&b, " parser = %s;", pl.Parser)
+		}
+		if pl.Control != "" {
+			fmt.Fprintf(&b, " control = %s;", pl.Control)
+		}
+		if pl.Deparser != "" {
+			fmt.Fprintf(&b, " deparser = %s;", pl.Deparser)
+		}
+		if pl.Recirc > 0 {
+			fmt.Fprintf(&b, " recirc = %d;", pl.Recirc)
+		}
+		b.WriteString(" }\n")
+	}
+	return b.String()
+}
+
+type printer struct {
+	prog *p4.Program
+}
+
+func (pr *printer) parser(b *strings.Builder, p *p4.Parser) {
+	fmt.Fprintf(b, "parser %s {\n", p.Name)
+	for _, sn := range stateOrder(p) {
+		st := p.States[sn]
+		fmt.Fprintf(b, "\tstate %s {\n", st.Name)
+		pr.stmts(b, st.Stmts, "\t\t")
+		if st.Trans != nil {
+			switch st.Trans.Kind {
+			case p4.TransDirect:
+				fmt.Fprintf(b, "\t\ttransition %s;\n", st.Trans.Target)
+			case p4.TransSelect:
+				fmt.Fprintf(b, "\t\ttransition select(%s) {\n", pr.expr(st.Trans.Expr))
+				for _, c := range st.Trans.Cases {
+					switch {
+					case c.IsDefault:
+						fmt.Fprintf(b, "\t\t\tdefault: %s;\n", c.Target)
+					case c.HasMask:
+						fmt.Fprintf(b, "\t\t\t%d &&& %d: %s;\n", c.Val, c.Mask, c.Target)
+					default:
+						fmt.Fprintf(b, "\t\t\t%d: %s;\n", c.Val, c.Target)
+					}
+				}
+				b.WriteString("\t\t}\n")
+			}
+		}
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("}\n")
+}
+
+// stateOrder returns the parser's states in declaration order, falling
+// back to start-first-then-sorted when Order is stale (mutation may add
+// or remove states).
+func stateOrder(p *p4.Parser) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sn := range p.Order {
+		if _, ok := p.States[sn]; ok && !seen[sn] {
+			seen[sn] = true
+			out = append(out, sn)
+		}
+	}
+	var rest []string
+	for sn := range p.States {
+		if !seen[sn] {
+			rest = append(rest, sn)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+func (pr *printer) control(b *strings.Builder, ctl *p4.Control) {
+	fmt.Fprintf(b, "control %s {\n", ctl.Name)
+	for _, name := range memberOrder(ctl) {
+		if act, ok := ctl.Actions[name]; ok {
+			fmt.Fprintf(b, "\taction %s(", name)
+			for i, prm := range act.Params {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(b, "bit<%d> %s", prm.Width, prm.Name)
+			}
+			b.WriteString(") {\n")
+			pr.stmts(b, act.Body, "\t\t")
+			b.WriteString("\t}\n")
+			continue
+		}
+		tbl := ctl.Tables[name]
+		fmt.Fprintf(b, "\ttable %s {\n", name)
+		if len(tbl.Keys) > 0 {
+			b.WriteString("\t\tkey = {")
+			for _, k := range tbl.Keys {
+				fmt.Fprintf(b, " %s : %s;", pr.expr(k.Expr), k.Kind)
+			}
+			b.WriteString(" }\n")
+		}
+		b.WriteString("\t\tactions = {")
+		for _, an := range tbl.Actions {
+			if tbl.DefaultOnly[an] {
+				fmt.Fprintf(b, " @defaultonly %s;", an)
+			} else {
+				fmt.Fprintf(b, " %s;", an)
+			}
+		}
+		b.WriteString(" }\n")
+		if tbl.DefaultAction != "" {
+			fmt.Fprintf(b, "\t\tdefault_action = %s", tbl.DefaultAction)
+			if len(tbl.DefaultArgs) > 0 {
+				b.WriteString("(")
+				for i, a := range tbl.DefaultArgs {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(pr.expr(a))
+				}
+				b.WriteString(")")
+			}
+			b.WriteString(";\n")
+		}
+		if tbl.Size > 0 {
+			fmt.Fprintf(b, "\t\tsize = %d;\n", tbl.Size)
+		}
+		if len(tbl.ConstEntries) > 0 {
+			b.WriteString("\t\tentries = {\n")
+			for _, e := range tbl.ConstEntries {
+				b.WriteString("\t\t\t(")
+				for i, v := range e.KeyVals {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					switch {
+					case e.KeyMasks[i] == 0:
+						b.WriteString("_")
+					case e.KeyMasks[i] == ^uint64(0):
+						fmt.Fprintf(b, "%d", v)
+					default:
+						fmt.Fprintf(b, "%d &&& %d", v, e.KeyMasks[i])
+					}
+				}
+				fmt.Fprintf(b, ") : %s", e.Action)
+				if len(e.Args) > 0 {
+					b.WriteString("(")
+					for i, a := range e.Args {
+						if i > 0 {
+							b.WriteString(", ")
+						}
+						fmt.Fprintf(b, "%d", a)
+					}
+					b.WriteString(")")
+				}
+				b.WriteString(";\n")
+			}
+			b.WriteString("\t\t}\n")
+		}
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("\tapply {\n")
+	pr.stmts(b, ctl.Apply, "\t\t")
+	b.WriteString("\t}\n}\n")
+}
+
+// memberOrder returns the control's actions and tables in declaration
+// order, appending any members a mutation added outside Order.
+func memberOrder(ctl *p4.Control) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range ctl.Order {
+		_, isAct := ctl.Actions[n]
+		_, isTbl := ctl.Tables[n]
+		if (isAct || isTbl) && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	var rest []string
+	for n := range ctl.Actions {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	for n := range ctl.Tables {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+func (pr *printer) stmts(b *strings.Builder, list []p4.Stmt, in string) {
+	for _, s := range list {
+		pr.stmt(b, s, in)
+	}
+}
+
+func (pr *printer) stmt(b *strings.Builder, s p4.Stmt, in string) {
+	switch x := s.(type) {
+	case *p4.AssignStmt:
+		fmt.Fprintf(b, "%s%s = %s;\n", in, pr.expr(x.LHS), pr.expr(x.RHS))
+	case *p4.ExtractStmt:
+		fmt.Fprintf(b, "%sextract(%s);\n", in, x.Header)
+	case *p4.SetValidStmt:
+		if x.Valid {
+			fmt.Fprintf(b, "%s%s.setValid();\n", in, x.Header)
+		} else {
+			fmt.Fprintf(b, "%s%s.setInvalid();\n", in, x.Header)
+		}
+	case *p4.IfStmt:
+		fmt.Fprintf(b, "%sif (%s) {\n", in, pr.expr(x.Cond))
+		pr.stmts(b, x.Then, in+"\t")
+		if len(x.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", in)
+			pr.stmts(b, x.Else, in+"\t")
+		}
+		fmt.Fprintf(b, "%s}\n", in)
+	case *p4.ApplyStmt:
+		fmt.Fprintf(b, "%s%s.apply();\n", in, x.Table)
+	case *p4.IfApplyStmt:
+		fmt.Fprintf(b, "%sif (%s.apply().hit) {\n", in, x.Table)
+		pr.stmts(b, x.OnHit, in+"\t")
+		if len(x.OnMis) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", in)
+			pr.stmts(b, x.OnMis, in+"\t")
+		}
+		fmt.Fprintf(b, "%s}\n", in)
+	case *p4.SwitchApplyStmt:
+		fmt.Fprintf(b, "%sswitch (%s.apply().action_run) {\n", in, x.Table)
+		for _, c := range x.Cases {
+			fmt.Fprintf(b, "%s%s: {\n", in+"\t", c.Action)
+			pr.stmts(b, c.Body, in+"\t\t")
+			fmt.Fprintf(b, "%s}\n", in+"\t")
+		}
+		if len(x.Default) > 0 {
+			fmt.Fprintf(b, "%sdefault: {\n", in+"\t")
+			pr.stmts(b, x.Default, in+"\t\t")
+			fmt.Fprintf(b, "%s}\n", in+"\t")
+		}
+		fmt.Fprintf(b, "%s}\n", in)
+	case *p4.CallActionStmt:
+		fmt.Fprintf(b, "%s%s(", in, x.Action)
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(pr.expr(a))
+		}
+		b.WriteString(");\n")
+	case *p4.RegReadStmt:
+		fmt.Fprintf(b, "%s%s.read(%s, %s);\n", in, x.Reg, pr.expr(x.Dst), pr.expr(x.Index))
+	case *p4.RegWriteStmt:
+		fmt.Fprintf(b, "%s%s.write(%s, %s);\n", in, x.Reg, pr.expr(x.Index), pr.expr(x.Val))
+	case *p4.CountStmt:
+		fmt.Fprintf(b, "%s%s.count(%s);\n", in, x.Counter, pr.expr(x.Index))
+	case *p4.ExecuteMeterStmt:
+		fmt.Fprintf(b, "%s%s.execute_meter(%s, %s);\n", in, x.Meter, pr.expr(x.Index), pr.expr(x.Dst))
+	case *p4.HashStmt:
+		fmt.Fprintf(b, "%shash(%s", in, pr.expr(x.Dst))
+		for _, a := range x.Inputs {
+			fmt.Fprintf(b, ", %s", pr.expr(a))
+		}
+		b.WriteString(");\n")
+	case *p4.PrimitiveStmt:
+		fmt.Fprintf(b, "%s%s();\n", in, x.Name)
+	case *p4.EmitStmt:
+		fmt.Fprintf(b, "%semit(%s);\n", in, x.Header)
+	case *p4.UpdateChecksumStmt:
+		fmt.Fprintf(b, "%supdate_checksum(%s", in, pr.expr(x.Dst))
+		for _, a := range x.Inputs {
+			fmt.Fprintf(b, ", %s", pr.expr(a))
+		}
+		b.WriteString(");\n")
+	default:
+		fmt.Fprintf(b, "%s/* unprintable statement %T */\n", in, s)
+	}
+}
+
+// expr renders an expression. Const references are value-substituted so
+// the printed program needs no const declarations (whose widths the AST
+// does not retain).
+func (pr *printer) expr(e p4.Expr) string {
+	switch x := e.(type) {
+	case *p4.IntLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *p4.VarRef:
+		if v, ok := pr.prog.Consts[x.Name]; ok {
+			return fmt.Sprintf("%d", v)
+		}
+		return x.Name
+	case *p4.FieldRef:
+		return x.Instance + "." + x.Field
+	case *p4.IsValidExpr:
+		return x.Instance + ".isValid()"
+	case *p4.UnaryExpr:
+		return x.Op + "(" + pr.expr(x.X) + ")"
+	case *p4.BinaryExpr:
+		return "(" + pr.expr(x.X) + " " + x.Op + " " + pr.expr(x.Y) + ")"
+	case *p4.CastExpr:
+		return fmt.Sprintf("(bit<%d>)(%s)", x.Width, pr.expr(x.X))
+	case *p4.LookaheadExpr:
+		return fmt.Sprintf("lookahead<bit<%d>>()", x.Width)
+	case *p4.SliceExpr:
+		return fmt.Sprintf("(%s)[%d:%d]", pr.expr(x.X), x.Hi, x.Lo)
+	default:
+		return e.String()
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

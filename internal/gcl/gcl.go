@@ -168,6 +168,48 @@ func Pretty(s Stmt) string {
 	return b.String()
 }
 
+// KindCounts tallies the statement kinds reachable in s — the structural
+// signature coverage-guided fuzzing uses to tell whether a mutant drove
+// the encoder through a new shape. Keys are stable lowercase kind names.
+func KindCounts(s Stmt) map[string]int {
+	out := map[string]int{}
+	kindWalk(s, out)
+	return out
+}
+
+func kindWalk(s Stmt, out map[string]int) {
+	switch x := s.(type) {
+	case nil:
+	case *Seq:
+		for _, st := range x.Stmts {
+			kindWalk(st, out)
+		}
+	case *If:
+		out["if"]++
+		kindWalk(x.Then, out)
+		kindWalk(x.Else, out)
+	case *Choice:
+		out["choice"]++
+		kindWalk(x.A, out)
+		kindWalk(x.B, out)
+	case *While:
+		out["while"]++
+		kindWalk(x.Body, out)
+	case *Assign:
+		out["assign"]++
+	case *Havoc:
+		out["havoc"]++
+	case *Assume:
+		out["assume"]++
+	case *Assert:
+		out["assert"]++
+	case *Skip:
+		out["skip"]++
+	default:
+		out["other"]++
+	}
+}
+
 // Size returns the number of statements (a proxy for encoded-GCL size,
 // which the paper reports as number of encoded states).
 func Size(s Stmt) int {

@@ -9,6 +9,7 @@ package genprog
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"aquila/internal/progs"
@@ -19,6 +20,13 @@ import (
 type Config struct {
 	// Name prefixes all component names (lets chained copies coexist).
 	Name string
+	// Seed selects a structural variant: key rotation, action statement
+	// patterns and parser select constants are drawn from a deterministic
+	// PRNG seeded with it. Seed 0 is the legacy byte-identical output, so
+	// every pre-existing calibration stays pinned. The same (Config, Seed)
+	// always yields byte-identical source — the reproducibility contract
+	// the fuzzing engine and its repro files rely on.
+	Seed int64
 	// Pipes is the number of pipelines.
 	Pipes int
 	// ParserStates approximates the per-program parser state count.
@@ -60,6 +68,63 @@ func (c Config) withDefaults() Config {
 		c.StmtsPerAction = 2
 	}
 	return c
+}
+
+// variant is the seeded structural-variation stream of one generation
+// run. A nil rng reproduces the legacy (Seed 0) output exactly; otherwise
+// every draw comes from a PRNG consumed in a fixed generation order, so
+// the same seed always yields byte-identical source.
+type variant struct {
+	rng *rand.Rand
+}
+
+func (c Config) variant() *variant {
+	if c.Seed == 0 {
+		return &variant{}
+	}
+	return &variant{rng: rand.New(rand.NewSource(c.Seed))}
+}
+
+// roll returns legacy%n when unseeded, else legacy displaced by a seeded
+// offset modulo n.
+func (v *variant) roll(n, legacy int) int {
+	if n <= 0 {
+		return legacy
+	}
+	if v.rng == nil {
+		return legacy % n
+	}
+	return (legacy + v.rng.Intn(n)) % n
+}
+
+// byteVal returns legacy when unseeded, else a seeded byte value.
+func (v *variant) byteVal(legacy uint64) uint64 {
+	if v.rng == nil {
+		return legacy
+	}
+	return uint64(v.rng.Intn(256))
+}
+
+// RandomConfig samples a small fuzzing-scale configuration from seed. The
+// same seed always returns the same Config (and, through Config.Seed, the
+// same program source). Roughly half the samples carry the seeded
+// invalid-header-access bug so differential campaigns exercise both
+// holding and violated specifications.
+func RandomConfig(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := Config{
+		Name:            fmt.Sprintf("fz%x", uint64(seed)&0xffff),
+		Seed:            seed,
+		Pipes:           1 + rng.Intn(2),
+		ParserStates:    4 + rng.Intn(7),
+		Tables:          2 + rng.Intn(5),
+		ActionsPerTable: 1 + rng.Intn(3),
+		StmtsPerAction:  1 + rng.Intn(3),
+		WithINT:         rng.Intn(4) == 0,
+		TTLChain:        rng.Intn(3) == 0,
+		SeedBug:         rng.Intn(2) == 0,
+	}
+	return cfg
 }
 
 // HeaderBlock declares the shared header and metadata layout used by all
@@ -125,6 +190,7 @@ func extraChainHeaders(cfg Config) int {
 // complexity concentrates where it does in production.
 func generateBody(cfg Config) string {
 	cfg = cfg.withDefaults()
+	v := cfg.variant()
 	var b strings.Builder
 	extra := extraChainHeaders(cfg)
 	perPipe := cfg.Tables / cfg.Pipes
@@ -136,8 +202,8 @@ func generateBody(cfg Config) string {
 		if p > 0 {
 			pipeExtra = 0 // later pipelines reuse the shallow base parser
 		}
-		b.WriteString(genParser(cfg, p, pipeExtra))
-		b.WriteString(genControl(cfg, p, perPipe))
+		b.WriteString(genParser(cfg, v, p, pipeExtra))
+		b.WriteString(genControl(cfg, v, p, perPipe))
 		b.WriteString(genDeparser(cfg, p))
 		fmt.Fprintf(&b, "pipeline %s_pipe%d { parser = %s_P%d; control = %s_C%d; deparser = %s_D%d; }\n",
 			cfg.Name, p, cfg.Name, p, cfg.Name, p, cfg.Name, p)
@@ -145,7 +211,7 @@ func generateBody(cfg Config) string {
 	return b.String()
 }
 
-func genParser(cfg Config, p, extra int) string {
+func genParser(cfg Config, v *variant, p, extra int) string {
 	var b strings.Builder
 	name := fmt.Sprintf("%s_P%d", cfg.Name, p)
 	fmt.Fprintf(&b, "parser %s {\n", name)
@@ -210,15 +276,20 @@ func genParser(cfg Config, p, extra int) string {
 				next = "accept"
 			}
 		}
+		k0 := v.byteVal(0)
+		k1 := v.byteVal(1)
+		if k1 == k0 {
+			k1 = (k0 + 1) % 256
+		}
 		fmt.Fprintf(&b, `	state chain%d {
 		extract(opt%d);
 		transition select(opt%d.kind) {
-			0: %s;
-			1: %s;
+			%d: %s;
+			%d: %s;
 			default: accept;
 		}
 	}
-`, i, i, i, next, next)
+`, i, i, i, k0, next, k1, next)
 	}
 	if extra == 0 {
 		if cfg.WithINT {
@@ -258,7 +329,7 @@ var keyChoices = []struct {
 	{"vxlan.vni", "exact", "vxlan"},
 }
 
-func genControl(cfg Config, p, tables int) string {
+func genControl(cfg Config, v *variant, p, tables int) string {
 	var b strings.Builder
 	name := fmt.Sprintf("%s_C%d", cfg.Name, p)
 	fmt.Fprintf(&b, "control %s {\n", name)
@@ -292,12 +363,16 @@ func genControl(cfg Config, p, tables int) string {
 	}
 `, p, p, p, p, p, p, p)
 	}
+	keyOffs := make([]int, tables)
+	for t := range keyOffs {
+		keyOffs[t] = v.roll(len(keyChoices), p+t)
+	}
 	for t := 0; t < tables; t++ {
-		kc := keyChoices[(p+t)%len(keyChoices)]
+		kc := keyChoices[keyOffs[t]]
 		for a := 0; a < cfg.ActionsPerTable; a++ {
 			fmt.Fprintf(&b, "	action act_%d_%d(bit<16> v) {\n", t, a)
 			for s := 0; s < cfg.StmtsPerAction; s++ {
-				switch (t + a + s) % 5 {
+				switch v.roll(5, t+a+s) {
 				case 0:
 					fmt.Fprintf(&b, "\t\tmd%d.scratch%d = v + %d;\n", p, s%4, t)
 				case 1:
@@ -334,7 +409,7 @@ func genControl(cfg Config, p, tables int) string {
 		b.WriteString("\t\tif (ipv4.isValid()) { big_tbl.apply(); }\n")
 	}
 	for t := 0; t < tables; t++ {
-		kc := keyChoices[(p+t)%len(keyChoices)]
+		kc := keyChoices[keyOffs[t]]
 		buggy := cfg.SeedBug && t == tables-1
 		if buggy {
 			fmt.Fprintf(&b, "\t\tt%d.apply(); // BUG(seeded): missing %s.isValid() guard\n", t, kc.hdr)

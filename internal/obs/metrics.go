@@ -33,6 +33,12 @@ const (
 	CtrSMTFrozenLocks      = "smt.frozen_ctx_locks"
 	CtrSMTSimplifyRewrites = "smt.simplify_rewrites"
 
+	// GCL structure: one counter per statement kind reachable in the
+	// compiled verification program, named CtrGCLStmtPrefix + kind. The
+	// fuzzer's coverage signature reads these to detect encoder shapes a
+	// mutant newly exercised.
+	CtrGCLStmtPrefix = "gcl.stmt."
+
 	// Verification driver.
 	CtrVerifyChecks       = "verify.checks"
 	CtrVerifySat          = "verify.checks_sat"

@@ -102,10 +102,13 @@ type pathState struct {
 	vals   map[string]*smt.Term
 	cond   *smt.Term
 	extIdx int
+	// pipelineRan records that a pipeline already completed on this path,
+	// so the next pipeline call is preceded by the §4.3 packet pass.
+	pipelineRan bool
 }
 
 func (s *pathState) clone() *pathState {
-	c := &pathState{vals: make(map[string]*smt.Term, len(s.vals)), cond: s.cond, extIdx: s.extIdx}
+	c := &pathState{vals: make(map[string]*smt.Term, len(s.vals)), cond: s.cond, extIdx: s.extIdx, pipelineRan: s.pipelineRan}
 	for k, v := range s.vals {
 		c.vals[k] = v
 	}
@@ -197,6 +200,13 @@ func (e *Engine) runComponent(name string, s *pathState, res *Result) ([]*pathSt
 		return e.runStmts(ctl, ctl.Apply, s, nil, res)
 	}
 	if pl, ok := e.prog.Pipelines[name]; ok {
+		// Inter-pipeline packet passing (§4.3): after a previous pipeline
+		// deparsed, its output becomes this pipeline's input packet — the
+		// same traffic-manager hop the GCL encoding models in PassPacket.
+		if s.pipelineRan {
+			e.passPacket(s)
+		}
+		s.pipelineRan = true
 		var comps []string
 		if pl.Parser != "" {
 			comps = append(comps, pl.Parser)
@@ -204,12 +214,115 @@ func (e *Engine) runComponent(name string, s *pathState, res *Result) ([]*pathSt
 		if pl.Control != "" {
 			comps = append(comps, pl.Control)
 		}
-		return e.runComponents(comps, s, res)
+		paths, err := e.runComponents(comps, s, res)
+		if err != nil {
+			return nil, err
+		}
+		if pl.Deparser != "" {
+			for _, p := range paths {
+				if err := e.deparserOut(pl.Deparser, p); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return paths, nil
 	}
 	if _, ok := e.prog.Deparsers[name]; ok {
-		return []*pathState{s}, nil // deparsing has no property-relevant effect here
+		return []*pathState{s}, e.deparserOut(name, s)
 	}
 	return nil, fmt.Errorf("symexec: unknown component %q", name)
+}
+
+// passPacket applies the §4.3 inter-pipeline packet pass to one path:
+// emitted header values overwrite the packet image, the deparsed output
+// order becomes the input order, and parser state resets. Mirrors the
+// encoder's PassPacket.
+func (e *Engine) passPacket(s *pathState) {
+	c := e.ctx
+	for _, h := range e.headers {
+		ht := e.prog.InstanceType(h)
+		valid := e.get(s, h+".$valid", 0)
+		for _, f := range ht.Fields {
+			pv := e.get(s, "pkt."+h+"."+f.Name, f.Width)
+			s.vals["pkt."+h+"."+f.Name] = c.Ite(valid, e.get(s, h+"."+f.Name, f.Width), pv)
+		}
+	}
+	for i := 0; i < len(e.headers); i++ {
+		s.vals[fmt.Sprintf("pkt.$order.%d", i)] = e.get(s, fmt.Sprintf("pkt.$out.%d", i), 8)
+	}
+	for _, h := range e.headers {
+		s.vals[h+".$valid"] = c.False()
+	}
+	s.extIdx = 0
+}
+
+// deparserOut computes the deparsed output order of one path: emits place
+// valid header ids into pkt.$out slots, then the unparsed remainder of
+// the input packet is appended, then checksum updates run.
+func (e *Engine) deparserOut(name string, s *pathState) error {
+	dp, ok := e.prog.Deparsers[name]
+	if !ok {
+		return fmt.Errorf("symexec: unknown deparser %q", name)
+	}
+	c := e.ctx
+	n := len(e.headers)
+	for i := 0; i < n; i++ {
+		s.vals[fmt.Sprintf("pkt.$out.%d", i)] = c.BV(0, 8)
+	}
+	s.vals["pkt.$outidx"] = c.BV(0, 8)
+	var checksums []*p4.UpdateChecksumStmt
+	for _, raw := range dp.Stmts {
+		switch st := raw.(type) {
+		case *p4.EmitStmt:
+			valid := e.get(s, st.Header+".$valid", 0)
+			outIdx := e.get(s, "pkt.$outidx", 8)
+			id := c.BV(e.headerIDs[st.Header], 8)
+			for i := 0; i < n; i++ {
+				slot := e.get(s, fmt.Sprintf("pkt.$out.%d", i), 8)
+				cond := c.And(valid, c.Eq(outIdx, c.BV(uint64(i), 8)))
+				s.vals[fmt.Sprintf("pkt.$out.%d", i)] = c.Ite(cond, id, slot)
+			}
+			s.vals["pkt.$outidx"] = c.Ite(valid, c.BVAdd(outIdx, c.BV(1, 8)), outIdx)
+		case *p4.UpdateChecksumStmt:
+			checksums = append(checksums, st)
+		}
+	}
+	// Unparsed tail: the extraction index is concrete on a path.
+	outIdx := e.get(s, "pkt.$outidx", 8)
+	for k := 0; s.extIdx+k < n; k++ {
+		val := e.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx+k), 8)
+		dst := c.BVAdd(outIdx, c.BV(uint64(k), 8))
+		for i := 0; i < n; i++ {
+			slot := e.get(s, fmt.Sprintf("pkt.$out.%d", i), 8)
+			cond := c.And(c.Eq(dst, c.BV(uint64(i), 8)), c.Neq(val, c.BV(0, 8)))
+			s.vals[fmt.Sprintf("pkt.$out.%d", i)] = c.Ite(cond, val, slot)
+		}
+	}
+	for _, st := range checksums {
+		w := e.checksumWidth(st.Dst)
+		sum := c.BV(0, w)
+		for _, in := range st.Inputs {
+			t, err := e.expr(in, s, nil, -1)
+			if err != nil {
+				return err
+			}
+			sum = c.BVAdd(sum, c.Resize(t, w))
+		}
+		if err := e.assign(&p4.AssignStmt{LHS: st.Dst, RHS: &p4.ExternExpr{X: sum}}, s, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) checksumWidth(dst p4.Expr) int {
+	switch l := dst.(type) {
+	case *p4.FieldRef:
+		return e.prog.InstanceType(l.Instance).Field(l.Field).Width
+	case *p4.SliceExpr:
+		return l.Hi - l.Lo + 1
+	}
+	return 16
 }
 
 // fork registers a new path branch, with optional eager feasibility
@@ -320,7 +433,9 @@ func (e *Engine) parserStmt(raw p4.Stmt, s *pathState) error {
 	case *p4.ExtractStmt:
 		ht := e.prog.InstanceType(st.Header)
 		for _, f := range ht.Fields {
-			s.vals[st.Header+"."+f.Name] = c.Var("pkt."+st.Header+"."+f.Name, f.Width)
+			// Read through the path's packet image so a re-parse after the
+			// inter-pipeline pass sees values written by earlier pipelines.
+			s.vals[st.Header+"."+f.Name] = e.get(s, "pkt."+st.Header+"."+f.Name, f.Width)
 		}
 		if s.extIdx < len(e.headers) {
 			slot := e.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx), 8)
@@ -798,7 +913,7 @@ func (e *Engine) expr(x p4.Expr, s *pathState, params map[string]*smt.Term, want
 			}
 			var acc *smt.Term
 			for _, f := range ht.Fields {
-				fv := c.Var("pkt."+h+"."+f.Name, f.Width)
+				fv := e.get(s, "pkt."+h+"."+f.Name, f.Width)
 				if acc == nil {
 					acc = fv
 				} else {

@@ -40,12 +40,12 @@ func newInterp(ctx *smt.Ctx, prog *p4.Program, snap *tables.Snapshot, loopBound 
 
 // state is a symbolic machine state: a direct map from variable names to
 // value terms, plus the well-formedness (assumption) constraint collected
-// along the way, plus the concrete extraction count of the current parse
-// path.
+// along the way. The extraction index lives in vals as pkt.$extidx and is
+// kept symbolic: after a select whose branches extract to different
+// depths, its merged value is an ite, matching the encoder's ExtIdxVar.
 type state struct {
-	vals   map[string]*smt.Term
-	wf     *smt.Term
-	extIdx int
+	vals map[string]*smt.Term
+	wf   *smt.Term
 }
 
 func (ip *interp) initialState() *state {
@@ -64,7 +64,7 @@ func (ip *interp) initialState() *state {
 }
 
 func (s *state) clone() *state {
-	c := &state{vals: make(map[string]*smt.Term, len(s.vals)), wf: s.wf, extIdx: s.extIdx}
+	c := &state{vals: make(map[string]*smt.Term, len(s.vals)), wf: s.wf}
 	for k, v := range s.vals {
 		c.vals[k] = v
 	}
@@ -124,11 +124,17 @@ func (ip *interp) merge(cond *smt.Term, a, b *state) *state {
 			out.vals[name] = c.Ite(cond, av, bv)
 		}
 	}
-	// extIdx: only meaningful while both are equal (inside a parse path).
-	if a.extIdx == b.extIdx {
-		out.extIdx = a.extIdx
-	} else {
-		out.extIdx = -1
+	return out
+}
+
+// orderAt reads the wire-order slot at a symbolic index: an ite chain over
+// the order variables, yielding 0 (no header) past the wire — the same
+// construction the encoder's SelectOrderAt uses.
+func (ip *interp) orderAt(s *state, idx *smt.Term) *smt.Term {
+	c := ip.ctx
+	out := c.BV(0, 8)
+	for i := len(ip.headers) - 1; i >= 0; i-- {
+		out = c.Ite(c.Eq(idx, c.BV(uint64(i), 8)), ip.get(s, fmt.Sprintf("pkt.$order.%d", i), 8), out)
 	}
 	return out
 }
@@ -285,15 +291,12 @@ func (ip *interp) boolExpr(e p4.Expr, s *state, params map[string]*smt.Term) (*s
 	return t, nil
 }
 
-// lookahead reads the leading bits of the next unparsed header. On a parse
-// path the extraction index is concrete, so the order slot is read
-// directly.
+// lookahead reads the leading bits of the next unparsed header. The order
+// slot is read at the symbolic extraction index; past the wire the slot
+// reads 0 and no header matches, leaving zero padding.
 func (ip *interp) lookahead(s *state, width int) *smt.Term {
 	c := ip.ctx
-	if s.extIdx < 0 || s.extIdx >= len(ip.headers) {
-		return c.BV(0, width) // past the wire: zero padding
-	}
-	slot := ip.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx), 8)
+	slot := ip.orderAt(s, ip.get(s, "pkt.$extidx", 8))
 	out := c.BV(0, width)
 	for _, h := range ip.headers {
 		lead := ip.leadingPktBits(h, width)
@@ -409,16 +412,12 @@ func (ip *interp) parserStmt(raw p4.Stmt, s *state) error {
 		for _, f := range ht.Fields {
 			s.vals[st.Header+"."+f.Name] = c.Var("pkt."+st.Header+"."+f.Name, f.Width)
 		}
-		// Wire-order consistency, with the concrete per-path index.
-		if s.extIdx >= 0 && s.extIdx < len(ip.headers) {
-			slot := ip.get(s, fmt.Sprintf("pkt.$order.%d", s.extIdx), 8)
-			s.wf = c.And(s.wf, c.Eq(slot, c.BV(ip.headerIDs[st.Header], 8)))
-		} else {
-			s.wf = c.False() // extracting beyond the wire
-		}
+		// Wire-order consistency at the symbolic extraction index; past
+		// the wire the slot reads 0, which matches no header id.
+		idx := ip.get(s, "pkt.$extidx", 8)
+		s.wf = c.And(s.wf, c.Eq(ip.orderAt(s, idx), c.BV(ip.headerIDs[st.Header], 8)))
 		s.vals[st.Header+".$valid"] = c.True()
-		s.extIdx++
-		s.vals["pkt.$extidx"] = c.BV(uint64(s.extIdx), 8)
+		s.vals["pkt.$extidx"] = c.BVAdd(idx, c.BV(1, 8))
 	case *p4.AssignStmt:
 		return ip.assign(st, s, nil)
 	case *p4.SetValidStmt:
@@ -890,15 +889,8 @@ func (ip *interp) runDeparser(name string, s *state) (*state, error) {
 	// Unparsed tail.
 	outIdx := ip.get(s, "pkt.$outidx", 8)
 	extIdx := ip.get(s, "pkt.$extidx", 8)
-	selectOrder := func(idx *smt.Term) *smt.Term {
-		out := c.BV(0, 8)
-		for i := n - 1; i >= 0; i-- {
-			out = c.Ite(c.Eq(idx, c.BV(uint64(i), 8)), ip.get(s, fmt.Sprintf("pkt.$order.%d", i), 8), out)
-		}
-		return out
-	}
 	for k := 0; k < n; k++ {
-		val := selectOrder(c.BVAdd(extIdx, c.BV(uint64(k), 8)))
+		val := ip.orderAt(s, c.BVAdd(extIdx, c.BV(uint64(k), 8)))
 		dst := c.BVAdd(outIdx, c.BV(uint64(k), 8))
 		for i := 0; i < n; i++ {
 			slot := ip.get(s, fmt.Sprintf("pkt.$out.%d", i), 8)

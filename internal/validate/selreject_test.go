@@ -1,0 +1,54 @@
+package validate
+
+import (
+	"testing"
+
+	"aquila/internal/encode"
+	"aquila/internal/p4"
+)
+
+// TestSelectNoDefaultReject pins a bug the differential fuzzer found: a
+// select with no default arm can reject, so after the select the two
+// branches have extracted to different depths. The interpreter used to
+// track the extraction index as a per-path concrete int, poisoned it to
+// -1 at the merge, and then rejected every packet a later pipeline's
+// parser touched — while the encoder's symbolic ExtIdxVar admitted them.
+// The index is now symbolic on both sides.
+func TestSelectNoDefaultReject(t *testing.T) {
+	src := `
+header a_t { bit<8> x; }
+header b_t { bit<8> y; }
+a_t a;
+b_t b;
+parser P0 {
+	state start {
+		extract(a);
+		transition select(a.x) {
+			1: parse_b;
+		}
+	}
+	state parse_b { extract(b); transition accept; }
+}
+parser P1 {
+	state start { extract(a); transition accept; }
+}
+control C0 { apply { } }
+deparser D0 { emit(a); }
+deparser D1 { }
+pipeline pipe0 { parser = P0; control = C0; deparser = D0; }
+pipeline pipe1 { parser = P1; control = C0; deparser = D1; }
+`
+	prog, err := p4.ParseAndCheck("selreject", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comps := range [][]string{{"P0"}, {"pipe0"}, {"pipe0", "pipe1"}} {
+		res, err := Validate(prog, nil, comps, encode.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", comps, err)
+		}
+		if !res.Equivalent {
+			t.Fatalf("%v mismatch:\n%s", comps, res.String())
+		}
+	}
+}

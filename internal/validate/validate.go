@@ -88,6 +88,17 @@ type Config struct {
 	// exercising, like Simplify, that the pass preserves refinement
 	// verdicts inside the §6 pipeline itself.
 	Preprocess bool
+	// Obs attaches observability sinks for this run; nil falls back to the
+	// process default. The fuzzing engine passes a per-iteration registry
+	// here to read coverage signatures without touching global state.
+	Obs *obs.Obs
+}
+
+func (c Config) observer() *obs.Obs {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default()
 }
 
 // ValidateWith runs the refinement proof with the given pass configuration.
@@ -97,7 +108,7 @@ func ValidateWith(prog *p4.Program, snap *tables.Snapshot, components []string, 
 
 func run(prog *p4.Program, snap *tables.Snapshot, components []string, opts encode.Options, cfg Config) (*Result, error) {
 	start := time.Now()
-	o := obs.Default()
+	o := cfg.observer()
 	ctx := smt.NewCtx()
 
 	// A(P): Aquila's GCL encoding.
@@ -206,6 +217,17 @@ func run(prog *p4.Program, snap *tables.Snapshot, components []string, opts enco
 	}
 	res.Equivalent = len(res.Mismatches) == 0
 	res.Time = time.Since(start)
+	if o != nil && o.Metrics != nil {
+		ss := solver.SolverStats()
+		m := o.Metrics
+		m.Counter(obs.CtrSATConflicts).Add(ss.Conflicts)
+		m.Counter(obs.CtrSATDecisions).Add(ss.Decisions)
+		m.Counter(obs.CtrSATPropagations).Add(ss.Propagations)
+		m.Counter(obs.CtrSATElimVars).Add(ss.ElimVars)
+		m.Counter(obs.CtrSATSubsumed).Add(ss.Subsumed)
+		m.Counter(obs.CtrSATStrengthened).Add(ss.Strengthened)
+		m.Counter(obs.CtrSMTTseitinClauses).Add(ss.TseitinClauses)
+	}
 	o.Event("validate_done", map[string]any{
 		"equivalent": res.Equivalent, "checked": res.Checked,
 		"mismatches": len(res.Mismatches),

@@ -384,6 +384,13 @@ func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*R
 			Assertions: len(res.Violations),
 		},
 	}
+	if o != nil && o.Metrics != nil {
+		// Structural coverage feed: which GCL statement kinds this program
+		// compiled into, and how many of each (log2-bucketed downstream).
+		for kind, n := range gcl.KindCounts(program) {
+			o.Metrics.Counter(obs.CtrGCLStmtPrefix + kind).Add(int64(n))
+		}
+	}
 	t1 := time.Now()
 	endSolve := o.Phase(0, "solve")
 	err = rep.check(opts)
