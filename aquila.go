@@ -120,6 +120,11 @@ type Options struct {
 	// checked condition are dropped before blasting. Reports stay
 	// byte-identical to unsliced mode.
 	Slice bool
+	// Stream makes find-all verification release transient per-assertion
+	// terms as it goes, bounding peak term memory by the VC plus one
+	// assertion's slice instead of the whole run. Forces the serial path;
+	// reports stay byte-identical to the default fresh-solver mode.
+	Stream bool
 	// Encode selects the encoding modes; the zero value is the paper's
 	// configuration (sequential encoding, ABV lookup tree, KV packets).
 	Encode EncodeOptions
@@ -128,7 +133,7 @@ type Options struct {
 func (o Options) verifyOptions() verify.Options {
 	return verify.Options{Encode: o.Encode, FindAll: o.FindAll, Budget: o.Budget,
 		Parallel: o.Parallel, Incremental: o.Incremental, Simplify: o.Simplify,
-		Preprocess: o.Preprocess, Slice: o.Slice}
+		Preprocess: o.Preprocess, Slice: o.Slice, Stream: o.Stream}
 }
 
 // ParseProgram parses and type-checks P4lite source.

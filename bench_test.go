@@ -300,6 +300,37 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkVerifyDCGateway_Allocs is the allocation benchmark CI gates
+// on: an end-to-end find-all verification of the DC Gateway under the
+// shipping memory-lean configuration (serial, preprocessing, slicing,
+// streaming release). Run with -benchmem; the allocs/op column is the
+// number the term-arena / flat-clause-DB work exists to shrink, and the
+// scale campaign's CompareScale holds it within 20% of the checked-in
+// BENCH_scale.json anchor row.
+func BenchmarkVerifyDCGateway_Allocs(b *testing.B) {
+	b.ReportAllocs()
+	bm := progs.DCGatewayBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Run(prog, nil, spec, verify.Options{
+			FindAll: true, Parallel: 1, Preprocess: true, Slice: true, Stream: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Violations) == 0 {
+			b.Fatal("no bugs on a benchmark with seeded violations")
+		}
+	}
+}
+
 // BenchmarkSMT_Interning exercises the hash-consing micro-path: a mix of
 // fresh constructions (map miss + insert) and re-constructions of existing
 // terms (map hit), the dominant operation of GCL encoding.

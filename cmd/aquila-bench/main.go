@@ -16,6 +16,8 @@
 //	                          [-compare BENCH_preproc.json]
 //	aquila-bench -exp obs [-repeats 3]
 //	aquila-bench -exp fuzz [-quick]
+//	aquila-bench -exp scale [-quick] [-scale-out BENCH_scale.json]
+//	                        [-compare-scale BENCH_scale.json]
 //	aquila-bench -exp all -quick
 //
 // Observability flags (shared with the other CLIs): -trace writes a
@@ -42,7 +44,7 @@ func main() { os.Exit(mainRun()) }
 
 func mainRun() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|fuzz|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|fuzz|scale|all")
 		quick     = flag.Bool("quick", false, "smaller budgets and workloads")
 		suite     = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
 		scales    = flag.String("scales", "small,medium,large", "table4 switch-T scales")
@@ -55,6 +57,8 @@ func mainRun() int {
 		incrOut   = flag.String("incr-out", "BENCH_incremental.json", "incremental-sweep JSON output file (empty: stdout table only)")
 		prepOut   = flag.String("preproc-out", "BENCH_preproc.json", "preproc-sweep JSON output file (empty: stdout table only)")
 		compare   = flag.String("compare", "", "preproc only: reference BENCH_preproc.json; exit non-zero if relative wall time regresses >20%")
+		scaleOut  = flag.String("scale-out", "BENCH_scale.json", "scale-campaign JSON output file (empty: stdout table only)")
+		scaleCmp  = flag.String("compare-scale", "", "scale only: reference BENCH_scale.json; exit non-zero on >20% relative regression")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON covering the run")
 		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write heap profile on exit")
@@ -310,6 +314,46 @@ func mainRun() int {
 				return err
 			}
 			fmt.Println("wrote BENCH_obs.json")
+		}
+		return nil
+	})
+
+	run("scale", func() error {
+		// The 10–100× campaign: structural multipliers and 10⁴–10⁵ entry
+		// sweeps recording wall / peak heap / allocation volume. -quick
+		// runs the CI subset (one point per axis).
+		var reg *obs.Registry
+		if o != nil {
+			reg = o.Metrics
+		}
+		res, err := bench.Scale(*quick, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatScale(res))
+		if *scaleCmp != "" {
+			data, err := os.ReadFile(*scaleCmp)
+			if err != nil {
+				return err
+			}
+			var ref bench.ScaleResult
+			if err := json.Unmarshal(data, &ref); err != nil {
+				return fmt.Errorf("parsing %s: %w", *scaleCmp, err)
+			}
+			if err := bench.CompareScale(&ref, res); err != nil {
+				return err
+			}
+			fmt.Printf("no regression vs %s\n", *scaleCmp)
+		}
+		if *scaleOut != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*scaleOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *scaleOut)
 		}
 		return nil
 	})

@@ -62,6 +62,7 @@ func run() int {
 		simplify  = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
 		preproc   = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in the SAT core")
 		slice     = flag.Bool("slice", false, "per-assertion cone-of-influence slicing of the VC (find-all modes)")
+		stream    = flag.Bool("stream", false, "streaming VC generation for -all: release per-assertion transient terms, bounding peak memory (implies -all, forces serial)")
 		blocklist = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the run's phases and per-assertion solves")
@@ -84,8 +85,8 @@ func run() int {
 	}
 	obs.SetDefault(o)
 	code := verifyMain(*p4Path, *specPath, *builtin, *entries,
-		*findAll || *incr, *blocklist, *jsonOut, *budget, *parallel,
-		*incr, *simplify, *preproc, *slice,
+		*findAll || *incr || *stream, *blocklist, *jsonOut, *budget, *parallel,
+		*incr, *simplify, *preproc, *slice, *stream,
 		encodeOptions(*parserStr, *tableStr, *packetStr))
 	if err := closeObs(); err != nil {
 		return fail(err)
@@ -95,7 +96,7 @@ func run() int {
 
 func verifyMain(p4Path, specPath, builtin, entries string,
 	findAll, blocklist, jsonOut bool, budget int64, parallel int,
-	incremental, simplify, preprocess, slice bool, eopts encode.Options) int {
+	incremental, simplify, preprocess, slice, stream bool, eopts encode.Options) int {
 	var prog *aquila.Program
 	var spec *aquila.Spec
 	var err error
@@ -139,6 +140,7 @@ func verifyMain(p4Path, specPath, builtin, entries string,
 		Simplify:    simplify,
 		Preprocess:  preprocess,
 		Slice:       slice,
+		Stream:      stream,
 		Encode:      eopts,
 	}
 	report, err := aquila.Verify(prog, snap, spec, opts)

@@ -199,6 +199,43 @@ func TestQuickFindModesAgree(t *testing.T) {
 	}
 }
 
+// TestParallelSweepQuick pins the parallel sweep's bookkeeping: every row
+// reproduces the serial canonical report, the CPU metadata (GOMAXPROCS
+// and physical core count) is recorded, and multi-worker rows on a
+// single-CPU host are marked cpu_bound. The speedup assertion itself is
+// skipped on single-core hosts — a 1-CPU container bounds wall-clock
+// speedup at 1.0x regardless of the engine, so gating on it there would
+// only test the machine.
+func TestParallelSweepQuick(t *testing.T) {
+	res, err := Parallel(progs.DCGatewayBench(), []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUs < 1 || res.NumCPU < 1 {
+		t.Fatalf("CPU metadata missing: cpus=%d num_cpu=%d", res.CPUs, res.NumCPU)
+	}
+	for _, r := range res.Rows {
+		if !r.Identical {
+			t.Fatalf("workers=%d: canonical report differs from serial baseline", r.Workers)
+		}
+		if r.Bugs == 0 {
+			t.Fatalf("workers=%d: no bugs on a benchmark with seeded violations", r.Workers)
+		}
+		if want := r.Workers > 1 && res.SingleCPU(); r.CPUBound != want {
+			t.Fatalf("workers=%d: cpu_bound=%v, want %v (cpus=%d num_cpu=%d)",
+				r.Workers, r.CPUBound, want, res.CPUs, res.NumCPU)
+		}
+	}
+	if res.SingleCPU() {
+		t.Logf("single-CPU host (cpus=%d num_cpu=%d): skipping speedup assertion", res.CPUs, res.NumCPU)
+	} else if sp := res.Rows[len(res.Rows)-1].Speedup; sp < 0.5 {
+		t.Errorf("2-worker speedup %.2fx on a multi-core host: parallel fan-out slower than half the serial run", sp)
+	}
+	if !strings.Contains(FormatParallel(res), "speedup") {
+		t.Fatal("format output malformed")
+	}
+}
+
 // TestIncrementalSweepQuick runs the fresh-vs-incremental sweep on the DC
 // gateway and pins the acceptance bar: strictly fewer total Tseitin
 // clauses in incremental mode, byte-identical canonical reports at every

@@ -26,6 +26,11 @@ type ParallelRow struct {
 	SolveCPUMS float64 `json:"solve_cpu_ms"`
 	// Speedup is wall(workers=1) / wall(this row).
 	Speedup float64 `json:"speedup"`
+	// CPUBound marks a multi-worker row measured on a single effective
+	// CPU: its wall-clock speedup is bounded at 1.0x by the host, not by
+	// the engine, so consumers (CI gates included) must not read the
+	// Speedup column as an engine regression.
+	CPUBound bool `json:"cpu_bound,omitempty"`
 	// Identical reports whether this row's canonical report bytes match
 	// the workers=1 baseline exactly.
 	Identical bool `json:"identical"`
@@ -38,9 +43,19 @@ type ParallelResult struct {
 	Assertions int    `json:"assertions"`
 	// CPUs is runtime.GOMAXPROCS(0) — speedup is bounded by it, so a
 	// 1-CPU container cannot show wall-clock gains at any worker count.
-	CPUs    int           `json:"cpus"`
+	CPUs int `json:"cpus"`
+	// NumCPU is runtime.NumCPU(), the host's logical core count. It can
+	// exceed CPUs when GOMAXPROCS is capped (cgroup limits, GOMAXPROCS
+	// env); the effective parallelism is min(CPUs, NumCPU).
+	NumCPU  int           `json:"num_cpu"`
 	Repeats int           `json:"repeats"`
 	Rows    []ParallelRow `json:"rows"`
+}
+
+// SingleCPU reports whether the sweep ran with one effective CPU, in
+// which case wall-clock speedup assertions are meaningless.
+func (r *ParallelResult) SingleCPU() bool {
+	return r.CPUs <= 1 || r.NumCPU <= 1
 }
 
 // Parallel sweeps find-all verification of bm over workerCounts (each run
@@ -65,6 +80,7 @@ func Parallel(bm *progs.Benchmark, workerCounts []int, repeats int) (*ParallelRe
 	res := &ParallelResult{
 		Program: bm.Name,
 		CPUs:    runtime.GOMAXPROCS(0),
+		NumCPU:  runtime.NumCPU(),
 		Repeats: repeats,
 	}
 	var baseline []byte
@@ -100,6 +116,7 @@ func Parallel(bm *progs.Benchmark, workerCounts []int, repeats int) (*ParallelRe
 			SolveMS:    float64(bestRep.Stats.SolveTime.Microseconds()) / 1000,
 			SolveCPUMS: float64(bestRep.Stats.SolveCPU.Microseconds()) / 1000,
 			Speedup:    float64(baseWall) / float64(best),
+			CPUBound:   w > 1 && res.SingleCPU(),
 			Identical:  bytes.Equal(canon, baseline),
 			Bugs:       len(bestRep.Violations),
 		})
@@ -115,16 +132,16 @@ func (r *ParallelResult) JSON() ([]byte, error) {
 // FormatParallel renders the sweep as the usual aquila-bench table.
 func FormatParallel(r *ParallelResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Parallel find-all sweep: %s (%d assertions, %d CPUs, best of %d)\n",
-		r.Program, r.Assertions, r.CPUs, r.Repeats)
+	fmt.Fprintf(&b, "Parallel find-all sweep: %s (%d assertions, %d CPUs of %d cores, best of %d)\n",
+		r.Program, r.Assertions, r.CPUs, r.NumCPU, r.Repeats)
 	fmt.Fprintf(&b, "%-8s  %10s  %10s  %12s  %8s  %9s  %4s\n",
 		"workers", "wall ms", "solve ms", "solve-cpu ms", "speedup", "identical", "bugs")
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%-8d  %10.1f  %10.1f  %12.1f  %7.2fx  %9v  %4d\n",
 			row.Workers, row.WallMS, row.SolveMS, row.SolveCPUMS, row.Speedup, row.Identical, row.Bugs)
 	}
-	if r.CPUs == 1 {
-		b.WriteString("note: single-CPU host — wall-clock speedup is bounded at 1.0x; solve-cpu ms shows the worker-count-independent cost.\n")
+	if r.SingleCPU() {
+		b.WriteString("note: single-CPU host — multi-worker rows are cpu_bound, wall-clock speedup is bounded at 1.0x; solve-cpu ms shows the worker-count-independent cost.\n")
 	}
 	return b.String()
 }

@@ -32,6 +32,7 @@ const (
 	CtrSMTInternMisses     = "smt.intern_misses"
 	CtrSMTFrozenLocks      = "smt.frozen_ctx_locks"
 	CtrSMTSimplifyRewrites = "smt.simplify_rewrites"
+	CtrSMTTermsReleased    = "smt.terms_released"
 
 	// GCL structure: one counter per statement kind reachable in the
 	// compiled verification program, named CtrGCLStmtPrefix + kind. The
@@ -48,6 +49,12 @@ const (
 	GaugeTermNodes        = "smt.term_nodes"
 	GaugeVerifyWorkers    = "verify.workers"
 	GaugeVerifyShards     = "verify.incremental_shards"
+
+	// Process memory, published by the scale campaign (internal/bench):
+	// the sampled peak live heap of the most recent point and the heap
+	// allocations accumulated across every point.
+	GaugeBenchPeakHeap = "mem.peak_heap_bytes"
+	CtrBenchAllocs     = "mem.heap_allocs"
 )
 
 // Counter is a monotone atomic counter. The zero value is usable; a nil

@@ -16,6 +16,12 @@ package sat
 // (restoreVar), which is sound: the resolvents kept in the database are
 // implied by the originals, so re-adding the originals restores the exact
 // original semantics.
+//
+// Clauses are addressed by cref into the solver's flat arena (alloc.go);
+// the preprocessor shrinks and deletes them in place and compacts the
+// arena afterwards. Its occurrence lists and scratch buffers are pooled on
+// the Solver (prepState), so the repeated rounds a long-lived incremental
+// solver triggers re-use one allocation's worth of working state.
 
 import "sort"
 
@@ -127,12 +133,16 @@ func (s *Solver) Preprocess() bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: Preprocess above decision level 0")
 	}
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		s.ok = false
 		return false
 	}
 	s.dirty = 0
-	p := &preprocessor{s: s, occ: make([][]int, 2*s.NumVars())}
+	if s.prepState == nil {
+		s.prepState = &preprocessor{}
+	}
+	p := s.prepState
+	p.reset(s)
 	p.build()
 	if s.ok {
 		p.processUnits()
@@ -147,7 +157,7 @@ func (s *Solver) Preprocess() bool {
 		p.subsume()
 	}
 	p.finish()
-	if s.ok && s.propagate() != nil {
+	if s.ok && s.propagate() != crefUndef {
 		s.ok = false
 	}
 	return s.ok
@@ -155,7 +165,9 @@ func (s *Solver) Preprocess() bool {
 
 // rebuildWatches reconstructs every watch list from the live clause
 // database; preprocessing mutates clauses in place, so the old lists are
-// stale afterwards.
+// stale afterwards. Truncation keeps the list backings (and the shared
+// watcher slab they were carved from), so re-attachment after a
+// preprocessing round costs no fresh allocation.
 func (s *Solver) rebuildWatches() {
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
@@ -168,16 +180,37 @@ func (s *Solver) rebuildWatches() {
 	}
 }
 
-// preprocessor is the transient working state of one Preprocess round: an
-// occurrence-list view of the clause database with a subsumption queue.
+// preprocessor is the working state of one Preprocess round: an
+// occurrence-list view of the clause database with a subsumption queue. A
+// single instance is pooled on the Solver and reset between rounds, so the
+// occurrence lists, queue, and scratch buffers keep their backing arrays.
 type preprocessor struct {
 	s       *Solver
-	cls     []*clause // live view: problem clauses then learnts
-	occ     [][]int   // literal -> indices into cls
+	cls     []cref    // live view: problem clauses then learnts, then resolvents
+	occ     [][]int32 // literal -> indices into cls
 	sig     []uint64  // per-clause variable signature (subset prefilter)
 	inQueue []bool
-	queue   []int // clause indices awaiting a subsumption pass
-	units   []Lit // pending level-0 assignments
+	queue   []int   // clause indices awaiting a subsumption pass
+	units   []Lit   // pending level-0 assignments
+	cands   []int32 // subsumption candidate scratch (occ list snapshot)
+}
+
+// reset clears the round's state while keeping every backing array, and
+// sizes the occurrence table to the solver's current variable count.
+func (p *preprocessor) reset(s *Solver) {
+	p.s = s
+	p.cls = p.cls[:0]
+	p.sig = p.sig[:0]
+	p.inQueue = p.inQueue[:0]
+	p.queue = p.queue[:0]
+	p.units = p.units[:0]
+	for i := range p.occ {
+		p.occ[i] = p.occ[i][:0]
+	}
+	for len(p.occ) < 2*s.NumVars() {
+		p.occ = append(p.occ, nil)
+	}
+	p.occ = p.occ[:2*s.NumVars()]
 }
 
 func sigOf(lits []Lit) uint64 {
@@ -188,57 +221,66 @@ func sigOf(lits []Lit) uint64 {
 	return sig
 }
 
+func (p *preprocessor) lits(ci int) []Lit { return p.s.ca.lits(p.cls[ci]) }
+
+func (p *preprocessor) deleted(ci int) bool { return p.s.ca.deleted(p.cls[ci]) }
+
 // build folds the clause database into occurrence lists, simplifying each
-// clause against the level-0 assignment on the way in.
+// clause against the level-0 assignment on the way in (survivors are
+// written over the clause's arena prefix, then the clause shrinks in
+// place).
 func (p *preprocessor) build() {
 	s := p.s
-	all := make([]*clause, 0, len(s.clauses)+len(s.learnts))
-	all = append(all, s.clauses...)
-	all = append(all, s.learnts...)
-	for _, c := range all {
-		if c.deleted {
-			continue
-		}
-		keep, satisfied := c.lits[:0], false
-		for _, l := range c.lits {
-			switch s.value(l) {
-			case lTrue:
-				satisfied = true
-			case lFalse:
-				// drop
-			default:
-				keep = append(keep, l)
+	for _, list := range [2][]cref{s.clauses, s.learnts} {
+		for _, r := range list {
+			if s.ca.deleted(r) {
+				continue
+			}
+			lits := s.ca.lits(r)
+			keep, satisfied := lits[:0], false
+			for _, l := range lits {
+				switch s.value(l) {
+				case lTrue:
+					satisfied = true
+				case lFalse:
+					// drop
+				default:
+					keep = append(keep, l)
+				}
+				if satisfied {
+					break
+				}
 			}
 			if satisfied {
-				break
+				s.ca.markDeleted(r)
+				continue
 			}
+			if len(keep) < len(lits) {
+				s.ca.shrink(r, len(keep))
+			}
+			switch len(keep) {
+			case 0:
+				s.ok = false
+				return
+			case 1:
+				p.units = append(p.units, keep[0])
+				s.ca.markDeleted(r)
+				continue
+			}
+			p.addIndexed(r)
 		}
-		if satisfied {
-			c.deleted = true
-			continue
-		}
-		c.lits = keep
-		switch len(keep) {
-		case 0:
-			s.ok = false
-			return
-		case 1:
-			p.units = append(p.units, keep[0])
-			c.deleted = true
-			continue
-		}
-		p.addIndexed(c)
 	}
 }
 
-func (p *preprocessor) addIndexed(c *clause) {
+func (p *preprocessor) addIndexed(r cref) {
 	ci := len(p.cls)
-	p.cls = append(p.cls, c)
-	p.sig = append(p.sig, sigOf(c.lits))
+	p.cls = append(p.cls, r)
+	lits := p.s.ca.lits(r)
+	p.sig = append(p.sig, sigOf(lits))
 	p.inQueue = append(p.inQueue, true)
 	p.queue = append(p.queue, ci)
-	for _, l := range c.lits {
-		p.occ[l] = append(p.occ[l], ci)
+	for _, l := range lits {
+		p.occ[l] = append(p.occ[l], int32(ci))
 	}
 }
 
@@ -252,7 +294,7 @@ func (p *preprocessor) enqueue(ci int) {
 func (p *preprocessor) occRemove(l Lit, ci int) {
 	list := p.occ[l]
 	for i, x := range list {
-		if x == ci {
+		if int(x) == ci {
 			list[i] = list[len(list)-1]
 			p.occ[l] = list[:len(list)-1]
 			return
@@ -261,31 +303,31 @@ func (p *preprocessor) occRemove(l Lit, ci int) {
 }
 
 func (p *preprocessor) deleteClause(ci int) {
-	c := p.cls[ci]
-	if c.deleted {
+	if p.deleted(ci) {
 		return
 	}
-	c.deleted = true
-	for _, l := range c.lits {
+	for _, l := range p.lits(ci) {
 		p.occRemove(l, ci)
 	}
+	p.s.ca.markDeleted(p.cls[ci])
 }
 
 // strengthen removes literal l from clause ci; a clause reduced to a unit
 // is queued for level-0 assignment and retired.
 func (p *preprocessor) strengthen(ci int, l Lit) {
-	c := p.cls[ci]
-	for i, x := range c.lits {
+	lits := p.lits(ci)
+	for i, x := range lits {
 		if x == l {
-			c.lits[i] = c.lits[len(c.lits)-1]
-			c.lits = c.lits[:len(c.lits)-1]
+			lits[i] = lits[len(lits)-1]
+			lits = lits[:len(lits)-1]
 			break
 		}
 	}
+	p.s.ca.shrink(p.cls[ci], len(lits))
 	p.occRemove(l, ci)
-	p.sig[ci] = sigOf(c.lits)
-	if len(c.lits) == 1 {
-		p.units = append(p.units, c.lits[0])
+	p.sig[ci] = sigOf(lits)
+	if len(lits) == 1 {
+		p.units = append(p.units, lits[0])
 		p.deleteClause(ci)
 		return
 	}
@@ -306,12 +348,12 @@ func (p *preprocessor) processUnits() bool {
 			s.ok = false
 			return false
 		}
-		s.uncheckedEnqueue(l, nil)
+		s.uncheckedEnqueue(l, crefUndef)
 		for len(p.occ[l]) > 0 {
-			p.deleteClause(p.occ[l][0])
+			p.deleteClause(int(p.occ[l][0]))
 		}
 		for len(p.occ[l.Not()]) > 0 {
-			p.strengthen(p.occ[l.Not()][0], l.Not())
+			p.strengthen(int(p.occ[l.Not()][0]), l.Not())
 		}
 	}
 	return true
@@ -351,8 +393,7 @@ func (p *preprocessor) subsume() {
 		ci := p.queue[0]
 		p.queue = p.queue[1:]
 		p.inQueue[ci] = false
-		c := p.cls[ci]
-		if c.deleted {
+		if p.deleted(ci) {
 			continue
 		}
 		// Pivot on the literal with the fewest candidates across both
@@ -360,7 +401,7 @@ func (p *preprocessor) subsume() {
 		// itself in the candidate clause.
 		var pivot Lit = -1
 		bestN := 0
-		for _, l := range c.lits {
+		for _, l := range p.lits(ci) {
 			n := len(p.occ[l]) + len(p.occ[l.Not()])
 			if pivot == -1 || n < bestN {
 				pivot, bestN = l, n
@@ -378,32 +419,35 @@ func (p *preprocessor) subsume() {
 }
 
 func (p *preprocessor) subsumeWith(ci int, l Lit) {
-	c := p.cls[ci]
-	cands := append([]int(nil), p.occ[l]...)
-	for _, cj := range cands {
-		if c.deleted {
+	// Snapshot the candidate list into pooled scratch: strengthen and
+	// deleteClause below edit the live occurrence list mid-iteration.
+	p.cands = append(p.cands[:0], p.occ[l]...)
+	for _, cj32 := range p.cands {
+		cj := int(cj32)
+		if p.deleted(ci) {
 			return
 		}
-		if cj == ci {
+		if cj == ci || p.deleted(cj) {
 			continue
 		}
-		d := p.cls[cj]
-		if d.deleted || len(d.lits) < len(c.lits) {
+		clits := p.lits(ci)
+		dlits := p.lits(cj)
+		if len(dlits) < len(clits) {
 			continue
 		}
 		if p.sig[ci]&^p.sig[cj] != 0 {
 			continue
 		}
-		flip, ok := subsumes(c.lits, d.lits)
+		flip, ok := subsumes(clits, dlits)
 		if !ok {
 			continue
 		}
 		if flip == -1 {
-			// c subsumes d. If a learnt clause subsumes a problem clause
+			// ci subsumes cj. If a learnt clause subsumes a problem clause
 			// it must be promoted, or database reduction could later evict
 			// the only remaining form of the constraint.
-			if c.learnt && !d.learnt {
-				c.learnt = false
+			if p.s.ca.learnt(p.cls[ci]) && !p.s.ca.learnt(p.cls[cj]) {
+				p.s.ca.demote(p.cls[ci])
 			}
 			p.s.SubsumedClauses++
 			p.deleteClause(cj)
@@ -488,13 +532,13 @@ func (p *preprocessor) tryEliminate(v int) {
 	pl, nl := MkLit(v, false), MkLit(v, true)
 	var pos, neg []int
 	for _, ci := range p.occ[pl] {
-		if !p.cls[ci].learnt {
-			pos = append(pos, ci)
+		if !s.ca.learnt(p.cls[ci]) {
+			pos = append(pos, int(ci))
 		}
 	}
 	for _, ci := range p.occ[nl] {
-		if !p.cls[ci].learnt {
-			neg = append(neg, ci)
+		if !s.ca.learnt(p.cls[ci]) {
+			neg = append(neg, int(ci))
 		}
 	}
 	if len(pos) > bveOccLimit || len(neg) > bveOccLimit {
@@ -504,7 +548,7 @@ func (p *preprocessor) tryEliminate(v int) {
 	var resolvents [][]Lit
 	for _, pi := range pos {
 		for _, ni := range neg {
-			r, ok := resolve(p.cls[pi].lits, p.cls[ni].lits, v)
+			r, ok := resolve(p.lits(pi), p.lits(ni), v)
 			if !ok {
 				continue
 			}
@@ -521,10 +565,10 @@ func (p *preprocessor) tryEliminate(v int) {
 	// then add the resolvents.
 	rec := elimRecord{v: v}
 	for _, ci := range pos {
-		rec.clauses = append(rec.clauses, append([]Lit(nil), p.cls[ci].lits...))
+		rec.clauses = append(rec.clauses, append([]Lit(nil), p.lits(ci)...))
 	}
 	for _, ci := range neg {
-		rec.clauses = append(rec.clauses, append([]Lit(nil), p.cls[ci].lits...))
+		rec.clauses = append(rec.clauses, append([]Lit(nil), p.lits(ci)...))
 	}
 	for _, ci := range pos {
 		p.deleteClause(ci)
@@ -533,10 +577,10 @@ func (p *preprocessor) tryEliminate(v int) {
 		p.deleteClause(ci)
 	}
 	for len(p.occ[pl]) > 0 {
-		p.deleteClause(p.occ[pl][0])
+		p.deleteClause(int(p.occ[pl][0]))
 	}
 	for len(p.occ[nl]) > 0 {
-		p.deleteClause(p.occ[nl][0])
+		p.deleteClause(int(p.occ[nl][0]))
 	}
 	if s.elimIndex == nil {
 		s.elimIndex = map[int]int{}
@@ -551,8 +595,8 @@ func (p *preprocessor) tryEliminate(v int) {
 	p.processUnits()
 }
 
-// addResolvent installs a BVE resolvent as a problem clause, simplifying
-// against the level-0 assignment first.
+// addResolvent installs a BVE resolvent as a problem clause in the arena,
+// simplifying against the level-0 assignment first.
 func (p *preprocessor) addResolvent(lits []Lit) {
 	s := p.s
 	out := lits[:0]
@@ -574,25 +618,28 @@ func (p *preprocessor) addResolvent(lits []Lit) {
 		p.units = append(p.units, out[0])
 		return
 	}
-	p.addIndexed(&clause{lits: out})
+	p.addIndexed(s.ca.alloc(out, false))
 }
 
-// finish compacts the database and rebuilds the watch lists.
+// finish rebuilds the solver's clause lists from the surviving view,
+// reconstructs the watch lists, and compacts the arena if the round left
+// enough dead space behind.
 func (p *preprocessor) finish() {
 	s := p.s
 	cls := s.clauses[:0]
 	lrn := s.learnts[:0]
-	for _, c := range p.cls {
-		if c.deleted {
+	for _, r := range p.cls {
+		if s.ca.deleted(r) {
 			continue
 		}
-		if c.learnt {
-			lrn = append(lrn, c)
+		if s.ca.learnt(r) {
+			lrn = append(lrn, r)
 		} else {
-			cls = append(cls, c)
+			cls = append(cls, r)
 		}
 	}
 	s.clauses = cls
 	s.learnts = lrn
 	s.rebuildWatches()
+	s.checkGC()
 }

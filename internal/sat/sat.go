@@ -5,6 +5,13 @@
 // reduction, and solving under assumptions with final-conflict (unsat core)
 // extraction.
 //
+// Clauses live in a flat arena (alloc.go) addressed by 32-bit crefs rather
+// than as individually heap-allocated objects; a compacting garbage
+// collection pass reclaims deleted-clause space after database reduction
+// and preprocessing. Hot-path scratch buffers (clause dedup, conflict
+// analysis, LBD stamps, activity medians, watcher slabs) persist on the
+// Solver so steady-state solving allocates almost nothing.
+//
 // It is the bottom layer of Aquila's verification stack; the bit-vector
 // theory in package smt lowers verification conditions to CNF and solves
 // them here.
@@ -86,31 +93,25 @@ func (s Status) String() string {
 // ErrBudget is returned by Solve when the conflict budget is exhausted.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
 
-type clause struct {
-	lits    []Lit
-	learnt  bool
-	lbd     int
-	act     float64
-	deleted bool
-}
-
 type watcher struct {
-	c       *clause
+	ref     cref
 	blocker Lit
 }
 
 type varData struct {
-	reason *clause // antecedent clause, nil for decisions/assumptions
+	reason cref // antecedent clause, crefUndef for decisions/assumptions
 	level  int32
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; construct with
 // New.
 type Solver struct {
-	clauses []*clause // problem clauses
-	learnts []*clause
+	ca      clauseAlloc
+	clauses []cref // problem clauses
+	learnts []cref
 
 	watches [][]watcher // indexed by literal
+	wslab   []watcher   // shared backing slab for small watch lists
 
 	assigns  []lbool // indexed by var
 	vardata  []varData
@@ -127,6 +128,15 @@ type Solver struct {
 	seen      []byte
 	analyzeTo []Lit
 	minStack  []Lit
+
+	// Reused hot-path scratch: clause dedup in AddClause, the learnt
+	// clause under construction in analyze, level stamps for LBD, and the
+	// activity array reduceDB medians over.
+	addBuf    []Lit
+	learntBuf []Lit
+	lbdSeen   []int64
+	lbdTick   int64
+	actBuf    []float64
 
 	clauseInc float64
 
@@ -165,7 +175,8 @@ type Solver struct {
 	frozen    []bool // indexed by var
 	elimed    []bool // indexed by var
 	elimStack []elimRecord
-	elimIndex map[int]int // var -> elimStack index while eliminated
+	elimIndex map[int]int   // var -> elimStack index while eliminated
+	prepState *preprocessor // pooled across Preprocess rounds
 }
 
 // New returns an empty solver.
@@ -207,7 +218,7 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 func (s *Solver) NewVar() int {
 	v := len(s.assigns)
 	s.assigns = append(s.assigns, lUndef)
-	s.vardata = append(s.vardata, varData{})
+	s.vardata = append(s.vardata, varData{reason: crefUndef})
 	s.polarity = append(s.polarity, true) // default phase: false (polarity=negated)
 	s.activity = append(s.activity, 0)
 	s.watches = append(s.watches, nil, nil)
@@ -245,7 +256,9 @@ func (s *Solver) level(v int) int { return int(s.vardata[v].level) }
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
 // AddClause adds a problem clause. It returns false if the solver is already
-// in an unsatisfiable state at level 0.
+// in an unsatisfiable state at level 0. The literal slice is never retained:
+// clause bodies are copied into the arena, so callers may pass stack
+// buffers (or variadic literals, which then stay off the heap).
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
@@ -268,7 +281,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	s.dirty++
 	// Sort & dedupe; detect tautologies and satisfied/false literals.
-	out := lits[:0:0]
+	// restoreVar above never re-enters past this point, so one scratch
+	// buffer per solver suffices.
+	out := s.addBuf[:0]
 	for _, l := range lits {
 		if int(l.Var()) >= s.NumVars() {
 			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
@@ -293,28 +308,64 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			out = append(out, l)
 		}
 	}
+	s.addBuf = out
 	switch len(out) {
 	case 0:
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		s.ok = s.propagate() == nil
+		s.uncheckedEnqueue(out[0], crefUndef)
+		s.ok = s.propagate() == crefUndef
 		return s.ok
 	}
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
-	s.attach(c)
+	r := s.ca.alloc(out, false)
+	s.clauses = append(s.clauses, r)
+	s.attach(r)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
-	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+func (s *Solver) attach(r cref) {
+	lits := s.ca.lits(r)
+	l0, l1 := lits[0], lits[1]
+	s.wappend(l0.Not(), watcher{r, l1})
+	s.wappend(l1.Not(), watcher{r, l0})
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, reason *clause) {
+// wslabChunk is the watcher slab size; lists growing past a quarter of it
+// graduate to their own allocation.
+const wslabChunk = 8192
+
+// wappend appends w to the watch list of p, carving small list backings out
+// of a shared slab so the millions of short watch lists a blast produces
+// don't each cost a heap allocation.
+func (s *Solver) wappend(p Lit, w watcher) {
+	ws := s.watches[p]
+	if len(ws) == cap(ws) {
+		ws = s.growWatch(ws)
+	}
+	s.watches[p] = append(ws, w)
+}
+
+func (s *Solver) growWatch(ws []watcher) []watcher {
+	ncap := 2 * cap(ws)
+	if ncap < 4 {
+		ncap = 4
+	}
+	if ncap > wslabChunk/4 {
+		nw := make([]watcher, len(ws), ncap)
+		copy(nw, ws)
+		return nw
+	}
+	if cap(s.wslab)-len(s.wslab) < ncap {
+		s.wslab = make([]watcher, 0, wslabChunk)
+	}
+	n := len(s.wslab)
+	s.wslab = s.wslab[:n+ncap]
+	nw := s.wslab[n : n : n+ncap]
+	return append(nw, ws...)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, reason cref) {
 	v := l.Var()
 	if l.Neg() {
 		s.assigns[v] = lFalse
@@ -326,8 +377,8 @@ func (s *Solver) uncheckedEnqueue(l Lit, reason *clause) {
 }
 
 // propagate performs unit propagation; it returns the conflicting clause or
-// nil.
-func (s *Solver) propagate() *clause {
+// crefUndef.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -342,32 +393,32 @@ func (s *Solver) propagate() *clause {
 				n++
 				continue
 			}
-			c := w.c
-			if c.deleted {
+			r := w.ref
+			if s.ca.deleted(r) {
 				continue
 			}
+			lits := s.ca.lits(r)
 			// Make sure the false literal is lits[1].
 			notP := p.Not()
-			if c.lits[0] == notP {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if lits[0] == notP {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			first := c.lits[0]
+			first := lits[0]
 			if first != w.blocker && s.value(first) == lTrue {
-				ws[n] = watcher{c, first}
+				ws[n] = watcher{r, first}
 				n++
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					nw := c.lits[1].Not()
-					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.wappend(lits[1].Not(), watcher{r, first})
 					continue nextWatcher
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[n] = watcher{c, first}
+			ws[n] = watcher{r, first}
 			n++
 			if s.value(first) == lFalse {
 				// Conflict: copy remaining watchers and bail.
@@ -377,13 +428,13 @@ func (s *Solver) propagate() *clause {
 				}
 				s.watches[p] = ws[:n]
 				s.qhead = len(s.trail)
-				return c
+				return r
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, r)
 		}
 		s.watches[p] = ws[:n]
 	}
-	return nil
+	return crefUndef
 }
 
 func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
@@ -416,11 +467,12 @@ func (s *Solver) varBump(v int) {
 
 func (s *Solver) varDecay() { s.varInc /= 0.95 }
 
-func (s *Solver) clauseBump(c *clause) {
-	c.act += s.clauseInc
-	if c.act > 1e20 {
-		for _, l := range s.learnts {
-			l.act *= 1e-20
+func (s *Solver) clauseBump(r cref) {
+	a := s.ca.act(r) + s.clauseInc
+	s.ca.setAct(r, a)
+	if a > 1e20 {
+		for _, lr := range s.learnts {
+			s.ca.setAct(lr, s.ca.act(lr)*1e-20)
 		}
 		s.clauseInc *= 1e-20
 	}
@@ -429,16 +481,18 @@ func (s *Solver) clauseBump(c *clause) {
 func (s *Solver) clauseDecay() { s.clauseInc /= 0.999 }
 
 // analyze computes a first-UIP learnt clause from the conflict and returns
-// it together with the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{0} // reserve slot for the asserting literal
+// it together with the backtrack level. The returned slice is solver-owned
+// scratch, valid until the next analyze call.
+func (s *Solver) analyze(confl cref) ([]Lit, int) {
+	learnt := append(s.learntBuf[:0], 0) // reserve slot for the asserting literal
 	pathC := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
 
 	for {
-		for i := 0; i < len(confl.lits); i++ {
-			q := confl.lits[i]
+		clits := s.ca.lits(confl)
+		for i := 0; i < len(clits); i++ {
+			q := clits[i]
 			if q == p { // reason clauses carry the asserting literal; skip it
 				continue
 			}
@@ -453,7 +507,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 				}
 			}
 		}
-		if confl.learnt {
+		if s.ca.learnt(confl) {
 			s.clauseBump(confl)
 		}
 		// Select next literal to look at.
@@ -479,7 +533,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].Var()
-		if s.vardata[v].reason == nil || !s.litRedundant(learnt[i]) {
+		if s.vardata[v].reason == crefUndef || !s.litRedundant(learnt[i]) {
 			learnt[j] = learnt[i]
 			j++
 		}
@@ -501,17 +555,18 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for _, l := range s.analyzeTo {
 		s.seen[l.Var()] = 0
 	}
+	s.learntBuf = learnt
 	return learnt, btLevel
 }
 
 // litRedundant reports whether l is implied by the other literals of the
 // learnt clause (local minimization, non-recursive).
 func (s *Solver) litRedundant(l Lit) bool {
-	c := s.vardata[l.Var()].reason
-	if c == nil {
+	r := s.vardata[l.Var()].reason
+	if r == crefUndef {
 		return false
 	}
-	for _, q := range c.lits {
+	for _, q := range s.ca.lits(r) {
 		if q == l.Not() || q == l {
 			continue
 		}
@@ -526,12 +581,22 @@ func (s *Solver) litRedundant(l Lit) bool {
 	return true
 }
 
+// computeLBD counts distinct decision levels via a stamp array instead of
+// a per-call map.
 func (s *Solver) computeLBD(lits []Lit) int {
-	levels := map[int]struct{}{}
+	s.lbdTick++
+	n := 0
 	for _, l := range lits {
-		levels[s.level(l.Var())] = struct{}{}
+		lv := s.level(l.Var())
+		for lv >= len(s.lbdSeen) {
+			s.lbdSeen = append(s.lbdSeen, 0)
+		}
+		if s.lbdSeen[lv] != s.lbdTick {
+			s.lbdSeen[lv] = s.lbdTick
+			n++
+		}
 	}
-	return len(levels)
+	return n
 }
 
 // analyzeFinal computes the subset of assumptions responsible for a conflict
@@ -549,12 +614,12 @@ func (s *Solver) analyzeFinal(p Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if r := s.vardata[v].reason; r == nil {
+		if r := s.vardata[v].reason; r == crefUndef {
 			if s.level(v) > 0 {
 				s.conflictSet = append(s.conflictSet, s.trail[i].Not())
 			}
 		} else {
-			for _, q := range r.lits {
+			for _, q := range s.ca.lits(r) {
 				if s.level(q.Var()) > 0 {
 					s.seen[q.Var()] = 1
 				}
@@ -572,35 +637,89 @@ func (s *Solver) reduceDB() {
 		return
 	}
 	// Simple selection: compute median activity.
-	acts := make([]float64, len(s.learnts))
-	for i, c := range s.learnts {
-		acts[i] = c.act
+	acts := s.actBuf[:0]
+	for _, r := range s.learnts {
+		acts = append(acts, s.ca.act(r))
 	}
+	s.actBuf = acts
 	med := quickMedian(acts)
 	kept := s.learnts[:0]
 	removed := 0
-	for _, c := range s.learnts {
-		if len(c.lits) > 2 && c.lbd > 2 && c.act < med && !s.locked(c) && removed < len(s.learnts)/2 {
-			c.deleted = true
+	for _, r := range s.learnts {
+		if s.ca.size(r) > 2 && s.ca.lbd(r) > 2 && s.ca.act(r) < med && !s.locked(r) && removed < len(s.learnts)/2 {
+			s.ca.markDeleted(r)
 			removed++
 			s.Deleted++
 			continue
 		}
-		kept = append(kept, c)
+		kept = append(kept, r)
 	}
 	s.learnts = kept
+	s.checkGC()
 }
 
-func (s *Solver) locked(c *clause) bool {
-	l := c.lits[0]
-	return s.value(l) == lTrue && s.vardata[l.Var()].reason == c
+func (s *Solver) locked(r cref) bool {
+	l := s.ca.lits(r)[0]
+	return s.value(l) == lTrue && s.vardata[l.Var()].reason == r
 }
 
-func quickMedian(a []float64) float64 {
-	if len(a) == 0 {
+// checkGC compacts the clause arena once a fifth of it is dead space.
+func (s *Solver) checkGC() {
+	if s.ca.wasted > len(s.ca.data)/5 {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect copies every live clause into a fresh arena and rewrites
+// all crefs (watch lists, trail reasons, clause lists) through the
+// forwarding references reloc leaves behind. Watchers of deleted clauses
+// are dropped here instead of lazily in propagate; either way they were
+// invisible to the search, so solver trajectories are unchanged.
+func (s *Solver) garbageCollect() {
+	to := clauseAlloc{data: make([]Lit, 0, len(s.ca.data)-s.ca.wasted)}
+	for i := range s.watches {
+		ws := s.watches[i]
+		n := 0
+		for _, w := range ws {
+			if s.ca.deleted(w.ref) {
+				continue
+			}
+			w.ref = s.ca.reloc(w.ref, &to)
+			ws[n] = w
+			n++
+		}
+		s.watches[i] = ws[:n]
+	}
+	for _, l := range s.trail {
+		v := l.Var()
+		r := s.vardata[v].reason
+		if r == crefUndef {
+			continue
+		}
+		// Level-0 implications can outlive their reason clause (the
+		// preprocessor deletes satisfied clauses); the reason is never
+		// consulted again, so drop the dangling reference.
+		if s.ca.deleted(r) {
+			s.vardata[v].reason = crefUndef
+		} else {
+			s.vardata[v].reason = s.ca.reloc(r, &to)
+		}
+	}
+	for i, r := range s.clauses {
+		s.clauses[i] = s.ca.reloc(r, &to)
+	}
+	for i, r := range s.learnts {
+		s.learnts[i] = s.ca.reloc(r, &to)
+	}
+	s.ca = to
+}
+
+// quickMedian selects the median by in-place quickselect; the input is
+// scratch and arrives permuted.
+func quickMedian(b []float64) float64 {
+	if len(b) == 0 {
 		return 0
 	}
-	b := append([]float64(nil), a...)
 	k := len(b) / 2
 	lo, hi := 0, len(b)-1
 	for lo < hi {
@@ -652,7 +771,7 @@ func (s *Solver) search(maxConflicts int) Status {
 	conflicts := 0
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
@@ -663,14 +782,16 @@ func (s *Solver) search(maxConflicts int) Status {
 			s.cancelUntil(btLevel)
 			s.LearntLits += int64(len(learnt))
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], crefUndef)
 			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-				s.learnts = append(s.learnts, c)
+				lbd := s.computeLBD(learnt)
+				r := s.ca.alloc(learnt, true)
+				s.ca.setLBD(r, lbd)
+				s.learnts = append(s.learnts, r)
 				s.Learnt++
-				s.attach(c)
-				s.clauseBump(c)
-				s.uncheckedEnqueue(learnt[0], c)
+				s.attach(r)
+				s.clauseBump(r)
+				s.uncheckedEnqueue(learnt[0], r)
 			}
 			s.varDecay()
 			s.clauseDecay()
@@ -714,7 +835,7 @@ func (s *Solver) search(maxConflicts int) Status {
 			next = MkLit(v, s.polarity[v])
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 

@@ -130,14 +130,25 @@ func (t *Term) String() string {
 // hot path); after Freeze it may be shared across goroutines — existing
 // terms are immutable and read freely, and any residual interning is
 // serialized through a mutex.
+//
+// Storage is arena-shaped for locality and allocation volume: terms live
+// in append-only fixed-size slabs (a *Term is a pointer into a slab, so
+// it stays valid forever — growth appends a new slab, it never moves an
+// old one), argument slices are carved out of shared backing arrays, and
+// the intern table is open addressing over term IDs. Interning a term
+// that already exists allocates nothing; creating one costs only its
+// amortized slab space.
 type Ctx struct {
-	table  map[termKey]*Term
-	nextID int
-	true_  *Term
-	false_ *Term
+	slots    []uint32 // open addressing: term ID + 1; 0 = empty slot
+	chunks   [][]Term // term slabs of termChunk entries each
+	hashes   []uint64 // term ID -> intern hash, reused when slots grow
+	argChunk []*Term  // unfilled tail of the current argument slab
+	true_    *Term
+	false_   *Term
 
 	// Size accounting, used by the benchmark harness to report formula
-	// sizes the way the paper reports memory footprints.
+	// sizes the way the paper reports memory footprints. created is also
+	// the next term ID.
 	created int
 
 	// shared is set by Freeze; from then on intern and NumTerms take mu.
@@ -153,6 +164,10 @@ type Ctx struct {
 	internHits   int64
 	internMisses int64
 	frozenLocks  int64
+
+	// releasedTerms counts terms discarded by Release — the streaming VC
+	// driver's "transient slice terms freed" figure.
+	releasedTerms int64
 }
 
 // InternStats reports hash-consing hits and misses and the number of
@@ -165,54 +180,83 @@ func (c *Ctx) InternStats() (hits, misses, frozenLocks int64) {
 	return c.internHits, c.internMisses, c.frozenLocks
 }
 
-// termKey is the comparable hash-consing key: operator, sort, slice bounds,
-// variable name, constant value, and argument IDs. No term has more than
-// three arguments (ite), so the IDs are inlined; absent slots are -1.
-// Constants are normalized into [0, 2^Width), so values up to 64 bits fit
-// valLo and wider ones fall back to a hex rendering — keying stays
-// allocation-free for every term the encoder produces in practice.
-type termKey struct {
-	op         Op
-	width      int32
-	hi, lo     int32
-	name       string
-	hasVal     bool
-	valLo      uint64
-	valWide    string
-	a0, a1, a2 int32
+// Arena geometry. Term slabs hold termChunk terms (the power of two keeps
+// ID -> slab addressing a shift and mask); argument slabs hold argChunkLen
+// pointers. No term has more than three arguments (ite).
+const (
+	termChunkShift = 10
+	termChunk      = 1 << termChunkShift
+	termChunkMask  = termChunk - 1
+	argChunkLen    = 4096
+	maxTermArgs    = 3
+)
+
+// protoTerm is the stack-held prototype a constructor hands to intern: the
+// would-be term's fields with the argument pointers inlined. intern only
+// reads it, so escape analysis keeps it off the heap — the per-lookup
+// allocation the old map[termKey]*Term design paid (a *Term plus its args
+// slice per call, hit or miss) is gone.
+type protoTerm struct {
+	op     Op
+	width  int
+	hi, lo int
+	name   string
+	val    *big.Int // normalized into [0, 2^width); nil unless a constant
+	args   [maxTermArgs]*Term
+	n      int
 }
 
-func makeKey(t *Term) termKey {
-	k := termKey{
-		op: t.Op, width: int32(t.Width), hi: int32(t.Hi), lo: int32(t.Lo),
-		name: t.Name, a0: -1, a1: -1, a2: -1,
+// hash mixes the prototype's identity fields FNV-1a style. Argument
+// pointers are not hashable run-to-run, so argument IDs are mixed instead
+// (pointer equality coincides with ID equality within one Ctx).
+func (p *protoTerm) hash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
 	}
-	if t.Val != nil {
-		k.hasVal = true
-		if t.Val.BitLen() <= 64 {
-			k.valLo = t.Val.Uint64()
-		} else {
-			k.valWide = t.Val.Text(16)
+	mix(uint64(p.op))
+	mix(uint64(p.width))
+	mix(uint64(p.hi)<<32 | uint64(uint32(p.lo)))
+	for i := 0; i < len(p.name); i++ {
+		mix(uint64(p.name[i]))
+	}
+	if p.val != nil {
+		mix(1)
+		for _, w := range p.val.Bits() {
+			mix(uint64(w))
 		}
 	}
-	switch len(t.Args) {
-	case 3:
-		k.a2 = int32(t.Args[2].ID)
-		fallthrough
-	case 2:
-		k.a1 = int32(t.Args[1].ID)
-		fallthrough
-	case 1:
-		k.a0 = int32(t.Args[0].ID)
+	for i := 0; i < p.n; i++ {
+		mix(uint64(p.args[i].ID) + 1)
 	}
-	return k
+	return h
+}
+
+// matches reports whether the already-interned term t is the term the
+// prototype describes.
+func (p *protoTerm) matches(t *Term) bool {
+	if t.Op != p.op || t.Width != p.width || t.Hi != p.hi || t.Lo != p.lo ||
+		len(t.Args) != p.n || t.Name != p.name {
+		return false
+	}
+	for i := 0; i < p.n; i++ {
+		if t.Args[i] != p.args[i] {
+			return false
+		}
+	}
+	if (t.Val == nil) != (p.val == nil) {
+		return false
+	}
+	return t.Val == nil || t.Val.Cmp(p.val) == 0
 }
 
 // NewCtx returns an empty term context.
 func NewCtx() *Ctx {
-	c := &Ctx{table: make(map[termKey]*Term)}
-	c.true_ = c.intern(&Term{Op: OpBoolConst, Val: big.NewInt(1)})
-	c.false_ = c.intern(&Term{Op: OpBoolConst, Val: big.NewInt(0)})
+	c := &Ctx{slots: make([]uint32, 1024)}
+	c.true_ = c.intern(&protoTerm{op: OpBoolConst, val: big.NewInt(1)})
+	c.false_ = c.intern(&protoTerm{op: OpBoolConst, val: big.NewInt(0)})
 	return c
 }
 
@@ -223,6 +267,10 @@ func NewCtx() *Ctx {
 // Freeze must be called before the Ctx is handed to other goroutines;
 // there is no Unfreeze.
 func (c *Ctx) Freeze() { c.shared = true }
+
+// Frozen reports whether Freeze has been called. Frozen contexts are
+// shared and refuse Release.
+func (c *Ctx) Frozen() bool { return c.shared }
 
 // NumTerms returns the number of distinct terms created in this context —
 // a proxy for formula memory footprint.
@@ -235,23 +283,158 @@ func (c *Ctx) NumTerms() int {
 	return c.created
 }
 
-func (c *Ctx) intern(t *Term) *Term {
+// termByID returns the arena slot of an existing term.
+func (c *Ctx) termByID(id int) *Term {
+	return &c.chunks[id>>termChunkShift][id&termChunkMask]
+}
+
+// ReleasedTerms reports the number of terms discarded by Release so far.
+func (c *Ctx) ReleasedTerms() int64 {
+	if c.shared {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.releasedTerms
+}
+
+// Mark returns a watermark identifying the current extent of the term
+// arena, for a later Release. It is simply the number of terms created so
+// far: every term with ID >= the mark was created after it.
+func (c *Ctx) Mark() int { return c.NumTerms() }
+
+// Release discards every term created since the mark: the terms are
+// removed from the intern table, their arena slots are zeroed (so the
+// argument slabs and constant values they referenced become collectable),
+// and subsequently created terms reuse the released IDs. The streaming VC
+// driver uses this to keep per-assertion slice terms from accumulating
+// across a whole find-all run.
+//
+// Correctness is the caller's bargain: no pointer to a released term may
+// be used again, and no external structure keyed by term ID may retain
+// entries referencing released terms (IDs are reused). Release requires
+// exclusive ownership of the Ctx and panics on a frozen (shared) context.
+func (c *Ctx) Release(mark int) {
+	if c.shared {
+		panic("smt: Release on frozen Ctx")
+	}
+	if mark < 2 || mark > c.created {
+		panic(fmt.Sprintf("smt: Release mark %d out of range [2, %d]", mark, c.created))
+	}
+	if mark == c.created {
+		return
+	}
+	c.releasedTerms += int64(c.created - mark)
+	// Zero the released tail of the boundary chunk and drop whole chunks
+	// past it (nil-ing the dropped slots so the backing arrays are not
+	// pinned by the chunks slice's capacity).
+	if off := mark & termChunkMask; off != 0 {
+		tail := c.chunks[mark>>termChunkShift][off:]
+		for i := range tail {
+			tail[i] = Term{}
+		}
+	}
+	nChunks := (mark + termChunk - 1) >> termChunkShift
+	for i := nChunks; i < len(c.chunks); i++ {
+		c.chunks[i] = nil
+	}
+	c.chunks = c.chunks[:nChunks]
+	c.hashes = c.hashes[:mark]
+	c.created = mark
+	// Rebuild the open-addressing table over the surviving terms. The table
+	// also shrinks back if the released burst had grown it.
+	size := 1024
+	for mark*4 >= size*3 {
+		size *= 2
+	}
+	if size > len(c.slots) {
+		size = len(c.slots)
+	}
+	slots := make([]uint32, size)
+	maskS := uint64(size - 1)
+	for id := 0; id < mark; id++ {
+		i := c.hashes[id] & maskS
+		for slots[i] != 0 {
+			i = (i + 1) & maskS
+		}
+		slots[i] = uint32(id + 1)
+	}
+	c.slots = slots
+}
+
+func (c *Ctx) intern(p *protoTerm) *Term {
 	if c.shared {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		c.frozenLocks++
 	}
-	k := makeKey(t)
-	if got, ok := c.table[k]; ok {
-		c.internHits++
-		return got
+	h := p.hash()
+	mask := uint64(len(c.slots) - 1)
+	i := h & mask
+	for {
+		s := c.slots[i]
+		if s == 0 {
+			break
+		}
+		if t := c.termByID(int(s - 1)); p.matches(t) {
+			c.internHits++
+			return t
+		}
+		i = (i + 1) & mask
 	}
 	c.internMisses++
-	t.ID = c.nextID
-	c.nextID++
+	id := c.created
+	if id>>termChunkShift == len(c.chunks) {
+		c.chunks = append(c.chunks, make([]Term, termChunk))
+	}
+	t := &c.chunks[id>>termChunkShift][id&termChunkMask]
+	t.ID = id
+	t.Op = p.op
+	t.Width = p.width
+	t.Hi, t.Lo = p.hi, p.lo
+	t.Name = p.name
+	if p.val != nil {
+		// Store a private copy: callers may reuse or mutate the big.Int
+		// they passed in.
+		t.Val = new(big.Int).Set(p.val)
+	}
+	if p.n > 0 {
+		t.Args = c.allocArgs(p.args[:p.n])
+	}
+	c.hashes = append(c.hashes, h)
 	c.created++
-	c.table[k] = t
+	c.slots[i] = uint32(id + 1)
+	if c.created*4 >= len(c.slots)*3 {
+		c.growSlots()
+	}
 	return t
+}
+
+// allocArgs copies args into the shared argument arena and returns the
+// capacity-capped subslice. Old slabs stay alive through the subslices
+// that point into them; the Ctx only tracks the unfilled tail.
+func (c *Ctx) allocArgs(args []*Term) []*Term {
+	if len(c.argChunk) < len(args) {
+		c.argChunk = make([]*Term, argChunkLen)
+	}
+	out := c.argChunk[:len(args):len(args)]
+	c.argChunk = c.argChunk[len(args):]
+	copy(out, args)
+	return out
+}
+
+// growSlots doubles the open-addressing table and reinserts every term by
+// its recorded hash.
+func (c *Ctx) growSlots() {
+	slots := make([]uint32, len(c.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for id := 0; id < c.created; id++ {
+		i := c.hashes[id] & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = uint32(id + 1)
+	}
+	c.slots = slots
 }
 
 // maskCache holds 2^w - 1 for small widths; the masks are read-only (every
@@ -298,7 +481,7 @@ func (c *Ctx) Bool(v bool) *Term {
 
 // BoolVar returns the boolean variable with the given name.
 func (c *Ctx) BoolVar(name string) *Term {
-	return c.intern(&Term{Op: OpBoolVar, Name: name})
+	return c.intern(&protoTerm{op: OpBoolVar, name: name})
 }
 
 // Not returns the boolean negation of a.
@@ -310,7 +493,7 @@ func (c *Ctx) Not(a *Term) *Term {
 	if a.Op == OpNot {
 		return a.Args[0]
 	}
-	return c.intern(&Term{Op: OpNot, Args: []*Term{a}})
+	return c.intern(&protoTerm{op: OpNot, args: [maxTermArgs]*Term{a}, n: 1})
 }
 
 // And returns the conjunction of the arguments (true when empty).
@@ -357,7 +540,7 @@ func (c *Ctx) and2(a, b *Term) *Term {
 	if a.ID > b.ID {
 		a, b = b, a
 	}
-	return c.intern(&Term{Op: OpAnd, Args: []*Term{a, b}})
+	return c.intern(&protoTerm{op: OpAnd, args: [maxTermArgs]*Term{a, b}, n: 2})
 }
 
 // Or returns the disjunction of the arguments (false when empty).
@@ -395,7 +578,7 @@ func (c *Ctx) Iff(a, b *Term) *Term {
 	if a.ID > b.ID {
 		a, b = b, a
 	}
-	return c.intern(&Term{Op: OpIff, Args: []*Term{a, b}})
+	return c.intern(&protoTerm{op: OpIff, args: [maxTermArgs]*Term{a, b}, n: 2})
 }
 
 // BoolIte returns if cond then a else b over booleans.
@@ -412,7 +595,7 @@ func (c *Ctx) BoolIte(cond, a, b *Term) *Term {
 	if a == b {
 		return a
 	}
-	return c.intern(&Term{Op: OpBoolIte, Args: []*Term{cond, a, b}})
+	return c.intern(&protoTerm{op: OpBoolIte, args: [maxTermArgs]*Term{cond, a, b}, n: 3})
 }
 
 // ---- bit-vector constructors ----
@@ -427,7 +610,10 @@ func (c *Ctx) BVBig(v *big.Int, width int) *Term {
 	if width <= 0 {
 		panic("smt: BV width must be positive")
 	}
-	return c.intern(&Term{Op: OpBVConst, Width: width, Val: normConst(v, width)})
+	if v.Sign() < 0 || v.BitLen() > width {
+		v = normConst(v, width)
+	}
+	return c.intern(&protoTerm{op: OpBVConst, width: width, val: v})
 }
 
 // Var returns the bit-vector variable with the given name and width.
@@ -435,7 +621,7 @@ func (c *Ctx) Var(name string, width int) *Term {
 	if width <= 0 {
 		panic("smt: Var width must be positive")
 	}
-	return c.intern(&Term{Op: OpBVVar, Width: width, Name: name})
+	return c.intern(&protoTerm{op: OpBVVar, width: width, name: name})
 }
 
 func mustBool(op string, t *Term) {
@@ -460,7 +646,7 @@ func (c *Ctx) bvBin(op Op, a, b *Term, fold func(x, y *big.Int, w int) *big.Int,
 	if commutative && a.ID > b.ID {
 		a, b = b, a
 	}
-	return c.intern(&Term{Op: op, Width: a.Width, Args: []*Term{a, b}})
+	return c.intern(&protoTerm{op: op, width: a.Width, args: [maxTermArgs]*Term{a, b}, n: 2})
 }
 
 // BVNot returns the bitwise complement of a.
@@ -472,7 +658,7 @@ func (c *Ctx) BVNot(a *Term) *Term {
 	if a.Op == OpBVNot {
 		return a.Args[0]
 	}
-	return c.intern(&Term{Op: OpBVNot, Width: a.Width, Args: []*Term{a}})
+	return c.intern(&protoTerm{op: OpBVNot, width: a.Width, args: [maxTermArgs]*Term{a}, n: 1})
 }
 
 // BVNeg returns the two's-complement negation of a.
@@ -480,7 +666,7 @@ func (c *Ctx) BVNeg(a *Term) *Term {
 	if a.Op == OpBVConst {
 		return c.BVBig(new(big.Int).Neg(a.Val), a.Width)
 	}
-	return c.intern(&Term{Op: OpBVNeg, Width: a.Width, Args: []*Term{a}})
+	return c.intern(&protoTerm{op: OpBVNeg, width: a.Width, args: [maxTermArgs]*Term{a}, n: 1})
 }
 
 // BVAnd returns the bitwise AND of a and b.
@@ -615,7 +801,7 @@ func (c *Ctx) Concat(hi, lo *Term) *Term {
 		v.Or(v, lo.Val)
 		return c.BVBig(v, hi.Width+lo.Width)
 	}
-	return c.intern(&Term{Op: OpBVConcat, Width: hi.Width + lo.Width, Args: []*Term{hi, lo}})
+	return c.intern(&protoTerm{op: OpBVConcat, width: hi.Width + lo.Width, args: [maxTermArgs]*Term{hi, lo}, n: 2})
 }
 
 // Extract returns bits hi..lo (inclusive, 0-indexed from LSB) of a.
@@ -636,7 +822,7 @@ func (c *Ctx) Extract(a *Term, hi, lo int) *Term {
 	if a.Op == OpBVExtract {
 		return c.Extract(a.Args[0], a.Lo+hi, a.Lo+lo)
 	}
-	return c.intern(&Term{Op: OpBVExtract, Width: hi - lo + 1, Args: []*Term{a}, Hi: hi, Lo: lo})
+	return c.intern(&protoTerm{op: OpBVExtract, width: hi - lo + 1, args: [maxTermArgs]*Term{a}, n: 1, hi: hi, lo: lo})
 }
 
 // ZeroExt widens a to the given width by prepending zero bits.
@@ -675,7 +861,7 @@ func (c *Ctx) Ite(cond, a, b *Term) *Term {
 	if a == b {
 		return a
 	}
-	return c.intern(&Term{Op: OpBVIte, Width: a.Width, Args: []*Term{cond, a, b}})
+	return c.intern(&protoTerm{op: OpBVIte, width: a.Width, args: [maxTermArgs]*Term{cond, a, b}, n: 3})
 }
 
 // Eq returns a == b over equal-width bit-vectors.
@@ -690,7 +876,7 @@ func (c *Ctx) Eq(a, b *Term) *Term {
 	if a.ID > b.ID {
 		a, b = b, a
 	}
-	return c.intern(&Term{Op: OpEq, Args: []*Term{a, b}})
+	return c.intern(&protoTerm{op: OpEq, args: [maxTermArgs]*Term{a, b}, n: 2})
 }
 
 // Neq returns a != b.
@@ -705,7 +891,7 @@ func (c *Ctx) Ult(a, b *Term) *Term {
 	if a.Op == OpBVConst && b.Op == OpBVConst {
 		return c.Bool(a.Val.Cmp(b.Val) < 0)
 	}
-	return c.intern(&Term{Op: OpUlt, Args: []*Term{a, b}})
+	return c.intern(&protoTerm{op: OpUlt, args: [maxTermArgs]*Term{a, b}, n: 2})
 }
 
 // Ule returns a <= b (unsigned).
@@ -717,7 +903,7 @@ func (c *Ctx) Ule(a, b *Term) *Term {
 	if a.Op == OpBVConst && b.Op == OpBVConst {
 		return c.Bool(a.Val.Cmp(b.Val) <= 0)
 	}
-	return c.intern(&Term{Op: OpUle, Args: []*Term{a, b}})
+	return c.intern(&protoTerm{op: OpUle, args: [maxTermArgs]*Term{a, b}, n: 2})
 }
 
 // Ugt returns a > b (unsigned).

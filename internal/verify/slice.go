@@ -41,6 +41,12 @@ type slicer struct {
 	memo    map[int][]*smt.Term // term ID -> equivalent conjunct list
 	support map[int][]int       // conjunct term ID -> free-variable term IDs
 
+	// journal records every key inserted into memo or support, in insertion
+	// order, so the streaming engine's purge can find (and drop) exactly the
+	// entries that reference terms past its arena watermark without scanning
+	// the whole maps.
+	journal []int
+
 	// Conjuncts and Dropped total the factored conjuncts seen and removed
 	// across all sliced assertions.
 	Conjuncts int64
@@ -128,7 +134,45 @@ func (sl *slicer) conjuncts(t *smt.Term) []*smt.Term {
 		out = []*smt.Term{t}
 	}
 	sl.memo[t.ID] = out
+	sl.journal = append(sl.journal, t.ID)
 	return out
+}
+
+// purge drops memoized entries that are keyed by — or whose values
+// reference — terms at or past the arena watermark mark, before the
+// streaming engine releases those terms (term IDs are reused afterwards,
+// so a stale entry would alias a future term). Entries whose key and
+// values all predate the watermark survive: the watermark never moves
+// during a streaming run, so the shared-prefix factorizations that make
+// slicing cheap stay memoized across every assertion.
+func (sl *slicer) purge(mark int) {
+	keep := sl.journal[:0]
+	for _, k := range sl.journal {
+		stale := k >= mark
+		if !stale {
+			for _, c := range sl.memo[k] {
+				if c.ID >= mark {
+					stale = true
+					break
+				}
+			}
+		}
+		if !stale {
+			for _, id := range sl.support[k] {
+				if id >= mark {
+					stale = true
+					break
+				}
+			}
+		}
+		if stale {
+			delete(sl.memo, k)
+			delete(sl.support, k)
+		} else {
+			keep = append(keep, k)
+		}
+	}
+	sl.journal = keep
 }
 
 // factorDisjunction factors the conjuncts common to every disjunct out of
@@ -189,6 +233,7 @@ func (sl *slicer) vars(t *smt.Term) []int {
 		ids[i] = v.ID
 	}
 	sl.support[t.ID] = ids
+	sl.journal = append(sl.journal, t.ID)
 	return ids
 }
 

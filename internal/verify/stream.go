@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"aquila/internal/obs"
+	"aquila/internal/smt"
+)
+
+// streamReleaseMin gates arena rollback in streaming mode: a release
+// rebuilds the intern table over the surviving prefix, so it only pays off
+// once a meaningful burst of transient terms has accumulated past the
+// watermark. Package variable so tests can force releases on programs far
+// smaller than the production VCs the mode exists for.
+var streamReleaseMin = 1024
+
+// checkAllStream is find-all with bounded term memory. Plain fresh mode
+// computes every assertion's cone-of-influence slice up front and keeps
+// all of the transient slice terms (factored residuals, rebuilt
+// conjunctions) interned until the run ends, so peak term memory grows
+// with assertions × slice size. Streaming mode instead takes an arena
+// watermark after VC generation and then slices, checks, and consumes one
+// assertion at a time; whenever enough transients have accumulated past
+// the watermark it purges the slicer's memo of entries referencing them
+// and rolls the arena back (smt.Ctx.Release). Peak term memory is then
+// the VC plus one assertion's transients, independent of the run length.
+//
+// Determinism: each assertion still gets the exact fresh-solver procedure
+// of checkAll (checkOne), slices are recomputed identically when their
+// memo entries were purged (hash-consing makes the rebuilt terms
+// structurally identical), and results are consumed in assertion order —
+// so verdicts, counterexamples, and canonical report bytes match plain
+// fresh mode at every streamReleaseMin. The engine is serial by
+// construction: a frozen shared context cannot release, which is also why
+// Release is skipped (never needed in practice) when the caller handed in
+// an already-frozen context.
+func (rep *Report) checkAllStream(opts Options) error {
+	conds := rep.Result.Violations
+	o := opts.Observer()
+	rep.Stats.Workers = 1
+	rep.Stats.Stream = true
+	ctx := rep.Ctx
+	released0 := ctx.ReleasedTerms()
+	mark := ctx.Mark()
+	var sl *slicer
+	if opts.Slice {
+		sl = newSlicer(ctx)
+	}
+
+	var err error
+	for _, v := range conds {
+		checkCond := v.Cond
+		if sl != nil {
+			endSlice := o.Span(0, "slice:"+v.Label)
+			checkCond = sl.slice(v)
+			endSlice()
+		}
+		endSpan := o.Span(0, "solve:"+v.Label)
+		st, model, ss, cpu := rep.checkOne(opts, v, checkCond)
+		endSpan()
+		countSolver(o, ss, st)
+		rep.Stats.SolveCPU += cpu
+		rep.Stats.addSolver(ss)
+		rep.Stats.PerAssertion = append(rep.Stats.PerAssertion, AssertionCost{
+			Label:        v.Label,
+			Status:       statusString(st),
+			SolveTime:    cpu,
+			Conflicts:    ss.Conflicts,
+			Decisions:    ss.Decisions,
+			Propagations: ss.Propagations,
+			Restarts:     ss.Restarts,
+			CNFClauses:   ss.Clauses,
+			SATVars:      ss.SATVars,
+		})
+		o.Event("assertion", map[string]any{
+			"label": v.Label, "status": statusString(st),
+			"solve_us": cpu.Microseconds(), "conflicts": ss.Conflicts,
+			"clauses": ss.Clauses, "stream": true,
+		})
+		if st == smt.Unknown {
+			o.Event("budget_exhausted", map[string]any{
+				"label": v.Label, "budget": opts.Budget,
+			})
+			err = ErrBudget
+			break
+		}
+		if st == smt.Sat {
+			// The counterexample is rendered here, before any release: the
+			// model is name-keyed and v.Cond predates the watermark, so the
+			// stored Violation retains no released pointers.
+			rep.Violations = append(rep.Violations, rep.makeViolation(v, model))
+		}
+		if !ctx.Frozen() && ctx.NumTerms()-mark >= streamReleaseMin {
+			if sl != nil {
+				sl.purge(mark)
+			}
+			ctx.Release(mark)
+			rep.Stats.StreamReleases++
+		}
+	}
+
+	if sl != nil {
+		rep.Stats.SliceConjuncts = sl.Conjuncts
+		rep.Stats.SliceDropped = sl.Dropped
+		if o != nil && o.Metrics != nil {
+			o.Metrics.Counter(obs.CtrVerifySliceDropped).Add(sl.Dropped)
+		}
+		o.Event("slice", map[string]any{"conjuncts": sl.Conjuncts, "dropped": sl.Dropped})
+	}
+	rep.Stats.ReleasedTerms = ctx.ReleasedTerms() - released0
+	if o != nil && o.Metrics != nil {
+		o.Metrics.Counter(obs.CtrSMTTermsReleased).Add(rep.Stats.ReleasedTerms)
+	}
+	return err
+}

@@ -61,6 +61,16 @@ type Options struct {
 	// byte-identical to unsliced mode. Ignored in find-first mode, which
 	// solves one disjunction over all assertions.
 	Slice bool
+	// Stream makes find-all fresh-solver runs release transient terms as
+	// they go: each assertion is sliced, checked, and consumed one at a
+	// time, and the term arena is rolled back to a pre-slicing watermark
+	// once enough per-assertion slice terms have accumulated — so peak term
+	// memory is bounded by the VC plus one assertion's transients instead
+	// of growing with the whole run. Verdicts and canonical reports are
+	// byte-identical to plain fresh mode. Forces the serial path (a frozen
+	// shared context cannot release); ignored in find-first and incremental
+	// modes, which have no transient per-assertion terms to shed.
+	Stream bool
 	// Parallel is the number of worker goroutines for find-all checks and
 	// localization re-checks: 0 means runtime.GOMAXPROCS(0), 1 forces the
 	// serial path. Reports are byte-identical at every setting: each
@@ -208,6 +218,13 @@ type Stats struct {
 	// removed by cone-of-influence slicing (zero with Options.Slice off).
 	SliceConjuncts int64
 	SliceDropped   int64
+
+	// Stream records whether the run released transient terms as it went;
+	// StreamReleases counts arena rollbacks and ReleasedTerms the terms
+	// they discarded (all zero with Options.Stream off).
+	Stream         bool
+	StreamReleases int64
+	ReleasedTerms  int64
 
 	// PerAssertion is the find-all per-assertion cost breakdown (the data
 	// Figure 11 plots): one entry per consumed assertion, in assertion
@@ -428,7 +445,56 @@ func (rep *Report) check(opts Options) error {
 	if opts.Incremental {
 		return rep.checkAllIncremental(opts)
 	}
+	if opts.Stream {
+		return rep.checkAllStream(opts)
+	}
 	return rep.checkAll(opts)
+}
+
+// checkOne is the find-all unit of work: check one (possibly sliced)
+// condition with a deterministic fresh solver. A Sat under preprocessing
+// or a transformed condition is confirmed on the ORIGINAL condition by a
+// plain fresh solver, so verdicts and counterexamples match the baseline
+// byte-for-byte: a sliced Sat with a full-condition Unsat means the
+// dropped (variable-disjoint) remainder was unsatisfiable on its own —
+// the assertion holds, exactly the unsliced verdict. The re-check's cost
+// is folded into the assertion's stats.
+func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term) (st smt.Status, model *smt.Model, ss smt.SolverStats, cpu time.Duration) {
+	solver := smt.NewSolver(rep.Ctx)
+	if opts.Budget > 0 {
+		solver.SetBudget(opts.Budget)
+	}
+	if opts.Preprocess {
+		solver.SetPreprocess(true)
+	}
+	t0 := time.Now()
+	st = solver.Check(checkCond)
+	cpu = time.Since(t0)
+	ss = solver.SolverStats()
+	if st != smt.Sat {
+		return
+	}
+	if opts.Preprocess || checkCond != v.Cond {
+		s2 := smt.NewSolver(rep.Ctx)
+		if opts.Budget > 0 {
+			s2.SetBudget(opts.Budget)
+		}
+		t1 := time.Now()
+		st2 := s2.Check(v.Cond)
+		cpu += time.Since(t1)
+		ss = addStats(ss, s2.SolverStats())
+		st = st2
+		if st2 == smt.Sat {
+			m := s2.Model()
+			s2.ModelCollect(m, v.Cond)
+			model = m
+		}
+		return
+	}
+	m := solver.Model()
+	solver.ModelCollect(m, v.Cond)
+	model = m
+	return
 }
 
 // checkFirst runs the §8.1 find-first mode: one query over the disjunction
@@ -587,48 +653,8 @@ func (rep *Report) checkAll(opts Options) error {
 	runCheck := func(worker, i int) {
 		v := conds[i]
 		endSpan := o.Span(worker, "solve:"+v.Label)
-		solver := smt.NewSolver(rep.Ctx)
-		if opts.Budget > 0 {
-			solver.SetBudget(opts.Budget)
-		}
-		if opts.Preprocess {
-			solver.SetPreprocess(true)
-		}
-		t0 := time.Now()
-		st := solver.Check(checkConds[i])
 		out := &outs[i]
-		out.cpu = time.Since(t0)
-		out.status = st
-		out.ss = solver.SolverStats()
-		if st == smt.Sat {
-			if opts.Preprocess || checkConds[i] != v.Cond {
-				// Canonical counterexample: confirm on the ORIGINAL condition
-				// with a plain deterministic fresh solver, so reports match
-				// the baseline byte-for-byte. A sliced Sat with a full-
-				// condition Unsat means the dropped (variable-disjoint)
-				// remainder was unsatisfiable on its own: the assertion
-				// holds, exactly the unsliced verdict. Cost is folded into
-				// this assertion's stats.
-				s2 := smt.NewSolver(rep.Ctx)
-				if opts.Budget > 0 {
-					s2.SetBudget(opts.Budget)
-				}
-				t1 := time.Now()
-				st2 := s2.Check(v.Cond)
-				out.cpu += time.Since(t1)
-				out.ss = addStats(out.ss, s2.SolverStats())
-				out.status = st2
-				if st2 == smt.Sat {
-					m := s2.Model()
-					s2.ModelCollect(m, v.Cond)
-					out.model = m
-				}
-			} else {
-				m := solver.Model()
-				solver.ModelCollect(m, v.Cond)
-				out.model = m
-			}
-		}
+		out.status, out.model, out.ss, out.cpu = rep.checkOne(opts, v, checkConds[i])
 		endSpan()
 		countSolver(o, out.ss, out.status)
 		out.done = true
@@ -1078,6 +1104,10 @@ func (rep *Report) String() string {
 		fmt.Fprintf(&b, "slice: %d of %d VC conjuncts dropped\n",
 			rep.Stats.SliceDropped, rep.Stats.SliceConjuncts)
 	}
+	if rep.Stats.Stream {
+		fmt.Fprintf(&b, "strm:  %d arena releases, %d transient terms discarded\n",
+			rep.Stats.StreamReleases, rep.Stats.ReleasedTerms)
+	}
 	return b.String()
 }
 
@@ -1136,6 +1166,12 @@ type JSONStats struct {
 	StrengthenedClauses int64 `json:"strengthened_clauses,omitempty"`
 	SliceConjuncts      int64 `json:"slice_conjuncts,omitempty"`
 	SliceDropped        int64 `json:"slice_dropped,omitempty"`
+
+	// Streaming-mode extras (absent with the mode off and in canonical
+	// reports).
+	Stream         bool  `json:"stream,omitempty"`
+	StreamReleases int64 `json:"stream_releases,omitempty"`
+	ReleasedTerms  int64 `json:"released_terms,omitempty"`
 }
 
 // JSONAssertionCost is one assertion's row in the per-assertion breakdown.
@@ -1185,6 +1221,10 @@ func (rep *Report) JSON() ([]byte, error) {
 			StrengthenedClauses: rep.Stats.StrengthenedClauses,
 			SliceConjuncts:      rep.Stats.SliceConjuncts,
 			SliceDropped:        rep.Stats.SliceDropped,
+
+			Stream:         rep.Stats.Stream,
+			StreamReleases: rep.Stats.StreamReleases,
+			ReleasedTerms:  rep.Stats.ReleasedTerms,
 		},
 	}
 	for _, a := range rep.Stats.PerAssertion {
@@ -1253,6 +1293,9 @@ func (rep *Report) CanonicalJSON() ([]byte, error) {
 	canon.Stats.StrengthenedClauses = 0
 	canon.Stats.SliceConjuncts = 0
 	canon.Stats.SliceDropped = 0
+	canon.Stats.Stream = false
+	canon.Stats.StreamReleases = 0
+	canon.Stats.ReleasedTerms = 0
 	if len(canon.Stats.PerAssertion) > 0 {
 		pa := make([]AssertionCost, len(canon.Stats.PerAssertion))
 		for i, a := range canon.Stats.PerAssertion {
