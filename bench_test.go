@@ -265,8 +265,11 @@ func BenchmarkAblation_FindFirstVsFindAll(b *testing.B) {
 
 // BenchmarkObsOverhead measures the observability tax on a full find-all
 // verification of the DC Gateway: instrumented-but-disabled (nil sinks —
-// every hook is a nil check) vs fully enabled (tracer + registry + JSONL
-// log to io.Discard). DESIGN.md budgets < 3% for the disabled path.
+// every hook is a nil check), fully enabled (tracer + registry + JSONL
+// log to io.Discard), and the full flight recorder on top (per-check
+// histograms fold into the registry and a heartbeat ring samples every
+// 64th conflict). DESIGN.md budgets < 3% for the disabled path and
+// documents the enabled paths at < 5%.
 func BenchmarkObsOverhead(b *testing.B) {
 	bm := progs.DCGatewayBench()
 	prog, err := bm.Parse()
@@ -297,6 +300,21 @@ func BenchmarkObsOverhead(b *testing.B) {
 			Metrics: obs.NewRegistry(),
 			Log:     obs.NewLogger(io.Discard),
 		})
+	})
+	b.Run("FlightRecorder", func(b *testing.B) {
+		sink := &obs.Obs{
+			Tracer:   obs.NewTracer(),
+			Metrics:  obs.NewRegistry(),
+			Log:      obs.NewLogger(io.Discard),
+			Progress: obs.NewProgressRing(256, 64),
+		}
+		run(b, sink)
+		if len(sink.Metrics.Histograms()) == 0 {
+			b.Fatal("flight run folded no histograms")
+		}
+		if sink.Progress.Seq() == 0 {
+			b.Fatal("flight run published no heartbeat samples")
+		}
 	})
 }
 

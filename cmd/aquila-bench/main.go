@@ -14,15 +14,26 @@
 //	aquila-bench -exp incremental [-parallel 1,2,4] [-repeats 3] [-incr-out BENCH_incremental.json]
 //	aquila-bench -exp preproc [-parallel 1,2,4] [-repeats 3] [-preproc-out BENCH_preproc.json]
 //	                          [-compare BENCH_preproc.json]
-//	aquila-bench -exp obs [-repeats 3]
+//	aquila-bench -exp obs [-repeats 3] [-obs-out BENCH_obs.json]
 //	aquila-bench -exp fuzz [-quick]
 //	aquila-bench -exp scale [-quick] [-scale-out BENCH_scale.json]
 //	                        [-compare-scale BENCH_scale.json]
 //	aquila-bench -exp all -quick
+//	aquila-bench -analyze trace.json [-analyze-out util.json]
+//	             [-compare-util BENCH_obs.json]
+//
+// -analyze skips the experiments and runs the worker-utilization pass
+// over a Chrome trace (as written by any CLI's -trace): per-worker busy
+// fraction over the solve phase, the critical path, and the straggler
+// index. -compare-util gates against a reference (a BENCH_obs.json or a
+// previous -analyze-out), failing on a >20% mean-busy-fraction
+// regression — the CI scheduling-regression check.
 //
 // Observability flags (shared with the other CLIs): -trace writes a
 // Chrome trace-event JSON covering the whole run, -pprof/-memprofile
-// write pprof profiles, -v logs structured JSONL to stderr.
+// write pprof profiles, -v logs structured JSONL to stderr, -progress
+// prints a live solver heartbeat line, -metrics writes an OpenMetrics
+// exposition of the counter registry on exit.
 package main
 
 import (
@@ -44,31 +55,42 @@ func main() { os.Exit(mainRun()) }
 
 func mainRun() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|fuzz|scale|all")
-		quick     = flag.Bool("quick", false, "smaller budgets and workloads")
-		suite     = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
-		scales    = flag.String("scales", "small,medium,large", "table4 switch-T scales")
-		k         = flag.Int("k", 5, "fig11a maximum chain length")
-		scale     = flag.String("scale", "medium", "fig11a/fig11b switch-T scale")
-		entries   = flag.String("entries", "1000,2000,3000,4000,5000", "fig11b entry counts")
-		parallel  = flag.String("parallel", "1,2,4,8", "parallel-sweep worker counts (first must be 1, the speedup baseline)")
-		repeats   = flag.Int("repeats", 3, "parallel/obs runs per configuration (best wall time kept)")
-		outPath   = flag.String("out", "BENCH_parallel.json", "parallel-sweep JSON output file (empty: stdout table only)")
-		incrOut   = flag.String("incr-out", "BENCH_incremental.json", "incremental-sweep JSON output file (empty: stdout table only)")
-		prepOut   = flag.String("preproc-out", "BENCH_preproc.json", "preproc-sweep JSON output file (empty: stdout table only)")
-		compare   = flag.String("compare", "", "preproc only: reference BENCH_preproc.json; exit non-zero if relative wall time regresses >20%")
-		scaleOut  = flag.String("scale-out", "BENCH_scale.json", "scale-campaign JSON output file (empty: stdout table only)")
-		scaleCmp  = flag.String("compare-scale", "", "scale only: reference BENCH_scale.json; exit non-zero on >20% relative regression")
-		tracePath = flag.String("trace", "", "write Chrome trace-event JSON covering the run")
-		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write heap profile on exit")
-		verbose   = flag.Bool("v", false, "structured JSONL log on stderr")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|fuzz|scale|all")
+		quick      = flag.Bool("quick", false, "smaller budgets and workloads")
+		suite      = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
+		scales     = flag.String("scales", "small,medium,large", "table4 switch-T scales")
+		k          = flag.Int("k", 5, "fig11a maximum chain length")
+		scale      = flag.String("scale", "medium", "fig11a/fig11b switch-T scale")
+		entries    = flag.String("entries", "1000,2000,3000,4000,5000", "fig11b entry counts")
+		parallel   = flag.String("parallel", "1,2,4,8", "parallel-sweep worker counts (first must be 1, the speedup baseline)")
+		repeats    = flag.Int("repeats", 3, "parallel/obs runs per configuration (best wall time kept)")
+		outPath    = flag.String("out", "BENCH_parallel.json", "parallel-sweep JSON output file (empty: stdout table only)")
+		incrOut    = flag.String("incr-out", "BENCH_incremental.json", "incremental-sweep JSON output file (empty: stdout table only)")
+		prepOut    = flag.String("preproc-out", "BENCH_preproc.json", "preproc-sweep JSON output file (empty: stdout table only)")
+		compare    = flag.String("compare", "", "preproc only: reference BENCH_preproc.json; exit non-zero if relative wall time regresses >20%")
+		scaleOut   = flag.String("scale-out", "BENCH_scale.json", "scale-campaign JSON output file (empty: stdout table only)")
+		scaleCmp   = flag.String("compare-scale", "", "scale only: reference BENCH_scale.json; exit non-zero on >20% relative regression")
+		obsOut     = flag.String("obs-out", "BENCH_obs.json", "obs-experiment JSON output file (empty or -quick: stdout table only)")
+		analyzeIn  = flag.String("analyze", "", "skip experiments: analyze worker utilization of a Chrome trace JSON (as written by -trace)")
+		analyzeOut = flag.String("analyze-out", "", "with -analyze: write the utilization JSON here")
+		utilCmp    = flag.String("compare-util", "", "with -analyze: reference BENCH_obs.json (or utilization JSON); exit non-zero if mean busy fraction regresses >20%")
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON covering the run")
+		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write heap profile on exit")
+		verbose    = flag.Bool("v", false, "structured JSONL log on stderr")
+		progress   = flag.Bool("progress", false, "live solver-heartbeat status line on stderr")
+		metricsOut = flag.String("metrics", "", "write OpenMetrics text exposition of the metrics registry on exit")
 	)
 	flag.Parse()
+
+	if *analyzeIn != "" {
+		return analyzeMain(*analyzeIn, *analyzeOut, *utilCmp)
+	}
 
 	o, closeObs, err := obs.Setup(obs.Config{
 		TracePath: *tracePath, CPUProfilePath: *cpuProf,
 		MemProfilePath: *memProf, Verbose: *verbose,
+		Progress: *progress, MetricsPath: *metricsOut,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aquila-bench: %v\n", err)
@@ -305,15 +327,15 @@ func mainRun() int {
 			return err
 		}
 		fmt.Print(bench.FormatObs(res))
-		if !*quick {
+		if !*quick && *obsOut != "" {
 			data, err := res.JSON()
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile("BENCH_obs.json", data, 0o644); err != nil {
+			if err := os.WriteFile(*obsOut, data, 0o644); err != nil {
 				return err
 			}
-			fmt.Println("wrote BENCH_obs.json")
+			fmt.Printf("wrote %s\n", *obsOut)
 		}
 		return nil
 	})
@@ -377,4 +399,61 @@ func mainRun() int {
 		}
 	}
 	return code
+}
+
+// analyzeMain is the -analyze mode: worker-utilization analytics over a
+// Chrome trace, with the optional CI scheduling-regression gate.
+func analyzeMain(tracePath, outPath, comparePath string) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "aquila-bench: %v\n", err)
+		return 1
+	}
+	util, err := obs.AnalyzeTraceFile(tracePath)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Print(obs.FormatUtilization(util))
+	if outPath != "" {
+		data, err := json.MarshalIndent(util, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if comparePath != "" {
+		ref, err := loadUtilization(comparePath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := obs.CompareUtilization(ref, util); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("no scheduling regression vs %s\n", comparePath)
+	}
+	return 0
+}
+
+// loadUtilization reads a reference utilization: either a BENCH_obs.json
+// (ObsResult with a utilization section) or a bare utilization JSON as
+// written by -analyze-out.
+func loadUtilization(path string) (*obs.Utilization, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res bench.ObsResult
+	if err := json.Unmarshal(data, &res); err == nil && res.Utilization != nil {
+		return res.Utilization, nil
+	}
+	var u obs.Utilization
+	if err := json.Unmarshal(data, &u); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if u.Checks == 0 {
+		return nil, fmt.Errorf("%s: no utilization data", path)
+	}
+	return &u, nil
 }

@@ -35,19 +35,21 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		seed      = flag.Int64("seed", 1, "campaign seed (the whole run is deterministic in it)")
-		iters     = flag.Int("iters", 1000, "fuzzing iterations")
-		duration  = flag.Duration("duration", 0, "stop after this wall-clock budget (0 = iterations only)")
-		bug       = flag.String("bug", "", "rediscovery mode: inject a historical encoder bug (empty-state-accept, ignore-defaultonly) and stop at the first input exposing it")
-		outDir    = flag.String("out", "", "write reproducer JSON + test files for each divergence into this directory")
-		minimize  = flag.Bool("minimize", true, "delta-debug divergent inputs before reporting")
-		thorough  = flag.Bool("thorough", false, "run the engine matrix and replay oracles on every mutant, not just on new coverage")
-		seedProgs = flag.Int("seeds", 4, "generator configurations seeding the corpus")
-		maxMuts   = flag.Int("muts", 3, "max AST mutations per derived input")
-		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the campaign")
-		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
-		verbose   = flag.Bool("v", false, "log per-iteration progress to stderr")
-		replay    = flag.String("replay", "", "replay one reproducer .json record instead of fuzzing")
+		seed       = flag.Int64("seed", 1, "campaign seed (the whole run is deterministic in it)")
+		iters      = flag.Int("iters", 1000, "fuzzing iterations")
+		duration   = flag.Duration("duration", 0, "stop after this wall-clock budget (0 = iterations only)")
+		bug        = flag.String("bug", "", "rediscovery mode: inject a historical encoder bug (empty-state-accept, ignore-defaultonly) and stop at the first input exposing it")
+		outDir     = flag.String("out", "", "write reproducer JSON + test files for each divergence into this directory")
+		minimize   = flag.Bool("minimize", true, "delta-debug divergent inputs before reporting")
+		thorough   = flag.Bool("thorough", false, "run the engine matrix and replay oracles on every mutant, not just on new coverage")
+		seedProgs  = flag.Int("seeds", 4, "generator configurations seeding the corpus")
+		maxMuts    = flag.Int("muts", 3, "max AST mutations per derived input")
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of the campaign")
+		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		verbose    = flag.Bool("v", false, "log per-iteration progress to stderr")
+		replay     = flag.String("replay", "", "replay one reproducer .json record instead of fuzzing")
+		progress   = flag.Bool("progress", false, "live solver-heartbeat status line on stderr")
+		metricsOut = flag.String("metrics", "", "write OpenMetrics text exposition of the metrics registry on exit")
 	)
 	flag.Parse()
 
@@ -55,7 +57,10 @@ func run() int {
 		return runReplay(*replay)
 	}
 
-	o, closeObs, err := obs.Setup(obs.Config{TracePath: *tracePath, CPUProfilePath: *cpuProf, Verbose: *verbose})
+	o, closeObs, err := obs.Setup(obs.Config{
+		TracePath: *tracePath, CPUProfilePath: *cpuProf, Verbose: *verbose,
+		Progress: *progress, MetricsPath: *metricsOut,
+	})
 	if err != nil {
 		return fail(err)
 	}

@@ -38,19 +38,21 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		p4Path    = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
-		specPath  = flag.String("spec", "", "LPI specification file (required)")
-		entries   = flag.String("entries", "", "table-entry snapshot file")
-		budget    = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
-		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for localization re-checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
-		incr      = flag.Bool("incremental", false, "shared-prefix incremental solving for verification and the causality filter")
-		simplify  = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
-		preproc   = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in verdict-only solvers")
-		slice     = flag.Bool("slice", false, "per-assertion cone-of-influence slicing in the find-violations pass")
-		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the localization phases")
-		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write heap profile on exit")
-		verbose   = flag.Bool("v", false, "structured JSONL log on stderr")
+		p4Path     = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
+		specPath   = flag.String("spec", "", "LPI specification file (required)")
+		entries    = flag.String("entries", "", "table-entry snapshot file")
+		budget     = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
+		parallel   = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for localization re-checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
+		incr       = flag.Bool("incremental", false, "shared-prefix incremental solving for verification and the causality filter")
+		simplify   = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
+		preproc    = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in verdict-only solvers")
+		slice      = flag.Bool("slice", false, "per-assertion cone-of-influence slicing in the find-violations pass")
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of the localization phases")
+		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write heap profile on exit")
+		verbose    = flag.Bool("v", false, "structured JSONL log on stderr")
+		progress   = flag.Bool("progress", false, "live solver-heartbeat status line on stderr")
+		metricsOut = flag.String("metrics", "", "write OpenMetrics text exposition of the metrics registry on exit")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -61,6 +63,7 @@ func run() int {
 	o, closeObs, err := obs.Setup(obs.Config{
 		TracePath: *tracePath, CPUProfilePath: *cpuProf,
 		MemProfilePath: *memProf, Verbose: *verbose,
+		Progress: *progress, MetricsPath: *metricsOut,
 	})
 	if err != nil {
 		return fail(err)

@@ -41,6 +41,8 @@ func run() int {
 		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf    = flag.String("memprofile", "", "write heap profile on exit")
 		verbose    = flag.Bool("v", false, "structured JSONL log on stderr")
+		progress   = flag.Bool("progress", false, "live solver-heartbeat status line on stderr")
+		metricsOut = flag.String("metrics", "", "write OpenMetrics text exposition of the metrics registry on exit")
 	)
 	flag.Parse()
 	if *p4Path == "" {
@@ -51,6 +53,7 @@ func run() int {
 	o, closeObs, err := obs.Setup(obs.Config{
 		TracePath: *tracePath, CPUProfilePath: *cpuProf,
 		MemProfilePath: *memProf, Verbose: *verbose,
+		Progress: *progress, MetricsPath: *metricsOut,
 	})
 	if err != nil {
 		return fail(err)

@@ -9,6 +9,7 @@
 //	       [-packet kv|bitvector] [-budget N] [-parallel N]
 //	       [-incremental] [-simplify=false] [-preprocess] [-slice]
 //	       [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
+//	       [-progress] [-metrics out.om] [-watchdog 30s]
 //
 // -incremental switches find-all solving to the shared-prefix engine
 // (blast the common VC prefix once per worker shard, check each assertion
@@ -48,27 +49,30 @@ func main() { os.Exit(run()) }
 // flush, profile writes) registered before the verdict always execute.
 func run() int {
 	var (
-		p4Path    = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
-		specPath  = flag.String("spec", "", "LPI specification file (required unless -builtin)")
-		builtin   = flag.String("builtin", "", "verify a built-in benchmark program (dc-gateway) under its inferred undefined-behaviour spec")
-		entries   = flag.String("entries", "", "table-entry snapshot file (omit: verify under any entries)")
-		findAll   = flag.Bool("all", false, "find all violated assertions (default: first only)")
-		parserStr = flag.String("parser", "sequential", "parser encoding: sequential|tree")
-		tableStr  = flag.String("table", "abvtree", "table encoding: abvtree|abvlinear|naive")
-		packetStr = flag.String("packet", "kv", "packet encoding: kv|bitvector")
-		budget    = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
-		parallel  = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for -all checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
-		incr      = flag.Bool("incremental", false, "shared-prefix incremental solving for -all (implies -all)")
-		simplify  = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
-		preproc   = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in the SAT core")
-		slice     = flag.Bool("slice", false, "per-assertion cone-of-influence slicing of the VC (find-all modes)")
-		stream    = flag.Bool("stream", false, "streaming VC generation for -all: release per-assertion transient terms, bounding peak memory (implies -all, forces serial)")
-		blocklist = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
-		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report")
-		tracePath = flag.String("trace", "", "write Chrome trace-event JSON of the run's phases and per-assertion solves")
-		cpuProf   = flag.String("pprof", "", "write CPU profile (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write heap profile on exit")
-		verbose   = flag.Bool("v", false, "structured JSONL log on stderr (phase begin/end, verdicts, budget exhaustion)")
+		p4Path     = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
+		specPath   = flag.String("spec", "", "LPI specification file (required unless -builtin)")
+		builtin    = flag.String("builtin", "", "verify a built-in benchmark program (dc-gateway) under its inferred undefined-behaviour spec")
+		entries    = flag.String("entries", "", "table-entry snapshot file (omit: verify under any entries)")
+		findAll    = flag.Bool("all", false, "find all violated assertions (default: first only)")
+		parserStr  = flag.String("parser", "sequential", "parser encoding: sequential|tree")
+		tableStr   = flag.String("table", "abvtree", "table encoding: abvtree|abvlinear|naive")
+		packetStr  = flag.String("packet", "kv", "packet encoding: kv|bitvector")
+		budget     = flag.Int64("budget", 0, "SAT conflict budget per query (0: unlimited)")
+		parallel   = flag.Int("parallel", 0, fmt.Sprintf("worker goroutines for -all checks (0: GOMAXPROCS, currently %d; 1: serial)", runtime.GOMAXPROCS(0)))
+		incr       = flag.Bool("incremental", false, "shared-prefix incremental solving for -all (implies -all)")
+		simplify   = flag.Bool("simplify", true, "algebraic simplification pass before blasting (incremental mode only)")
+		preproc    = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in the SAT core")
+		slice      = flag.Bool("slice", false, "per-assertion cone-of-influence slicing of the VC (find-all modes)")
+		stream     = flag.Bool("stream", false, "streaming VC generation for -all: release per-assertion transient terms, bounding peak memory (implies -all, forces serial)")
+		blocklist  = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
+		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report")
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of the run's phases and per-assertion solves")
+		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write heap profile on exit")
+		verbose    = flag.Bool("v", false, "structured JSONL log on stderr (phase begin/end, verdicts, budget exhaustion)")
+		progress   = flag.Bool("progress", false, "live solver-heartbeat status line on stderr (conflicts/sec, trail, learnt DB)")
+		metricsOut = flag.String("metrics", "", "write OpenMetrics text exposition of the metrics registry on exit")
+		watchdog   = flag.Duration("watchdog", 0, "stall window: dump diagnostics for any check solving longer than this without finishing (0: off)")
 	)
 	flag.Parse()
 	if *specPath == "" && *builtin == "" {
@@ -79,6 +83,8 @@ func run() int {
 	o, closeObs, err := obs.Setup(obs.Config{
 		TracePath: *tracePath, CPUProfilePath: *cpuProf,
 		MemProfilePath: *memProf, Verbose: *verbose,
+		Progress: *progress, MetricsPath: *metricsOut,
+		StallWindow: *watchdog,
 	})
 	if err != nil {
 		return fail(err)

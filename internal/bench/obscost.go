@@ -29,12 +29,25 @@ type ObsResult struct {
 	// problems are timer-noise dominated, so treat single-digit negatives
 	// as "no measurable difference".
 	OverheadPct float64 `json:"overhead_pct"`
-	// Identical reports whether the canonical report bytes match between
-	// the two runs — attaching sinks must not change results.
+	// FlightMS adds the flight recorder to the enabled sink set: a
+	// heartbeat ring (64-conflict period) on top of tracer + metrics +
+	// log, with the per-check histograms folding in. FlightOverheadPct
+	// is its overhead vs the disabled baseline.
+	FlightMS          float64 `json:"flight_ms"`
+	FlightOverheadPct float64 `json:"flight_overhead_pct"`
+	// Identical reports whether the canonical report bytes match across
+	// all three runs — attaching sinks must not change results.
 	Identical bool `json:"identical"`
-	// Spans / Counters summarize what the enabled run recorded.
-	Spans    int `json:"spans"`
-	Counters int `json:"counters"`
+	// Spans / Counters / Histograms / HeartbeatSamples summarize what
+	// the enabled runs recorded.
+	Spans            int   `json:"spans"`
+	Counters         int   `json:"counters"`
+	Histograms       int   `json:"histograms"`
+	HeartbeatSamples int64 `json:"heartbeat_samples"`
+	// Utilization is the trace-analysis pass (obs.Analyze) over a
+	// 2-worker traced run of the same problem — the per-worker busy
+	// fractions, critical path, and straggler index CI gates on.
+	Utilization *obs.Utilization `json:"utilization,omitempty"`
 }
 
 // ObsOverhead runs the instrumentation-overhead experiment on bm (each
@@ -52,38 +65,43 @@ func ObsOverhead(bm *progs.Benchmark, repeats int) (*ObsResult, error) {
 		return nil, err
 	}
 
-	run := func(o *obs.Obs) (time.Duration, *verify.Report, error) {
-		var best time.Duration
-		var bestRep *verify.Report
-		for r := 0; r < repeats; r++ {
+	sink := &obs.Obs{
+		Tracer:  obs.NewTracer(),
+		Metrics: obs.NewRegistry(),
+		Log:     obs.NewLogger(io.Discard),
+	}
+	flightSink := &obs.Obs{
+		Tracer:   obs.NewTracer(),
+		Metrics:  obs.NewRegistry(),
+		Log:      obs.NewLogger(io.Discard),
+		Progress: obs.NewProgressRing(256, 64),
+	}
+
+	// The three configurations are interleaved round-robin rather than run
+	// in blocks so GC pressure from earlier iterations' garbage lands on
+	// all of them equally — in block order the later configs measure the
+	// heap growth of the earlier ones, not their own cost.
+	configs := []*obs.Obs{nil, sink, flightSink}
+	walls := make([]time.Duration, len(configs))
+	reps := make([]*verify.Report, len(configs))
+	for r := 0; r < repeats; r++ {
+		for i, o := range configs {
 			start := time.Now()
 			rep, err := verify.Run(prog, nil, spec, verify.Options{
 				FindAll: true, Parallel: 1, Obs: o,
 			})
 			wall := time.Since(start)
 			if err != nil {
-				return 0, nil, err
+				return nil, fmt.Errorf("bench: obs run: %w", err)
 			}
-			if bestRep == nil || wall < best {
-				best, bestRep = wall, rep
+			if reps[i] == nil || wall < walls[i] {
+				walls[i], reps[i] = wall, rep
 			}
 		}
-		return best, bestRep, nil
 	}
-
-	disabledWall, disabledRep, err := run(nil)
-	if err != nil {
-		return nil, fmt.Errorf("bench: obs disabled run: %w", err)
-	}
-	sink := &obs.Obs{
-		Tracer:  obs.NewTracer(),
-		Metrics: obs.NewRegistry(),
-		Log:     obs.NewLogger(io.Discard),
-	}
-	enabledWall, enabledRep, err := run(sink)
-	if err != nil {
-		return nil, fmt.Errorf("bench: obs enabled run: %w", err)
-	}
+	disabledWall, disabledRep := walls[0], reps[0]
+	enabledWall, enabledRep := walls[1], reps[1]
+	flightWall, flightRep := walls[2], reps[2]
 
 	canonA, err := disabledRep.CanonicalJSON()
 	if err != nil {
@@ -93,20 +111,50 @@ func ObsOverhead(bm *progs.Benchmark, repeats int) (*ObsResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	canonC, err := flightRep.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
 
 	res := &ObsResult{
-		Program:    bm.Name,
-		Assertions: disabledRep.Stats.Assertions,
-		Repeats:    repeats,
-		DisabledMS: float64(disabledWall.Microseconds()) / 1000,
-		EnabledMS:  float64(enabledWall.Microseconds()) / 1000,
-		Identical:  bytes.Equal(canonA, canonB),
-		Spans:      len(sink.Tracer.Events()),
-		Counters:   len(sink.Metrics.Snapshot()),
+		Program:          bm.Name,
+		Assertions:       disabledRep.Stats.Assertions,
+		Repeats:          repeats,
+		DisabledMS:       float64(disabledWall.Microseconds()) / 1000,
+		EnabledMS:        float64(enabledWall.Microseconds()) / 1000,
+		FlightMS:         float64(flightWall.Microseconds()) / 1000,
+		Identical:        bytes.Equal(canonA, canonB) && bytes.Equal(canonA, canonC),
+		Spans:            len(sink.Tracer.Events()),
+		Counters:         len(sink.Metrics.Snapshot()),
+		Histograms:       len(flightSink.Metrics.Histograms()),
+		HeartbeatSamples: flightSink.Progress.Seq(),
 	}
 	if disabledWall > 0 {
 		res.OverheadPct = 100 * float64(enabledWall-disabledWall) / float64(disabledWall)
+		res.FlightOverheadPct = 100 * float64(flightWall-disabledWall) / float64(disabledWall)
 	}
+
+	// Utilization analytics: one traced 2-worker run (interleaved fairly
+	// even on a single-CPU host) fed through the trace analyzer.
+	utilSink := &obs.Obs{Tracer: obs.NewTracer()}
+	utilRep, err := verify.Run(prog, nil, spec, verify.Options{
+		FindAll: true, Parallel: 2, Obs: utilSink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs utilization run: %w", err)
+	}
+	canonD, err := utilRep.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(canonA, canonD) {
+		res.Identical = false
+	}
+	util, err := obs.Analyze(utilSink.Tracer.Events())
+	if err != nil {
+		return nil, fmt.Errorf("bench: obs utilization: %w", err)
+	}
+	res.Utilization = util
 	return res, nil
 }
 
@@ -120,10 +168,16 @@ func FormatObs(r *ObsResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Observability overhead: %s (%d assertions, best of %d)\n",
 		r.Program, r.Assertions, r.Repeats)
-	fmt.Fprintf(&b, "%-22s  %10s\n", "configuration", "wall ms")
-	fmt.Fprintf(&b, "%-22s  %10.1f\n", "sinks disabled (nil)", r.DisabledMS)
-	fmt.Fprintf(&b, "%-22s  %10.1f\n", "tracer+metrics+log", r.EnabledMS)
-	fmt.Fprintf(&b, "overhead: %+.1f%%, canonical reports identical: %v, %d trace events, %d counters\n",
-		r.OverheadPct, r.Identical, r.Spans, r.Counters)
+	fmt.Fprintf(&b, "%-26s  %10s\n", "configuration", "wall ms")
+	fmt.Fprintf(&b, "%-26s  %10.1f\n", "sinks disabled (nil)", r.DisabledMS)
+	fmt.Fprintf(&b, "%-26s  %10.1f\n", "tracer+metrics+log", r.EnabledMS)
+	fmt.Fprintf(&b, "%-26s  %10.1f\n", "+flight recorder (ring)", r.FlightMS)
+	fmt.Fprintf(&b, "overhead: %+.1f%% enabled, %+.1f%% flight; canonical reports identical: %v\n",
+		r.OverheadPct, r.FlightOverheadPct, r.Identical)
+	fmt.Fprintf(&b, "%d trace events, %d counters, %d histograms, %d heartbeat samples\n",
+		r.Spans, r.Counters, r.Histograms, r.HeartbeatSamples)
+	if r.Utilization != nil {
+		b.WriteString(obs.FormatUtilization(r.Utilization))
+	}
 	return b.String()
 }

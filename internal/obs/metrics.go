@@ -103,14 +103,19 @@ func (g *Gauge) Value() int64 {
 // updates go straight to the atomics, so concurrent writers never contend
 // on the map once their instruments exist.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns (creating if needed) the named counter. A nil registry
@@ -144,7 +149,62 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Snapshot returns every instrument's current value keyed by name.
+// Histogram returns (creating if needed) the named histogram;
+// nil-registry-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = map[string]*Histogram{}
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Histograms returns plain-data snapshots of every registered histogram
+// keyed by name. Histograms are deliberately not part of Snapshot():
+// the fuzzer's coverage signatures hash Snapshot maps, and folding
+// distribution buckets in would perturb corpus scheduling.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.histograms) == 0 {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns every counter and gauge's current value keyed by
+// name (histograms are exposed via Histograms).
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return nil

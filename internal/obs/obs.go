@@ -24,6 +24,11 @@ type Obs struct {
 	Tracer  *Tracer
 	Metrics *Registry
 	Log     *Logger
+	// Progress, when non-nil, receives solver heartbeat samples — the
+	// verification driver installs a per-check publisher on every SAT
+	// solver it creates. The -progress status line and the stall
+	// watchdog both read from it.
+	Progress *ProgressRing
 }
 
 // noop is the cached closure Phase returns when nothing is attached, so

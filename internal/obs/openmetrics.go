@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteOpenMetrics writes the registry in the OpenMetrics text
+// exposition format (the Prometheus scrape format): counters with a
+// _total sample, gauges plain, histograms with cumulative log2 le
+// buckets plus _sum/_count, terminated by # EOF. Instrument names are
+// prefixed aquila_ with dots mapped to underscores, so sat.conflicts
+// scrapes as aquila_sat_conflicts_total. A nil registry writes just the
+// EOF marker — the future aquila-serve daemon can always expose the
+// endpoint.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	type inst struct {
+		name  string
+		write func(io.Writer, string) error
+	}
+	var insts []inst
+	if r != nil {
+		r.mu.Lock()
+		for name, c := range r.counters {
+			v := c.Value()
+			insts = append(insts, inst{name, func(w io.Writer, om string) error {
+				_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", om, om, v)
+				return err
+			}})
+		}
+		for name, g := range r.gauges {
+			v := g.Value()
+			insts = append(insts, inst{name, func(w io.Writer, om string) error {
+				_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", om, om, v)
+				return err
+			}})
+		}
+		for name, h := range r.histograms {
+			s := h.Snapshot()
+			insts = append(insts, inst{name, func(w io.Writer, om string) error {
+				return writeOpenMetricsHist(w, om, s)
+			}})
+		}
+		r.mu.Unlock()
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].name < insts[j].name })
+	for _, in := range insts {
+		if err := in.write(w, openMetricsName(in.name)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeOpenMetricsHist(w io.Writer, om string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", om); err != nil {
+		return err
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n",
+			om, HistBucketBound(i), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		om, s.Count, om, s.Sum, om, s.Count)
+	return err
+}
+
+// openMetricsName maps a registry name onto the OpenMetrics charset:
+// aquila_ prefix, [a-zA-Z0-9_] body.
+func openMetricsName(name string) string {
+	var b strings.Builder
+	b.WriteString("aquila_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

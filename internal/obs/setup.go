@@ -6,10 +6,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
 
 // Config selects the sinks a CLI attaches — the -trace, -pprof,
-// -memprofile and -v flags map onto it one-to-one.
+// -memprofile, -v, -progress, -metrics and -watchdog flags map onto it
+// one-to-one.
 type Config struct {
 	// TracePath, when non-empty, collects spans and writes Chrome
 	// trace-event JSON there on Close.
@@ -22,6 +24,22 @@ type Config struct {
 	// Verbose attaches a JSONL logger to LogTo (default os.Stderr).
 	Verbose bool
 	LogTo   io.Writer
+	// Progress attaches a heartbeat ring and prints a live status line
+	// to ProgressTo (default os.Stderr) while checks solve.
+	// ProgressEvery is the heartbeat period in conflicts (default
+	// 4096).
+	Progress      bool
+	ProgressTo    io.Writer
+	ProgressEvery int64
+	// StallWindow, when positive, attaches the heartbeat ring plus a
+	// watchdog that dumps diagnostics to StallTo (default os.Stderr)
+	// for any check heartbeating longer than the window without
+	// finishing.
+	StallWindow time.Duration
+	StallTo     io.Writer
+	// MetricsPath, when non-empty, writes the metrics registry in
+	// OpenMetrics text exposition format there on Close.
+	MetricsPath string
 }
 
 // Setup builds the Obs for a CLI invocation and returns it with a close
@@ -58,6 +76,46 @@ func Setup(cfg Config) (*Obs, func() error, error) {
 		if o.Metrics == nil {
 			o.Metrics = NewRegistry()
 		}
+	}
+	if cfg.Progress || cfg.StallWindow > 0 {
+		o.Progress = NewProgressRing(256, cfg.ProgressEvery)
+		if o.Metrics == nil {
+			o.Metrics = NewRegistry()
+		}
+	}
+	if cfg.Progress {
+		w := cfg.ProgressTo
+		if w == nil {
+			w = os.Stderr
+		}
+		stop := StartStatusLine(w, o.Progress, 500*time.Millisecond)
+		closers = append(closers, func() error { stop(); return nil })
+	}
+	if cfg.StallWindow > 0 {
+		w := cfg.StallTo
+		if w == nil {
+			w = os.Stderr
+		}
+		wd := NewWatchdog(o.Progress, cfg.StallWindow, w, o.Log, o.Metrics)
+		stop := wd.Start()
+		closers = append(closers, func() error { stop(); return nil })
+	}
+	if cfg.MetricsPath != "" {
+		if o.Metrics == nil {
+			o.Metrics = NewRegistry()
+		}
+		reg, path := o.Metrics, cfg.MetricsPath
+		closers = append(closers, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("obs: metrics: %w", err)
+			}
+			werr := reg.WriteOpenMetrics(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		})
 	}
 	if cfg.CPUProfilePath != "" {
 		f, err := os.Create(cfg.CPUProfilePath)

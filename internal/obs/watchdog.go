@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// CtrWatchdogStalls counts diagnostic dumps the watchdog emitted. It
+// lives here (not metrics.go) because it exists only when a watchdog is
+// attached — fuzz coverage signatures never see it.
+const CtrWatchdogStalls = "verify.watchdog_stalls"
+
+// Watchdog flags a check that keeps heartbeating without finishing for
+// longer than Window and emits a one-shot diagnostic dump (check label,
+// last solver snapshot, all goroutine stacks) to Out — the flight
+// recorder's answer to "which assertion is my run wedged on", captured
+// before a conflict budget or the operator kills it. It observes the
+// heartbeat ring only; it never touches the solvers, so a firing
+// watchdog cannot alter a verdict.
+type Watchdog struct {
+	ring    *ProgressRing
+	window  time.Duration
+	out     io.Writer
+	log     *Logger
+	metrics *Registry
+
+	// Poll-goroutine state (single caller; only dumps is read across
+	// goroutines).
+	curLabel string
+	curSince time.Time
+	haveCur  bool
+	flagged  map[string]bool
+	dumps    atomic.Int64
+}
+
+// NewWatchdog builds a watchdog over ring with the given stall window.
+// out receives diagnostic dumps (required for them to be visible); log
+// and metrics are optional sinks for a structured stall event and the
+// verify.watchdog_stalls counter.
+func NewWatchdog(ring *ProgressRing, window time.Duration, out io.Writer, log *Logger, metrics *Registry) *Watchdog {
+	return &Watchdog{
+		ring: ring, window: window, out: out, log: log, metrics: metrics,
+		flagged: map[string]bool{},
+	}
+}
+
+// Dumps returns how many diagnostic dumps have fired. Safe on nil.
+func (w *Watchdog) Dumps() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.dumps.Load()
+}
+
+// Poll scans the ring once at time now and reports whether a dump
+// fired. Exported so tests drive the stall logic deterministically;
+// Start runs it on a ticker. Safe on nil but not for concurrent
+// callers.
+func (w *Watchdog) Poll(now time.Time) bool {
+	if w == nil || w.ring == nil || w.window <= 0 {
+		return false
+	}
+	latest, ok := w.ring.Latest()
+	if !ok || latest.Done {
+		w.haveCur = false
+		return false
+	}
+	if !w.haveCur || latest.Label != w.curLabel {
+		w.curLabel, w.curSince, w.haveCur = latest.Label, now, true
+		return false
+	}
+	if now.Sub(w.curSince) < w.window || w.flagged[latest.Label] {
+		return false
+	}
+	w.flagged[latest.Label] = true
+	w.dumps.Add(1)
+	w.dump(latest, now.Sub(w.curSince))
+	return true
+}
+
+func (w *Watchdog) dump(s ProgressSample, running time.Duration) {
+	w.metrics.Counter(CtrWatchdogStalls).Add(1)
+	w.log.Event("watchdog_stall", map[string]any{
+		"assertion": s.Label, "worker": s.Worker, "running_ms": running.Milliseconds(),
+		"conflicts": s.Conflicts, "restarts": s.Restarts,
+		"trail_depth": s.TrailDepth, "learnt_db": s.LearntDB,
+		"arena_bytes": s.ArenaBytes,
+	})
+	if w.out == nil {
+		return
+	}
+	fmt.Fprintf(w.out,
+		"aquila watchdog: check %q stalled (running %s past window %s)\n"+
+			"  solver snapshot: worker=%d conflicts=%d decisions=%d propagations=%d "+
+			"restarts=%d trail=%d learnt=%d arena=%dB\n",
+		s.Label, running.Round(time.Millisecond), w.window,
+		s.Worker, s.Conflicts, s.Decisions, s.Propagations,
+		s.Restarts, s.TrailDepth, s.LearntDB, s.ArenaBytes)
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	fmt.Fprintf(w.out, "goroutine dump:\n%s\n", buf[:n])
+}
+
+// Start spawns the polling goroutine (period window/4, clamped to
+// [1ms, 1s]) and returns its stop function. Safe on nil.
+func (w *Watchdog) Start() (stop func()) {
+	if w == nil || w.ring == nil || w.window <= 0 {
+		return func() {}
+	}
+	period := w.window / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				w.Poll(now)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

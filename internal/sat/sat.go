@@ -159,6 +159,11 @@ type Solver struct {
 	ElimVars            int64 // variables removed by bounded variable elimination
 	SubsumedClauses     int64 // clauses deleted by subsumption
 	StrengthenedClauses int64 // clauses shrunk by self-subsuming resolution
+	// LearntSizes is the learnt-clause length distribution in log2
+	// buckets (bucket i covers lengths [2^(i-1), 2^i), clamped at the
+	// last bucket). Plain counters like the rest: the driver folds them
+	// into the observability histogram at check granularity.
+	LearntSizes [NumLearntSizeBuckets]int64
 
 	maxLearnts  float64
 	learntCap   float64 // hard ceiling on maxLearnts growth, <=0 unlimited
@@ -166,6 +171,13 @@ type Solver struct {
 	budget      int64 // conflicts allowed per Solve call, <0 means unlimited
 	budgetLim   int64 // absolute Conflicts ceiling for the current Solve, <0 unlimited
 	numVarsFree int
+
+	// Heartbeat hook (progress.go): progressFn fires every
+	// progressEvery conflicts with a Progress sample. Checked with one
+	// compare per conflict; nil when no flight recorder is attached.
+	progressFn    func(Progress)
+	progressEvery int64
+	progressNext  int64
 
 	// Preprocessing state (preprocess.go). frozen vars are exempt from
 	// elimination; elimed vars are currently substituted away and carry an
@@ -781,6 +793,7 @@ func (s *Solver) search(maxConflicts int) Status {
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
 			s.LearntLits += int64(len(learnt))
+			s.LearntSizes[learntSizeBucket(len(learnt))]++
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], crefUndef)
 			} else {
@@ -795,6 +808,10 @@ func (s *Solver) search(maxConflicts int) Status {
 			}
 			s.varDecay()
 			s.clauseDecay()
+			if s.progressFn != nil && s.Conflicts >= s.progressNext {
+				s.progressNext = s.Conflicts + s.progressEvery
+				s.progressFn(s.progressSample())
+			}
 			continue
 		}
 		// No conflict.

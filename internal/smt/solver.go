@@ -83,6 +83,10 @@ type SolverStats struct {
 	BlastMisses    int64 // per-term blast-cache misses
 	Clauses        int   // problem clauses retained by the SAT core
 	SATVars        int   // SAT variables allocated
+	// LearntSizes is the learnt-clause length distribution in log2
+	// buckets; the driver folds it into the flight recorder's
+	// sat.learnt_clause_size histogram.
+	LearntSizes [sat.NumLearntSizeBuckets]int64
 }
 
 // SolverStats snapshots the instance's counters.
@@ -103,7 +107,25 @@ func (s *Solver) SolverStats() SolverStats {
 		BlastMisses:    s.b.cacheMisses,
 		Clauses:        s.sat.NumClauses(),
 		SATVars:        s.sat.NumVars(),
+		LearntSizes:    s.sat.LearntSizes,
 	}
+}
+
+// NumLearntSizeBuckets re-exports the SAT core's learnt-size bucket
+// count so the verification driver can delta LearntSizes arrays without
+// importing internal/sat.
+const NumLearntSizeBuckets = sat.NumLearntSizeBuckets
+
+// SolveProgress is the SAT core's heartbeat sample, re-exported so the
+// verification driver can install progress publishers without importing
+// internal/sat.
+type SolveProgress = sat.Progress
+
+// SetProgress installs fn to fire every `every` conflicts during
+// subsequent checks (nil fn or every <= 0 disables). The callback runs
+// on the solving goroutine; see sat.Solver.SetProgress.
+func (s *Solver) SetProgress(every int64, fn func(SolveProgress)) {
+	s.sat.SetProgress(every, fn)
 }
 
 // NumClauses reports the size of the generated CNF, a proxy for solver

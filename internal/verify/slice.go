@@ -67,7 +67,9 @@ func (rep *Report) sliceConds(opts Options, conds []*gcl.Violation, checkConds [
 	endSlice := o.Phase(0, "slice")
 	sl := newSlicer(rep.Ctx)
 	for i, v := range conds {
+		c0, d0 := sl.Conjuncts, sl.Dropped
 		checkConds[i] = sl.slice(v)
+		rep.hists.observeSlice(sl.Conjuncts-c0, sl.Dropped-d0)
 	}
 	endSlice()
 	rep.Stats.SliceConjuncts = sl.Conjuncts

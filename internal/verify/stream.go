@@ -50,13 +50,15 @@ func (rep *Report) checkAllStream(opts Options) error {
 		checkCond := v.Cond
 		if sl != nil {
 			endSlice := o.Span(0, "slice:"+v.Label)
+			c0, d0 := sl.Conjuncts, sl.Dropped
 			checkCond = sl.slice(v)
+			rep.hists.observeSlice(sl.Conjuncts-c0, sl.Dropped-d0)
 			endSlice()
 		}
 		endSpan := o.Span(0, "solve:"+v.Label)
-		st, model, ss, cpu := rep.checkOne(opts, v, checkCond)
+		st, model, ss, cpu := rep.checkOne(opts, v, checkCond, 0)
 		endSpan()
-		countSolver(o, ss, st)
+		rep.recordCheck(o, v.Label, 0, ss, st, cpu)
 		rep.Stats.SolveCPU += cpu
 		rep.Stats.addSolver(ss)
 		rep.Stats.PerAssertion = append(rep.Stats.PerAssertion, AssertionCost{

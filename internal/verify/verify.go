@@ -231,6 +231,12 @@ type Stats struct {
 	// order. Empty in find-first mode, which checks all assertions in one
 	// disjunction query.
 	PerAssertion []AssertionCost
+
+	// Histograms is the flight recorder's distribution snapshot
+	// (flight.go): per-check wall time and conflicts, learnt-clause
+	// sizes, and slice-drop ratios, log2-bucketed. Cost data like
+	// everything above — zeroed in canonical reports.
+	Histograms []HistogramStat
 }
 
 // AssertionCost is the solve cost of one assertion in find-all mode.
@@ -267,7 +273,12 @@ func (st *Stats) addSolver(ss smt.SolverStats) {
 
 // statsDelta is the work between two snapshots of one (shared) solver.
 func statsDelta(cur, prev smt.SolverStats) smt.SolverStats {
+	var sizes [smt.NumLearntSizeBuckets]int64
+	for i := range sizes {
+		sizes[i] = cur.LearntSizes[i] - prev.LearntSizes[i]
+	}
 	return smt.SolverStats{
+		LearntSizes:    sizes,
 		Decisions:      cur.Decisions - prev.Decisions,
 		Conflicts:      cur.Conflicts - prev.Conflicts,
 		Propagations:   cur.Propagations - prev.Propagations,
@@ -289,7 +300,12 @@ func statsDelta(cur, prev smt.SolverStats) smt.SolverStats {
 // addStats sums two solver-stat snapshots (used to fold a counterexample
 // re-check's cost into its assertion's delta).
 func addStats(a, b smt.SolverStats) smt.SolverStats {
+	var sizes [smt.NumLearntSizeBuckets]int64
+	for i := range sizes {
+		sizes[i] = a.LearntSizes[i] + b.LearntSizes[i]
+	}
 	return smt.SolverStats{
+		LearntSizes:    sizes,
 		Decisions:      a.Decisions + b.Decisions,
 		Conflicts:      a.Conflicts + b.Conflicts,
 		Propagations:   a.Propagations + b.Propagations,
@@ -351,6 +367,11 @@ type Report struct {
 	Env     *encode.Env
 	Program gcl.Stmt
 	Result  *gcl.Result
+
+	// hists holds the run's live flight-recorder histograms (flight.go)
+	// behind a pointer: they contain atomics, and Report is shallow-
+	// copied by CanonicalJSON. Nil on bare Reports (all observes no-op).
+	hists *runHists
 }
 
 // ErrBudget reports solver budget exhaustion (the analogue of the paper's
@@ -400,6 +421,7 @@ func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*R
 			GCLSize:    gcl.Size(program),
 			Assertions: len(res.Violations),
 		},
+		hists: &runHists{},
 	}
 	if o != nil && o.Metrics != nil {
 		// Structural coverage feed: which GCL statement kinds this program
@@ -415,6 +437,10 @@ func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*R
 	rep.Stats.SolveTime = time.Since(t1)
 	rep.Stats.TermNodes = ctx.NumTerms()
 	rep.Holds = len(rep.Violations) == 0
+	rep.Stats.Histograms = rep.hists.stats()
+	if o != nil {
+		rep.hists.mergeInto(o.Metrics)
+	}
 	if o != nil && o.Metrics != nil {
 		h1, m1, f1 := ctx.InternStats()
 		o.Metrics.Counter(obs.CtrSMTInternHits).Add(h1 - internH0)
@@ -459,7 +485,8 @@ func (rep *Report) check(opts Options) error {
 // dropped (variable-disjoint) remainder was unsatisfiable on its own —
 // the assertion holds, exactly the unsliced verdict. The re-check's cost
 // is folded into the assertion's stats.
-func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term) (st smt.Status, model *smt.Model, ss smt.SolverStats, cpu time.Duration) {
+func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term, worker int) (st smt.Status, model *smt.Model, ss smt.SolverStats, cpu time.Duration) {
+	o := opts.Observer()
 	solver := smt.NewSolver(rep.Ctx)
 	if opts.Budget > 0 {
 		solver.SetBudget(opts.Budget)
@@ -467,6 +494,7 @@ func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term)
 	if opts.Preprocess {
 		solver.SetPreprocess(true)
 	}
+	installProgress(o, solver, v.Label, worker)
 	t0 := time.Now()
 	st = solver.Check(checkCond)
 	cpu = time.Since(t0)
@@ -479,6 +507,7 @@ func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term)
 		if opts.Budget > 0 {
 			s2.SetBudget(opts.Budget)
 		}
+		installProgress(o, s2, v.Label, worker)
 		t1 := time.Now()
 		st2 := s2.Check(v.Cond)
 		cpu += time.Since(t1)
@@ -515,14 +544,16 @@ func (rep *Report) checkFirst(opts Options) error {
 	for _, v := range rep.Result.Violations {
 		disj = ctx.Or(disj, v.Cond)
 	}
+	installProgress(o, solver, "all-assertions", 0)
 	endSpan := o.Span(0, "solve:all-assertions")
 	t0 := time.Now()
 	st := solver.Check(disj)
-	rep.Stats.SolveCPU += time.Since(t0)
+	d0 := time.Since(t0)
+	rep.Stats.SolveCPU += d0
 	endSpan()
 	ss := solver.SolverStats()
 	rep.Stats.addSolver(ss)
-	countSolver(o, ss, st)
+	rep.recordCheck(o, "all-assertions", 0, ss, st, d0)
 	o.Event("check_done", map[string]any{
 		"mode": "find-first", "status": statusString(st),
 		"conflicts": ss.Conflicts, "clauses": ss.Clauses,
@@ -545,12 +576,14 @@ func (rep *Report) checkFirst(opts Options) error {
 		if opts.Budget > 0 {
 			s2.SetBudget(opts.Budget)
 		}
+		installProgress(o, s2, "all-assertions", 0)
 		t1 := time.Now()
 		st2 := s2.Check(disj)
-		rep.Stats.SolveCPU += time.Since(t1)
+		d1 := time.Since(t1)
+		rep.Stats.SolveCPU += d1
 		ss2 := s2.SolverStats()
 		rep.Stats.addSolver(ss2)
-		countSolver(o, ss2, st2)
+		rep.recordCheck(o, "all-assertions", 0, ss2, st2, d1)
 		if st2 == smt.Unknown {
 			return ErrBudget
 		}
@@ -577,12 +610,14 @@ func (rep *Report) checkFirst(opts Options) error {
 		if opts.Budget > 0 {
 			s2.SetBudget(opts.Budget)
 		}
+		installProgress(o, s2, v.Label, 0)
 		t1 := time.Now()
 		st2 := s2.Check(ctx.And(assignment, v.Cond))
-		rep.Stats.SolveCPU += time.Since(t1)
+		d1 := time.Since(t1)
+		rep.Stats.SolveCPU += d1
 		ss2 := s2.SolverStats()
 		rep.Stats.addSolver(ss2)
-		countSolver(o, ss2, st2)
+		rep.recordCheck(o, v.Label, 0, ss2, st2, d1)
 		if st2 == smt.Sat {
 			m2 := s2.Model()
 			s2.ModelCollect(m2, v.Cond)
@@ -654,9 +689,9 @@ func (rep *Report) checkAll(opts Options) error {
 		v := conds[i]
 		endSpan := o.Span(worker, "solve:"+v.Label)
 		out := &outs[i]
-		out.status, out.model, out.ss, out.cpu = rep.checkOne(opts, v, checkConds[i])
+		out.status, out.model, out.ss, out.cpu = rep.checkOne(opts, v, checkConds[i], worker)
 		endSpan()
-		countSolver(o, out.ss, out.status)
+		rep.recordCheck(o, v.Label, worker, out.ss, out.status, out.cpu)
 		out.done = true
 	}
 
@@ -841,6 +876,7 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 			}
 			v := conds[i]
 			out := &outs[i]
+			installProgress(o, solver, v.Label, worker)
 			endSpan := o.Span(worker, "solve:"+v.Label)
 			t0 := time.Now()
 			lit := solver.Indicator(checkConds[i])
@@ -866,6 +902,7 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 				if opts.Budget > 0 {
 					s2.SetBudget(opts.Budget)
 				}
+				installProgress(o, s2, v.Label, worker)
 				t1 := time.Now()
 				st2 := s2.Check(v.Cond)
 				out.cpu += time.Since(t1)
@@ -888,7 +925,7 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 				}
 			}
 			endSpan()
-			countSolver(o, out.ss, out.status)
+			rep.recordCheck(o, v.Label, worker, out.ss, out.status, out.cpu)
 			if out.status == smt.Unknown {
 				for {
 					cur := atomic.LoadInt64(&limit)
@@ -1172,6 +1209,19 @@ type JSONStats struct {
 	Stream         bool  `json:"stream,omitempty"`
 	StreamReleases int64 `json:"stream_releases,omitempty"`
 	ReleasedTerms  int64 `json:"released_terms,omitempty"`
+
+	// Flight-recorder histograms (absent in canonical reports).
+	Histograms []JSONHistogram `json:"histograms,omitempty"`
+}
+
+// JSONHistogram is one flight-recorder distribution: log2 buckets
+// (bucket i counts values v with 2^(i-1) <= v < 2^i; bucket 0 is
+// v <= 0), trimmed to the highest non-empty bucket.
+type JSONHistogram struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // JSONAssertionCost is one assertion's row in the per-assertion breakdown.
@@ -1226,6 +1276,11 @@ func (rep *Report) JSON() ([]byte, error) {
 			StreamReleases: rep.Stats.StreamReleases,
 			ReleasedTerms:  rep.Stats.ReleasedTerms,
 		},
+	}
+	for _, h := range rep.Stats.Histograms {
+		out.Stats.Histograms = append(out.Stats.Histograms, JSONHistogram{
+			Name: h.Name, Count: h.Count, Sum: h.Sum, Buckets: h.Buckets,
+		})
 	}
 	for _, a := range rep.Stats.PerAssertion {
 		out.PerAssertion = append(out.PerAssertion, JSONAssertionCost{
@@ -1296,6 +1351,7 @@ func (rep *Report) CanonicalJSON() ([]byte, error) {
 	canon.Stats.Stream = false
 	canon.Stats.StreamReleases = 0
 	canon.Stats.ReleasedTerms = 0
+	canon.Stats.Histograms = nil
 	if len(canon.Stats.PerAssertion) > 0 {
 		pa := make([]AssertionCost, len(canon.Stats.PerAssertion))
 		for i, a := range canon.Stats.PerAssertion {
