@@ -7,6 +7,7 @@
 //	aquila -spec spec.lpi [-p4 prog.p4] [-entries snap.txt] [-all]
 //	       [-parser sequential|tree] [-table abvtree|abvlinear|naive]
 //	       [-packet kv|bitvector] [-budget N] [-parallel N]
+//	       [-schedule static|steal] [-portfolio K]
 //	       [-incremental] [-simplify=false] [-preprocess] [-slice]
 //	       [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
 //	       [-progress] [-metrics out.om] [-watchdog 30s]
@@ -17,13 +18,19 @@
 // controls the algebraic pre-blast simplification pass in that mode.
 // -preprocess enables SatELite-style CNF preprocessing in the SAT core;
 // -slice drops VC conjuncts outside each assertion's cone of influence
-// before blasting (find-all modes). Reports are byte-identical to the
-// default fresh-solver mode under every combination of these flags.
+// before blasting (find-all modes). -schedule steal routes find-all
+// checks through the work-stealing scheduler (implies -all); -portfolio K
+// races K diverse solver personalities per check and takes the first
+// verdict (implies -all). Reports are byte-identical to the default
+// fresh-solver mode under every combination of these flags; incompatible
+// combinations (e.g. -stream with -parallel, -schedule steal with
+// -incremental) are rejected up front with an error naming the conflict.
 //
 // The P4 program may also be named by the spec's config section
 // (`config { path = prog.p4; }`), or selected from the built-in corpus
 // with -builtin (e.g. `aquila -builtin dc-gateway -all`, which infers the
-// undefined-behaviour spec — handy for smoke tests and CI).
+// undefined-behaviour spec — handy for smoke tests and CI; `skewed` is
+// the deliberately load-imbalanced scheduler benchmark).
 //
 // -trace writes a Chrome trace-event JSON (load it in chrome://tracing or
 // Perfetto) with one span per pipeline phase and per assertion solve;
@@ -51,7 +58,7 @@ func run() int {
 	var (
 		p4Path     = flag.String("p4", "", "P4lite program (overrides the spec's config path)")
 		specPath   = flag.String("spec", "", "LPI specification file (required unless -builtin)")
-		builtin    = flag.String("builtin", "", "verify a built-in benchmark program (dc-gateway) under its inferred undefined-behaviour spec")
+		builtin    = flag.String("builtin", "", "verify a built-in benchmark program (dc-gateway, skewed) under its inferred undefined-behaviour spec")
 		entries    = flag.String("entries", "", "table-entry snapshot file (omit: verify under any entries)")
 		findAll    = flag.Bool("all", false, "find all violated assertions (default: first only)")
 		parserStr  = flag.String("parser", "sequential", "parser encoding: sequential|tree")
@@ -64,8 +71,11 @@ func run() int {
 		preproc    = flag.Bool("preprocess", false, "SatELite-style CNF preprocessing in the SAT core")
 		slice      = flag.Bool("slice", false, "per-assertion cone-of-influence slicing of the VC (find-all modes)")
 		stream     = flag.Bool("stream", false, "streaming VC generation for -all: release per-assertion transient terms, bounding peak memory (implies -all, forces serial)")
+		schedule   = flag.String("schedule", "static", "find-all work distribution: static|steal (steal implies -all)")
+		portfolio  = flag.Int("portfolio", 1, "solver personalities raced per find-all check; first verdict wins (>1 implies -all)")
 		blocklist  = flag.Bool("blocklist", false, "with no -entries: print the table behaviours that trigger each violation (§2 blocklist)")
 		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report")
+		canonical  = flag.Bool("canonical", false, "with -json: emit the canonical report (cost counters zeroed) — byte-identical across engines, for differential checks")
 		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of the run's phases and per-assertion solves")
 		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
 		memProf    = flag.String("memprofile", "", "write heap profile on exit")
@@ -79,6 +89,23 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	sched, err := aquila.ParseSchedule(*schedule)
+	if err != nil {
+		return fail(err)
+	}
+	opts := aquila.Options{
+		FindAll:     *findAll || *incr || *stream || sched == aquila.ScheduleSteal || *portfolio > 1,
+		Budget:      *budget,
+		Parallel:    *parallel,
+		Incremental: *incr,
+		Simplify:    *simplify,
+		Preprocess:  *preproc,
+		Slice:       *slice,
+		Stream:      *stream,
+		Schedule:    sched,
+		Portfolio:   *portfolio,
+		Encode:      encodeOptions(*parserStr, *tableStr, *packetStr),
+	}
 
 	o, closeObs, err := obs.Setup(obs.Config{
 		TracePath: *tracePath, CPUProfilePath: *cpuProf,
@@ -91,9 +118,7 @@ func run() int {
 	}
 	obs.SetDefault(o)
 	code := verifyMain(*p4Path, *specPath, *builtin, *entries,
-		*findAll || *incr || *stream, *blocklist, *jsonOut, *budget, *parallel,
-		*incr, *simplify, *preproc, *slice, *stream,
-		encodeOptions(*parserStr, *tableStr, *packetStr))
+		*blocklist, *jsonOut, *canonical, opts)
 	if err := closeObs(); err != nil {
 		return fail(err)
 	}
@@ -101,8 +126,7 @@ func run() int {
 }
 
 func verifyMain(p4Path, specPath, builtin, entries string,
-	findAll, blocklist, jsonOut bool, budget int64, parallel int,
-	incremental, simplify, preprocess, slice, stream bool, eopts encode.Options) int {
+	blocklist, jsonOut, canonical bool, opts aquila.Options) int {
 	var prog *aquila.Program
 	var spec *aquila.Spec
 	var err error
@@ -138,23 +162,17 @@ func verifyMain(p4Path, specPath, builtin, entries string,
 			return fail(err)
 		}
 	}
-	opts := aquila.Options{
-		FindAll:     findAll,
-		Budget:      budget,
-		Parallel:    parallel,
-		Incremental: incremental,
-		Simplify:    simplify,
-		Preprocess:  preprocess,
-		Slice:       slice,
-		Stream:      stream,
-		Encode:      eopts,
-	}
 	report, err := aquila.Verify(prog, snap, spec, opts)
 	if err != nil {
 		return fail(err)
 	}
 	if jsonOut {
-		data, err := report.JSON()
+		var data []byte
+		if canonical {
+			data, err = report.CanonicalJSON()
+		} else {
+			data, err = report.JSON()
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -188,8 +206,10 @@ func builtinProblem(name string) (*aquila.Program, *aquila.Spec, error) {
 	switch name {
 	case "dc-gateway":
 		bm = progs.DCGatewayBench()
+	case "skewed":
+		bm = progs.SkewedBench()
 	default:
-		return nil, nil, fmt.Errorf("unknown -builtin %q (available: dc-gateway)", name)
+		return nil, nil, fmt.Errorf("unknown -builtin %q (available: dc-gateway, skewed)", name)
 	}
 	prog, err := bm.Parse()
 	if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -200,38 +201,51 @@ func TestQuickFindModesAgree(t *testing.T) {
 }
 
 // TestParallelSweepQuick pins the parallel sweep's bookkeeping: every row
-// reproduces the serial canonical report, the CPU metadata (GOMAXPROCS
-// and physical core count) is recorded, and multi-worker rows on a
-// single-CPU host are marked cpu_bound. The speedup assertion itself is
-// skipped on single-core hosts — a 1-CPU container bounds wall-clock
-// speedup at 1.0x regardless of the engine, so gating on it there would
-// only test the machine.
+// of the {schedule, portfolio, workers} grid reproduces the serial
+// canonical report, the CPU metadata (GOMAXPROCS and physical core count)
+// is recorded, multi-worker rows on a single-CPU host are marked
+// cpu_bound, and the scheduler/portfolio columns are populated where
+// their engines ran. The speedup assertion itself is skipped on
+// single-core hosts — a 1-CPU container bounds wall-clock speedup at
+// 1.0x regardless of the engine, so gating on it there would only test
+// the machine.
 func TestParallelSweepQuick(t *testing.T) {
-	res, err := Parallel(progs.DCGatewayBench(), []int{1, 2}, 1)
+	res, err := Parallel(progs.SkewedBench(), []int{1, 2}, []int{1, 2}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.CPUs < 1 || res.NumCPU < 1 {
 		t.Fatalf("CPU metadata missing: cpus=%d num_cpu=%d", res.CPUs, res.NumCPU)
 	}
+	if want := 2 * 2 * 2; len(res.Rows) != want {
+		t.Fatalf("grid rows = %d, want %d ({static,steal} x {1,2} portfolios x {1,2} workers)", len(res.Rows), want)
+	}
 	for _, r := range res.Rows {
+		at := fmt.Sprintf("sched=%s portfolio=%d workers=%d", r.Schedule, r.Portfolio, r.Workers)
 		if !r.Identical {
-			t.Fatalf("workers=%d: canonical report differs from serial baseline", r.Workers)
+			t.Fatalf("%s: canonical report differs from serial baseline", at)
 		}
 		if r.Bugs == 0 {
-			t.Fatalf("workers=%d: no bugs on a benchmark with seeded violations", r.Workers)
+			t.Fatalf("%s: no bugs on a benchmark with seeded violations", at)
 		}
 		if want := r.Workers > 1 && res.SingleCPU(); r.CPUBound != want {
-			t.Fatalf("workers=%d: cpu_bound=%v, want %v (cpus=%d num_cpu=%d)",
-				r.Workers, r.CPUBound, want, res.CPUs, res.NumCPU)
+			t.Fatalf("%s: cpu_bound=%v, want %v (cpus=%d num_cpu=%d)",
+				at, r.CPUBound, want, res.CPUs, res.NumCPU)
+		}
+		if r.Portfolio > 1 && r.RacesWon == 0 {
+			t.Fatalf("%s: portfolio racing reported no races won", at)
+		}
+		if r.Workers > 1 && r.StragglerIndex < 1 {
+			t.Fatalf("%s: straggler index %.2f, want >= 1 on a multi-worker run", at, r.StragglerIndex)
 		}
 	}
 	if res.SingleCPU() {
 		t.Logf("single-CPU host (cpus=%d num_cpu=%d): skipping speedup assertion", res.CPUs, res.NumCPU)
-	} else if sp := res.Rows[len(res.Rows)-1].Speedup; sp < 0.5 {
+	} else if sp := res.Rows[1].Speedup; sp < 0.5 {
 		t.Errorf("2-worker speedup %.2fx on a multi-core host: parallel fan-out slower than half the serial run", sp)
 	}
-	if !strings.Contains(FormatParallel(res), "speedup") {
+	out := FormatParallel(res)
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "straggler") {
 		t.Fatal("format output malformed")
 	}
 }

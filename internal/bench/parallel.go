@@ -8,23 +8,31 @@ import (
 	"strings"
 	"time"
 
+	"aquila/internal/obs"
 	"aquila/internal/progs"
 	"aquila/internal/verify"
 )
 
-// ParallelRow is one worker-count measurement of the parallel-engine
-// sweep: find-all verification of the same program at a fixed Parallel
-// setting.
+// ParallelRow is one measurement of the parallel-engine sweep: find-all
+// verification of the same program at a fixed {schedule, portfolio,
+// workers} point.
 type ParallelRow struct {
 	Workers int `json:"workers"`
+	// Schedule is the work-distribution strategy ("static" or "steal");
+	// Portfolio is the number of solver personalities raced per check
+	// (1: no racing).
+	Schedule  string `json:"schedule"`
+	Portfolio int    `json:"portfolio"`
 	// WallMS is the best-of-repeats find-all wall time (encode + solve).
 	WallMS float64 `json:"wall_ms"`
 	// SolveMS / SolveCPUMS are the solving phase's wall clock and the
 	// cumulative per-check CPU from the same (best) run. SolveCPUMS is
-	// worker-count independent modulo noise — the fair cost metric.
+	// worker-count independent modulo noise — the fair cost metric —
+	// except under racing, which deliberately trades CPU for wall time.
 	SolveMS    float64 `json:"solve_ms"`
 	SolveCPUMS float64 `json:"solve_cpu_ms"`
-	// Speedup is wall(workers=1) / wall(this row).
+	// Speedup is wall(baseline row) / wall(this row); the baseline is the
+	// first row (workers=1, static, portfolio 1).
 	Speedup float64 `json:"speedup"`
 	// CPUBound marks a multi-worker row measured on a single effective
 	// CPU: its wall-clock speedup is bounded at 1.0x by the host, not by
@@ -32,12 +40,25 @@ type ParallelRow struct {
 	// Speedup column as an engine regression.
 	CPUBound bool `json:"cpu_bound,omitempty"`
 	// Identical reports whether this row's canonical report bytes match
-	// the workers=1 baseline exactly.
+	// the baseline exactly — the determinism contract at every grid point.
 	Identical bool `json:"identical"`
 	Bugs      int  `json:"bugs"`
+	// Steals counts checks executed by a worker other than their static
+	// owner (steal schedule only); RacesWon counts raced checks that
+	// produced a verdict and CancelledCPUMS the CPU burned by cancelled
+	// racers (portfolio > 1 only).
+	Steals         int64   `json:"steals,omitempty"`
+	RacesWon       int64   `json:"races_won,omitempty"`
+	CancelledCPUMS float64 `json:"cancelled_cpu_ms,omitempty"`
+	// StragglerIndex is max worker busy time over mean worker busy time
+	// from the best run's trace (1.0 = perfectly balanced); the load-
+	// imbalance metric the steal schedule exists to improve. Meaningful
+	// from busy-time ratios even on a single-CPU host.
+	StragglerIndex float64 `json:"straggler_index,omitempty"`
 }
 
-// ParallelResult is the whole sweep plus the context needed to judge it.
+// ParallelResult is one program's sweep plus the context needed to judge
+// it.
 type ParallelResult struct {
 	Program    string `json:"program"`
 	Assertions int    `json:"assertions"`
@@ -52,19 +73,35 @@ type ParallelResult struct {
 	Rows    []ParallelRow `json:"rows"`
 }
 
+// ParallelSuiteResult is the whole experiment: one sweep per program
+// (the DC gateway for scale, the skewed-telemetry program for load
+// imbalance), the shape BENCH_parallel.json records.
+type ParallelSuiteResult struct {
+	Sweeps []*ParallelResult `json:"sweeps"`
+}
+
 // SingleCPU reports whether the sweep ran with one effective CPU, in
 // which case wall-clock speedup assertions are meaningless.
 func (r *ParallelResult) SingleCPU() bool {
 	return r.CPUs <= 1 || r.NumCPU <= 1
 }
 
-// Parallel sweeps find-all verification of bm over workerCounts (each run
-// repeated `repeats` times, best wall time kept) and checks that every
-// worker count reproduces the workers=1 canonical report byte for byte.
-// The first entry of workerCounts must be 1 (the speedup baseline).
-func Parallel(bm *progs.Benchmark, workerCounts []int, repeats int) (*ParallelResult, error) {
+// Parallel sweeps find-all verification of bm over the {schedule static,
+// steal} × portfolios × workerCounts grid (each point repeated `repeats`
+// times, best wall time kept) and checks that every point reproduces the
+// baseline canonical report byte for byte. The first entry of
+// workerCounts must be 1 and the first of portfolios must be 1 (the
+// baseline point is static/portfolio-1/workers-1). Every run carries an
+// in-process tracer so each row records its straggler index.
+func Parallel(bm *progs.Benchmark, workerCounts, portfolios []int, repeats int) (*ParallelResult, error) {
 	if len(workerCounts) == 0 || workerCounts[0] != 1 {
 		return nil, fmt.Errorf("bench: parallel sweep needs workerCounts starting at 1, got %v", workerCounts)
+	}
+	if len(portfolios) == 0 {
+		portfolios = []int{1}
+	}
+	if portfolios[0] != 1 {
+		return nil, fmt.Errorf("bench: parallel sweep needs portfolios starting at 1, got %v", portfolios)
 	}
 	if repeats < 1 {
 		repeats = 1
@@ -85,63 +122,119 @@ func Parallel(bm *progs.Benchmark, workerCounts []int, repeats int) (*ParallelRe
 	}
 	var baseline []byte
 	var baseWall time.Duration
-	for _, w := range workerCounts {
-		var best time.Duration
-		var bestRep *verify.Report
-		for r := 0; r < repeats; r++ {
-			start := time.Now()
-			// Preprocessing and slicing are on by default in the bench
-			// experiments: the sweep measures the shipping configuration.
-			rep, err := verify.Run(prog, nil, spec, verify.Options{FindAll: true, Parallel: w,
-				Preprocess: true, Slice: true})
-			wall := time.Since(start)
-			if err != nil {
-				return nil, fmt.Errorf("bench: parallel workers=%d: %w", w, err)
+	for _, sched := range []verify.Schedule{verify.ScheduleStatic, verify.ScheduleSteal} {
+		for _, k := range portfolios {
+			for _, w := range workerCounts {
+				var best time.Duration
+				var bestRep *verify.Report
+				var bestSink *obs.Obs
+				for r := 0; r < repeats; r++ {
+					// Each repeat gets its own tracer so the best run's
+					// spans can be analyzed in isolation.
+					sink := &obs.Obs{Tracer: obs.NewTracer()}
+					start := time.Now()
+					// Plain engine config (no preprocessing/slicing): the
+					// sweep isolates the scheduler and racing axes, and the
+					// preproc experiment already covers the CNF passes.
+					// Slicing in particular shrinks the cheap assertions to
+					// noise level, which would bury the load-imbalance
+					// signal the straggler column exists to show.
+					rep, err := verify.Run(prog, nil, spec, verify.Options{
+						FindAll: true, Parallel: w, Schedule: sched, Portfolio: k,
+						Obs: sink,
+					})
+					wall := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("bench: parallel sched=%v portfolio=%d workers=%d: %w",
+							sched, k, w, err)
+					}
+					if bestRep == nil || wall < best {
+						best, bestRep, bestSink = wall, rep, sink
+					}
+				}
+				canon, err := bestRep.CanonicalJSON()
+				if err != nil {
+					return nil, err
+				}
+				if baseline == nil {
+					baseline, baseWall = canon, best
+					res.Assertions = bestRep.Stats.Assertions
+				}
+				row := ParallelRow{
+					Workers:        w,
+					Schedule:       sched.String(),
+					Portfolio:      k,
+					WallMS:         float64(best.Microseconds()) / 1000,
+					SolveMS:        float64(bestRep.Stats.SolveTime.Microseconds()) / 1000,
+					SolveCPUMS:     float64(bestRep.Stats.SolveCPU.Microseconds()) / 1000,
+					Speedup:        float64(baseWall) / float64(best),
+					CPUBound:       w > 1 && res.SingleCPU(),
+					Identical:      bytes.Equal(canon, baseline),
+					Bugs:           len(bestRep.Violations),
+					Steals:         bestRep.Stats.Steals,
+					RacesWon:       bestRep.Stats.RacesWon,
+					CancelledCPUMS: float64(bestRep.Stats.CancelledCPU.Microseconds()) / 1000,
+				}
+				if util, err := obs.Analyze(bestSink.Tracer.Events()); err == nil {
+					row.StragglerIndex = util.StragglerIndex
+				}
+				res.Rows = append(res.Rows, row)
 			}
-			if bestRep == nil || wall < best {
-				best, bestRep = wall, rep
-			}
 		}
-		canon, err := bestRep.CanonicalJSON()
-		if err != nil {
-			return nil, err
-		}
-		if baseline == nil {
-			baseline, baseWall = canon, best
-			res.Assertions = bestRep.Stats.Assertions
-		}
-		res.Rows = append(res.Rows, ParallelRow{
-			Workers:    w,
-			WallMS:     float64(best.Microseconds()) / 1000,
-			SolveMS:    float64(bestRep.Stats.SolveTime.Microseconds()) / 1000,
-			SolveCPUMS: float64(bestRep.Stats.SolveCPU.Microseconds()) / 1000,
-			Speedup:    float64(baseWall) / float64(best),
-			CPUBound:   w > 1 && res.SingleCPU(),
-			Identical:  bytes.Equal(canon, baseline),
-			Bugs:       len(bestRep.Violations),
-		})
 	}
 	return res, nil
 }
 
-// JSON renders the sweep for BENCH_parallel.json.
+// ParallelSuite runs the grid sweep on each benchmark.
+func ParallelSuite(bms []*progs.Benchmark, workerCounts, portfolios []int, repeats int) (*ParallelSuiteResult, error) {
+	out := &ParallelSuiteResult{}
+	for _, bm := range bms {
+		res, err := Parallel(bm, workerCounts, portfolios, repeats)
+		if err != nil {
+			return nil, err
+		}
+		out.Sweeps = append(out.Sweeps, res)
+	}
+	return out, nil
+}
+
+// JSON renders one program's sweep.
 func (r *ParallelResult) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
-// FormatParallel renders the sweep as the usual aquila-bench table.
+// JSON renders the suite for BENCH_parallel.json.
+func (r *ParallelSuiteResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatParallel renders one sweep as the usual aquila-bench table.
 func FormatParallel(r *ParallelResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Parallel find-all sweep: %s (%d assertions, %d CPUs of %d cores, best of %d)\n",
 		r.Program, r.Assertions, r.CPUs, r.NumCPU, r.Repeats)
-	fmt.Fprintf(&b, "%-8s  %10s  %10s  %12s  %8s  %9s  %4s\n",
-		"workers", "wall ms", "solve ms", "solve-cpu ms", "speedup", "identical", "bugs")
+	fmt.Fprintf(&b, "%-8s  %-5s  %9s  %10s  %10s  %12s  %8s  %9s  %4s  %6s  %9s\n",
+		"workers", "sched", "portfolio", "wall ms", "solve ms", "solve-cpu ms", "speedup", "identical", "bugs", "steals", "straggler")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-8d  %10.1f  %10.1f  %12.1f  %7.2fx  %9v  %4d\n",
-			row.Workers, row.WallMS, row.SolveMS, row.SolveCPUMS, row.Speedup, row.Identical, row.Bugs)
+		fmt.Fprintf(&b, "%-8d  %-5s  %9d  %10.1f  %10.1f  %12.1f  %7.2fx  %9v  %4d  %6d  %9.2f\n",
+			row.Workers, row.Schedule, row.Portfolio, row.WallMS, row.SolveMS,
+			row.SolveCPUMS, row.Speedup, row.Identical, row.Bugs, row.Steals,
+			row.StragglerIndex)
 	}
 	if r.SingleCPU() {
-		b.WriteString("note: single-CPU host — multi-worker rows are cpu_bound, wall-clock speedup is bounded at 1.0x; solve-cpu ms shows the worker-count-independent cost.\n")
+		b.WriteString("note: single-CPU host — multi-worker rows are cpu_bound, wall-clock speedup is bounded at 1.0x; solve-cpu ms shows the worker-count-independent cost, straggler index the busy-time imbalance.\n")
+	}
+	return b.String()
+}
+
+// FormatParallelSuite renders every sweep.
+func FormatParallelSuite(r *ParallelSuiteResult) string {
+	var b strings.Builder
+	for i, res := range r.Sweeps {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(FormatParallel(res))
 	}
 	return b.String()
 }

@@ -269,7 +269,12 @@ func (e *Encoder) encode(s Stmt, store *Store, path *smt.Term, res *Result) *smt
 }
 
 // merge writes ite(cond, a, b) for every variable that differs between the
-// two branch stores.
+// two branch stores. The merged names are visited in sorted order: term
+// construction order assigns term IDs, and commutative constructors
+// canonicalize operands by ID, so iterating the name set in map order
+// would make the VC's shape — and with it the SAT variable order and the
+// particular model found for multi-model assertions — vary from run to
+// run.
 func (e *Encoder) merge(store *Store, cond *smt.Term, a, b *Store) {
 	names := map[string]bool{}
 	for k := range a.vals {
@@ -278,7 +283,12 @@ func (e *Encoder) merge(store *Store, cond *smt.Term, a, b *Store) {
 	for k := range b.vals {
 		names[k] = true
 	}
-	for name := range names {
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
 		av, aok := a.vals[name]
 		bv, bok := b.vals[name]
 		switch {

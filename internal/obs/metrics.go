@@ -46,9 +46,18 @@ const (
 	CtrVerifyUnsat        = "verify.checks_unsat"
 	CtrVerifyUnknown      = "verify.checks_unknown"
 	CtrVerifySliceDropped = "verify.slice_conjuncts_dropped"
-	GaugeTermNodes        = "smt.term_nodes"
-	GaugeVerifyWorkers    = "verify.workers"
-	GaugeVerifyShards     = "verify.incremental_shards"
+	// Work-stealing scheduler and portfolio racing (find-all engines).
+	// Steals counts checks executed by a worker other than their static
+	// owner; races won/lost count racer verdicts per raced check (one win,
+	// K-1 losses); cancelled CPU totals the microseconds losers burned.
+	CtrVerifySteals      = "verify.steals"
+	CtrVerifyRacesWon    = "verify.races_won"
+	CtrVerifyRacesLost   = "verify.races_lost"
+	CtrVerifyCancelledUS = "verify.race_cancelled_us"
+	GaugeTermNodes       = "smt.term_nodes"
+	GaugeVerifyWorkers   = "verify.workers"
+	GaugeVerifyShards    = "verify.incremental_shards"
+	GaugeVerifyPortfolio = "verify.portfolio"
 
 	// Process memory, published by the scale campaign (internal/bench):
 	// the sampled peak live heap of the most recent point and the heap

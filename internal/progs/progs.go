@@ -639,12 +639,100 @@ deparser GatewayDeparser { emit(ethernet); emit(vlan); emit(ipv4); emit(udp); em
 pipeline dc_gateway { parser = GatewayParser; control = GatewayIngress; deparser = GatewayDeparser; }
 `
 
+// SkewedTelemetry is a deliberately load-imbalanced benchmark for the
+// scheduler experiments: a dozen cheap table obligations (tag/ethernet
+// lookups whose validity proofs close in a handful of conflicts) plus one
+// heavy one — stats_tbl is applied only when the carry-recurrence adder
+// identity (a^b) + ((a&b)<<1) == a+b fails on two independent 32-bit field
+// pairs, so proving it unreachable forces the SAT core to refute the
+// identity bit-by-bit twice. Under static index sharding the shard owning
+// stats_tbl grinds while the rest idle (a high obs straggler index); work
+// stealing redistributes everything else. Seeded bug: ttl_tbl reads
+// tag.ttl without a tag.isValid() guard.
+const SkewedTelemetry = `
+// skewed_telemetry.p4 — INT-style telemetry with one pathological check.
+header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+header tag_t { bit<16> id; bit<16> cls; bit<8> ttl; bit<8> hop; }
+header probe_t { bit<32> a; bit<32> b; bit<32> c; bit<32> d; }
+struct skew_md_t { bit<16> bucket; bit<16> zone; }
+
+ethernet_t ethernet;
+tag_t tag;
+probe_t probe;
+skew_md_t skew_md;
+
+parser SkewParser {
+	state start {
+		extract(ethernet);
+		transition select(ethernet.etherType) {
+			0x8100: parse_tag;
+			0x9100: parse_probe;
+			default: accept;
+		}
+	}
+	state parse_tag { extract(tag); transition accept; }
+	state parse_probe { extract(probe); transition accept; }
+}
+
+control SkewIngress {
+	action set_bucket(bit<16> b) { skew_md.bucket = b; }
+	action set_zone(bit<16> z) { skew_md.zone = z; }
+	action mark(bit<8> m) { tag.hop = m; }
+	action decay() { tag.ttl = tag.ttl - 1; }
+	action note(bit<32> v) { probe.d = v; }
+	action fwd(bit<9> port) { std_meta.egress_spec = port; }
+	action a_drop() { drop(); }
+	table cls_tbl { key = { tag.cls : exact; } actions = { set_bucket; a_drop; } default_action = a_drop; }
+	table id_tbl { key = { tag.id : exact; } actions = { set_zone; a_drop; } default_action = a_drop; }
+	table hop_tbl { key = { tag.hop : exact; } actions = { mark; a_drop; } default_action = a_drop; }
+	table zone_tbl { key = { tag.id : ternary; } actions = { set_zone; a_drop; } default_action = a_drop; }
+	table bucket_tbl { key = { tag.cls : ternary; } actions = { set_bucket; a_drop; } default_action = a_drop; }
+	table ttl_tbl { key = { tag.ttl : exact; } actions = { decay; a_drop; } default_action = a_drop; }
+	table stats_tbl { key = { probe.c : exact; } actions = { note; a_drop; } default_action = a_drop; }
+	table l2_tbl { key = { ethernet.dst : exact; } actions = { fwd; a_drop; } default_action = a_drop; }
+	table punt_tbl { key = { ethernet.etherType : exact; } actions = { fwd; a_drop; } default_action = a_drop; }
+	apply {
+		if (tag.isValid()) {
+			cls_tbl.apply();
+			id_tbl.apply();
+			hop_tbl.apply();
+			zone_tbl.apply();
+			bucket_tbl.apply();
+		}
+		// BUG(seeded): ttl_tbl reads tag.ttl without checking tag.isValid().
+		ttl_tbl.apply();
+		// The adder identity (x ^ y) + ((x & y) << 1) == x + y holds for
+		// every bit pattern, so stats_tbl is dead code — but proving that
+		// means refuting the identity over two independent 32-bit pairs,
+		// the one expensive obligation in an otherwise cheap program.
+		if ((((probe.a ^ probe.b) + ((probe.a & probe.b) << 1)) != (probe.a + probe.b)) ||
+		    (((probe.c ^ probe.d) + ((probe.c & probe.d) << 1)) != (probe.c + probe.d))) {
+			stats_tbl.apply();
+		}
+		l2_tbl.apply();
+		punt_tbl.apply();
+	}
+}
+
+deparser SkewDeparser { emit(ethernet); emit(tag); emit(probe); }
+pipeline skew { parser = SkewParser; control = SkewIngress; deparser = SkewDeparser; }
+`
+
 // DCGatewayBench returns the DC gateway as a benchmark. It is not part of
 // HandWrittenSuite — Table 3 pins exactly five rows — but backs the
 // parallel-engine experiment, which needs a program with many independent
 // assertion obligations.
 func DCGatewayBench() *Benchmark {
 	return &Benchmark{Name: "DC Gateway", Source: DCGateway, Calls: []string{"dc_gateway"}}
+}
+
+// SkewedBench returns the skewed-telemetry program as a benchmark. Like
+// the DC gateway it sits outside HandWrittenSuite: it exists to make
+// scheduler load imbalance measurable (one assertion dominates total solve
+// time even on a single-CPU host), backing the work-stealing experiment
+// and the CI straggler-index gate.
+func SkewedBench() *Benchmark {
+	return &Benchmark{Name: "Skewed Telemetry", Source: SkewedTelemetry, Calls: []string{"skew"}}
 }
 
 // HandWrittenSuite lists the manually-written benchmarks (Table 3 rows

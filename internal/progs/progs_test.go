@@ -58,6 +58,45 @@ func TestSeededBugsDetected(t *testing.T) {
 	}
 }
 
+// TestSkewedBenchShape pins the scheduler benchmark's defining
+// properties: it parses, its seeded ttl bug is found, and one assertion
+// (the adder-identity-guarded stats table) dominates the solve cost —
+// the deliberate straggler the work-stealing schedule exists to absorb.
+func TestSkewedBenchShape(t *testing.T) {
+	bm := SkewedBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := lpi.Parse(InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Run(prog, nil, spec, verify.Options{FindAll: true, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatal("seeded ttl bug not found")
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %d, want exactly the seeded ttl bug", len(rep.Violations))
+	}
+	if n := len(rep.Stats.PerAssertion); n < 8 {
+		t.Fatalf("assertions = %d, want a wide cheap tail around the heavy one", n)
+	}
+	var max, total int64
+	for _, pa := range rep.Stats.PerAssertion {
+		total += pa.Conflicts
+		if pa.Conflicts > max {
+			max = pa.Conflicts
+		}
+	}
+	if total == 0 || max*2 < total {
+		t.Fatalf("heaviest assertion carries %d of %d conflicts; the skew is the point", max, total)
+	}
+}
+
 func TestSpecGeneratorShape(t *testing.T) {
 	bm := HandWrittenSuite()[0]
 	prog, err := bm.Parse()

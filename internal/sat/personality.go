@@ -1,0 +1,141 @@
+package sat
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Personality bundles the search-heuristic knobs that differentiate the
+// members of a portfolio race: the same formula, solved by solvers with
+// different restart schedules, branching randomness, default phases and
+// activity decay, exhibits wildly different runtimes, and racing a few
+// diverse configurations takes the minimum. The zero Personality is the
+// baseline solver exactly — portfolio index 0 always uses it, which is
+// what keeps a portfolio of one byte-identical to the plain engine.
+type Personality struct {
+	Name string // short label for stats and traces
+
+	// RandSeed seeds the xorshift64 generator behind random branching
+	// decisions; 0 disables random decisions entirely (the baseline).
+	RandSeed uint64
+	// RandFreq is the probability in [0, 1) that a branching decision is
+	// random instead of activity-ordered; it applies only when RandSeed is
+	// nonzero.
+	RandFreq float64
+
+	// Geometric switches the restart schedule from Luby (the baseline) to
+	// the geometric series RestartBase * RestartGrow^i.
+	Geometric bool
+	// RestartBase is the first restart interval in conflicts; <= 0 means
+	// the baseline 100.
+	RestartBase int
+	// RestartGrow is the geometric growth factor; <= 1 means 1.5. Only
+	// used when Geometric is set.
+	RestartGrow float64
+
+	// PhaseTrue makes fresh variables default to phase true instead of the
+	// baseline false. Only variables allocated after SetPersonality are
+	// affected, which is all of them for the fresh racers verify spawns.
+	PhaseTrue bool
+
+	// VarDecay is the VSIDS activity decay factor; <= 0 means the baseline
+	// 0.95. Smaller values chase recent conflicts harder.
+	VarDecay float64
+
+	// NoPreprocess forces CNF preprocessing off even when the driver
+	// enabled it, so one racer searches the unsimplified formula.
+	NoPreprocess bool
+}
+
+// SetPersonality applies p's knobs. Call it before the queries it should
+// affect; the zero Personality restores baseline behaviour (except
+// preprocessing, which stays whatever SetPreprocess chose unless
+// NoPreprocess turns it off).
+func (s *Solver) SetPersonality(p Personality) {
+	s.randState = p.RandSeed
+	s.randFreq = 0
+	if p.RandSeed != 0 && p.RandFreq > 0 {
+		f := p.RandFreq
+		if f > 0.999 {
+			f = 0.999
+		}
+		s.randFreq = uint32(f * (1 << 32))
+	}
+	s.phaseTrue = p.PhaseTrue
+	s.varDecayInv = 0.95
+	if p.VarDecay > 0 {
+		s.varDecayInv = p.VarDecay
+	}
+	s.geomRestart = p.Geometric
+	s.restartBase = 100
+	if p.RestartBase > 0 {
+		s.restartBase = p.RestartBase
+	}
+	s.restartGrow = 1.5
+	if p.RestartGrow > 1 {
+		s.restartGrow = p.RestartGrow
+	}
+	if p.NoPreprocess {
+		s.prep = false
+	}
+}
+
+// SetCancel installs a shared cancellation token: once c becomes true, any
+// in-flight or future Solve returns Unknown at its next search-loop check
+// — the same cooperative mechanism the conflict budget uses. A nil token
+// removes cancellation. The solver stays consistent after a cancelled
+// Solve (the deferred backtrack to level 0 still runs), so a shared
+// incremental solver that loses a race answers later queries normally.
+func (s *Solver) SetCancel(c *atomic.Bool) { s.cancel = c }
+
+// Canceled reports whether the last Solve returned Unknown because the
+// cancellation token fired, as opposed to exhausting its conflict budget.
+func (s *Solver) Canceled() bool { return s.canceled }
+
+// nextRand steps the xorshift64 state. Never called with a zero state
+// (SetPersonality gates random decisions on RandSeed != 0), so the
+// sequence never degenerates.
+func (s *Solver) nextRand() uint64 {
+	x := s.randState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.randState = x
+	return x
+}
+
+// Portfolio returns k racing personalities. Index 0 is always the
+// baseline, and the roster is deterministic: the same index denotes the
+// same personality in every run, which keeps race outcomes reproducible
+// up to scheduling.
+func Portfolio(k int) []Personality {
+	ps := make([]Personality, k)
+	for i := range ps {
+		ps[i] = portfolioMember(i)
+	}
+	return ps
+}
+
+// portfolioMember returns the i-th roster entry. The first few are
+// hand-picked diverse configurations; past them, varying seeds extend a
+// random-walk personality to any roster width.
+func portfolioMember(i int) Personality {
+	switch i {
+	case 0:
+		return Personality{Name: "baseline"}
+	case 1:
+		return Personality{Name: "geom-phase", Geometric: true, PhaseTrue: true, VarDecay: 0.92}
+	case 2:
+		return Personality{Name: "rand2", RandSeed: 0x9e3779b97f4a7c15, RandFreq: 0.02, VarDecay: 0.97}
+	case 3:
+		return Personality{Name: "geom-slow", Geometric: true, RestartBase: 400, RestartGrow: 2.0, NoPreprocess: true}
+	default:
+		return Personality{
+			Name:      fmt.Sprintf("rand%d", i),
+			RandSeed:  0x9e3779b97f4a7c15 * uint64(i),
+			RandFreq:  0.05,
+			PhaseTrue: i%2 == 0,
+			Geometric: i%3 == 0,
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package sat
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPortfolioRoster pins the roster's structural guarantees: index 0 is
+// the exact baseline, entries are deterministic, and the roster extends to
+// any width with distinct seeds.
+func TestPortfolioRoster(t *testing.T) {
+	ps := Portfolio(8)
+	if len(ps) != 8 {
+		t.Fatalf("Portfolio(8) returned %d entries", len(ps))
+	}
+	if ps[0] != (Personality{Name: "baseline"}) {
+		t.Fatalf("index 0 must be the zero-knob baseline, got %+v", ps[0])
+	}
+	again := Portfolio(8)
+	for i := range ps {
+		if ps[i] != again[i] {
+			t.Fatalf("roster not deterministic at %d: %+v vs %+v", i, ps[i], again[i])
+		}
+	}
+	seeds := map[uint64]bool{}
+	for i := 4; i < 8; i++ {
+		if ps[i].RandSeed == 0 || seeds[ps[i].RandSeed] {
+			t.Fatalf("extended roster entry %d has degenerate seed %d", i, ps[i].RandSeed)
+		}
+		seeds[ps[i].RandSeed] = true
+	}
+}
+
+// TestPersonalitiesAgreeOnRandom3SAT is the soundness property: every
+// personality is a complete solver, so all roster members must return the
+// same verdict on the same formula (and a model when Sat).
+func TestPersonalitiesAgreeOnRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	roster := Portfolio(6)
+	for trial := 0; trial < 40; trial++ {
+		nVars := 12 + rng.Intn(20)
+		nClauses := 3 * nVars
+		cnf := randomCNF(rng, nVars, nClauses, 3)
+		var want Status
+		for pi, p := range roster {
+			s := New()
+			if pi%2 == 1 {
+				s.SetPreprocess(true)
+			}
+			s.SetPersonality(p)
+			for i := 0; i < nVars; i++ {
+				s.NewVar()
+			}
+			ok := true
+			for _, cl := range cnf {
+				if !s.AddClause(cl...) {
+					ok = false
+					break
+				}
+			}
+			st := Unsat
+			if ok {
+				st = s.Solve()
+			}
+			if st == Unknown {
+				t.Fatalf("trial %d personality %q: Unknown without budget", trial, p.Name)
+			}
+			if pi == 0 {
+				want = st
+				continue
+			}
+			if st != want {
+				t.Fatalf("trial %d: personality %q said %v, baseline said %v", trial, p.Name, st, want)
+			}
+			if st == Sat {
+				for _, cl := range cnf {
+					if !clauseSatisfied(s, cl) {
+						t.Fatalf("trial %d personality %q: model violates clause %v", trial, p.Name, cl)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCancelPreSet: a token that is already true cancels the very first
+// search round, and Canceled distinguishes the cause from a budget stop.
+func TestCancelPreSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	var tok atomic.Bool
+	tok.Store(true)
+	s.SetCancel(&tok)
+	for i := 0; i < 40; i++ {
+		s.NewVar()
+	}
+	for _, cl := range randomCNF(rng, 40, 160, 3) {
+		if !s.AddClause(cl...) {
+			t.Skip("instance trivially unsat at level 0")
+		}
+	}
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("pre-set token: Solve = %v, want Unknown", st)
+	}
+	if !s.Canceled() {
+		t.Fatal("Canceled() = false after token-driven Unknown")
+	}
+	// Clearing the token makes the same solver answer normally, and the
+	// verdict resets the canceled flag.
+	tok.Store(false)
+	if st := s.Solve(); st == Unknown {
+		t.Fatal("cleared token: still Unknown")
+	}
+	if s.Canceled() {
+		t.Fatal("Canceled() sticky across a completed Solve")
+	}
+}
+
+// TestCancelMidSolve fires the token from another goroutine while the
+// solver grinds a hard formula; Solve must return Unknown promptly.
+func TestCancelMidSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := New()
+	var tok atomic.Bool
+	s.SetCancel(&tok)
+	// Hard random instance near the phase transition; big enough that a
+	// verdict inside the test's grace period is implausible.
+	nVars := 300
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for _, cl := range randomCNF(rng, nVars, int(4.26*float64(nVars)), 3) {
+		if !s.AddClause(cl...) {
+			t.Skip("instance trivially unsat at level 0")
+		}
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		tok.Store(true)
+	}()
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	select {
+	case st := <-done:
+		if st == Unknown && !s.Canceled() {
+			t.Fatal("Unknown without Canceled()")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop the solver")
+	}
+}
+
+// TestBudgetUnknownIsNotCanceled pins the disambiguation the racing driver
+// relies on: budget exhaustion yields Unknown with Canceled() == false.
+func TestBudgetUnknownIsNotCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := New()
+	var tok atomic.Bool
+	s.SetCancel(&tok)
+	s.SetBudget(5)
+	nVars := 200
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for _, cl := range randomCNF(rng, nVars, int(4.26*float64(nVars)), 3) {
+		if !s.AddClause(cl...) {
+			t.Skip("instance trivially unsat at level 0")
+		}
+	}
+	st := s.Solve()
+	if st != Unknown {
+		t.Skipf("instance solved within 5 conflicts (%v)", st)
+	}
+	if s.Canceled() {
+		t.Fatal("budget Unknown reported as canceled")
+	}
+}

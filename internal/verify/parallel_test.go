@@ -23,7 +23,7 @@ func corpusSuite(t *testing.T) []struct {
 		prog *p4.Program
 		spec *lpi.Spec
 	}
-	for _, bm := range append(progs.HandWrittenSuite(), progs.DCGatewayBench()) {
+	for _, bm := range append(progs.HandWrittenSuite(), progs.DCGatewayBench(), progs.SkewedBench()) {
 		prog, err := bm.Parse()
 		if err != nil {
 			t.Fatalf("%s: parse: %v", bm.Name, err)

@@ -1,0 +1,182 @@
+// Portfolio racing: run K diverse solver personalities on the same check
+// under a shared cancellation token and take the first verdict (the
+// standard competitive-solving cure for per-assertion variance). The
+// determinism contract survives racing because verdicts are semantic —
+// every complete personality agrees on sat/unsat — and anything
+// model-shaped is re-derived by the same deterministic plain fresh solver
+// every other engine uses, so canonical reports are byte-identical at
+// every portfolio width. Budget-limited (Unknown) verdicts are the one
+// documented exception, exactly as in incremental mode: how far a budget
+// reaches depends on who was searching.
+package verify
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aquila/internal/gcl"
+	"aquila/internal/smt"
+)
+
+// raceOutcome is one raced check's result: the canonical verdict and model
+// plus the bookkeeping the engines fold into Stats.
+type raceOutcome struct {
+	status smt.Status
+	model  *smt.Model
+	ss     smt.SolverStats // summed over every racer (+ canonical re-solve)
+	cpu    time.Duration   // summed likewise — racing trades CPU for wall time
+	waste  time.Duration   // CPU burned by racers the token cancelled
+	won    int64           // 1 when some racer produced a verdict
+	lost   int64           // racers beaten or cancelled in a won race
+}
+
+// sharedSeat lets a long-lived shared solver (the steal engine's
+// per-worker incremental instance) race as seat 0 under the baseline
+// personality: its accumulated CNF and learned clauses are its edge. prev
+// is the rolling stats snapshot for delta accounting; raceOne advances it.
+type sharedSeat struct {
+	solver *smt.Solver
+	prev   *smt.SolverStats
+}
+
+// raceOne races opts.Portfolio personalities on checkCond and returns the
+// canonical outcome. Seat p runs smt.Portfolio(K)[p]; with a sharedSeat,
+// seat 0 is the shared solver (created plain, i.e. already the baseline)
+// and only seats 1..K-1 are fresh. The first seat to return a real verdict
+// stores the token, which every other seat observes at its next
+// cooperative poll; a genuine budget Unknown does not fire the token (a
+// rival may still decide the check). Requires a frozen context: seats
+// blast concurrently from the shared DAG.
+func (rep *Report) raceOne(opts Options, v *gcl.Violation, checkCond *smt.Term, worker int, shared *sharedSeat) raceOutcome {
+	o := opts.Observer()
+	k := opts.Portfolio
+	roster := smt.Portfolio(k)
+
+	type seatResult struct {
+		status   smt.Status
+		cpu      time.Duration
+		ss       smt.SolverStats
+		canceled bool
+		solver   *smt.Solver // retained only by a Sat fresh baseline seat
+	}
+	results := make([]seatResult, k)
+	var cancel atomic.Bool
+	var winner atomic.Int64
+	winner.Store(-1)
+
+	finish := func(p int, st smt.Status) {
+		if st != smt.Unknown && winner.CompareAndSwap(-1, int64(p)) {
+			cancel.Store(true)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := &results[p]
+			if p == 0 && shared != nil {
+				s := shared.solver
+				s.SetCancel(&cancel)
+				installProgress(o, s, v.Label, worker)
+				t0 := time.Now()
+				lit := s.Indicator(checkCond)
+				st := s.CheckLits(lit)
+				r.cpu = time.Since(t0)
+				cur := s.SolverStats()
+				r.ss = statsDelta(cur, *shared.prev)
+				*shared.prev = cur
+				r.status, r.canceled = st, s.Canceled()
+				finish(p, st)
+				return
+			}
+			s := smt.NewSolver(rep.Ctx)
+			if opts.Budget > 0 {
+				s.SetBudget(opts.Budget)
+			}
+			if opts.Preprocess {
+				s.SetPreprocess(true)
+			}
+			s.SetPersonality(roster[p])
+			s.SetCancel(&cancel)
+			if p == 0 {
+				// Only the baseline seat feeds the heartbeat ring: it is the
+				// one whose trajectory matches the plain engine, and K rings
+				// under one label would garble the watchdog's stall windows.
+				installProgress(o, s, v.Label, worker)
+			}
+			t0 := time.Now()
+			st := s.Check(checkCond)
+			r.cpu = time.Since(t0)
+			r.ss = s.SolverStats()
+			r.status, r.canceled = st, s.Canceled()
+			if st == smt.Sat {
+				r.solver = s
+			}
+			finish(p, st)
+		}(p)
+	}
+	wg.Wait()
+	if shared != nil {
+		// The token stays true after a win; detach it so the shared solver's
+		// next race (or plain check) is not stillborn.
+		shared.solver.SetCancel(nil)
+	}
+
+	out := raceOutcome{status: smt.Unknown}
+	for p := range results {
+		out.cpu += results[p].cpu
+		out.ss = addStats(out.ss, results[p].ss)
+		if results[p].canceled {
+			out.waste += results[p].cpu
+		}
+	}
+	rep.hists.observeRaceWaste(out.waste)
+	w := winner.Load()
+	if w < 0 {
+		// Every seat exhausted its budget for real: the check is Unknown,
+		// the same verdict the plain engine's budget stop reports.
+		return out
+	}
+	out.won = 1
+	out.lost = int64(k - 1)
+	out.status = results[w].status
+	if out.status != smt.Sat {
+		return out
+	}
+	// Canonical counterexample. A winning fresh baseline seat on the
+	// original, unpreprocessed condition IS the plain engine's solver, so
+	// its model is already canonical; every other winner re-solves the
+	// original condition with a plain fresh solver, exactly as checkOne and
+	// the incremental engine do (including the sliced-Sat/full-Unsat
+	// downgrade to Unsat).
+	if shared == nil && w == 0 && !opts.Preprocess && checkCond == v.Cond {
+		s := results[0].solver
+		m := s.Model()
+		s.ModelCollect(m, v.Cond)
+		out.model = m
+		return out
+	}
+	s2 := smt.NewSolver(rep.Ctx)
+	if opts.Budget > 0 {
+		s2.SetBudget(opts.Budget)
+	}
+	installProgress(o, s2, v.Label, worker)
+	t1 := time.Now()
+	st2 := s2.Check(v.Cond)
+	out.cpu += time.Since(t1)
+	out.ss = addStats(out.ss, s2.SolverStats())
+	switch {
+	case st2 == smt.Sat:
+		m := s2.Model()
+		s2.ModelCollect(m, v.Cond)
+		out.model = m
+	case st2 == smt.Unsat && opts.Slice:
+		out.status = smt.Unsat
+	default:
+		out.status = st2
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package verify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aquila/internal/genprog"
+	"aquila/internal/lpi"
+	"aquila/internal/progs"
+)
+
+// TestStealQueueOrder pins the scheduler's queue discipline: owners pop
+// their own items largest-first, a thief takes the largest remaining head
+// across victims, and every index is handed out exactly once.
+func TestStealQueueOrder(t *testing.T) {
+	// Shards over 6 items; cost makes item 4 the heavyweight.
+	shards := StaticShards(2, 6) // shard 0: 0 2 4, shard 1: 1 3 5
+	cost := []int64{10, 1, 20, 1, 100, 1}
+	q := newStealQueue(shards, cost)
+
+	// Owner 0 sees its queue largest-first: 4 (100), 2 (20), 0 (10).
+	for _, want := range []int{4, 2, 0} {
+		idx, stolen, ok := q.next(0)
+		if !ok || stolen || idx != want {
+			t.Fatalf("own pop: got (%d, stolen=%v, ok=%v), want %d", idx, stolen, ok, want)
+		}
+	}
+	// Worker 0 is now a thief; worker 1's queue holds 1, 3, 5 (all cost 1,
+	// stable sort keeps index order). Steals must be flagged.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		idx, stolen, ok := q.next(0)
+		if !ok || !stolen {
+			t.Fatalf("steal %d: got (%d, stolen=%v, ok=%v)", i, idx, stolen, ok)
+		}
+		seen[idx] = true
+	}
+	for _, want := range []int{1, 3, 5} {
+		if !seen[want] {
+			t.Fatalf("steals missed index %d (saw %v)", want, seen)
+		}
+	}
+	if _, _, ok := q.next(0); ok {
+		t.Fatal("empty pool still returned work")
+	}
+	if _, _, ok := q.next(1); ok {
+		t.Fatal("victim's own queue should be drained by the thief")
+	}
+}
+
+// TestStealPortfolioMatrixByteIdentical is the tentpole determinism
+// contract: on the DC gateway, canonical report bytes are identical across
+// the full {schedule} × {portfolio} × {workers} grid — work stealing moves
+// checks between solvers and racing lets nondeterministic personalities
+// win, but verdicts are semantic and every Sat is re-solved by the same
+// deterministic fresh solver.
+func TestStealPortfolioMatrixByteIdentical(t *testing.T) {
+	bm := progs.DCGatewayBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	base, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	want, err := base.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("canonical: %v", err)
+	}
+	for _, sched := range []Schedule{ScheduleStatic, ScheduleSteal} {
+		for _, k := range []int{1, 2, 4} {
+			for _, w := range []int{1, 2, 4} {
+				opts := Options{FindAll: true, Parallel: w, Schedule: sched, Portfolio: k}
+				rep, err := Run(prog, nil, spec, opts)
+				if err != nil {
+					t.Fatalf("sched=%v portfolio=%d workers=%d: %v", sched, k, w, err)
+				}
+				got, err := rep.CanonicalJSON()
+				if err != nil {
+					t.Fatalf("sched=%v portfolio=%d workers=%d canonical: %v", sched, k, w, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("sched=%v portfolio=%d workers=%d differs from baseline\nbase: %s\ngot: %s",
+						sched, k, w, want, got)
+				}
+				if sched == ScheduleSteal && rep.Stats.Schedule != "steal" {
+					t.Errorf("sched=steal: Stats.Schedule = %q", rep.Stats.Schedule)
+				}
+				if k > 1 {
+					if rep.Stats.Portfolio != k {
+						t.Errorf("portfolio=%d: Stats.Portfolio = %d", k, rep.Stats.Portfolio)
+					}
+					if rep.Stats.RacesWon == 0 {
+						t.Errorf("portfolio=%d workers=%d: no races won recorded", k, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStealGenprogDifferential repeats the contract on synthetic
+// production-shaped programs with seeded bugs, so stealing and racing are
+// exercised on reports that contain real violations and counterexamples.
+func TestStealGenprogDifferential(t *testing.T) {
+	cfgs := []genprog.Config{
+		{Name: "gp_steal", Pipes: 1, ParserStates: 6, Tables: 10, ActionsPerTable: 2, SeedBug: true},
+	}
+	for _, cfg := range cfgs {
+		bm := genprog.Assemble(cfg)
+		prog, err := bm.Parse()
+		if err != nil {
+			t.Fatalf("%s: parse: %v", cfg.Name, err)
+		}
+		spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+		if err != nil {
+			t.Fatalf("%s: spec: %v", cfg.Name, err)
+		}
+		fresh, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1})
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", cfg.Name, err)
+		}
+		if fresh.Holds {
+			t.Fatalf("%s: seeded bug not found by fresh mode", cfg.Name)
+		}
+		want, err := fresh.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", cfg.Name, err)
+		}
+		for _, k := range []int{1, 2} {
+			for _, w := range []int{1, 2} {
+				rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: w,
+					Schedule: ScheduleSteal, Portfolio: k})
+				if err != nil {
+					t.Fatalf("%s: steal portfolio=%d w=%d: %v", cfg.Name, k, w, err)
+				}
+				got, err := rep.CanonicalJSON()
+				if err != nil {
+					t.Fatalf("%s: canonical: %v", cfg.Name, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s: steal portfolio=%d w=%d differs from fresh\nfresh: %s\nsteal: %s",
+						cfg.Name, k, w, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestStealCancelHammer drives the steal and race-cancellation paths hard
+// enough for the -race CI job to see the interleavings: many workers over
+// few assertions forces stealing, and a wide portfolio makes every check a
+// cancellation storm. Verdict bytes must still match the serial baseline.
+func TestStealCancelHammer(t *testing.T) {
+	bm := progs.DCGatewayBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	base, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 1})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	want, err := base.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("canonical: %v", err)
+	}
+	iters := 3
+	if testing.Short() {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		rep, err := Run(prog, nil, spec, Options{FindAll: true, Parallel: 8,
+			Schedule: ScheduleSteal, Portfolio: 4})
+		if err != nil {
+			t.Fatalf("iter %d: %v", it, err)
+		}
+		got, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("iter %d: canonical: %v", it, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("iter %d: hammer report differs from baseline", it)
+		}
+	}
+}
+
+// TestParseSchedule pins the flag grammar shared by every CLI.
+func TestParseSchedule(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Schedule
+		ok   bool
+	}{
+		{"", ScheduleStatic, true},
+		{"static", ScheduleStatic, true},
+		{"steal", ScheduleSteal, true},
+		{"work-steal", 0, false},
+		{"STEAL", 0, false},
+	} {
+		got, err := ParseSchedule(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseSchedule(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+// TestOptionsValidate pins the incompatible-combination errors every CLI
+// surfaces instead of silently preferring one mode.
+func TestOptionsValidate(t *testing.T) {
+	ok := []Options{
+		{},
+		{FindAll: true, Schedule: ScheduleSteal, Parallel: 4},
+		{FindAll: true, Portfolio: 4, Parallel: 2},
+		{FindAll: true, Schedule: ScheduleSteal, Portfolio: 2},
+		{FindAll: true, Incremental: true, Parallel: 4},
+		{FindAll: true, Stream: true, Parallel: 1},
+	}
+	for i, o := range ok {
+		if err := o.Validate(); err != nil {
+			t.Errorf("ok[%d] %+v: unexpected error %v", i, o, err)
+		}
+	}
+	bad := []struct {
+		opts Options
+		frag string
+	}{
+		{Options{Portfolio: -1}, "portfolio"},
+		{Options{FindAll: true, Stream: true, Incremental: true}, "-stream"},
+		{Options{FindAll: true, Stream: true, Parallel: 4}, "-stream"},
+		{Options{FindAll: true, Stream: true, Portfolio: 2}, "-stream"},
+		{Options{FindAll: true, Stream: true, Schedule: ScheduleSteal}, "-stream"},
+		{Options{FindAll: true, Schedule: ScheduleSteal, Incremental: true}, "-schedule steal"},
+		{Options{Schedule: ScheduleSteal}, "find-all"},
+		{Options{Portfolio: 2}, "find-all"},
+		{Options{FindAll: true, Portfolio: 2, Incremental: true}, "-portfolio"},
+	}
+	for i, c := range bad {
+		err := c.opts.Validate()
+		if err == nil {
+			t.Errorf("bad[%d] %+v: Validate() = nil, want error", i, c.opts)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("bad[%d]: error %q does not mention %q", i, err, c.frag)
+		}
+	}
+	// RunWithEnv must refuse before doing any work.
+	bm := progs.DCGatewayBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	if _, err := Run(prog, nil, spec, Options{FindAll: true, Stream: true, Parallel: 4}); err == nil {
+		t.Error("Run accepted -stream with -parallel > 1")
+	}
+}
+
+// TestRunByteStableAcrossRuns pins cross-Run determinism: two independent
+// Runs of the same program in the same process must produce identical
+// canonical bytes. The skewed-telemetry program is the regression case —
+// its adder-identity guard has symmetric counterexample candidates, so
+// any map-iteration-order leak into term construction (gcl's branch merge
+// once had one) shows up as a flipped model here. The bench sweeps and
+// the CI portfolio smoke compare reports across processes; this is the
+// contract they stand on.
+func TestRunByteStableAcrossRuns(t *testing.T) {
+	bm := progs.SkewedBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{FindAll: true, Parallel: 1, Preprocess: true, Slice: true}
+	var want []byte
+	for i := 0; i < 3; i++ {
+		rep, err := Run(prog, nil, spec, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		got, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("run %d: canonical: %v", i, err)
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(want, got) {
+			t.Fatalf("run %d: canonical report differs from run 0", i)
+		}
+	}
+}

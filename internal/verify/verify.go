@@ -77,11 +77,98 @@ type Options struct {
 	// assertion is checked by a deterministic fresh solver over the shared
 	// frozen term DAG, and results are aggregated in assertion order.
 	Parallel int
+	// Schedule selects the find-all work-distribution strategy:
+	// ScheduleStatic (the default) or ScheduleSteal, the work-stealing
+	// scheduler (scheduler.go). Canonical reports are byte-identical
+	// across schedules; steal mode is incompatible with Incremental
+	// (whose static-shard determinism it would break) and Stream.
+	Schedule Schedule
+	// Portfolio is the number of solver personalities raced per find-all
+	// check (portfolio.go): 0 or 1 disables racing; K > 1 launches K
+	// diverse solvers under a shared cancellation token and takes the
+	// first verdict. Sat answers are re-solved by a plain fresh solver, so
+	// canonical reports are byte-identical at every K; budget-limited
+	// (Unknown) verdicts are the documented exception, as in incremental
+	// mode. Requires FindAll; incompatible with Incremental and Stream.
+	Portfolio int
 	// Obs attaches observability sinks (tracer, metrics, structured log).
 	// nil falls back to the process default (set by the CLIs); when that is
 	// also nil every hook is a nil-check with no measurable overhead, and
 	// attaching sinks never changes verdicts or canonical report bytes.
 	Obs *obs.Obs
+}
+
+// Schedule selects the find-all work-distribution strategy.
+type Schedule int
+
+const (
+	// ScheduleStatic is the default: fresh mode fans out via dynamic
+	// atomic-counter assignment (ForEachWorker), incremental mode uses
+	// index-modulo static shards (StaticShards).
+	ScheduleStatic Schedule = iota
+	// ScheduleSteal routes checks through the work-stealing scheduler:
+	// per-worker queues seeded largest-first from the static shard split;
+	// a worker whose queue drains steals the largest remaining item from
+	// the other queues.
+	ScheduleSteal
+)
+
+func (s Schedule) String() string {
+	if s == ScheduleSteal {
+		return "steal"
+	}
+	return "static"
+}
+
+// ParseSchedule maps the CLI -schedule flag values to a Schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "", "static":
+		return ScheduleStatic, nil
+	case "steal":
+		return ScheduleSteal, nil
+	}
+	return 0, fmt.Errorf("verify: unknown schedule %q (want static or steal)", s)
+}
+
+// Validate rejects incompatible engine combinations up front, with an
+// error naming the conflict, instead of one mode silently winning. Run and
+// RunWithEnv call it, so every CLI inherits the same rejections.
+func (o Options) Validate() error {
+	if o.Portfolio < 0 {
+		return fmt.Errorf("verify: portfolio must be >= 0, got %d", o.Portfolio)
+	}
+	if o.Stream {
+		if o.Incremental {
+			return fmt.Errorf("verify: -stream and -incremental are incompatible (streaming releases terms the incremental engine's shared solvers still reference)")
+		}
+		if o.Parallel > 1 {
+			return fmt.Errorf("verify: -stream is incompatible with -parallel %d (streaming releases terms from the arena, which a frozen shared context cannot do; use -parallel 1)", o.Parallel)
+		}
+		if o.Portfolio > 1 {
+			return fmt.Errorf("verify: -stream is incompatible with -portfolio %d (racers share the term DAG, which streaming releases mid-run)", o.Portfolio)
+		}
+		if o.Schedule == ScheduleSteal {
+			return fmt.Errorf("verify: -stream is incompatible with -schedule steal (streaming is single-worker by construction)")
+		}
+	}
+	if o.Schedule == ScheduleSteal {
+		if o.Incremental {
+			return fmt.Errorf("verify: -schedule steal is incompatible with -incremental (incremental shards rely on a static, reproducible assertion sequence per shared solver; stealing has its own per-worker solver reuse)")
+		}
+		if !o.FindAll {
+			return fmt.Errorf("verify: -schedule steal requires find-all mode (-all); find-first is a single query")
+		}
+	}
+	if o.Portfolio > 1 {
+		if !o.FindAll {
+			return fmt.Errorf("verify: -portfolio %d requires find-all mode (-all); find-first is a single query", o.Portfolio)
+		}
+		if o.Incremental {
+			return fmt.Errorf("verify: -portfolio is incompatible with -incremental (racing a shard's shared solver would make its accumulated state schedule-dependent; use -schedule steal for solver reuse with racing)")
+		}
+	}
+	return nil
 }
 
 // Observer resolves the effective sink: the explicit Options.Obs, else the
@@ -225,6 +312,20 @@ type Stats struct {
 	Stream         bool
 	StreamReleases int64
 	ReleasedTerms  int64
+
+	// Schedule names the find-all scheduler when it is not the static
+	// default ("steal"); Steals counts checks executed by a worker other
+	// than their static owner (zero with static scheduling).
+	Schedule string
+	Steals   int64
+	// Portfolio is the racer count per check (0 with racing off).
+	// RacesWon counts raced checks some racer decided; RacesLost counts
+	// the racers beaten or cancelled in those races; CancelledCPU totals
+	// the CPU cancelled racers burned before the token stopped them.
+	Portfolio    int
+	RacesWon     int64
+	RacesLost    int64
+	CancelledCPU time.Duration
 
 	// PerAssertion is the find-all per-assertion cost breakdown (the data
 	// Figure 11 plots): one entry per consumed assertion, in assertion
@@ -393,6 +494,9 @@ func Run(prog *p4.Program, snap *tables.Snapshot, spec *lpi.Spec, opts Options) 
 // RunWithEnv verifies with a caller-provided context and environment
 // (used by localization to re-encode variants of the same program).
 func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	o := opts.Observer()
 	// Intern stats are cumulative on the (possibly reused) context; publish
 	// only this run's delta to the registry.
@@ -448,6 +552,15 @@ func RunWithEnv(ctx *smt.Ctx, env *encode.Env, spec *lpi.Spec, opts Options) (*R
 		o.Metrics.Counter(obs.CtrSMTFrozenLocks).Add(f1 - frozen0)
 		o.Metrics.Gauge(obs.GaugeTermNodes).Set(int64(rep.Stats.TermNodes))
 		o.Metrics.Gauge(obs.GaugeVerifyWorkers).Set(int64(rep.Stats.Workers))
+		if rep.Stats.Schedule == "steal" {
+			o.Metrics.Counter(obs.CtrVerifySteals).Add(rep.Stats.Steals)
+		}
+		if rep.Stats.Portfolio > 1 {
+			o.Metrics.Gauge(obs.GaugeVerifyPortfolio).Set(int64(rep.Stats.Portfolio))
+			o.Metrics.Counter(obs.CtrVerifyRacesWon).Add(rep.Stats.RacesWon)
+			o.Metrics.Counter(obs.CtrVerifyRacesLost).Add(rep.Stats.RacesLost)
+			o.Metrics.Counter(obs.CtrVerifyCancelledUS).Add(rep.Stats.CancelledCPU.Microseconds())
+		}
 	}
 	return rep, err
 }
@@ -473,6 +586,9 @@ func (rep *Report) check(opts Options) error {
 	}
 	if opts.Stream {
 		return rep.checkAllStream(opts)
+	}
+	if opts.Schedule == ScheduleSteal {
+		return rep.checkAllSteal(opts)
 	}
 	return rep.checkAll(opts)
 }
@@ -524,6 +640,84 @@ func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term,
 	solver.ModelCollect(m, v.Cond)
 	model = m
 	return
+}
+
+// checkOneShared is the shared-solver unit of work the incremental and
+// steal engines use for a worker's own checks: check one (possibly
+// transformed) condition on a long-lived solver via an activation literal,
+// then make the verdict canonical exactly as fresh mode would — a Sat is
+// re-solved on the ORIGINAL condition by a deterministic fresh solver, a
+// sliced Sat whose full condition is Unsat becomes Unsat (the dropped,
+// variable-disjoint remainder was unsatisfiable on its own), and a
+// contradicting re-check surfaces as Unknown rather than fabricating a
+// model. prev is the shared solver's rolling stats snapshot; ss is this
+// check's delta including any re-check cost, while sharedTseitin is the
+// delta's Tseitin clauses alone (the callers' shard-prefix accounting must
+// not see the fresh re-solve's blast).
+func (rep *Report) checkOneShared(opts Options, v *gcl.Violation, checkCond *smt.Term, worker int, solver *smt.Solver, prev *smt.SolverStats) (st smt.Status, model *smt.Model, ss smt.SolverStats, cpu time.Duration, sharedTseitin int64) {
+	o := opts.Observer()
+	installProgress(o, solver, v.Label, worker)
+	t0 := time.Now()
+	lit := solver.Indicator(checkCond)
+	st = solver.CheckLits(lit)
+	cpu = time.Since(t0)
+	cur := solver.SolverStats()
+	ss = statsDelta(cur, *prev)
+	*prev = cur
+	sharedTseitin = ss.TseitinClauses
+	if st != smt.Sat {
+		return
+	}
+	s2 := smt.NewSolver(rep.Ctx)
+	if opts.Budget > 0 {
+		s2.SetBudget(opts.Budget)
+	}
+	installProgress(o, s2, v.Label, worker)
+	t1 := time.Now()
+	st2 := s2.Check(v.Cond)
+	cpu += time.Since(t1)
+	ss = addStats(ss, s2.SolverStats())
+	switch {
+	case st2 == smt.Sat:
+		m := s2.Model()
+		s2.ModelCollect(m, v.Cond)
+		model = m
+	case st2 == smt.Unsat && opts.Slice:
+		st = smt.Unsat
+	default:
+		st = smt.Unknown
+	}
+	return
+}
+
+// checkOut is one assertion's result slot in the find-all engines.
+type checkOut struct {
+	done   bool
+	stolen bool // executed by a worker other than its static owner
+	status smt.Status
+	model  *smt.Model
+	ss     smt.SolverStats
+	cpu    time.Duration
+	// Race tallies (zero with racing off); see raceOutcome.
+	won, lost int64
+	waste     time.Duration
+}
+
+// fill copies a race outcome into the slot.
+func (out *checkOut) fill(rc raceOutcome) {
+	out.status, out.model, out.ss, out.cpu = rc.status, rc.model, rc.ss, rc.cpu
+	out.won, out.lost, out.waste = rc.won, rc.lost, rc.waste
+}
+
+// foldRace folds a consumed slot's race and steal tallies into the run
+// totals. Like PerAssertion, the totals cover the consumed prefix.
+func (st *Stats) foldRace(out *checkOut) {
+	st.RacesWon += out.won
+	st.RacesLost += out.lost
+	st.CancelledCPU += out.waste
+	if out.stolen {
+		st.Steals++
+	}
 }
 
 // checkFirst runs the §8.1 find-first mode: one query over the disjunction
@@ -659,6 +853,9 @@ func (rep *Report) checkAll(opts Options) error {
 		workers = 1
 	}
 	rep.Stats.Workers = workers
+	if opts.Portfolio > 1 {
+		rep.Stats.Portfolio = opts.Portfolio
+	}
 	o := opts.Observer()
 
 	// Cone-of-influence slices are computed serially before the context may
@@ -672,13 +869,6 @@ func (rep *Report) checkAll(opts Options) error {
 		rep.sliceConds(opts, conds, checkConds)
 	}
 
-	type checkOut struct {
-		done   bool
-		status smt.Status
-		model  *smt.Model
-		ss     smt.SolverStats
-		cpu    time.Duration
-	}
 	outs := make([]checkOut, n)
 
 	// limit is the lowest assertion index seen to exhaust the budget;
@@ -689,12 +879,23 @@ func (rep *Report) checkAll(opts Options) error {
 		v := conds[i]
 		endSpan := o.Span(worker, "solve:"+v.Label)
 		out := &outs[i]
-		out.status, out.model, out.ss, out.cpu = rep.checkOne(opts, v, checkConds[i], worker)
+		if opts.Portfolio > 1 {
+			out.fill(rep.raceOne(opts, v, checkConds[i], worker, nil))
+		} else {
+			out.status, out.model, out.ss, out.cpu = rep.checkOne(opts, v, checkConds[i], worker)
+		}
 		endSpan()
 		rep.recordCheck(o, v.Label, worker, out.ss, out.status, out.cpu)
 		out.done = true
 	}
 
+	if workers > 1 || opts.Portfolio > 1 {
+		// The context becomes shared read-only state; blasting and model
+		// extraction never intern, and any stray term creation serializes.
+		// Portfolio racing needs this even on one worker: the racers are
+		// concurrent goroutines over the same DAG.
+		rep.Ctx.Freeze()
+	}
 	if workers > 1 {
 		if o != nil && o.Tracer != nil {
 			o.Tracer.NameThread(0, "main")
@@ -702,9 +903,6 @@ func (rep *Report) checkAll(opts Options) error {
 				o.Tracer.NameThread(w, fmt.Sprintf("worker-%d", w))
 			}
 		}
-		// The context becomes shared read-only state; blasting and model
-		// extraction never intern, and any stray term creation serializes.
-		rep.Ctx.Freeze()
 		ForEachWorker(workers, n, func(worker, i int) {
 			if int64(i) >= atomic.LoadInt64(&limit) {
 				return
@@ -734,6 +932,7 @@ func (rep *Report) checkAll(opts Options) error {
 		out := &outs[i]
 		rep.Stats.SolveCPU += out.cpu
 		rep.Stats.addSolver(out.ss)
+		rep.Stats.foldRace(out)
 		rep.Stats.PerAssertion = append(rep.Stats.PerAssertion, AssertionCost{
 			Label:        v.Label,
 			Status:       statusString(out.status),
@@ -846,12 +1045,6 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 		o.Event("simplify", map[string]any{"rewrites": simp.Rewrites})
 	}
 
-	type checkOut struct {
-		status smt.Status
-		model  *smt.Model
-		ss     smt.SolverStats // this check's delta (incl. any cex re-check)
-		cpu    time.Duration
-	}
 	outs := make([]checkOut, n)
 	prefixClauses := make([]int64, workers) // dominating one-check Tseitin delta per shard
 
@@ -876,53 +1069,17 @@ func (rep *Report) checkAllIncremental(opts Options) error {
 			}
 			v := conds[i]
 			out := &outs[i]
-			installProgress(o, solver, v.Label, worker)
 			endSpan := o.Span(worker, "solve:"+v.Label)
-			t0 := time.Now()
-			lit := solver.Indicator(checkConds[i])
-			st := solver.CheckLits(lit)
-			out.cpu = time.Since(t0)
-			cur := solver.SolverStats()
-			out.ss = statsDelta(cur, prev)
-			prev = cur
-			if out.ss.TseitinClauses > prefixClauses[shard] {
+			var sharedTseitin int64
+			out.status, out.model, out.ss, out.cpu, sharedTseitin =
+				rep.checkOneShared(opts, v, checkConds[i], worker, solver, &prev)
+			if sharedTseitin > prefixClauses[shard] {
 				// The check that first touches the real VC blasts the whole
 				// shared prefix; later checks reuse its CNF. The largest
 				// single-check delta is that one-time cost (a plain "first
 				// check" would under-report when an early condition
 				// simplifies to a constant and blasts nothing).
-				prefixClauses[shard] = out.ss.TseitinClauses
-			}
-			out.status = st
-			if st == smt.Sat {
-				// Canonical counterexample: re-solve the original condition
-				// with a deterministic fresh solver, exactly as fresh mode
-				// would. Cost is folded into this assertion's delta.
-				s2 := smt.NewSolver(rep.Ctx)
-				if opts.Budget > 0 {
-					s2.SetBudget(opts.Budget)
-				}
-				installProgress(o, s2, v.Label, worker)
-				t1 := time.Now()
-				st2 := s2.Check(v.Cond)
-				out.cpu += time.Since(t1)
-				out.ss = addStats(out.ss, s2.SolverStats())
-				if st2 == smt.Sat {
-					m := s2.Model()
-					s2.ModelCollect(m, v.Cond)
-					out.model = m
-				} else if st2 == smt.Unsat && opts.Slice {
-					// A sliced Sat with a full-condition Unsat means the
-					// dropped (variable-disjoint) remainder was
-					// unsatisfiable on its own: the assertion holds, which
-					// is exactly the unsliced verdict.
-					out.status = smt.Unsat
-				} else {
-					// The shared solver found the simplified condition sat but
-					// the fresh solver disagreed — impossible for sound
-					// rewrites; surface it instead of fabricating a model.
-					out.status = smt.Unknown
-				}
+				prefixClauses[shard] = sharedTseitin
 			}
 			endSpan()
 			rep.recordCheck(o, v.Label, worker, out.ss, out.status, out.cpu)
@@ -1145,6 +1302,16 @@ func (rep *Report) String() string {
 		fmt.Fprintf(&b, "strm:  %d arena releases, %d transient terms discarded\n",
 			rep.Stats.StreamReleases, rep.Stats.ReleasedTerms)
 	}
+	if rep.Stats.Schedule != "" || rep.Stats.Portfolio > 1 {
+		sched := rep.Stats.Schedule
+		if sched == "" {
+			sched = "static"
+		}
+		fmt.Fprintf(&b, "sched: %s scheduling, %d steals, portfolio %d, %d races won / %d racers beaten, %v cancelled cpu\n",
+			sched, rep.Stats.Steals, rep.Stats.Portfolio,
+			rep.Stats.RacesWon, rep.Stats.RacesLost,
+			rep.Stats.CancelledCPU.Round(time.Millisecond))
+	}
 	return b.String()
 }
 
@@ -1209,6 +1376,15 @@ type JSONStats struct {
 	Stream         bool  `json:"stream,omitempty"`
 	StreamReleases int64 `json:"stream_releases,omitempty"`
 	ReleasedTerms  int64 `json:"released_terms,omitempty"`
+
+	// Scheduler / portfolio extras (absent with static scheduling and
+	// racing off, and in canonical reports).
+	Schedule       string `json:"schedule,omitempty"`
+	Steals         int64  `json:"steals,omitempty"`
+	Portfolio      int    `json:"portfolio,omitempty"`
+	RacesWon       int64  `json:"races_won,omitempty"`
+	RacesLost      int64  `json:"races_lost,omitempty"`
+	CancelledCPUMS int64  `json:"cancelled_cpu_ms,omitempty"`
 
 	// Flight-recorder histograms (absent in canonical reports).
 	Histograms []JSONHistogram `json:"histograms,omitempty"`
@@ -1275,6 +1451,13 @@ func (rep *Report) JSON() ([]byte, error) {
 			Stream:         rep.Stats.Stream,
 			StreamReleases: rep.Stats.StreamReleases,
 			ReleasedTerms:  rep.Stats.ReleasedTerms,
+
+			Schedule:       rep.Stats.Schedule,
+			Steals:         rep.Stats.Steals,
+			Portfolio:      rep.Stats.Portfolio,
+			RacesWon:       rep.Stats.RacesWon,
+			RacesLost:      rep.Stats.RacesLost,
+			CancelledCPUMS: rep.Stats.CancelledCPU.Milliseconds(),
 		},
 	}
 	for _, h := range rep.Stats.Histograms {
@@ -1351,6 +1534,12 @@ func (rep *Report) CanonicalJSON() ([]byte, error) {
 	canon.Stats.Stream = false
 	canon.Stats.StreamReleases = 0
 	canon.Stats.ReleasedTerms = 0
+	canon.Stats.Schedule = ""
+	canon.Stats.Steals = 0
+	canon.Stats.Portfolio = 0
+	canon.Stats.RacesWon = 0
+	canon.Stats.RacesLost = 0
+	canon.Stats.CancelledCPU = 0
 	canon.Stats.Histograms = nil
 	if len(canon.Stats.PerAssertion) > 0 {
 		pa := make([]AssertionCost, len(canon.Stats.PerAssertion))
