@@ -203,6 +203,40 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 // NewSnapshot returns an empty, mutable snapshot.
 func NewSnapshot() *Snapshot { return tables.NewSnapshot() }
 
+// Delta is an ordered batch of table-entry operations (add, replace,
+// remove) applied atomically to a snapshot.
+type Delta = tables.Delta
+
+// Session is the delta re-verification engine: load a program once, then
+// re-verify cheaply per Delta as the control plane churns table entries
+// (warm term context, memoized slices, shared incremental solver, cached
+// verdict replay). Every Apply report is canonically byte-identical to a
+// fresh Verify of the mutated snapshot.
+type Session = verify.Session
+
+// ParseDelta parses one delta in the text format ("add Ctl.tbl KEYS ->
+// action(args)" / "replace Ctl.tbl INDEX KEYS -> action" / "remove
+// Ctl.tbl INDEX", one op per line).
+func ParseDelta(source string) (*Delta, error) { return tables.ParseDelta(source) }
+
+// ParseDeltas parses a "---"-separated sequence of deltas.
+func ParseDeltas(source string) ([]*Delta, error) { return tables.ParseDeltas(source) }
+
+// LoadDeltas reads and parses a delta sequence file.
+func LoadDeltas(path string) ([]*Delta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("aquila: %w", err)
+	}
+	return ParseDeltas(string(data))
+}
+
+// NewSession builds a warm re-verification session for prog under snap
+// (nil: start from any-entries) and runs the baseline verification.
+func NewSession(prog *Program, snap *Snapshot, spec *Spec, opts Options) (*Session, error) {
+	return verify.NewSession(prog, snap, spec, opts.verifyOptions())
+}
+
 // Verify checks prog (under snap's entries, or any entries when snap is
 // nil) against spec (§4 of the paper).
 func Verify(prog *Program, snap *Snapshot, spec *Spec, opts Options) (*Report, error) {

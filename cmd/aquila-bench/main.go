@@ -15,6 +15,8 @@
 //	aquila-bench -exp incremental [-parallel 1,2,4] [-repeats 3] [-incr-out BENCH_incremental.json]
 //	aquila-bench -exp preproc [-parallel 1,2,4] [-repeats 3] [-preproc-out BENCH_preproc.json]
 //	                          [-compare BENCH_preproc.json]
+//	aquila-bench -exp churn [-churn-entries 64] [-churn-deltas 8]
+//	                        [-churn-out BENCH_churn.json] [-compare-churn BENCH_churn.json]
 //	aquila-bench -exp obs [-repeats 3] [-obs-out BENCH_obs.json]
 //	aquila-bench -exp fuzz [-quick]
 //	aquila-bench -exp scale [-quick] [-scale-out BENCH_scale.json]
@@ -58,7 +60,7 @@ func main() { os.Exit(mainRun()) }
 
 func mainRun() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|obs|fuzz|scale|all")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|churn|obs|fuzz|scale|all")
 		quick      = flag.Bool("quick", false, "smaller budgets and workloads")
 		suite      = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
 		scales     = flag.String("scales", "small,medium,large", "table4 switch-T scales")
@@ -72,6 +74,10 @@ func mainRun() int {
 		incrOut    = flag.String("incr-out", "BENCH_incremental.json", "incremental-sweep JSON output file (empty: stdout table only)")
 		prepOut    = flag.String("preproc-out", "BENCH_preproc.json", "preproc-sweep JSON output file (empty: stdout table only)")
 		compare    = flag.String("compare", "", "preproc only: reference BENCH_preproc.json; exit non-zero if relative wall time regresses >20%")
+		churnEnt   = flag.Int("churn-entries", 64, "churn: installed entries in the churned ECMP table")
+		churnN     = flag.Int("churn-deltas", 8, "churn: steady-state deltas measured (after 2 warmups)")
+		churnOut   = flag.String("churn-out", "BENCH_churn.json", "churn-experiment JSON output file (empty: stdout table only)")
+		churnCmp   = flag.String("compare-churn", "", "churn only: reference BENCH_churn.json; exit non-zero on byte-identity break, <5x steady-state speedup, or >50% relative regression")
 		scaleOut   = flag.String("scale-out", "BENCH_scale.json", "scale-campaign JSON output file (empty: stdout table only)")
 		scaleCmp   = flag.String("compare-scale", "", "scale only: reference BENCH_scale.json; exit non-zero on >20% relative regression")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "obs-experiment JSON output file (empty or -quick: stdout table only)")
@@ -331,6 +337,46 @@ func mainRun() int {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *prepOut)
+		}
+		return nil
+	})
+
+	run("churn", func() error {
+		// Delta re-verification: a warm Session absorbing single-entry
+		// flips on the DC gateway's ECMP table vs a full fresh run per
+		// delta, with per-delta canonical byte identity checked.
+		ent, n := *churnEnt, *churnN
+		if *quick {
+			ent, n = 32, 4
+		}
+		res, err := bench.Churn(ent, 2, n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatChurn(res))
+		if *churnCmp != "" {
+			data, err := os.ReadFile(*churnCmp)
+			if err != nil {
+				return err
+			}
+			var ref bench.ChurnResult
+			if err := json.Unmarshal(data, &ref); err != nil {
+				return fmt.Errorf("parsing %s: %w", *churnCmp, err)
+			}
+			if err := bench.CompareChurn(&ref, res); err != nil {
+				return err
+			}
+			fmt.Printf("no regression vs %s\n", *churnCmp)
+		}
+		if *churnOut != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*churnOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *churnOut)
 		}
 		return nil
 	})

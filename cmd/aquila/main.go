@@ -11,6 +11,14 @@
 //	       [-incremental] [-simplify=false] [-preprocess] [-slice]
 //	       [-trace out.json] [-pprof cpu.out] [-memprofile mem.out] [-v]
 //	       [-progress] [-metrics out.om] [-watchdog 30s]
+//	       [-churn deltas.txt]
+//
+// -churn replays a "---"-separated table-delta sequence through a warm
+// re-verification session (aquila.Session): the program is loaded and
+// verified once, then each delta re-verifies only what its blast radius
+// touches, with unchanged verdicts replayed from cache. Each step's
+// report is byte-identical to a fresh verification of the mutated
+// snapshot.
 //
 // -incremental switches find-all solving to the shared-prefix engine
 // (blast the common VC prefix once per worker shard, check each assertion
@@ -83,6 +91,7 @@ func run() int {
 		progress   = flag.Bool("progress", false, "live solver-heartbeat status line on stderr (conflicts/sec, trail, learnt DB)")
 		metricsOut = flag.String("metrics", "", "write OpenMetrics text exposition of the metrics registry on exit")
 		watchdog   = flag.Duration("watchdog", 0, "stall window: dump diagnostics for any check solving longer than this without finishing (0: off)")
+		churnPath  = flag.String("churn", "", "delta sequence file: re-verify through a warm session after each \"---\"-separated delta (implies -all and -slice)")
 	)
 	flag.Parse()
 	if *specPath == "" && *builtin == "" {
@@ -117,43 +126,103 @@ func run() int {
 		return fail(err)
 	}
 	obs.SetDefault(o)
-	code := verifyMain(*p4Path, *specPath, *builtin, *entries,
-		*blocklist, *jsonOut, *canonical, opts)
+	var code int
+	if *churnPath != "" {
+		code = churnMain(*p4Path, *specPath, *builtin, *entries, *churnPath, opts)
+	} else {
+		code = verifyMain(*p4Path, *specPath, *builtin, *entries,
+			*blocklist, *jsonOut, *canonical, opts)
+	}
 	if err := closeObs(); err != nil {
 		return fail(err)
 	}
 	return code
 }
 
+// churnMain replays a delta sequence through a warm re-verification
+// session: one baseline verification, then one cheap delta
+// re-verification per "---"-separated delta, printing the verdict and the
+// replay/re-check split each step. Exits 1 when the final state violates
+// the spec.
+func churnMain(p4Path, specPath, builtin, entries, churnPath string, opts aquila.Options) int {
+	prog, spec, err := loadProblem(p4Path, specPath, builtin)
+	if err != nil {
+		return fail(err)
+	}
+	var snap *aquila.Snapshot
+	if entries != "" {
+		snap, err = aquila.LoadSnapshot(entries)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	deltas, err := aquila.LoadDeltas(churnPath)
+	if err != nil {
+		return fail(err)
+	}
+	sess, err := aquila.NewSession(prog, snap, spec, opts)
+	if err != nil {
+		return fail(err)
+	}
+	defer sess.Close()
+	report := sess.Baseline()
+	fmt.Printf("baseline: %s\n", verdictLine(report))
+	for i, d := range deltas {
+		report, err = sess.Apply(d)
+		if err != nil {
+			return fail(fmt.Errorf("delta %d: %w", i+1, err))
+		}
+		fmt.Printf("delta %d: %s (replayed %d, re-checked %d of %d assertions)\n",
+			i+1, verdictLine(report), report.Stats.DeltaReuse,
+			report.Stats.DeltaRecheck, report.Stats.Assertions)
+	}
+	st := sess.SessionStats()
+	fmt.Printf("session: %d deltas, %d verdicts replayed, %d re-checked, %d stale indicators retired\n",
+		st.Deltas, st.ReuseHits, st.Rechecks, st.Retired)
+	if !report.Holds {
+		return 1
+	}
+	return 0
+}
+
+func verdictLine(r *aquila.Report) string {
+	if r.Holds {
+		return "holds"
+	}
+	return fmt.Sprintf("%d violation(s)", len(r.Violations))
+}
+
+// loadProblem resolves the program and spec from -builtin or -spec/-p4.
+func loadProblem(p4Path, specPath, builtin string) (*aquila.Program, *aquila.Spec, error) {
+	if builtin != "" {
+		return builtinProblem(builtin)
+	}
+	spec, err := aquila.LoadSpec(specPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	progPath := p4Path
+	if progPath == "" {
+		progPath = spec.Config["path"]
+		if progPath != "" && !filepath.IsAbs(progPath) {
+			progPath = filepath.Join(filepath.Dir(specPath), progPath)
+		}
+	}
+	if progPath == "" {
+		return nil, nil, fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec")
+	}
+	prog, err := aquila.LoadProgram(progPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, spec, nil
+}
+
 func verifyMain(p4Path, specPath, builtin, entries string,
 	blocklist, jsonOut, canonical bool, opts aquila.Options) int {
-	var prog *aquila.Program
-	var spec *aquila.Spec
-	var err error
-	if builtin != "" {
-		prog, spec, err = builtinProblem(builtin)
-		if err != nil {
-			return fail(err)
-		}
-	} else {
-		spec, err = aquila.LoadSpec(specPath)
-		if err != nil {
-			return fail(err)
-		}
-		progPath := p4Path
-		if progPath == "" {
-			progPath = spec.Config["path"]
-			if progPath != "" && !filepath.IsAbs(progPath) {
-				progPath = filepath.Join(filepath.Dir(specPath), progPath)
-			}
-		}
-		if progPath == "" {
-			return fail(fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec"))
-		}
-		prog, err = aquila.LoadProgram(progPath)
-		if err != nil {
-			return fail(err)
-		}
+	prog, spec, err := loadProblem(p4Path, specPath, builtin)
+	if err != nil {
+		return fail(err)
 	}
 	var snap *aquila.Snapshot
 	if entries != "" {

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"aquila/internal/lpi"
+	"aquila/internal/progs"
+	"aquila/internal/tables"
+	"aquila/internal/verify"
+)
+
+// ChurnRow is one steady-state delta of the churn experiment: the same
+// single-entry update re-verified by the warm session and by a full
+// fresh run on the mutated snapshot.
+type ChurnRow struct {
+	Delta         string  `json:"delta"`
+	SessionWallMS float64 `json:"session_wall_ms"`
+	FreshWallMS   float64 `json:"fresh_wall_ms"`
+	// Reused/Rechecked split the assertions between cached-verdict
+	// replays and warm re-solves for this delta.
+	Reused    int64 `json:"reused"`
+	Rechecked int64 `json:"rechecked"`
+	// Identical reports whether the session's canonical report bytes
+	// match the fresh run's exactly (the delta determinism contract).
+	Identical bool `json:"identical"`
+}
+
+// ChurnResult is the delta re-verification experiment: steady-state churn
+// against the DC gateway in its holding state.
+type ChurnResult struct {
+	Program    string `json:"program"`
+	Assertions int    `json:"assertions"`
+	// Entries is the installed size of the churned table.
+	Entries int `json:"entries"`
+	CPUs    int `json:"cpus"`
+	Warmup  int `json:"warmup"`
+	// BaselineWallMS is the session's initial full verification.
+	BaselineWallMS float64 `json:"baseline_wall_ms"`
+	// Medians over the steady-state rows; Speedup is their ratio
+	// (fresh / session) — the headline number, >= 5 by the acceptance
+	// bar. RelWall is its inverse (session / fresh), the
+	// machine-independent quantity CompareChurn gates on.
+	MedianSessionMS float64    `json:"median_session_ms"`
+	MedianFreshMS   float64    `json:"median_fresh_ms"`
+	Speedup         float64    `json:"speedup"`
+	RelWall         float64    `json:"rel_wall"`
+	Rows            []ChurnRow `json:"rows"`
+}
+
+// churnWorkload builds the steady-state churn problem: the DC gateway
+// with `entries` installed ECMP next-hop entries and the holding subset
+// of the invalid-header-access property. The subset is derived by one
+// fresh run on the full property: assertions the seeded bugs violate are
+// dropped, because a standing violation re-solves its full condition on
+// a deterministic fresh solver every delta (the price of byte-identical
+// counterexample models) — not the regime churn amortization targets.
+func churnWorkload(entries int) (*progs.Benchmark, *lpi.Spec, *tables.Snapshot, error) {
+	bm := progs.DCGatewayBench()
+	prog, err := bm.Parse()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	full := progs.InvalidHeaderAccessSpec(prog, bm.Calls)
+	fullSpec, err := lpiParse(full)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var rows []string
+	for i := 0; i < entries; i++ {
+		act := fmt.Sprintf("set_nhop(%d)", i%8+1)
+		if i%16 == 15 {
+			act = "a_drop"
+		}
+		rows = append(rows, fmt.Sprintf("  %d -> %s", i, act))
+	}
+	snap, err := tables.ParseSnapshot(
+		"table GatewayIngress.ecmp_nhop_tbl {\n" + strings.Join(rows, "\n") + "\n}\n")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rep, err := verify.Run(prog, snap, fullSpec, verify.Options{FindAll: true, Parallel: 1})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	violated := map[int]bool{}
+	for _, v := range rep.Violations {
+		var idx int
+		fmt.Sscanf(v.Label[strings.LastIndexByte(v.Label, '#')+1:], "%d", &idx)
+		violated[idx] = true
+	}
+	var out []string
+	item := 0
+	for _, ln := range strings.Split(full, "\n") {
+		if strings.Contains(ln, "applied(") {
+			skip := violated[item]
+			item++
+			if skip {
+				continue
+			}
+		}
+		out = append(out, ln)
+	}
+	spec, err := lpiParse(strings.Join(out, "\n"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return bm, spec, snap, nil
+}
+
+// churnFlipDeltas is the steady-state update pattern: one entry of the
+// churned table flips between two actions, delta by delta.
+func churnFlipDeltas() ([]*tables.Delta, error) {
+	return tables.ParseDeltas(`
+replace GatewayIngress.ecmp_nhop_tbl 0 0 -> a_drop
+---
+replace GatewayIngress.ecmp_nhop_tbl 0 0 -> set_nhop(1)
+`)
+}
+
+// Churn measures delta re-verification: a warm verify.Session absorbs
+// single-entry updates against the DC gateway's ECMP table (entries
+// installed entries, all assertions holding), and each steady-state
+// delta is also verified by a full fresh run on the mutated snapshot.
+// Each delta's canonical report must match the fresh run's bytes; the
+// headline is the median per-delta speedup after `warmup` warm-up
+// deltas, over `steady` measured ones.
+func Churn(entries, warmup, steady int) (*ChurnResult, error) {
+	if entries <= 0 {
+		entries = 64
+	}
+	if warmup <= 0 {
+		warmup = 2
+	}
+	if steady <= 0 {
+		steady = 8
+	}
+	bm, spec, snap, err := churnWorkload(entries)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := bm.Parse()
+	if err != nil {
+		return nil, err
+	}
+	flip, err := churnFlipDeltas()
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	sess, err := verify.NewSession(prog, snap, spec, verify.Options{Parallel: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	baselineWall := time.Since(t0)
+	if !sess.Baseline().Holds {
+		return nil, fmt.Errorf("bench: churn workload has standing violations")
+	}
+
+	res := &ChurnResult{
+		Program:        bm.Name,
+		Assertions:     sess.Baseline().Stats.Assertions,
+		Entries:        entries,
+		CPUs:           runtime.GOMAXPROCS(0),
+		Warmup:         warmup,
+		BaselineWallMS: float64(baselineWall.Microseconds()) / 1000,
+	}
+	for i := 0; i < warmup; i++ {
+		if _, err := sess.Apply(flip[i%2]); err != nil {
+			return nil, fmt.Errorf("bench: churn warmup delta %d: %w", i, err)
+		}
+	}
+	var sessTimes, freshTimes []time.Duration
+	for i := 0; i < steady; i++ {
+		// Continue the warmup's flip parity so every steady delta is a
+		// real change, never a no-op repeat of the previous state.
+		d := flip[(warmup+i)%2]
+		s0 := time.Now()
+		rep, err := sess.Apply(d)
+		if err != nil {
+			return nil, fmt.Errorf("bench: churn delta %d: %w", i, err)
+		}
+		sessWall := time.Since(s0)
+		sessJS, err := rep.CanonicalJSON()
+		if err != nil {
+			return nil, err
+		}
+		f0 := time.Now()
+		fresh, err := verify.Run(prog, sess.Snapshot(), spec, verify.Options{FindAll: true, Parallel: 1})
+		if err != nil {
+			return nil, fmt.Errorf("bench: churn fresh run %d: %w", i, err)
+		}
+		freshWall := time.Since(f0)
+		freshJS, err := fresh.CanonicalJSON()
+		if err != nil {
+			return nil, err
+		}
+		sessTimes = append(sessTimes, sessWall)
+		freshTimes = append(freshTimes, freshWall)
+		res.Rows = append(res.Rows, ChurnRow{
+			Delta:         strings.TrimSpace(tables.FormatDelta(d)),
+			SessionWallMS: float64(sessWall.Microseconds()) / 1000,
+			FreshWallMS:   float64(freshWall.Microseconds()) / 1000,
+			Reused:        rep.Stats.DeltaReuse,
+			Rechecked:     rep.Stats.DeltaRecheck,
+			Identical:     bytes.Equal(sessJS, freshJS),
+		})
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	res.MedianSessionMS = ms(durMedian(sessTimes))
+	res.MedianFreshMS = ms(durMedian(freshTimes))
+	if res.MedianSessionMS > 0 {
+		res.Speedup = res.MedianFreshMS / res.MedianSessionMS
+	}
+	if res.MedianFreshMS > 0 {
+		res.RelWall = res.MedianSessionMS / res.MedianFreshMS
+	}
+	return res, nil
+}
+
+func durMedian(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// CompareChurn checks a fresh churn run against a checked-in reference.
+// Byte identity is absolute: every row must match its fresh run. The
+// real performance gate is the machine-independent >= 5x steady-state
+// bar (RelWall <= 0.2); the reference-relative check on RelWall
+// (session wall / fresh wall, medians) is a noise-tolerant backstop at
+// 50% — per-delta walls are single-digit milliseconds, so a 20% band
+// flakes on one slow scheduler quantum.
+func CompareChurn(ref, cur *ChurnResult) error {
+	const slack = 1.50
+	var problems []string
+	for i, row := range cur.Rows {
+		if !row.Identical {
+			problems = append(problems, fmt.Sprintf(
+				"delta %d (%s): session report differs from fresh verification", i, row.Delta))
+		}
+	}
+	if cur.Speedup < 5 {
+		problems = append(problems, fmt.Sprintf(
+			"steady-state speedup %.2fx below the 5x acceptance bar", cur.Speedup))
+	}
+	if ref.RelWall > 0 && cur.RelWall > ref.RelWall*slack {
+		problems = append(problems, fmt.Sprintf(
+			"relative wall time %.3f exceeds reference %.3f by more than %.0f%%",
+			cur.RelWall, ref.RelWall, 100*(slack-1)))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("bench: churn regression on %s:\n  %s",
+			cur.Program, strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// JSON renders the experiment for BENCH_churn.json.
+func (r *ChurnResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatChurn renders the experiment as the usual aquila-bench table.
+func FormatChurn(r *ChurnResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Delta re-verification churn: %s (%d assertions holding, %d entries, %d CPUs, %d warmup)\n",
+		r.Program, r.Assertions, r.Entries, r.CPUs, r.Warmup)
+	fmt.Fprintf(&b, "baseline full verification: %.1f ms\n", r.BaselineWallMS)
+	fmt.Fprintf(&b, "%-4s  %-52s  %10s  %9s  %6s  %7s  %9s\n",
+		"#", "delta", "session ms", "fresh ms", "reuse", "recheck", "identical")
+	for i, row := range r.Rows {
+		fmt.Fprintf(&b, "%-4d  %-52s  %10.2f  %9.2f  %6d  %7d  %9v\n",
+			i, row.Delta, row.SessionWallMS, row.FreshWallMS, row.Reused, row.Rechecked, row.Identical)
+	}
+	fmt.Fprintf(&b, "steady-state medians: session %.2f ms vs fresh %.2f ms per delta: %.1fx speedup\n",
+		r.MedianSessionMS, r.MedianFreshMS, r.Speedup)
+	return b.String()
+}

@@ -149,18 +149,40 @@ type Env struct {
 	// TableActionID maps "Ctl.table/action" to the table-local action id
 	// (LAID) used in ABVs and the $action ghost.
 	tableLAID map[string]map[string]uint64
+
+	// tableTerms maps "Ctl.table" to the terms its apply-site encoding
+	// introduced: entry match conditions, ABV constants, the lookup tree,
+	// and the wildcard mode's free-choice variables. Delta re-verification
+	// walks verification conditions against this index to decide which
+	// tables an assertion's cone of influence touches.
+	tableTerms map[string][]*smt.Term
+}
+
+// TableTerms returns the terms recorded for a fully-qualified table
+// ("Ctl.table") during encoding. The slice aliases Env internals; callers
+// must not mutate it.
+func (e *Env) TableTerms(fq string) []*smt.Term { return e.tableTerms[fq] }
+
+// recordTableTerms notes terms introduced by the encoding of table fq.
+func (e *Env) recordTableTerms(fq string, ts ...*smt.Term) {
+	for _, t := range ts {
+		if t != nil {
+			e.tableTerms[fq] = append(e.tableTerms[fq], t)
+		}
+	}
 }
 
 // NewEnv builds an encoding environment. snap may be nil (verify under any
 // entries: tables without entries are encoded as havoc, §2 case 2).
 func NewEnv(ctx *smt.Ctx, prog *p4.Program, snap *tables.Snapshot, opts Options) *Env {
 	e := &Env{
-		Ctx:       ctx,
-		Prog:      prog,
-		Snap:      snap,
-		Opts:      opts.withDefaults(),
-		headerIDs: map[string]uint64{},
-		tableLAID: map[string]map[string]uint64{},
+		Ctx:        ctx,
+		Prog:       prog,
+		Snap:       snap,
+		Opts:       opts.withDefaults(),
+		headerIDs:  map[string]uint64{},
+		tableLAID:  map[string]map[string]uint64{},
+		tableTerms: map[string][]*smt.Term{},
 	}
 	for i, inst := range prog.HeaderInstances() {
 		e.headerIDs[inst.Name] = uint64(i + 1)

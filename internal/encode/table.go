@@ -191,7 +191,9 @@ func (e *Env) encodeTableApply(ctl *p4.Control, tbl *p4.Table) (gcl.Stmt, error)
 			if ferr != nil {
 				return nil, ferr
 			}
-			body = &gcl.If{Cond: e.RepVar(ctl.Name, tbl.Name), Then: fv, Else: body}
+			rep := e.RepVar(ctl.Name, tbl.Name)
+			e.recordTableTerms(ctl.Name+"."+tbl.Name, rep)
+			body = &gcl.If{Cond: rep, Then: fv, Else: body}
 		}
 	}
 	if err != nil {
@@ -238,7 +240,12 @@ func (e *Env) encodeTableABV(ctl *p4.Control, tbl *p4.Table, keys []*smt.Term,
 		}
 	}
 
-	abvVar := e.FreshVar("abv."+ctl.Name+"."+tbl.Name, l.width())
+	fq := ctl.Name + "." + tbl.Name
+	e.recordTableTerms(fq, matches...)
+	e.recordTableTerms(fq, abvs...)
+	e.recordTableTerms(fq, defaultABV, lookup, anyMatch)
+
+	abvVar := e.FreshVar("abv."+fq, l.width())
 	var out []gcl.Stmt
 	out = append(out,
 		&gcl.Assign{Var: abvVar, Rhs: lookup},
@@ -386,7 +393,9 @@ func (e *Env) encodeTableNaive(ctl *p4.Control, tbl *p4.Table, keys []*smt.Term,
 			&gcl.Assign{Var: actionVar, Rhs: c.BV(laid, 16)},
 			body,
 		)
-		chain = &gcl.If{Cond: e.matchTerm(keys, tbl.Keys, ent), Then: branch, Else: chain}
+		match := e.matchTerm(keys, tbl.Keys, ent)
+		e.recordTableTerms(ctl.Name+"."+tbl.Name, match)
+		chain = &gcl.If{Cond: match, Then: branch, Else: chain}
 		total += gcl.Size(branch)
 		if total > e.Opts.TreeCap {
 			return nil, &ErrExplosion{Mode: "naive-table", Size: total}
@@ -402,8 +411,10 @@ func (e *Env) encodeTableWildcard(ctl *p4.Control, tbl *p4.Table) (gcl.Stmt, err
 	c := e.Ctx
 	// Free choices are named deterministically per table so the self-
 	// validator's alternative representation shares them (§6).
-	hit := c.BoolVar("$tbl." + ctl.Name + "." + tbl.Name + ".hit")
-	laid := c.Var("$tbl."+ctl.Name+"."+tbl.Name+".laid", 16)
+	fq := ctl.Name + "." + tbl.Name
+	hit := c.BoolVar("$tbl." + fq + ".hit")
+	laid := c.Var("$tbl."+fq+".laid", 16)
+	e.recordTableTerms(fq, hit, laid)
 	var out []gcl.Stmt
 	out = append(out, &gcl.Assign{Var: e.HitVar(ctl.Name, tbl.Name), Rhs: hit})
 
@@ -447,6 +458,7 @@ func (e *Env) encodeTableWildcard(ctl *p4.Control, tbl *p4.Table) (gcl.Stmt, err
 		var pre []gcl.Stmt
 		for j, pm := range act.Params {
 			args[j] = c.Var(fmt.Sprintf("$tbl.%s.%s.arg.%s.%d", ctl.Name, tbl.Name, an, j), pm.Width)
+			e.recordTableTerms(fq, args[j])
 		}
 		body, err := e.inlineAction(ctl, act, args)
 		if err != nil {
@@ -478,6 +490,7 @@ func (e *Env) encodeTableWildcard(ctl *p4.Control, tbl *p4.Table) (gcl.Stmt, err
 				}
 			}
 			args[j] = c.Var(fmt.Sprintf("$tbl.%s.%s.defarg.%d", ctl.Name, tbl.Name, j), pm.Width)
+			e.recordTableTerms(fq, args[j])
 		}
 		body, err := e.inlineAction(ctl, act, args)
 		if err != nil {

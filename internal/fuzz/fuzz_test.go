@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"aquila/internal/genprog"
+	"aquila/internal/lpi"
 	"aquila/internal/p4"
+	"aquila/internal/progs"
 	"aquila/internal/tables"
 )
 
@@ -149,6 +151,49 @@ func TestCampaignDeterministic(t *testing.T) {
 	if a.Iters != b.Iters || a.Rejected != b.Rejected || a.CoveragePoints != b.CoveragePoints ||
 		a.FoundAtIter != b.FoundAtIter || len(a.Divergences) != len(b.Divergences) {
 		t.Fatalf("same campaign seed gave different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChurnOracleClean runs the delta-determinism oracle directly on a
+// generated program, without and then with an installed snapshot: every
+// random delta pushed through a warm session must reproduce the fresh
+// run's canonical bytes, so a clean pipeline yields zero divergences.
+func TestChurnOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verifier-backed oracle is slow; run without -short")
+	}
+	eng := New(Config{Seed: 11})
+	bm := genprog.Assemble(genprog.RandomConfig(11))
+	prog := mustParse(bm.Source)
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	in := &Input{Source: bm.Source, Calls: bm.Calls, Seed: 11}
+	for i := 0; i < 2; i++ {
+		for _, d := range eng.churnOracle(in, prog, spec, freshObs()) {
+			t.Errorf("nil-snapshot round %d: %s", i, d)
+		}
+	}
+	// Grow a snapshot with random adds, then churn against it so the
+	// replace/remove arms get exercised too.
+	snap := tables.NewSnapshot()
+	for i := 0; i < 3; i++ {
+		d := eng.randomDelta(prog, snap)
+		if d == nil {
+			t.Fatalf("program has no installable table")
+		}
+		if d.Ops[0].Kind == tables.OpAdd {
+			if err := d.Apply(snap); err != nil {
+				t.Fatalf("seed delta: %v", err)
+			}
+		}
+	}
+	in.Snap = snap
+	for i := 0; i < 3; i++ {
+		for _, d := range eng.churnOracle(in, prog, spec, freshObs()) {
+			t.Errorf("snapshot round %d: %s", i, d)
+		}
 	}
 }
 

@@ -162,7 +162,138 @@ func (e *Engine) deepOracles(in *Input, prog *p4.Program, o *obs.Obs) []*Diverge
 			divs = append(divs, &Divergence{Oracle: "model-soundness", Detail: detail, Input: in})
 		}
 	}
+
+	// Oracle 4: churn determinism. A warm Session fed one random delta
+	// must report exactly what a fresh verification of the mutated
+	// snapshot reports, byte for byte.
+	divs = append(divs, e.churnOracle(in, prog, spec, o)...)
 	return divs
+}
+
+// churnOracle exercises the delta re-verification contract: synthesize
+// one random single-op delta against the input's snapshot, push it
+// through a warm verify.Session, and demand canonical report bytes
+// identical to a fresh run on the mutated snapshot. Any drift — a wrong
+// replay, a stale learned clause constraining a verdict, a
+// nondeterministic re-encode — shows up as a byte diff.
+func (e *Engine) churnOracle(in *Input, prog *p4.Program, spec *lpi.Spec, o *obs.Obs) []*Divergence {
+	delta := e.randomDelta(prog, in.Snap)
+	if delta == nil {
+		return nil
+	}
+	opts := verify.Options{Parallel: 1}
+	opts.Obs = o
+	sess, err := verify.NewSession(prog, in.Snap, spec, opts)
+	if err != nil {
+		return nil // input rejected at session construction; other oracles cover it
+	}
+	defer sess.Close()
+	rep, err := sess.Apply(delta)
+	if err != nil {
+		return nil // delta rejected (encode limit, bad op); not a divergence
+	}
+	sessJS, err := rep.CanonicalJSON()
+	if err != nil {
+		return []*Divergence{{
+			Oracle: "churn-delta",
+			Detail: fmt.Sprintf("session report not canonicalizable after %q: %v", tables.FormatDelta(delta), err),
+			Input:  in,
+		}}
+	}
+	freshOpts := verify.Options{FindAll: true, Parallel: 1}
+	freshOpts.Obs = o
+	fresh, err := verify.Run(prog, sess.Snapshot(), spec, freshOpts)
+	if err != nil {
+		return []*Divergence{{
+			Oracle: "churn-delta",
+			Detail: fmt.Sprintf("fresh verification failed on mutated snapshot after %q: %v", tables.FormatDelta(delta), err),
+			Input:  in,
+		}}
+	}
+	freshJS, err := fresh.CanonicalJSON()
+	if err != nil {
+		return nil
+	}
+	if string(sessJS) != string(freshJS) {
+		return []*Divergence{{
+			Oracle: "churn-delta",
+			Detail: fmt.Sprintf("canonical report bytes differ between warm session and fresh run after %q", tables.FormatDelta(delta)),
+			Input:  in,
+		}}
+	}
+	return nil
+}
+
+// randomDelta synthesizes one random single-op delta against prog's
+// tables: an add of a random entry, or — when the snapshot already holds
+// entries for the chosen table — possibly a replace or a remove. Returns
+// nil when the program has no table an entry can be installed in.
+func (e *Engine) randomDelta(prog *p4.Program, snap *tables.Snapshot) *tables.Delta {
+	type site struct {
+		fq  string
+		ctl *p4.Control
+		tbl *p4.Table
+	}
+	var sites []site
+	for _, ctlName := range sortedKeys(prog.Controls) {
+		ctl := prog.Controls[ctlName]
+		for _, tn := range memberOrder(ctl) {
+			tbl, ok := ctl.Tables[tn]
+			if !ok || len(installableActions(tbl)) == 0 {
+				continue
+			}
+			sites = append(sites, site{ctlName + "." + tn, ctl, tbl})
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	s := sites[e.rng.Intn(len(sites))]
+	op := tables.DeltaOp{Kind: tables.OpAdd, Table: s.fq, Entry: e.randomEntry(s.ctl, s.tbl)}
+	if snap != nil {
+		if n := len(snap.Entries(s.fq)); n > 0 {
+			switch e.rng.Intn(3) {
+			case 1:
+				op = tables.DeltaOp{Kind: tables.OpReplace, Table: s.fq, Index: e.rng.Intn(n), Entry: e.randomEntry(s.ctl, s.tbl)}
+			case 2:
+				op = tables.DeltaOp{Kind: tables.OpRemove, Table: s.fq, Index: e.rng.Intn(n)}
+			}
+		}
+	}
+	return &tables.Delta{Ops: []tables.DeltaOp{op}}
+}
+
+// randomEntry synthesizes an entry for a table: exact key matches with
+// small values and a random installable action with in-range arguments.
+func (e *Engine) randomEntry(ctl *p4.Control, tbl *p4.Table) *tables.Entry {
+	ent := &tables.Entry{}
+	for range tbl.Keys {
+		ent.Keys = append(ent.Keys, tables.Exact(uint64(e.rng.Intn(256))))
+	}
+	acts := installableActions(tbl)
+	ent.Action = acts[e.rng.Intn(len(acts))]
+	if act := ctl.Actions[ent.Action]; act != nil {
+		for _, pm := range act.Params {
+			w := pm.Width
+			if w > 16 {
+				w = 16
+			}
+			ent.Args = append(ent.Args, uint64(e.rng.Int63())&((1<<uint(w))-1))
+		}
+	}
+	return ent
+}
+
+// installableActions lists the actions entries may install (everything
+// not marked @defaultonly).
+func installableActions(tbl *p4.Table) []string {
+	var out []string
+	for _, an := range tbl.Actions {
+		if !tbl.DefaultOnly[an] {
+			out = append(out, an)
+		}
+	}
+	return out
 }
 
 // runCell runs one engine-matrix cell and returns the report plus its

@@ -33,26 +33,82 @@ type Result struct {
 	Store *Store
 }
 
+// nameTable interns variable names to dense indices so stores can hold
+// their bindings in a flat slice instead of a string map. All stores of
+// one encoding run share a table (clone propagates it), which makes
+// clones a single slice copy and lets merge iterate bound names in a
+// precomputed lexicographic order instead of sorting per branch join —
+// the dominant cost of re-encoding a churning program over a warm
+// context was exactly these per-join map copies and sorts.
+type nameTable struct {
+	ids    map[string]int
+	names  []string
+	sorted []int // name ids in lexicographic name order
+	// varIDs caches the interned id per variable term: variable terms are
+	// hash-consed, so pointer identity saves the string hash on every
+	// Store.Get in Subst's inner loop.
+	varIDs map[*smt.Term]int
+}
+
+func newNameTable() *nameTable {
+	return &nameTable{ids: map[string]int{}, varIDs: map[*smt.Term]int{}}
+}
+
+// intern returns the dense id of name, creating one (and splicing it
+// into the sorted order) on first sight.
+func (t *nameTable) intern(name string) int {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := len(t.names)
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	at := sort.Search(len(t.sorted), func(i int) bool { return t.names[t.sorted[i]] >= name })
+	t.sorted = append(t.sorted, 0)
+	copy(t.sorted[at+1:], t.sorted[at:])
+	t.sorted[at] = id
+	return id
+}
+
 // Store is a persistent symbolic state: variable name -> current value.
 type Store struct {
-	vals map[string]*smt.Term
+	tbl  *nameTable
+	vals []*smt.Term // indexed by interned name id; nil = unbound
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{vals: map[string]*smt.Term{}} }
+func NewStore() *Store { return &Store{tbl: newNameTable()} }
 
 func (s *Store) clone() *Store {
-	c := NewStore()
-	for k, v := range s.vals {
-		c.vals[k] = v
+	return &Store{tbl: s.tbl, vals: append([]*smt.Term(nil), s.vals...)}
+}
+
+func (s *Store) at(id int) *smt.Term {
+	if id < len(s.vals) {
+		return s.vals[id]
 	}
-	return c
+	return nil
+}
+
+func (s *Store) setID(id int, val *smt.Term) {
+	for len(s.vals) <= id {
+		s.vals = append(s.vals, nil)
+	}
+	s.vals[id] = val
 }
 
 // Get returns the current value of a variable term, defaulting to the
 // variable itself (its initial value).
 func (s *Store) Get(v *smt.Term) *smt.Term {
-	if got, ok := s.vals[v.Name]; ok {
+	id, ok := s.tbl.varIDs[v]
+	if !ok {
+		id, ok = s.tbl.ids[v.Name]
+		if !ok {
+			return v
+		}
+		s.tbl.varIDs[v] = id
+	}
+	if got := s.at(id); got != nil {
 		return got
 	}
 	return v
@@ -60,20 +116,25 @@ func (s *Store) Get(v *smt.Term) *smt.Term {
 
 // Lookup returns the value bound to name, if any.
 func (s *Store) Lookup(name string) (*smt.Term, bool) {
-	v, ok := s.vals[name]
-	return v, ok
+	id, ok := s.tbl.ids[name]
+	if !ok {
+		return nil, false
+	}
+	v := s.at(id)
+	return v, v != nil
 }
 
 // Set binds a variable name to a value.
-func (s *Store) Set(name string, val *smt.Term) { s.vals[name] = val }
+func (s *Store) Set(name string, val *smt.Term) { s.setID(s.tbl.intern(name), val) }
 
 // Names returns the bound variable names, sorted.
 func (s *Store) Names() []string {
-	out := make([]string, 0, len(s.vals))
-	for k := range s.vals {
-		out = append(out, k)
+	var out []string
+	for _, id := range s.tbl.sorted {
+		if s.at(id) != nil {
+			out = append(out, s.tbl.names[id])
+		}
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -276,21 +337,13 @@ func (e *Encoder) encode(s Stmt, store *Store, path *smt.Term, res *Result) *smt
 // particular model found for multi-model assertions — vary from run to
 // run.
 func (e *Encoder) merge(store *Store, cond *smt.Term, a, b *Store) {
-	names := map[string]bool{}
-	for k := range a.vals {
-		names[k] = true
-	}
-	for k := range b.vals {
-		names[k] = true
-	}
-	sorted := make([]string, 0, len(names))
-	for k := range names {
-		sorted = append(sorted, k)
-	}
-	sort.Strings(sorted)
-	for _, name := range sorted {
-		av, aok := a.vals[name]
-		bv, bok := b.vals[name]
+	// a and b are clones of store, so all three share one name table; the
+	// table's precomputed lexicographic order replaces the per-join sort.
+	tbl := a.tbl
+	for _, id := range tbl.sorted {
+		name := tbl.names[id]
+		av, bv := a.at(id), b.at(id)
+		aok, bok := av != nil, bv != nil
 		switch {
 		case aok && bok:
 			if av == bv {

@@ -22,6 +22,10 @@ const (
 	// portfolio racers that were cancelled after a rival's verdict — the
 	// price paid for the wall-clock win (only under -portfolio > 1).
 	HistRaceWasteUS = "verify.race_waste_us"
+	// HistDeltaRecheck is, per applied table delta, the number of
+	// assertions the session engine actually re-solved (the rest were
+	// replayed from the session cache; only under -churn).
+	HistDeltaRecheck = "verify.delta_recheck_per_delta"
 )
 
 // NumHistBuckets is the fixed bucket count of every Histogram. Bucket i

@@ -50,14 +50,18 @@ const (
 	// Steals counts checks executed by a worker other than their static
 	// owner; races won/lost count racer verdicts per raced check (one win,
 	// K-1 losses); cancelled CPU totals the microseconds losers burned.
-	CtrVerifySteals      = "verify.steals"
-	CtrVerifyRacesWon    = "verify.races_won"
-	CtrVerifyRacesLost   = "verify.races_lost"
-	CtrVerifyCancelledUS = "verify.race_cancelled_us"
-	GaugeTermNodes       = "smt.term_nodes"
-	GaugeVerifyWorkers   = "verify.workers"
-	GaugeVerifyShards    = "verify.incremental_shards"
-	GaugeVerifyPortfolio = "verify.portfolio"
+	// Session (delta re-verification) engine: verdicts replayed from the
+	// session cache vs assertions re-solved after a table delta.
+	CtrVerifyDeltaReuse   = "verify.delta_reuse_hits"
+	CtrVerifyDeltaRecheck = "verify.delta_recheck"
+	CtrVerifySteals       = "verify.steals"
+	CtrVerifyRacesWon     = "verify.races_won"
+	CtrVerifyRacesLost    = "verify.races_lost"
+	CtrVerifyCancelledUS  = "verify.race_cancelled_us"
+	GaugeTermNodes        = "smt.term_nodes"
+	GaugeVerifyWorkers    = "verify.workers"
+	GaugeVerifyShards     = "verify.incremental_shards"
+	GaugeVerifyPortfolio  = "verify.portfolio"
 
 	// Process memory, published by the scale campaign (internal/bench):
 	// the sampled peak live heap of the most recent point and the heap

@@ -67,6 +67,18 @@ func (s *Solver) FreezeVar(v int) {
 	}
 }
 
+// UnfreezeVar lifts the FreezeVar exemption: v becomes eligible for
+// variable elimination again in later preprocessing rounds. Unfreezing
+// never changes the formula — it only widens what simplification may
+// resolve away — so verdicts of subsequent checks are unaffected. If v
+// later returns as an assumption or indicator, FreezeVar restores any
+// elimination before it is used.
+func (s *Solver) UnfreezeVar(v int) {
+	if v >= 0 && v < len(s.frozen) {
+		s.frozen[v] = false
+	}
+}
+
 // restoreVar undoes the elimination of v by re-adding its recorded
 // original clauses. AddClause re-enters restoreVar for any other
 // eliminated variable those clauses mention.

@@ -177,6 +177,16 @@ func (s *Solver) Indicator(t *Term) sat.Lit {
 	return l
 }
 
+// Retire releases an indicator literal obtained from Indicator: the
+// variable is unfrozen, so CNF preprocessing may eliminate it and
+// resolve the stale cone's clauses away in later rounds. Retiring never
+// constrains the formula — the retired condition's truth stays free, so
+// verdicts of subsequent checks are unaffected; only dead weight becomes
+// reclaimable. If the condition recurs, Indicator re-freezes the
+// variable (restoring it first if it was eliminated), so retirement is
+// always safe, even speculatively.
+func (s *Solver) Retire(l sat.Lit) { s.sat.UnfreezeVar(l.Var()) }
+
 // Check determines satisfiability of the asserted constraints under the
 // given boolean assumption terms.
 func (s *Solver) Check(assumptions ...*Term) Status {

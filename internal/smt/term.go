@@ -74,6 +74,15 @@ type Term struct {
 	Val   *big.Int // constants (normalized into [0, 2^Width))
 	Hi    int      // extract upper bit (inclusive)
 	Lo    int      // extract lower bit (inclusive)
+	// SHash is the term's structural hash: a fingerprint over the
+	// operator, width, extract bounds, name, constant value, and the
+	// children's structural hashes — and nothing else. Unlike ID (an
+	// arena position that depends on construction history), SHash is
+	// identical for structurally equal terms across contexts, so the
+	// commutative-operand canonical order derived from it is too. That
+	// is what keeps a warm re-encoding context (verify.Session) building
+	// the same DAG a fresh context would.
+	SHash uint64
 }
 
 // IsBool reports whether the term is boolean-sorted.
@@ -234,6 +243,96 @@ func (p *protoTerm) hash() uint64 {
 	return h
 }
 
+// shash computes the prototype's structural hash (Term.SHash): the same
+// FNV-1a mixing as hash, except that child terms contribute their own
+// structural hashes instead of their arena IDs, making the result
+// independent of construction history. A distinct seed keeps it
+// uncorrelated with the intern-table hash.
+func (p *protoTerm) shash() uint64 {
+	const prime = 1099511628211
+	h := uint64(0x9e3779b97f4a7c15)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	mix(uint64(p.op) + 1)
+	mix(uint64(p.width))
+	mix(uint64(p.hi)<<32 | uint64(uint32(p.lo)))
+	for i := 0; i < len(p.name); i++ {
+		mix(uint64(p.name[i]))
+	}
+	if p.val != nil {
+		mix(1)
+		for _, w := range p.val.Bits() {
+			mix(uint64(w))
+		}
+	}
+	for i := 0; i < p.n; i++ {
+		mix(p.args[i].SHash)
+	}
+	return h
+}
+
+// structLess is the canonical commutative-operand order: by structural
+// hash, with a full structural comparison as the collision tiebreak.
+// Within one Ctx structural equality coincides with pointer equality, so
+// for a != b the tiebreak always separates them without consulting IDs —
+// the order two operands sort in is a pure function of their structure.
+func structLess(a, b *Term) bool { return structCmp(a, b) < 0 }
+
+// structCmp three-way-compares two terms structurally. The SHash fast
+// path decides virtually every call; the recursive walk only runs on a
+// 64-bit hash collision between distinct terms.
+func structCmp(a, b *Term) int {
+	if a == b {
+		return 0
+	}
+	if a.SHash != b.SHash {
+		if a.SHash < b.SHash {
+			return -1
+		}
+		return 1
+	}
+	if a.Op != b.Op {
+		return int(a.Op) - int(b.Op)
+	}
+	if a.Width != b.Width {
+		return a.Width - b.Width
+	}
+	if a.Hi != b.Hi {
+		return a.Hi - b.Hi
+	}
+	if a.Lo != b.Lo {
+		return a.Lo - b.Lo
+	}
+	if a.Name != b.Name {
+		if a.Name < b.Name {
+			return -1
+		}
+		return 1
+	}
+	if (a.Val == nil) != (b.Val == nil) {
+		if a.Val == nil {
+			return -1
+		}
+		return 1
+	}
+	if a.Val != nil {
+		if c := a.Val.Cmp(b.Val); c != 0 {
+			return c
+		}
+	}
+	if len(a.Args) != len(b.Args) {
+		return len(a.Args) - len(b.Args)
+	}
+	for i := range a.Args {
+		if c := structCmp(a.Args[i], b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
 // matches reports whether the already-interned term t is the term the
 // prototype describes.
 func (p *protoTerm) matches(t *Term) bool {
@@ -392,6 +491,7 @@ func (c *Ctx) intern(p *protoTerm) *Term {
 	t.Width = p.width
 	t.Hi, t.Lo = p.hi, p.lo
 	t.Name = p.name
+	t.SHash = p.shash()
 	if p.val != nil {
 		// Store a private copy: callers may reuse or mutate the big.Int
 		// they passed in.
@@ -537,7 +637,7 @@ func (c *Ctx) and2(a, b *Term) *Term {
 	if a == c.Not(b) {
 		return c.false_
 	}
-	if a.ID > b.ID {
+	if structLess(b, a) {
 		a, b = b, a
 	}
 	return c.intern(&protoTerm{op: OpAnd, args: [maxTermArgs]*Term{a, b}, n: 2})
@@ -575,7 +675,7 @@ func (c *Ctx) Iff(a, b *Term) *Term {
 		}
 		return c.Not(a)
 	}
-	if a.ID > b.ID {
+	if structLess(b, a) {
 		a, b = b, a
 	}
 	return c.intern(&protoTerm{op: OpIff, args: [maxTermArgs]*Term{a, b}, n: 2})
@@ -643,7 +743,7 @@ func (c *Ctx) bvBin(op Op, a, b *Term, fold func(x, y *big.Int, w int) *big.Int,
 	if a.Op == OpBVConst && b.Op == OpBVConst {
 		return c.BVBig(fold(a.Val, b.Val, a.Width), a.Width)
 	}
-	if commutative && a.ID > b.ID {
+	if commutative && structLess(b, a) {
 		a, b = b, a
 	}
 	return c.intern(&protoTerm{op: op, width: a.Width, args: [maxTermArgs]*Term{a, b}, n: 2})
@@ -873,7 +973,7 @@ func (c *Ctx) Eq(a, b *Term) *Term {
 	if a.Op == OpBVConst && b.Op == OpBVConst {
 		return c.Bool(a.Val.Cmp(b.Val) == 0)
 	}
-	if a.ID > b.ID {
+	if structLess(b, a) {
 		a, b = b, a
 	}
 	return c.intern(&protoTerm{op: OpEq, args: [maxTermArgs]*Term{a, b}, n: 2})

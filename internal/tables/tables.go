@@ -122,8 +122,12 @@ func (s *Snapshot) NumEntries() int {
 	return n
 }
 
-// Clone returns a deep copy of the snapshot.
+// Clone returns a deep copy of the snapshot. Clone of nil is nil (the
+// "verify under any entries" snapshot clones to itself).
 func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
 	c := NewSnapshot()
 	for t, es := range s.entries {
 		for _, e := range es {

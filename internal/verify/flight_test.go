@@ -16,13 +16,16 @@ import (
 )
 
 // flightSink returns a full flight-recorder sink: tracer, metrics,
-// discarded log, and a heartbeat ring sampling every conflict.
+// discarded log, and a heartbeat ring sampling every conflict. The ring
+// is sized so a full DC-gateway run (one Done per assertion plus one
+// heartbeat per conflict at period 1) fits without wrapping —
+// TestHeartbeatRing counts every sample.
 func flightSink() *obs.Obs {
 	return &obs.Obs{
 		Tracer:   obs.NewTracer(),
 		Metrics:  obs.NewRegistry(),
 		Log:      obs.NewLogger(io.Discard),
-		Progress: obs.NewProgressRing(64, 1),
+		Progress: obs.NewProgressRing(512, 1),
 	}
 }
 

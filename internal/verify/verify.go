@@ -91,6 +91,14 @@ type Options struct {
 	// (Unknown) verdicts are the documented exception, as in incremental
 	// mode. Requires FindAll; incompatible with Incremental and Stream.
 	Portfolio int
+	// Session marks the options as driving a warm delta re-verification
+	// session (session.go / the -churn CLI mode). The session engine is
+	// serial by construction — it keeps one term context, one persistent
+	// slicer, and one warm shared solver alive across table deltas — so
+	// it requires find-all mode and rejects every engine that freezes,
+	// releases, or races over the context. NewSession sets it; the CLIs
+	// set it for flag validation before the session is built.
+	Session bool
 	// Obs attaches observability sinks (tracer, metrics, structured log).
 	// nil falls back to the process default (set by the CLIs); when that is
 	// also nil every hook is a nil-check with no measurable overhead, and
@@ -166,6 +174,26 @@ func (o Options) Validate() error {
 		}
 		if o.Incremental {
 			return fmt.Errorf("verify: -portfolio is incompatible with -incremental (racing a shard's shared solver would make its accumulated state schedule-dependent; use -schedule steal for solver reuse with racing)")
+		}
+	}
+	if o.Session {
+		if !o.FindAll {
+			return fmt.Errorf("verify: -churn requires find-all mode (-all); the session engine replays and rechecks assertions one by one")
+		}
+		if o.Incremental {
+			return fmt.Errorf("verify: -churn is incompatible with -incremental (the session engine is its own incremental driver: one warm shared solver across deltas)")
+		}
+		if o.Stream {
+			return fmt.Errorf("verify: -churn is incompatible with -stream (streaming releases terms the session's caches and warm solver still reference)")
+		}
+		if o.Schedule == ScheduleSteal {
+			return fmt.Errorf("verify: -churn is incompatible with -schedule steal (the session engine is serial by construction)")
+		}
+		if o.Portfolio > 1 {
+			return fmt.Errorf("verify: -churn is incompatible with -portfolio %d (racers need a frozen context; the session's context must stay mutable to re-encode deltas)", o.Portfolio)
+		}
+		if o.Parallel > 1 {
+			return fmt.Errorf("verify: -churn is incompatible with -parallel %d (a frozen shared context cannot re-encode deltas; use -parallel 1)", o.Parallel)
 		}
 	}
 	return nil
@@ -326,6 +354,14 @@ type Stats struct {
 	RacesWon     int64
 	RacesLost    int64
 	CancelledCPU time.Duration
+
+	// DeltaReuse and DeltaRecheck are the session engine's per-Apply
+	// split: assertions whose verdict was replayed from the session cache
+	// vs assertions re-solved after a table delta (both zero outside
+	// session.go). Cost data — zeroed in canonical reports, which is what
+	// makes a replay-heavy session report byte-identical to a fresh run.
+	DeltaReuse   int64
+	DeltaRecheck int64
 
 	// PerAssertion is the find-all per-assertion cost breakdown (the data
 	// Figure 11 plots): one entry per consumed assertion, in assertion
@@ -1302,6 +1338,10 @@ func (rep *Report) String() string {
 		fmt.Fprintf(&b, "strm:  %d arena releases, %d transient terms discarded\n",
 			rep.Stats.StreamReleases, rep.Stats.ReleasedTerms)
 	}
+	if rep.Stats.DeltaReuse+rep.Stats.DeltaRecheck > 0 {
+		fmt.Fprintf(&b, "delta: %d verdicts replayed, %d rechecked\n",
+			rep.Stats.DeltaReuse, rep.Stats.DeltaRecheck)
+	}
 	if rep.Stats.Schedule != "" || rep.Stats.Portfolio > 1 {
 		sched := rep.Stats.Schedule
 		if sched == "" {
@@ -1386,6 +1426,11 @@ type JSONStats struct {
 	RacesLost      int64  `json:"races_lost,omitempty"`
 	CancelledCPUMS int64  `json:"cancelled_cpu_ms,omitempty"`
 
+	// Session-engine extras (absent outside Session.Apply reports and in
+	// canonical reports).
+	DeltaReuse   int64 `json:"delta_reuse,omitempty"`
+	DeltaRecheck int64 `json:"delta_recheck,omitempty"`
+
 	// Flight-recorder histograms (absent in canonical reports).
 	Histograms []JSONHistogram `json:"histograms,omitempty"`
 }
@@ -1458,6 +1503,9 @@ func (rep *Report) JSON() ([]byte, error) {
 			RacesWon:       rep.Stats.RacesWon,
 			RacesLost:      rep.Stats.RacesLost,
 			CancelledCPUMS: rep.Stats.CancelledCPU.Milliseconds(),
+
+			DeltaReuse:   rep.Stats.DeltaReuse,
+			DeltaRecheck: rep.Stats.DeltaRecheck,
 		},
 	}
 	for _, h := range rep.Stats.Histograms {
@@ -1540,6 +1588,8 @@ func (rep *Report) CanonicalJSON() ([]byte, error) {
 	canon.Stats.RacesWon = 0
 	canon.Stats.RacesLost = 0
 	canon.Stats.CancelledCPU = 0
+	canon.Stats.DeltaReuse = 0
+	canon.Stats.DeltaRecheck = 0
 	canon.Stats.Histograms = nil
 	if len(canon.Stats.PerAssertion) > 0 {
 		pa := make([]AssertionCost, len(canon.Stats.PerAssertion))
