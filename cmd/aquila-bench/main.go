@@ -17,6 +17,8 @@
 //	                          [-compare BENCH_preproc.json]
 //	aquila-bench -exp churn [-churn-entries 64] [-churn-deltas 8]
 //	                        [-churn-out BENCH_churn.json] [-compare-churn BENCH_churn.json]
+//	aquila-bench -exp serve [-churn-entries 64] [-churn-deltas 8]
+//	                        [-serve-out BENCH_serve.json] [-compare-serve BENCH_serve.json]
 //	aquila-bench -exp obs [-repeats 3] [-obs-out BENCH_obs.json]
 //	aquila-bench -exp fuzz [-quick]
 //	aquila-bench -exp scale [-quick] [-scale-out BENCH_scale.json]
@@ -60,7 +62,7 @@ func main() { os.Exit(mainRun()) }
 
 func mainRun() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|churn|obs|fuzz|scale|all")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig11a|fig11b|parallel|incremental|preproc|churn|serve|obs|fuzz|scale|all")
 		quick      = flag.Bool("quick", false, "smaller budgets and workloads")
 		suite      = flag.String("suite", "full", "table3 suite: hand (5 programs) or full (12)")
 		scales     = flag.String("scales", "small,medium,large", "table4 switch-T scales")
@@ -78,6 +80,8 @@ func mainRun() int {
 		churnN     = flag.Int("churn-deltas", 8, "churn: steady-state deltas measured (after 2 warmups)")
 		churnOut   = flag.String("churn-out", "BENCH_churn.json", "churn-experiment JSON output file (empty: stdout table only)")
 		churnCmp   = flag.String("compare-churn", "", "churn only: reference BENCH_churn.json; exit non-zero on byte-identity break, <5x steady-state speedup, or >50% relative regression")
+		serveOut   = flag.String("serve-out", "BENCH_serve.json", "serve-experiment JSON output file (empty: stdout table only)")
+		serveCmp   = flag.String("compare-serve", "", "serve only: reference BENCH_serve.json; exit non-zero on byte-identity break, <5x steady-state speedup, or >50% relative regression")
 		scaleOut   = flag.String("scale-out", "BENCH_scale.json", "scale-campaign JSON output file (empty: stdout table only)")
 		scaleCmp   = flag.String("compare-scale", "", "scale only: reference BENCH_scale.json; exit non-zero on >20% relative regression")
 		obsOut     = flag.String("obs-out", "BENCH_obs.json", "obs-experiment JSON output file (empty or -quick: stdout table only)")
@@ -377,6 +381,47 @@ func mainRun() int {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *churnOut)
+		}
+		return nil
+	})
+
+	run("serve", func() error {
+		// Continuous verification daemon: the churn workload served over
+		// HTTP through an in-process aquila-serve, per-delta round trips
+		// byte-compared against fresh runs — proving the service layer
+		// preserves both determinism and the warm engine's amortization.
+		ent, n := *churnEnt, *churnN
+		if *quick {
+			ent, n = 32, 4
+		}
+		res, err := bench.Serve(ent, 2, n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatServe(res))
+		if *serveCmp != "" {
+			data, err := os.ReadFile(*serveCmp)
+			if err != nil {
+				return err
+			}
+			var ref bench.ServeResult
+			if err := json.Unmarshal(data, &ref); err != nil {
+				return fmt.Errorf("parsing %s: %w", *serveCmp, err)
+			}
+			if err := bench.CompareServe(&ref, res); err != nil {
+				return err
+			}
+			fmt.Printf("no regression vs %s\n", *serveCmp)
+		}
+		if *serveOut != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *serveOut)
 		}
 		return nil
 	})

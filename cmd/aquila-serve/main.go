@@ -1,0 +1,220 @@
+// Command aquila-serve is the continuous verification daemon: it loads
+// one program+spec pair, then serves named warm verify.Sessions over
+// HTTP — the control plane POSTs table deltas, the daemon answers each
+// with the canonical verification report, byte-identical to a fresh run
+// on the mutated snapshot (internal/serve documents the contract).
+//
+// Usage:
+//
+//	aquila-serve -builtin dc-gateway -addr 127.0.0.1:8471 -journal dir/
+//	aquila-serve -spec prog.lpi [-p4 prog.p4] [-entries snap.txt]
+//	aquila-serve -builtin dc-gateway -journal dir/ -check-journal
+//
+// With -journal, every session is persisted to an append-only
+// checksummed journal and rebuilt on restart; -check-journal replays the
+// journal directory and exits (0 iff every session recovers), the CI
+// post-shutdown assertion. SIGTERM/SIGINT drain gracefully: queued
+// deltas finish verifying and journaling, then the process exits 0.
+//
+// Observability flags (-trace, -pprof, -memprofile, -v, -progress,
+// -metrics) match the other CLIs; GET /metrics serves the same registry
+// live.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"aquila/internal/lpi"
+	"aquila/internal/obs"
+	"aquila/internal/p4"
+	"aquila/internal/progs"
+	"aquila/internal/serve"
+	"aquila/internal/tables"
+	"aquila/internal/verify"
+)
+
+func main() { os.Exit(mainRun()) }
+
+func mainRun() int {
+	var (
+		p4Path   = flag.String("p4", "", "P4lite program file (default: the spec's config path)")
+		specPath = flag.String("spec", "", "LPI specification file")
+		builtin  = flag.String("builtin", "", "corpus program with inferred UB spec: dc-gateway or skewed")
+		entries  = flag.String("entries", "", "base table-entry snapshot file for new sessions (default: verify under any entries)")
+		addr     = flag.String("addr", "127.0.0.1:8471", "listen address")
+		journal  = flag.String("journal", "", "journal directory: persist sessions and recover them on restart")
+		checkJ   = flag.Bool("check-journal", false, "replay the -journal directory and exit (0 iff every session recovers)")
+		budget   = flag.Int64("budget", 0, "default SAT conflict budget per check (0: unlimited)")
+		deadline = flag.Int64("deadline-ms", 0, "default per-delta verification deadline in milliseconds (0: none)")
+		maxBody  = flag.Int64("max-body", serve.DefaultMaxBody, "maximum request body bytes")
+
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON covering the run")
+		cpuProf    = flag.String("pprof", "", "write CPU profile (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write heap profile on exit")
+		verbose    = flag.Bool("v", false, "structured JSONL log on stderr")
+		progress   = flag.Bool("progress", false, "live solver-heartbeat status line on stderr")
+		metricsOut = flag.String("metrics", "", "write OpenMetrics text exposition of the metrics registry on exit")
+	)
+	flag.Parse()
+
+	o, closeObs, err := obs.Setup(obs.Config{
+		TracePath: *tracePath, CPUProfilePath: *cpuProf,
+		MemProfilePath: *memProf, Verbose: *verbose,
+		Progress: *progress, MetricsPath: *metricsOut,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	obs.SetDefault(o)
+
+	prog, spec, ref, err := loadProblem(*p4Path, *specPath, *builtin)
+	if err != nil {
+		return fail(err)
+	}
+	var snap *tables.Snapshot
+	if *entries != "" {
+		data, err := os.ReadFile(*entries)
+		if err != nil {
+			return fail(err)
+		}
+		snap, err = tables.ParseSnapshot(string(data))
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Prog:       prog,
+		Spec:       spec,
+		Snap:       snap,
+		Opts:       verify.Options{Budget: *budget},
+		ProgramRef: ref,
+		JournalDir: *journal,
+		MaxBody:    *maxBody,
+		Deadline:   time.Duration(*deadline) * time.Millisecond,
+		Obs:        o,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if srv.Recovered() > 0 {
+		fmt.Printf("aquila-serve: recovered %d session(s) from %s\n", srv.Recovered(), *journal)
+	}
+	if *checkJ {
+		if *journal == "" {
+			return fail(fmt.Errorf("-check-journal needs -journal"))
+		}
+		fmt.Printf("aquila-serve: journal %s: %d session(s) replayable\n", *journal, srv.Recovered())
+		srv.Close()
+		if err := closeObs(); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	fmt.Printf("aquila-serve: listening on %s (%s)\n", *addr, ref)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		closeObs()
+		return fail(err)
+	case sig := <-sigc:
+		fmt.Printf("aquila-serve: %v: draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "aquila-serve: shutdown: %v\n", err)
+	}
+	srv.Close()
+	if err := closeObs(); err != nil {
+		return fail(err)
+	}
+	fmt.Println("aquila-serve: drained")
+	return 0
+}
+
+// loadProblem resolves the program and spec from -builtin or -spec/-p4,
+// returning a program ref that pins the exact sources: journals written
+// under one ref refuse to replay under another, so editing the program
+// between restarts fails loudly instead of re-verifying deltas against
+// the wrong pipeline.
+func loadProblem(p4Path, specPath, builtin string) (*p4.Program, *lpi.Spec, string, error) {
+	if builtin != "" {
+		var bm *progs.Benchmark
+		switch builtin {
+		case "dc-gateway":
+			bm = progs.DCGatewayBench()
+		case "skewed":
+			bm = progs.SkewedBench()
+		default:
+			return nil, nil, "", fmt.Errorf("unknown -builtin %q (available: dc-gateway, skewed)", builtin)
+		}
+		prog, err := bm.Parse()
+		if err != nil {
+			return nil, nil, "", err
+		}
+		specSrc := progs.InvalidHeaderAccessSpec(prog, bm.Calls)
+		spec, err := lpi.Parse(specSrc)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return prog, spec, programRef("builtin:"+builtin, bm.Source, specSrc), nil
+	}
+	if specPath == "" {
+		return nil, nil, "", fmt.Errorf("no problem: pass -builtin or -spec")
+	}
+	specData, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	spec, err := lpi.Parse(string(specData))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	progPath := p4Path
+	if progPath == "" {
+		progPath = spec.Config["path"]
+		if progPath != "" && !filepath.IsAbs(progPath) {
+			progPath = filepath.Join(filepath.Dir(specPath), progPath)
+		}
+	}
+	if progPath == "" {
+		return nil, nil, "", fmt.Errorf("no program: pass -p4 or set `config { path = ...; }` in the spec")
+	}
+	progData, err := os.ReadFile(progPath)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	prog, err := p4.ParseAndCheck(progPath, string(progData))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return prog, spec, programRef("p4:"+filepath.Base(progPath), string(progData), string(specData)), nil
+}
+
+// programRef is "<label> sha256:<hex>" over the program and spec sources.
+func programRef(label, progSrc, specSrc string) string {
+	sum := sha256.Sum256([]byte(progSrc + "\x00" + specSrc))
+	return fmt.Sprintf("%s sha256:%x", label, sum[:8])
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "aquila-serve:", err)
+	return 2
+}

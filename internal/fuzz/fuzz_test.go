@@ -197,6 +197,43 @@ func TestChurnOracleClean(t *testing.T) {
 	}
 }
 
+// TestServeOracleClean runs the serve-mode churn oracle directly on a
+// generated program: random delta batches pushed through an in-process
+// aquila-serve daemon must answer with canonical bytes identical to
+// fresh runs, so a clean pipeline yields zero divergences.
+func TestServeOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verifier-backed oracle is slow; run without -short")
+	}
+	eng := New(Config{Seed: 13})
+	bm := genprog.Assemble(genprog.RandomConfig(13))
+	prog := mustParse(bm.Source)
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	// Seed a snapshot so the daemon's sessions start from installed
+	// entries and the replace/remove delta arms get exercised.
+	snap := tables.NewSnapshot()
+	for i := 0; i < 3; i++ {
+		d := eng.randomDelta(prog, snap)
+		if d == nil {
+			t.Fatalf("program has no installable table")
+		}
+		if d.Ops[0].Kind == tables.OpAdd {
+			if err := d.Apply(snap); err != nil {
+				t.Fatalf("seed delta: %v", err)
+			}
+		}
+	}
+	in := &Input{Source: bm.Source, Calls: bm.Calls, Seed: 13, Snap: snap}
+	for i := 0; i < 2; i++ {
+		for _, d := range eng.serveOracle(in, prog, spec, freshObs()) {
+			t.Errorf("round %d: %s", i, d)
+		}
+	}
+}
+
 // TestFormatSnapshotRoundTrip checks the snapshot text round-trip the
 // repro format relies on.
 func TestFormatSnapshotRoundTrip(t *testing.T) {

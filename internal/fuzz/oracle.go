@@ -33,7 +33,8 @@ type Input struct {
 // Divergence is one oracle failure: an input on which two components of
 // the pipeline that must agree did not.
 type Divergence struct {
-	// Oracle is "refinement", "engine-matrix" or "model-soundness".
+	// Oracle is "refinement", "engine-matrix", "model-soundness",
+	// "churn-delta" or "serve-churn".
 	Oracle string
 	Detail string
 	Input  *Input
@@ -167,6 +168,10 @@ func (e *Engine) deepOracles(in *Input, prog *p4.Program, o *obs.Obs) []*Diverge
 	// must report exactly what a fresh verification of the mutated
 	// snapshot reports, byte for byte.
 	divs = append(divs, e.churnOracle(in, prog, spec, o)...)
+
+	// Oracle 5: serve-mode churn determinism. The same contract holds
+	// end-to-end through the in-process aquila-serve daemon.
+	divs = append(divs, e.serveOracle(in, prog, spec, o)...)
 	return divs
 }
 

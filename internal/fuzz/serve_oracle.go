@@ -1,0 +1,90 @@
+// serve_oracle.go is oracle 5: serve-mode churn determinism. The
+// continuous-verification daemon (internal/serve) promises that every
+// report it answers over HTTP is byte-identical to a fresh verification
+// of the session's mutated snapshot. The oracle stands up an in-process
+// daemon over the fuzz input, pushes a short batch of random deltas
+// through one session, and byte-compares each response body against a
+// fresh run — catching drift the bare-session churn oracle cannot see:
+// handler-layer body mangling, queue mis-ordering, or daemon-side
+// session state leaking between applies.
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"aquila/internal/lpi"
+	"aquila/internal/obs"
+	"aquila/internal/p4"
+	"aquila/internal/serve"
+	"aquila/internal/tables"
+	"aquila/internal/verify"
+)
+
+// serveOracleDeltas bounds the random batch per input; each delta costs
+// one warm apply plus one fresh differential run.
+const serveOracleDeltas = 2
+
+func (e *Engine) serveOracle(in *Input, prog *p4.Program, spec *lpi.Spec, o *obs.Obs) []*Divergence {
+	srv, err := serve.New(serve.Config{Prog: prog, Spec: spec, Snap: in.Snap, ProgramRef: "fuzz", Obs: o})
+	if err != nil {
+		return nil
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	post := func(path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+	if rr := post("/sessions", `{"id":"fuzz"}`); rr.Code != http.StatusCreated {
+		// Session construction rejected the input (encode limit, budget);
+		// the bare-session churn oracle already accounts for these.
+		return nil
+	}
+	var snap *tables.Snapshot
+	if in.Snap != nil {
+		snap = in.Snap.Clone()
+	} else {
+		snap = tables.NewSnapshot()
+	}
+	for k := 0; k < serveOracleDeltas; k++ {
+		delta := e.randomDelta(prog, snap)
+		if delta == nil {
+			return nil
+		}
+		deltaText := tables.FormatDelta(delta)
+		rr := post("/sessions/fuzz/deltas", deltaText)
+		if rr.Code != http.StatusOK {
+			return nil // delta rejected; not a determinism question
+		}
+		if err := delta.Apply(snap); err != nil {
+			return nil
+		}
+		fresh, err := verify.Run(prog, snap, spec, verify.Options{FindAll: true, Parallel: 1, Obs: o})
+		if err != nil {
+			return []*Divergence{{
+				Oracle: "serve-churn",
+				Detail: "fresh verification failed on mutated snapshot after " + strings.TrimSpace(deltaText) + ": " + err.Error(),
+				Input:  in,
+			}}
+		}
+		freshJS, err := fresh.CanonicalJSON()
+		if err != nil {
+			return nil
+		}
+		if !bytes.Equal(rr.Body.Bytes(), freshJS) {
+			return []*Divergence{{
+				Oracle: "serve-churn",
+				Detail: fmt.Sprintf("daemon report bytes differ from fresh run after delta %d (%s)",
+					k+1, strings.TrimSpace(deltaText)),
+				Input: in,
+			}}
+		}
+	}
+	return nil
+}

@@ -26,6 +26,14 @@ const (
 	// assertions the session engine actually re-solved (the rest were
 	// replayed from the session cache; only under -churn).
 	HistDeltaRecheck = "verify.delta_recheck_per_delta"
+	// HistServeApplyWallUS is, per delta accepted by the aquila-serve
+	// daemon, the wall microseconds the session spent re-verifying it —
+	// the daemon's per-update SLO latency.
+	HistServeApplyWallUS = "serve.apply_wall_us"
+	// HistServeQueueWaitUS is, per accepted delta, the microseconds the
+	// request waited in its session's serialized apply queue before the
+	// session picked it up — queueing delay, separated from solve time.
+	HistServeQueueWaitUS = "serve.queue_wait_us"
 )
 
 // NumHistBuckets is the fixed bucket count of every Histogram. Bucket i

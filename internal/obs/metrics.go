@@ -63,6 +63,15 @@ const (
 	GaugeVerifyShards     = "verify.incremental_shards"
 	GaugeVerifyPortfolio  = "verify.portfolio"
 
+	// Continuous verification daemon (internal/serve): applied deltas,
+	// requests rejected before reaching a session (parse/validation/size
+	// failures), sessions rebuilt from the journal on restart, and the
+	// current live-session count.
+	CtrServeDeltas     = "serve.deltas_applied"
+	CtrServeRejected   = "serve.requests_rejected"
+	CtrServeRecovered  = "serve.sessions_recovered"
+	GaugeServeSessions = "serve.sessions"
+
 	// Process memory, published by the scale campaign (internal/bench):
 	// the sampled peak live heap of the most recent point and the heap
 	// allocations accumulated across every point.

@@ -1,0 +1,171 @@
+// Satellite concurrency suite: the daemon's core claim is that deltas
+// to DIFFERENT sessions verify in parallel while deltas to ONE session
+// serialize in arrival order — and that neither concurrency nor session
+// churn ever perturbs a report byte. These tests hammer that claim and
+// are the reason ./internal/serve rides the -race CI job.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"aquila/internal/tables"
+	"aquila/internal/verify"
+)
+
+// TestServeConcurrentDisjointSessions runs one worker goroutine per
+// session posting deltas while churner goroutines create and delete
+// unrelated sessions the whole time. After the join, every stored
+// response must be byte-identical to a fresh verify.Run on the snapshot
+// that session had at that point.
+func TestServeConcurrentDisjointSessions(t *testing.T) {
+	prog, spec := dcProblem(t)
+	srv := newTestServer(t, Config{Prog: prog, Spec: spec})
+
+	const nSessions = 4
+	const nDeltas = 3
+	ids := make([]string, nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("w%d", i)
+		createSession(t, srv, ids[i], dcSnapshot)
+	}
+	// deltaFor keeps the per-session histories distinct so a cross-session
+	// state leak cannot cancel out.
+	deltaFor := func(session, step int) string {
+		switch step {
+		case 0:
+			return fmt.Sprintf("add GatewayIngress.ecmp_nhop_tbl %d -> set_nhop(%d)", 4+session, session%8+1)
+		case 1:
+			return fmt.Sprintf("replace GatewayIngress.ecmp_nhop_tbl %d %d -> a_drop", session, session)
+		default:
+			return "remove GatewayIngress.ecmp_nhop_tbl 0"
+		}
+	}
+
+	var wg sync.WaitGroup
+	responses := make([][][]byte, nSessions)
+	workerErr := make([]error, nSessions)
+	for i := range ids {
+		responses[i] = make([][]byte, nDeltas)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < nDeltas; k++ {
+				rr := do(srv, "POST", "/sessions/"+ids[i]+"/deltas", deltaFor(i, k))
+				if rr.Code != http.StatusOK {
+					workerErr[i] = fmt.Errorf("delta %d: status %d: %s", k, rr.Code, rr.Body.String())
+					return
+				}
+				responses[i][k] = append([]byte(nil), rr.Body.Bytes()...)
+			}
+		}(i)
+	}
+	// Churners create and delete sessions concurrently with the workers,
+	// forcing the registry lock and the per-session apply loops to
+	// coexist with session lifecycle events.
+	churnErr := make([]error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 2; k++ {
+				id := fmt.Sprintf("churn-%d-%d", g, k)
+				body, _ := json.Marshal(createRequest{ID: id, Entries: dcSnapshot})
+				rr := do(srv, "POST", "/sessions", string(body))
+				if rr.Code != http.StatusCreated {
+					churnErr[g] = fmt.Errorf("churn create %s: %d: %s", id, rr.Code, rr.Body.String())
+					return
+				}
+				if rr := do(srv, "DELETE", "/sessions/"+id, ""); rr.Code != http.StatusNoContent {
+					churnErr[g] = fmt.Errorf("churn delete %s: %d: %s", id, rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, err := range workerErr {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for g, err := range churnErr {
+		if err != nil {
+			t.Fatalf("churner %d: %v", g, err)
+		}
+	}
+
+	// Sequential differential check: replay each session's history onto a
+	// private snapshot and fresh-run every intermediate state.
+	for i := range ids {
+		exp := mustSnapshot(t, dcSnapshot)
+		for k := 0; k < nDeltas; k++ {
+			applyText(t, exp, deltaFor(i, k))
+			want := freshCanonical(t, prog, spec, exp)
+			if !bytes.Equal(responses[i][k], want) {
+				t.Fatalf("session %s delta %d: concurrent response differs from fresh run:\nhttp:\n%s\nfresh:\n%s",
+					ids[i], k, responses[i][k], want)
+			}
+		}
+	}
+	// The churned sessions are gone; the workers' sessions survive.
+	rr := do(srv, "GET", "/sessions", "")
+	if want := `{"count":4,"sessions":["w0","w1","w2","w3"]}`; rr.Body.String() != want {
+		t.Fatalf("surviving sessions = %s, want %s", rr.Body.String(), want)
+	}
+}
+
+// TestServeInOrderMatchesSequentialSession pins the FIFO guarantee the
+// cheap way: a burst of deltas posted to one session must produce, in
+// order, exactly the reports a bare verify.Session yields when fed the
+// same deltas sequentially.
+func TestServeInOrderMatchesSequentialSession(t *testing.T) {
+	prog, spec := dcProblem(t)
+	srv := newTestServer(t, Config{Prog: prog, Spec: spec})
+	base := mustSnapshot(t, dcSnapshot)
+
+	sess, err := verify.NewSession(prog, base, spec, verify.Options{Parallel: 1})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+
+	body := createSession(t, srv, "seq", dcSnapshot)
+	want, err := sess.Baseline().CanonicalJSON()
+	if err != nil {
+		t.Fatalf("canonical: %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("create report differs from bare session baseline")
+	}
+
+	deltas := []string{
+		"add GatewayIngress.ecmp_nhop_tbl 4 -> set_nhop(5)",
+		"replace GatewayIngress.ecmp_nhop_tbl 0 0 -> a_drop",
+		"remove GatewayIngress.ecmp_nhop_tbl 2",
+		"add GatewayIngress.ecmp_nhop_tbl 6 -> set_nhop(7)",
+	}
+	for k, dt := range deltas {
+		rr := applyDelta(t, srv, "seq", dt)
+		d, err := tables.ParseDelta(dt)
+		if err != nil {
+			t.Fatalf("delta %d: %v", k, err)
+		}
+		rep, err := sess.Apply(d)
+		if err != nil {
+			t.Fatalf("bare apply %d: %v", k, err)
+		}
+		want, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonical %d: %v", k, err)
+		}
+		if !bytes.Equal(rr.Body.Bytes(), want) {
+			t.Fatalf("delta %d: http report differs from bare sequential session:\nhttp:\n%s\nbare:\n%s",
+				k, rr.Body.Bytes(), want)
+		}
+	}
+}

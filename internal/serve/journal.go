@@ -1,0 +1,139 @@
+// journal.go is aquila-serve's crash-recovery log: one append-only file
+// per session holding length-prefixed, checksummed records — a "create"
+// record pinning the program ref, budget, and base snapshot, followed by
+// one "delta" record per applied table update. Replaying the file through
+// the warm Session engine rebuilds the exact session state, so a daemon
+// restart resumes continuous verification where it stopped.
+//
+// Record framing is an 8-byte header (uint32 LE payload length, uint32 LE
+// CRC-32/IEEE of the payload) followed by the JSON payload, written with a
+// single write and fsynced. Recovery is truncation-tolerant at the tail
+// only: a final record cut short by a crash is dropped (and the file
+// truncated back to the clean prefix), but a COMPLETE record whose
+// checksum mismatches is a hard error — silent corruption must fail
+// recovery loudly, not shrink the delta history.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Journal record kinds.
+const (
+	recCreate = "create"
+	recDelta  = "delta"
+)
+
+// journalRecord is one entry of a session journal.
+type journalRecord struct {
+	Kind string `json:"kind"`
+	// Create fields.
+	ID         string `json:"id,omitempty"`
+	ProgramRef string `json:"program_ref,omitempty"`
+	Budget     int64  `json:"budget,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	// Snapshot is the base snapshot in tables.Format text; AnyEntries
+	// distinguishes the nil "verify under any entries" snapshot from an
+	// empty concrete one (they verify differently).
+	Snapshot   string `json:"snapshot,omitempty"`
+	AnyEntries bool   `json:"any_entries,omitempty"`
+	// Delta field: the applied update in tables.FormatDelta text.
+	Delta string `json:"delta,omitempty"`
+}
+
+// journalWriter appends records to one session's journal file.
+type journalWriter struct {
+	f *os.File
+}
+
+// createJournal starts a new session journal at path with its create
+// record. The file must not already exist: a leftover journal for a new
+// session id means two histories would interleave, which is a conflict,
+// not something to overwrite.
+func createJournal(path string, rec journalRecord) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &journalWriter{f: f}
+	if err := w.append(rec); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return w, nil
+}
+
+// openJournal reopens a recovered journal for appending after replay has
+// truncated any torn tail back to cleanLen.
+func openJournal(path string, cleanLen int64) (*journalWriter, error) {
+	if err := os.Truncate(path, cleanLen); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+// append frames, writes, and fsyncs one record. The header and payload go
+// down in a single write, so a crash can only leave a torn FINAL record —
+// exactly the case replayJournal tolerates.
+func (w *journalWriter) append(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *journalWriter) Close() error { return w.f.Close() }
+
+// replayJournal reads a session journal and returns the records of its
+// longest clean prefix, the byte length of that prefix (for truncation),
+// and whether a torn tail record was dropped. A complete record with a
+// checksum or JSON failure is a hard error.
+func replayJournal(path string) (recs []journalRecord, cleanLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	off := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if off+8+n > len(data) {
+			// Torn tail: the header promises more payload than the file
+			// holds — the single-write framing means only a crash mid-append
+			// can produce this, and only on the final record.
+			break
+		}
+		payload := data[off+8 : off+8+n]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, 0, false, fmt.Errorf(
+				"serve: journal %s: record %d at offset %d: checksum mismatch (stored %08x, computed %08x) — refusing to recover from a corrupted journal",
+				path, len(recs), off, sum, got)
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, 0, false, fmt.Errorf(
+				"serve: journal %s: record %d at offset %d: checksummed payload is not valid JSON: %v",
+				path, len(recs), off, err)
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	return recs, int64(off), off < len(data), nil
+}

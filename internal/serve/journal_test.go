@@ -1,0 +1,224 @@
+// Satellite crash-recovery suite: the journal's promise is that a
+// daemon killed mid-write loses AT MOST the record being written, never
+// silently loses history, and never replays corrupted history. The
+// truncation sweep cuts the journal at EVERY byte offset inside the tail
+// record and proves recovery lands on the clean prefix with full
+// byte-identity; the corruption tests prove a damaged complete record
+// (and a mismatched program) fail New loudly.
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aquila/internal/lpi"
+	"aquila/internal/p4"
+	"aquila/internal/progs"
+	"aquila/internal/tables"
+)
+
+// routerSnapshot seeds RouterIngress.forward — the Simple Router is the
+// cheapest corpus program to verify, which keeps the every-byte-offset
+// sweep fast.
+const routerSnapshot = `
+table RouterIngress.forward {
+  1 -> set_dmac(17)
+  2 -> set_dmac(34)
+}
+`
+
+var routerDeltas = []string{
+	"add RouterIngress.forward 3 -> set_dmac(51)",
+	"replace RouterIngress.forward 0 1 -> a_drop",
+	"remove RouterIngress.forward 1",
+}
+
+func routerProblem(t testing.TB) (*p4.Program, *lpi.Spec) {
+	t.Helper()
+	bm := progs.HandWrittenSuite()[0] // Simple Router
+	prog, err := bm.Parse()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	spec, err := lpi.Parse(progs.InvalidHeaderAccessSpec(prog, bm.Calls))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	return prog, spec
+}
+
+// crashedJournal runs a daemon through create + the router deltas and
+// abandons it WITHOUT Close — simulating a kill. Each record is written
+// with a single write and fsynced, so the journal bytes on disk are the
+// complete history. Returns the journal bytes.
+func crashedJournal(t *testing.T, prog *p4.Program, spec *lpi.Spec, cfg Config) []byte {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	createSession(t, srv, "s", routerSnapshot)
+	for _, dt := range routerDeltas {
+		applyDelta(t, srv, "s", dt)
+	}
+	// No srv.Close(): the apply loop goroutine is abandoned, exactly like
+	// a SIGKILL after the last reply was sent.
+	data, err := os.ReadFile(filepath.Join(cfg.JournalDir, "s.journal"))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	return data
+}
+
+// recordStarts parses the journal framing and returns each record's
+// starting offset (header included).
+func recordStarts(t *testing.T, data []byte) []int {
+	t.Helper()
+	var starts []int
+	off := 0
+	for off+8 <= len(data) {
+		starts = append(starts, off)
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if off+8+n > len(data) {
+			t.Fatalf("journal written by a clean run has a torn record at %d", off)
+		}
+		off += 8 + n
+	}
+	if off != len(data) {
+		t.Fatalf("journal has %d trailing bytes after the last record", len(data)-off)
+	}
+	return starts
+}
+
+// TestJournalTruncationSweep cuts the journal at every byte offset
+// within its final record (from the record's first header byte up to the
+// clean end) and proves each cut recovers: the daemon comes back with
+// the surviving delta prefix, and the next report over HTTP is
+// byte-identical to a fresh run on that prefix.
+func TestJournalTruncationSweep(t *testing.T) {
+	prog, spec := routerProblem(t)
+	dir := t.TempDir()
+	cfg := Config{Prog: prog, Spec: spec, ProgramRef: "test:router", JournalDir: dir}
+	data := crashedJournal(t, prog, spec, cfg)
+	starts := recordStarts(t, data)
+	if want := 1 + len(routerDeltas); len(starts) != want {
+		t.Fatalf("journal has %d records, want %d", len(starts), want)
+	}
+	tailStart := starts[len(starts)-1]
+
+	extra := "add RouterIngress.forward 9 -> set_dmac(9)"
+	// Any cut strictly inside the tail record drops it, leaving the first
+	// two deltas; only the uncut journal keeps all three.
+	wantByPrefix := make(map[int][]byte)
+	for _, n := range []int{len(routerDeltas) - 1, len(routerDeltas)} {
+		snap := mustSnapshot(t, routerSnapshot)
+		for _, dt := range routerDeltas[:n] {
+			applyText(t, snap, dt)
+		}
+		applyText(t, snap, extra)
+		wantByPrefix[n] = freshCanonical(t, prog, spec, snap)
+	}
+
+	for cut := tailStart; cut <= len(data); cut++ {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, "s.journal"), data[:cut], 0o644); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		cfg2 := cfg
+		cfg2.JournalDir = dir2
+		srv, err := New(cfg2)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		if got := srv.Recovered(); got != 1 {
+			t.Fatalf("cut %d: recovered %d sessions, want 1", cut, got)
+		}
+		surviving := len(routerDeltas)
+		if cut < len(data) {
+			surviving--
+		}
+		rr := applyDelta(t, srv, "s", extra)
+		if !bytes.Equal(rr.Body.Bytes(), wantByPrefix[surviving]) {
+			t.Fatalf("cut %d (surviving prefix %d): recovered report differs from fresh run:\nhttp:\n%s\nfresh:\n%s",
+				cut, surviving, rr.Body.Bytes(), wantByPrefix[surviving])
+		}
+		// The truncated tail must be GONE from disk too: re-replaying the
+		// reopened journal has to see clean framing.
+		srv.Close()
+		recs, _, torn, err := replayJournal(filepath.Join(dir2, "s.journal"))
+		if err != nil || torn {
+			t.Fatalf("cut %d: reopened journal not clean: torn=%v err=%v", cut, torn, err)
+		}
+		if want := 1 + surviving + 1; len(recs) != want {
+			t.Fatalf("cut %d: reopened journal has %d records, want %d", cut, len(recs), want)
+		}
+	}
+}
+
+// TestJournalCorruptionFailsLoudly flips one payload byte of a COMPLETE
+// record: recovery must refuse with a checksum error, not shrink or
+// alter history. A journal written under a different program ref must be
+// refused too.
+func TestJournalCorruptionFailsLoudly(t *testing.T) {
+	prog, spec := routerProblem(t)
+	dir := t.TempDir()
+	cfg := Config{Prog: prog, Spec: spec, ProgramRef: "test:router", JournalDir: dir}
+	data := crashedJournal(t, prog, spec, cfg)
+	starts := recordStarts(t, data)
+
+	t.Run("checksum mismatch", func(t *testing.T) {
+		for _, rec := range []int{0, 1} { // create record and first delta
+			corrupt := append([]byte(nil), data...)
+			corrupt[starts[rec]+8+4] ^= 0xFF
+			dir2 := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir2, "s.journal"), corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cfg2 := cfg
+			cfg2.JournalDir = dir2
+			if _, err := New(cfg2); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+				t.Fatalf("record %d corrupted: New() err = %v, want checksum mismatch", rec, err)
+			}
+		}
+	})
+
+	t.Run("program ref mismatch", func(t *testing.T) {
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, "s.journal"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg2 := cfg
+		cfg2.JournalDir = dir2
+		cfg2.ProgramRef = "test:other-program"
+		if _, err := New(cfg2); err == nil || !strings.Contains(err.Error(), "different program") {
+			t.Fatalf("New() err = %v, want program-ref refusal", err)
+		}
+	})
+
+	t.Run("unknown table in journal", func(t *testing.T) {
+		// A journal whose delta names a table the program lacks must be
+		// refused at replay (an `add` would otherwise silently create a
+		// phantom table in the snapshot).
+		dir2 := t.TempDir()
+		jw, err := createJournal(filepath.Join(dir2, "s.journal"), journalRecord{
+			Kind: recCreate, ID: "s", ProgramRef: "test:router",
+			Snapshot: tables.Format(mustSnapshot(t, routerSnapshot)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := jw.append(journalRecord{Kind: recDelta, Delta: "add RouterIngress.ghost_tbl 0 -> a_drop\n"}); err != nil {
+			t.Fatal(err)
+		}
+		jw.Close()
+		cfg2 := cfg
+		cfg2.JournalDir = dir2
+		if _, err := New(cfg2); err == nil || !strings.Contains(err.Error(), "unknown table") {
+			t.Fatalf("New() err = %v, want unknown-table replay refusal", err)
+		}
+	})
+}

@@ -117,6 +117,21 @@ func (d *Delta) Tables() []string {
 	return out
 }
 
+// Validate checks every operation's table reference against a known-table
+// predicate (typically the fully-qualified "Control.table" names a program
+// declares), reporting the first reference to a table the program does not
+// have. Index bounds are not checked here — they depend on snapshot state
+// and stay Apply's job — so Validate is the cheap, snapshot-independent
+// half of delta admission, the one aquila-serve runs before enqueueing.
+func (d *Delta) Validate(known func(table string) bool) error {
+	for i, op := range d.Ops {
+		if !known(op.Table) {
+			return fmt.Errorf("tables: delta op %d (%s): unknown table %q", i, op.Kind, op.Table)
+		}
+	}
+	return nil
+}
+
 // Apply mutates snap by the delta's operations, in order. Added and
 // replacement entries are deep-copied, so the delta can be reapplied to
 // other snapshots. On error the snapshot may be partially updated;

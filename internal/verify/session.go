@@ -263,6 +263,7 @@ func (s *Session) ensureSolver() *smt.Solver {
 		if s.opts.Preprocess {
 			s.solver.SetPreprocess(true)
 		}
+		s.opts.installCancel(s.solver)
 		s.prev = smt.SolverStats{}
 	}
 	return s.solver

@@ -99,6 +99,17 @@ type Options struct {
 	// releases, or races over the context. NewSession sets it; the CLIs
 	// set it for flag validation before the session is built.
 	Session bool
+	// Cancel, when non-nil, is a cooperative cancellation token installed
+	// on the checking solvers of the fresh find-all and session engines
+	// (the paths aquila-serve drives): storing true makes in-flight and
+	// future checks return Unknown at the solver's next poll, which the
+	// driver reports as ErrBudget exactly like conflict-budget exhaustion.
+	// aquila-serve maps per-request verification deadlines onto it. The
+	// portfolio racer keeps its own internal token, so Cancel is rejected
+	// with Portfolio > 1 rather than silently overwritten. nil (the
+	// default) installs nothing and leaves verdicts and canonical report
+	// bytes untouched.
+	Cancel *atomic.Bool
 	// Obs attaches observability sinks (tracer, metrics, structured log).
 	// nil falls back to the process default (set by the CLIs); when that is
 	// also nil every hook is a nil-check with no measurable overhead, and
@@ -175,6 +186,9 @@ func (o Options) Validate() error {
 		if o.Incremental {
 			return fmt.Errorf("verify: -portfolio is incompatible with -incremental (racing a shard's shared solver would make its accumulated state schedule-dependent; use -schedule steal for solver reuse with racing)")
 		}
+	}
+	if o.Cancel != nil && o.Portfolio > 1 {
+		return fmt.Errorf("verify: a cancellation token is incompatible with -portfolio %d (racers install their own shared token, which would silently replace it)", o.Portfolio)
 	}
 	if o.Session {
 		if !o.FindAll {
@@ -646,6 +660,7 @@ func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term,
 	if opts.Preprocess {
 		solver.SetPreprocess(true)
 	}
+	opts.installCancel(solver)
 	installProgress(o, solver, v.Label, worker)
 	t0 := time.Now()
 	st = solver.Check(checkCond)
@@ -659,6 +674,7 @@ func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term,
 		if opts.Budget > 0 {
 			s2.SetBudget(opts.Budget)
 		}
+		opts.installCancel(s2)
 		installProgress(o, s2, v.Label, worker)
 		t1 := time.Now()
 		st2 := s2.Check(v.Cond)
@@ -676,6 +692,16 @@ func (rep *Report) checkOne(opts Options, v *gcl.Violation, checkCond *smt.Term,
 	solver.ModelCollect(m, v.Cond)
 	model = m
 	return
+}
+
+// installCancel installs the run-wide cancellation token on a checking
+// solver (a no-op without one). Solver-creation sites call it right after
+// the budget install, so a fired deadline stops the transformed check and
+// the canonicalizing re-solve alike.
+func (o Options) installCancel(s *smt.Solver) {
+	if o.Cancel != nil {
+		s.SetCancel(o.Cancel)
+	}
 }
 
 // checkOneShared is the shared-solver unit of work the incremental and
@@ -708,6 +734,7 @@ func (rep *Report) checkOneShared(opts Options, v *gcl.Violation, checkCond *smt
 	if opts.Budget > 0 {
 		s2.SetBudget(opts.Budget)
 	}
+	opts.installCancel(s2)
 	installProgress(o, s2, v.Label, worker)
 	t1 := time.Now()
 	st2 := s2.Check(v.Cond)
